@@ -1,0 +1,76 @@
+// Ablation — cost of the hook-based interception design (DESIGN.md §4).
+//
+// GoldenEye intercepts layer outputs via forward hooks rather than baking
+// quantisation into the layers. This bench isolates that choice: native
+// inference, inference with no-op hooks installed (pure interception
+// cost), and inference with identity-format emulation (interception +
+// FP32 quantisation, which is the emulation engine's floor).
+#include <benchmark/benchmark.h>
+
+#include "core/emulator.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace ge;
+
+struct Setup {
+  std::unique_ptr<nn::Module> model;
+  data::Batch batch;
+};
+
+Setup& setup() {
+  static Setup s = [] {
+    Setup out;
+    out.model = bench::trained("simple_cnn").model;
+    out.model->eval();
+    out.batch = data::take(bench::dataset().test(), 0, 32);
+    return out;
+  }();
+  return s;
+}
+
+void BM_Native(benchmark::State& state) {
+  Setup& s = setup();
+  for (auto _ : state) {
+    Tensor out = (*s.model)(s.batch.images);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_NoopHooks(benchmark::State& state) {
+  Setup& s = setup();
+  std::vector<std::pair<nn::Module*, nn::Module::HookHandle>> hooks;
+  for (auto& [path, mod] : s.model->named_modules()) {
+    if (mod->kind() == "Conv2d" || mod->kind() == "Linear") {
+      hooks.emplace_back(mod,
+                         mod->add_forward_hook([](nn::Module&, Tensor&) {}));
+    }
+  }
+  for (auto _ : state) {
+    Tensor out = (*s.model)(s.batch.images);
+    benchmark::DoNotOptimize(out.data());
+  }
+  for (auto& [mod, h] : hooks) mod->remove_hook(h);
+}
+
+void BM_IdentityEmulation(benchmark::State& state) {
+  Setup& s = setup();
+  core::EmulatorConfig cfg;
+  cfg.format_spec = "fp_e8m23";  // the fabric's own format: pure overhead
+  core::Emulator emu(*s.model, cfg);
+  for (auto _ : state) {
+    Tensor out = (*s.model)(s.batch.images);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+BENCHMARK(BM_Native)->Unit(benchmark::kMillisecond)->Iterations(10);
+BENCHMARK(BM_NoopHooks)->Unit(benchmark::kMillisecond)->Iterations(10);
+BENCHMARK(BM_IdentityEmulation)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Ablation — tensorised vs scalar conversion paths (paper §III-B).
+//
+// Methods 1/2 (tensor) are the fast bulk path; methods 3/4 (scalar
+// bitstrings) exist for fine-grained injection. This bench quantifies the
+// gap that justifies the two-path API: converting a 64k-element tensor
+// through the bulk kernel vs element-by-element through encode/decode.
+#include <benchmark/benchmark.h>
+
+#include "formats/format_registry.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace ge;
+
+Tensor& payload() {
+  static Tensor t = Rng(7).normal_tensor({64 * 1024}, 0.0f, 4.0f);
+  return t;
+}
+
+void BM_TensorPath(benchmark::State& state, const std::string& spec) {
+  auto f = fmt::make_format(spec);
+  for (auto _ : state) {
+    Tensor q = f->real_to_format_tensor(payload());
+    benchmark::DoNotOptimize(q.data());
+  }
+  state.SetItemsProcessed(state.iterations() * payload().numel());
+}
+
+void BM_ScalarPath(benchmark::State& state, const std::string& spec) {
+  auto f = fmt::make_format(spec);
+  // metadata-bearing formats need a tensor context for *_at
+  (void)f->real_to_format_tensor(payload());
+  const Tensor& t = payload();
+  for (auto _ : state) {
+    float acc = 0.0f;
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      acc += f->format_to_real_at(f->real_to_format_at(t[i], i), i);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * payload().numel());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const char* spec :
+       {"fp_e5m10", "fxp_1_3_12", "int8", "bfp_e5m5_b16", "afp_e4m3"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("tensor_path/") + spec).c_str(),
+        [spec = std::string(spec)](benchmark::State& st) {
+          BM_TensorPath(st, spec);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+    benchmark::RegisterBenchmark(
+        (std::string("scalar_path/") + spec).c_str(),
+        [spec = std::string(spec)](benchmark::State& st) {
+          BM_ScalarPath(st, spec);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// §IV-C claim check — ΔLoss converges with far fewer injections than the
+// mismatch metric: its continuous values carry more information per
+// injection than mismatch's rare binary outcomes.
+//
+// For each layer we run one campaign, then compute for both metrics the
+// number of injections n* needed for the 95% confidence interval of the
+// mean to shrink below 20% of the mean:
+//     n* = (1.96 * sigma / (0.2 * mu))^2
+// For a Bernoulli mismatch stream with small SDC probability p,
+// sigma/mu = sqrt((1-p)/p) explodes; ΔLoss's sigma/mu is O(1) — that is
+// the paper's statistical argument, measured here on real campaigns.
+#include <cmath>
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "harness.hpp"
+
+namespace {
+
+struct Stats {
+  double mean = 0.0;
+  double sigma = 0.0;
+};
+
+template <typename T>
+Stats stats_of(const std::vector<T>& xs) {
+  Stats s;
+  for (T x : xs) s.mean += double(x);
+  s.mean /= double(xs.size());
+  double v = 0.0;
+  for (T x : xs) v += (double(x) - s.mean) * (double(x) - s.mean);
+  s.sigma = std::sqrt(v / double(xs.size() - 1));
+  return s;
+}
+
+/// Injections needed for the 95% CI to reach 20% of the mean.
+double n_star(const Stats& s) {
+  if (s.mean <= 0.0) return std::numeric_limits<double>::infinity();
+  const double k = 1.96 * s.sigma / (0.2 * s.mean);
+  return k * k;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ge;
+  const auto batch = data::take(bench::dataset().test(), 0, 16);
+  auto tm = bench::trained("simple_cnn");
+  tm.model->eval();
+
+  // Aggressive-but-realistic fault model so SDCs are present yet rare:
+  // 4-bit integer quantisation keeps the model accurate while single-bit
+  // code flips occasionally swing predictions.
+  core::CampaignConfig cfg;
+  cfg.format_spec = "int6";
+  cfg.injections_per_layer = 400;
+  cfg.seed = 2024;
+
+  const auto r = core::run_campaign(*tm.model, batch, cfg);
+  std::printf("=== dLoss vs mismatch: injections needed for a 20%%-of-mean"
+              " 95%% CI ===\n");
+  std::printf("(%lld injections/layer observed, format %s)\n\n",
+              (long long)cfg.injections_per_layer, cfg.format_spec.c_str());
+  std::printf("%-24s %12s %12s %14s %14s\n", "layer", "mean dLoss",
+              "SDC rate", "n*(dLoss)", "n*(mismatch)");
+  int64_t dloss_finite = 0, mismatch_finite = 0;
+  for (const auto& l : r.layers) {
+    const Stats ds = stats_of(l.delta_losses);
+    const Stats ms = stats_of(l.sdc_flags);
+    const double nd = n_star(ds);
+    const double nm = n_star(ms);
+    if (std::isfinite(nd)) ++dloss_finite;
+    if (std::isfinite(nm)) ++mismatch_finite;
+    std::printf("%-24s %12.5f %11.2f%% %14.0f %14.0f\n", l.layer.c_str(),
+                ds.mean, 100.0 * ms.mean, nd, nm);
+  }
+  std::printf("\nlayers measurable with dLoss: %lld/%zu;"
+              " with mismatch: %lld/%zu\n",
+              (long long)dloss_finite, r.layers.size(),
+              (long long)mismatch_finite, r.layers.size());
+  std::printf("(mismatch carries no signal until SDCs actually occur —\n"
+              " dLoss ranks even fully-masking layers, the paper's argument\n"
+              " for campaigning with the continuous metric)\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Fig. 3 — Runtime performance of GoldenEye, using different number
+// formats and with error injection (EI) on/off.
+//
+// Measures batch-32 inference wall time for 14 configurations per model:
+// native (uninstrumented FP32), emulated FP32/FP16/bfloat16, FxP(1,3,12),
+// INT8, BFP e8m7 b16, AFP e4m3 — each plain, with a random single-bit
+// value EI, and (for INT/BFP/AFP) with a metadata EI.
+//
+// Expected shape (paper): native fastest; FP/FxP/INT emulation close to
+// native (tensorised fused path); BFP/AFP several times slower (block /
+// metadata-materialising path, the paper's Python-path analogue); EI adds
+// negligible overhead because the scalar routine runs once per inference.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <optional>
+
+#include "core/injector.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace ge;
+
+struct Setup {
+  std::unique_ptr<nn::Module> model;
+  data::Batch batch;
+};
+
+Setup& setup(const std::string& model_name) {
+  static std::map<std::string, Setup> cache;
+  auto it = cache.find(model_name);
+  if (it == cache.end()) {
+    Setup s;
+    s.model = bench::trained(model_name).model;
+    s.model->eval();
+    s.batch = data::take(bench::dataset().test(), 0, 32);
+    it = cache.emplace(model_name, std::move(s)).first;
+  }
+  return it->second;
+}
+
+enum class Ei { kOff, kValue, kMetadata };
+
+void run_inference(benchmark::State& state, const std::string& model_name,
+                   const std::string& spec, Ei ei) {
+  Setup& s = setup(model_name);
+  std::optional<core::Emulator> emu;
+  std::optional<core::Injector> inj;
+  if (spec != "native") {
+    core::EmulatorConfig cfg;
+    cfg.format_spec = spec;
+    emu.emplace(*s.model, std::move(cfg));
+    if (ei != Ei::kOff) {
+      inj.emplace(*emu, /*seed=*/1);
+    }
+  }
+  uint64_t trial = 0;
+  for (auto _ : state) {
+    if (inj) {
+      state.PauseTiming();
+      core::InjectionSpec ispec;
+      ispec.layer_path = emu->sites()[0].path;
+      ispec.site = (ei == Ei::kMetadata) ? core::InjectionSite::kMetadata
+                                         : core::InjectionSite::kActivationValue;
+      inj->arm(ispec);
+      state.ResumeTiming();
+      ++trial;
+    }
+    Tensor out = (*s.model)(s.batch.images);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s.batch.images.size(0));
+}
+
+void register_all(const std::string& model_name) {
+  struct Config {
+    const char* label;
+    const char* spec;
+    bool has_metadata;
+  };
+  const Config configs[] = {
+      {"native", "native", false},
+      {"fp32", "fp_e8m23", false},
+      {"fp16", "fp_e5m10", false},
+      {"bfloat16", "fp_e8m7", false},
+      {"fxp_1_3_12", "fxp_1_3_12", false},
+      {"int8", "int8", true},
+      {"bfp_e8m7_b16", "bfp_e8m7_b16", true},
+      {"afp_e4m3", "afp_e4m3", true},
+  };
+  for (const auto& c : configs) {
+    const std::string base = model_name + "/" + c.label;
+    benchmark::RegisterBenchmark(
+        base.c_str(),
+        [model_name, spec = std::string(c.spec)](benchmark::State& st) {
+          run_inference(st, model_name, spec, Ei::kOff);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(8);
+    if (std::string(c.spec) == "native") continue;
+    benchmark::RegisterBenchmark(
+        (base + "+EI").c_str(),
+        [model_name, spec = std::string(c.spec)](benchmark::State& st) {
+          run_inference(st, model_name, spec, Ei::kValue);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(8);
+    if (c.has_metadata) {
+      benchmark::RegisterBenchmark(
+          (base + "+EI-metadata").c_str(),
+          [model_name, spec = std::string(c.spec)](benchmark::State& st) {
+            run_inference(st, model_name, spec, Ei::kMetadata);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(8);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all("simple_cnn");
+  register_all("tiny_deit");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

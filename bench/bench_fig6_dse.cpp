@@ -1,0 +1,49 @@
+// Fig. 5/6 — Design-space exploration: the recursive binary-tree search
+// over (bitwidth, radix), per model and format family.
+//
+// Prints each visited node in visit order (Fig. 6's x-axis), its measured
+// accuracy and pass/fail against the 1% threshold, plus the selected
+// configuration. Expected shape (paper): the heuristic terminates after
+// at most 16 nodes, more than half the visited nodes sit above the
+// threshold, and the chosen design point differs between the CNN and the
+// transformer.
+#include <cstdio>
+
+#include "core/dse.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace ge;
+  const auto batch = data::take(bench::dataset().test(), 0, 256);
+
+  std::printf("=== Fig. 5/6: binary-tree DSE for number format selection ===\n");
+  std::printf("(threshold: accuracy >= baseline - 1%%)\n\n");
+
+  for (const char* model_name : {"tiny_resnet", "tiny_deit"}) {
+    auto tm = bench::trained(model_name);
+    tm.model->eval();
+    std::printf("--- %s ---\n", model_name);
+    for (const char* family : {"fp", "fxp", "int", "bfp", "afp"}) {
+      core::DseConfig cfg;
+      cfg.family = family;
+      cfg.accuracy_drop_threshold = 0.01f;
+      const core::DseResult r = core::run_dse(*tm.model, batch, cfg);
+      std::printf("family %-4s baseline=%.4f nodes=%zu passing=%lld\n",
+                  family, r.baseline_accuracy, r.nodes.size(),
+                  (long long)r.passing_nodes());
+      for (const auto& n : r.nodes) {
+        std::printf("  node %2d [%8s] %-16s w=%2d acc=%.4f %s\n", n.id,
+                    n.phase.c_str(), n.spec.c_str(), n.bitwidth, n.accuracy,
+                    n.pass ? "PASS" : "fail");
+      }
+      if (!r.best_spec.empty()) {
+        std::printf("  => selected %s (w=%d, acc=%.4f)\n",
+                    r.best_spec.c_str(), r.best_bitwidth, r.best_accuracy);
+      } else {
+        std::printf("  => no configuration met the threshold\n");
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

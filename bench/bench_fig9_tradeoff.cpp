@@ -1,0 +1,60 @@
+// Fig. 9 — Accuracy vs resilience (mean ΔLoss across layers, value +
+// metadata) vs bitwidth, for BFP and AFP design points on the residual
+// CNN — the paper's §V-A accelerator-tuning view.
+//
+// Expected shape (paper): low-precision / high-accuracy / low-ΔLoss
+// points exist in the "top-left" (e.g. AFP e4m4); designers pick along
+// the frontier.
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "core/emulator.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace ge;
+  const auto acc_batch = data::take(bench::dataset().test(), 0, 256);
+  const auto inj_batch = data::take(bench::dataset().test(), 0, 16);
+  const int64_t n_inj = std::max<int64_t>(30, bench::injections_per_layer() / 4);
+
+  auto tm = bench::trained("tiny_resnet");
+  tm.model->eval();
+  const float baseline = core::emulated_accuracy(
+      *tm.model, acc_batch.images, acc_batch.labels, "native");
+
+  struct Point {
+    const char* spec;
+    int width;
+  };
+  const Point points[] = {
+      {"bfp_e5m15_b16", 16}, {"bfp_e5m7_b16", 8}, {"bfp_e5m5_b16", 6},
+      {"bfp_e5m3_b16", 4},   {"afp_e5m10", 16},   {"afp_e4m4", 9},
+      {"afp_e4m3", 8},       {"afp_e5m2", 8},     {"afp_e3m2", 6},
+  };
+
+  std::printf("=== Fig. 9: accuracy / resilience / bitwidth tuning"
+              " (tiny_resnet, baseline %.4f) ===\n", baseline);
+  std::printf("(resilience = mean dLoss across layers, value+metadata"
+              " sites, %lld injections/layer/site)\n\n", (long long)n_inj);
+  std::printf("%-16s %6s %10s %14s %14s %14s\n", "format", "width",
+              "accuracy", "dLoss(value)", "dLoss(meta)", "dLoss(avg)");
+
+  for (const auto& p : points) {
+    const float acc = core::emulated_accuracy(*tm.model, acc_batch.images,
+                                              acc_batch.labels, p.spec);
+    core::CampaignConfig vcfg;
+    vcfg.format_spec = p.spec;
+    vcfg.injections_per_layer = n_inj;
+    vcfg.seed = 99;
+    core::CampaignConfig mcfg = vcfg;
+    mcfg.site = core::InjectionSite::kMetadata;
+    const double dv =
+        core::run_campaign(*tm.model, inj_batch, vcfg).network_mean_delta_loss();
+    const double dm =
+        core::run_campaign(*tm.model, inj_batch, mcfg).network_mean_delta_loss();
+    std::printf("%-16s %6d %10.4f %14.5f %14.5f %14.5f\n", p.spec, p.width,
+                acc, dv, dm, (dv + dm) / 2.0);
+  }
+  std::printf("\n(top-left points = low width, high accuracy, low dLoss)\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Table I — Dynamic range of data types.
+//
+// Regenerates the paper's Table I (abs max, abs min, 20·log10(max/min) dB)
+// from this library's format implementations. Expected to match the paper
+// numerically (see EXPERIMENTS.md; the paper's INT16 dB entry contains a
+// typo — 98.31 printed where 20·log10(32767) = 90.31).
+#include <cstdio>
+
+#include "core/goldeneye.hpp"
+
+int main() {
+  std::printf("=== Table I: Dynamic Range of Data Types ===\n");
+  std::printf("%-22s %14s %14s %12s\n", "Data Type", "Abs Max", "Abs Min",
+              "Range (dB)");
+  for (const auto& row : ge::core::table1_rows()) {
+    std::printf("%-22s %14.4g %14.4g %12.2f\n", row.label.c_str(),
+                row.abs_max, row.abs_min, row.range_db);
+  }
+  std::printf("\n(INT rows are in integer code units; min nonzero code = 1."
+              "\n AFP rows sit at the standard bias; the range is movable.)\n");
+  return 0;
+}

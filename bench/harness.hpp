@@ -1,0 +1,50 @@
+// Shared setup for the paper-reproduction bench binaries: one canonical
+// dataset + a trained-model cache so every bench sees identical weights.
+//
+// Environment knobs:
+//   GE_CACHE_DIR    where trained weights are cached
+//                   (default /tmp/goldeneye_model_cache)
+//   GE_INJECTIONS   injections per layer for campaign benches
+//                   (default 200; the paper uses 1000 — raise it when you
+//                   have the patience, results converge well before 200)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/dataloader.hpp"
+#include "data/synthetic.hpp"
+#include "models/model_factory.hpp"
+
+namespace ge::bench {
+
+inline const data::SyntheticVision& dataset() {
+  static data::SyntheticVision data{data::SyntheticVisionConfig{}};
+  return data;
+}
+
+inline std::string cache_dir() {
+  if (const char* env = std::getenv("GE_CACHE_DIR")) return env;
+  return "/tmp/goldeneye_model_cache";
+}
+
+inline int64_t injections_per_layer() {
+  if (const char* env = std::getenv("GE_INJECTIONS")) {
+    return std::strtoll(env, nullptr, 10);
+  }
+  return 100;
+}
+
+/// Trained model, cached on disk across bench runs.
+inline models::TrainedModel trained(const std::string& name) {
+  models::TrainConfig tc;
+  tc.epochs = 6;
+  std::fprintf(stderr, "[harness] preparing model '%s' ...\n", name.c_str());
+  auto tm = models::ensure_trained(name, dataset(), cache_dir(), tc);
+  std::fprintf(stderr, "[harness] %s test accuracy: %.4f\n", name.c_str(),
+               tm.test_accuracy);
+  return tm;
+}
+
+}  // namespace ge::bench

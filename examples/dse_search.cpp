@@ -1,0 +1,62 @@
+// dse_search — run the binary-tree design-space exploration (§IV-B) for
+// one model across all five format families and print the winner per
+// family, including the accuracy trace of every node the heuristic
+// visited.
+//
+//   ./dse_search [model] [max-accuracy-drop]
+//   defaults: tiny_deit 0.01
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/dse.hpp"
+#include "data/dataloader.hpp"
+#include "models/model_factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ge;
+  const std::string model_name = argc > 1 ? argv[1] : "tiny_deit";
+  const float threshold =
+      argc > 2 ? std::strtof(argv[2], nullptr) : 0.01f;
+
+  data::SyntheticVision data{data::SyntheticVisionConfig{}};
+  models::TrainConfig tc;
+  tc.epochs = 6;
+  std::printf("preparing model '%s' ...\n", model_name.c_str());
+  auto tm = models::ensure_trained(model_name, data,
+                                   "/tmp/goldeneye_model_cache", tc);
+  tm.model->eval();
+  const auto batch = data::take(data.test(), 0, 256);
+
+  std::printf("\nDSE for %s (allowed accuracy drop %.1f%%)\n",
+              model_name.c_str(), threshold * 100.0f);
+  struct Winner {
+    std::string family;
+    std::string spec;
+    int width;
+    float acc;
+  };
+  std::vector<Winner> winners;
+  for (const char* family : {"fp", "fxp", "int", "bfp", "afp"}) {
+    core::DseConfig cfg;
+    cfg.family = family;
+    cfg.accuracy_drop_threshold = threshold;
+    const auto r = core::run_dse(*tm.model, batch, cfg);
+    std::printf("\nfamily %s (baseline %.4f):\n", family,
+                r.baseline_accuracy);
+    for (const auto& n : r.nodes) {
+      std::printf("  #%2d %-16s acc=%.4f %s\n", n.id, n.spec.c_str(),
+                  n.accuracy, n.pass ? "PASS" : "fail");
+    }
+    if (!r.best_spec.empty()) {
+      winners.push_back({family, r.best_spec, r.best_bitwidth,
+                         r.best_accuracy});
+    }
+  }
+  std::printf("\n=== winners ===\n");
+  for (const auto& w : winners) {
+    std::printf("%-4s -> %-16s (%d bits, acc %.4f)\n", w.family.c_str(),
+                w.spec.c_str(), w.width, w.acc);
+  }
+  return 0;
+}

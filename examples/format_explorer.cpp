@@ -1,0 +1,89 @@
+// format_explorer — inspect any number format from the command line:
+// dynamic range, example encodings, round-trip behaviour, and (optionally)
+// its accuracy on a trained model.
+//
+//   ./format_explorer fp_e4m3
+//   ./format_explorer bfp_e5m5_b16 --model tiny_deit
+//
+// Spec grammar: see formats/format_registry.hpp (fp_eXmY[_nodn][_sat],
+// fxp_1_I_F, intN, bfp_eXmY_bB, afp_eXmY[_dn], plus aliases fp32/fp16/...).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/emulator.hpp"
+#include "data/dataloader.hpp"
+#include "formats/format_registry.hpp"
+#include "models/model_factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ge;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <format-spec> [--model <name>]\n",
+                 argv[0]);
+    std::fprintf(stderr, "known aliases:");
+    for (const auto& a : fmt::known_aliases()) {
+      std::fprintf(stderr, " %s", a.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const std::string spec = argv[1];
+  if (!fmt::is_valid_spec(spec)) {
+    std::fprintf(stderr, "unknown format spec '%s'\n", spec.c_str());
+    return 2;
+  }
+  auto format = fmt::make_format(spec);
+
+  std::printf("format:        %s\n", format->name().c_str());
+  std::printf("bit width:     %d (per value)\n", format->bit_width());
+  std::printf("abs max:       %.6g\n", format->abs_max());
+  std::printf("abs min:       %.6g\n", format->abs_min());
+  std::printf("range:         %.2f dB\n", format->dynamic_range_db());
+  std::printf("has metadata:  %s\n", format->has_metadata() ? "yes" : "no");
+
+  // show quantisation + bit patterns for a few sample values
+  Tensor samples = Tensor::of({0.0f, 1.0f, -1.5f, 0.1f, 3.14159f, 100.0f,
+                               1e-4f, -42.0f});
+  Tensor q = format->real_to_format_tensor(samples);
+  std::printf("\n%12s %14s %-20s\n", "value", "quantised", "bits");
+  for (int64_t i = 0; i < samples.numel(); ++i) {
+    const auto bits = format->real_to_format_at(q[i], i);
+    std::printf("%12g %14g %-20s\n", samples[i], q[i],
+                bits.to_string().c_str());
+  }
+  if (format->has_metadata()) {
+    std::printf("\nmetadata captured from those samples:\n");
+    for (const auto& field : format->metadata_fields()) {
+      std::printf("  %s: %lld register(s) x %d bits", field.name.c_str(),
+                  (long long)field.count, field.bit_width);
+      if (field.count > 0) {
+        std::printf("  [0] = %s",
+                    format->read_metadata(field.name, 0).to_string().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  // optional model accuracy
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--model") == 0) {
+      const std::string name = argv[i + 1];
+      data::SyntheticVision data{data::SyntheticVisionConfig{}};
+      models::TrainConfig tc;
+      tc.epochs = 6;
+      std::printf("\npreparing model '%s' ...\n", name.c_str());
+      auto tm = models::ensure_trained(name, data,
+                                       "/tmp/goldeneye_model_cache", tc);
+      tm.model->eval();
+      const auto batch = data::take(data.test(), 0, 256);
+      const float native = core::emulated_accuracy(
+          *tm.model, batch.images, batch.labels, "native");
+      const float emulated = core::emulated_accuracy(
+          *tm.model, batch.images, batch.labels, spec);
+      std::printf("%s accuracy: native %.4f -> %s %.4f\n", name.c_str(),
+                  native, spec.c_str(), emulated);
+    }
+  }
+  return 0;
+}

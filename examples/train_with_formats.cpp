@@ -1,0 +1,52 @@
+// train_with_formats — quantisation-aware training via emulation (§V-B):
+// backpropagation runs with activations quantised by hooks (straight-
+// through estimator), while the optimizer keeps FP32 master weights.
+// Compares FP32 training against training under FP16 and INT8 emulation.
+//
+//   ./train_with_formats [epochs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/emulator.hpp"
+#include "data/dataloader.hpp"
+#include "models/model_factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ge;
+  const int64_t epochs = argc > 1 ? std::strtoll(argv[1], nullptr, 10) : 6;
+
+  data::SyntheticVisionConfig cfg;
+  cfg.train_count = 1024;
+  cfg.test_count = 256;
+  data::SyntheticVision data(cfg);
+
+  std::printf("training mlp for %lld epochs under different emulated"
+              " formats\n", (long long)epochs);
+  std::printf("%-14s %12s %16s\n", "training fmt", "final loss",
+              "test acc (fp32)");
+
+  for (const char* spec : {"native", "fp_e5m10", "int8", "fp_e4m3"}) {
+    auto model = models::make_model("mlp", cfg, /*seed=*/42);
+    models::TrainConfig tc;
+    tc.epochs = epochs;
+
+    models::TrainResult r;
+    if (std::string(spec) == "native") {
+      r = models::train_model(*model, data, tc);
+    } else {
+      core::EmulatorConfig ecfg;
+      ecfg.format_spec = spec;
+      // keep FP32 master weights; only activations are quantised in the
+      // forward pass, gradients flow straight through (STE)
+      ecfg.quantize_weights = false;
+      core::Emulator emu(*model, ecfg);
+      r = models::train_model(*model, data, tc);
+      // emulator detaches here; evaluation below is plain FP32
+    }
+    const float acc = models::evaluate_accuracy(*model, data.test());
+    std::printf("%-14s %12.4f %16.4f\n", spec, r.final_train_loss, acc);
+  }
+  std::printf("\n(expected: low-precision-trained models stay close to the"
+              "\n FP32-trained baseline at these widths — emulated QAT works)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+
+#include "nn/loss.hpp"
+
+namespace ge::core {
+
+double CampaignResult::network_mean_delta_loss() const {
+  if (layers.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& l : layers) s += l.mean_delta_loss;
+  return s / static_cast<double>(layers.size());
+}
+
+CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
+                            const CampaignConfig& cfg) {
+  model.eval();
+  EmulatorConfig ecfg;
+  ecfg.format_spec = cfg.format_spec;
+  Emulator emu(model, ecfg);
+  Injector inj(emu, cfg.seed);
+
+  CampaignResult result;
+
+  // Golden reference *under emulation* (fault-free but format-quantised):
+  // faults are measured against the format's own clean behaviour.
+  const GoldenRun golden = run_golden(model, batch);
+  result.golden_accuracy = nn::accuracy(golden.logits, batch.labels);
+
+  for (LayerSite& site : emu.sites()) {
+    if (!cfg.layers.empty() &&
+        std::find(cfg.layers.begin(), cfg.layers.end(), site.path) ==
+            cfg.layers.end()) {
+      continue;
+    }
+    if (cfg.site == InjectionSite::kMetadata &&
+        !site.act_format->has_metadata()) {
+      continue;  // value-only formats have no metadata campaign
+    }
+    LayerCampaignResult lr;
+    lr.layer = site.path;
+    ConvergenceTracker tracker;
+    for (int64_t i = 0; i < cfg.injections_per_layer; ++i) {
+      InjectionSpec spec;
+      spec.layer_path = site.path;
+      spec.site = cfg.site;
+      spec.model = cfg.model;
+      spec.num_bits = cfg.num_bits;
+      inj.arm(spec);
+      Tensor logits = model(batch.images);
+      const FaultOutcome out =
+          compare_to_golden(golden, logits, batch.labels);
+      inj.disarm();
+
+      ++lr.injections;
+      if (out.sdc) ++lr.sdc_count;
+      lr.mean_mismatch_rate += out.mismatch_rate;
+      lr.max_delta_loss =
+          std::max(lr.max_delta_loss, double(out.max_delta_loss));
+      lr.delta_losses.push_back(out.delta_loss);
+      lr.sdc_flags.push_back(out.sdc ? 1 : 0);
+      tracker.add(out.delta_loss);
+    }
+    if (lr.injections > 0) {
+      lr.mean_mismatch_rate /= static_cast<double>(lr.injections);
+      lr.mean_delta_loss = tracker.mean();
+      lr.ci95_delta_loss = tracker.ci95_halfwidth();
+    }
+    result.layers.push_back(std::move(lr));
+  }
+  return result;
+}
+
+}  // namespace ge::core

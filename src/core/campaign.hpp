@@ -1,0 +1,54 @@
+// Campaign: per-layer error-injection campaigns (§IV-C / Fig. 7).
+//
+// For every instrumented layer, run N independent single-bit injections
+// (value or metadata site), each against the same evaluation batch, and
+// aggregate mismatch and ΔLoss statistics per layer. Weights are restored
+// and hooks removed between campaigns; a campaign never perturbs the
+// persistent model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/emulator.hpp"
+#include "core/injector.hpp"
+#include "core/metrics.hpp"
+
+namespace ge::core {
+
+struct CampaignConfig {
+  std::string format_spec;  ///< e.g. "bfp_e5m5_b16"
+  InjectionSite site = InjectionSite::kActivationValue;
+  ErrorModel model = ErrorModel::kBitFlip;
+  int64_t injections_per_layer = 100;
+  int num_bits = 1;
+  uint64_t seed = 1234;
+  /// Restrict to these layer paths (empty = all instrumented layers).
+  std::vector<std::string> layers;
+};
+
+struct LayerCampaignResult {
+  std::string layer;
+  int64_t injections = 0;
+  int64_t sdc_count = 0;           ///< injections causing any mismatch
+  double mean_mismatch_rate = 0.0; ///< mean fraction of batch mismatched
+  double mean_delta_loss = 0.0;
+  double max_delta_loss = 0.0;
+  double ci95_delta_loss = 0.0;    ///< 95% CI half-width of mean ΔLoss
+  std::vector<float> delta_losses; ///< per-injection (convergence studies)
+  std::vector<uint8_t> sdc_flags;  ///< per-injection mismatch outcome
+};
+
+struct CampaignResult {
+  std::vector<LayerCampaignResult> layers;
+  float golden_accuracy = 0.0f;    ///< emulated-but-fault-free accuracy
+  /// Mean ΔLoss over all layers (the paper's Fig. 9 resilience summary).
+  double network_mean_delta_loss() const;
+};
+
+/// Run a campaign on `model` over `batch`. The model is instrumented with
+/// `cfg.format_spec` for the duration and restored afterwards.
+CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
+                            const CampaignConfig& cfg);
+
+}  // namespace ge::core

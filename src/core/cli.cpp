@@ -1,0 +1,223 @@
+#include "core/cli.hpp"
+
+#include <iomanip>
+#include <map>
+#include <optional>
+
+#include "core/campaign.hpp"
+#include "core/dse.hpp"
+#include "core/goldeneye.hpp"
+#include "data/dataloader.hpp"
+#include "formats/format_registry.hpp"
+#include "models/model_factory.hpp"
+
+namespace ge::core {
+
+namespace {
+
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> options;
+};
+
+/// "--key value" pairs after the command word; returns nullopt on
+/// malformed input (a --key without a value, or a stray positional).
+std::optional<ParsedArgs> parse(const std::vector<std::string>& args) {
+  if (args.empty()) return std::nullopt;
+  ParsedArgs out;
+  out.command = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0 || a.size() <= 2) return std::nullopt;
+    if (i + 1 >= args.size()) return std::nullopt;
+    out.options[a.substr(2)] = args[++i];
+  }
+  return out;
+}
+
+std::string get(const ParsedArgs& p, const std::string& key,
+                const std::string& fallback) {
+  const auto it = p.options.find(key);
+  return it != p.options.end() ? it->second : fallback;
+}
+
+int usage(std::ostream& err) {
+  err << "usage: goldeneye <command> [--key value ...]\n"
+         "  accuracy  --model M --format F [--samples N]\n"
+         "  campaign  --model M --format F [--site value|weight|metadata]\n"
+         "            [--error-model flip|sa0|sa1] [--injections N]"
+         " [--seed S]\n"
+         "  dse       --model M --family fp|fxp|int|bfp|afp"
+         " [--threshold X]\n"
+         "  range     --format F\n"
+         "  features\n"
+         "  formats\n"
+         "common: --cache DIR --epochs N --samples N\n";
+  return 2;
+}
+
+models::TrainedModel prepare_model(const ParsedArgs& p,
+                                   const data::SyntheticVision& data) {
+  models::TrainConfig tc;
+  tc.epochs = std::stoll(get(p, "epochs", "6"));
+  return models::ensure_trained(get(p, "model", "simple_cnn"), data,
+                                get(p, "cache", "/tmp/goldeneye_model_cache"),
+                                tc);
+}
+
+int cmd_accuracy(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  const std::string spec = get(p, "format", "");
+  if (spec != "native" && !fmt::is_valid_spec(spec)) {
+    err << "accuracy: bad or missing --format '" << spec << "'\n";
+    return 2;
+  }
+  data::SyntheticVision data{data::SyntheticVisionConfig{}};
+  auto tm = prepare_model(p, data);
+  GoldenEye eye(*tm.model, data);
+  const int64_t samples = std::stoll(get(p, "samples", "256"));
+  out << "model:    " << get(p, "model", "simple_cnn") << "\n"
+      << "baseline: " << eye.baseline_accuracy(samples) << "\n"
+      << "format:   " << spec << "\n"
+      << "accuracy: " << eye.format_accuracy(spec, samples) << "\n";
+  return 0;
+}
+
+int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  CampaignConfig cfg;
+  cfg.format_spec = get(p, "format", "");
+  if (!fmt::is_valid_spec(cfg.format_spec)) {
+    err << "campaign: bad or missing --format\n";
+    return 2;
+  }
+  const std::string site = get(p, "site", "value");
+  if (site == "value") {
+    cfg.site = InjectionSite::kActivationValue;
+  } else if (site == "weight") {
+    cfg.site = InjectionSite::kWeightValue;
+  } else if (site == "metadata") {
+    cfg.site = InjectionSite::kMetadata;
+  } else {
+    err << "campaign: unknown --site '" << site << "'\n";
+    return 2;
+  }
+  const std::string em = get(p, "error-model", "flip");
+  if (em == "flip") {
+    cfg.model = ErrorModel::kBitFlip;
+  } else if (em == "sa0") {
+    cfg.model = ErrorModel::kStuckAt0;
+  } else if (em == "sa1") {
+    cfg.model = ErrorModel::kStuckAt1;
+  } else {
+    err << "campaign: unknown --error-model '" << em << "'\n";
+    return 2;
+  }
+  cfg.injections_per_layer = std::stoll(get(p, "injections", "50"));
+  cfg.seed = std::stoull(get(p, "seed", "1234"));
+
+  data::SyntheticVision data{data::SyntheticVisionConfig{}};
+  auto tm = prepare_model(p, data);
+  const auto batch =
+      data::take(data.test(), 0, std::stoll(get(p, "samples", "16")));
+  const auto r = run_campaign(*tm.model, batch, cfg);
+  out << "campaign: " << cfg.format_spec << " site=" << site
+      << " error-model=" << em << " injections/layer="
+      << cfg.injections_per_layer << "\n";
+  out << "clean emulated accuracy: " << r.golden_accuracy << "\n";
+  out << std::left << std::setw(28) << "layer" << std::right << std::setw(12)
+      << "mean dLoss" << std::setw(10) << "SDC" << "\n";
+  for (const auto& l : r.layers) {
+    out << std::left << std::setw(28) << l.layer << std::right
+        << std::setw(12) << std::fixed << std::setprecision(5)
+        << l.mean_delta_loss << std::setw(9) << l.sdc_count << "/"
+        << l.injections << "\n";
+  }
+  out << "network mean dLoss: " << r.network_mean_delta_loss() << "\n";
+  return 0;
+}
+
+int cmd_dse(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  DseConfig cfg;
+  cfg.family = get(p, "family", "fp");
+  cfg.accuracy_drop_threshold = std::stof(get(p, "threshold", "0.01"));
+  data::SyntheticVision data{data::SyntheticVisionConfig{}};
+  auto tm = prepare_model(p, data);
+  const auto batch =
+      data::take(data.test(), 0, std::stoll(get(p, "samples", "256")));
+  DseResult r;
+  try {
+    r = run_dse(*tm.model, batch, cfg);
+  } catch (const std::invalid_argument& e) {
+    err << "dse: " << e.what() << "\n";
+    return 2;
+  }
+  out << "baseline accuracy: " << r.baseline_accuracy << "\n";
+  for (const auto& n : r.nodes) {
+    out << "node " << n.id << " " << n.spec << " acc=" << n.accuracy << " "
+        << (n.pass ? "PASS" : "fail") << "\n";
+  }
+  if (r.best_spec.empty()) {
+    out << "no configuration met the threshold\n";
+  } else {
+    out << "selected: " << r.best_spec << " (" << r.best_bitwidth
+        << " bits, acc " << r.best_accuracy << ")\n";
+  }
+  return 0;
+}
+
+int cmd_range(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  const std::string spec = get(p, "format", "");
+  if (!fmt::is_valid_spec(spec)) {
+    err << "range: bad or missing --format\n";
+    return 2;
+  }
+  const auto row = dynamic_range_row(spec, spec);
+  out << "format:  " << row.label << "\n"
+      << "abs max: " << row.abs_max << "\n"
+      << "abs min: " << row.abs_min << "\n"
+      << "range:   " << row.range_db << " dB\n";
+  return 0;
+}
+
+int cmd_features(std::ostream& out) {
+  for (const auto& f : table2_features()) {
+    out << (f.goldeneye ? "[x] " : "[ ] ") << f.feature << "\n";
+  }
+  return 0;
+}
+
+int cmd_formats(std::ostream& out) {
+  out << "spec grammar:\n"
+         "  fp_e<E>m<M>[_nodn][_sat]   parameterised float\n"
+         "  fxp_1_<I>_<F>              fixed point\n"
+         "  int<N>                     symmetric integer quantisation\n"
+         "  bfp_e<E>m<M>_b<B|tensor>   block floating point\n"
+         "  afp_e<E>m<M>[_dn]          AdaptivFloat\n"
+         "  posit_<N>_<ES>             posit\n"
+         "aliases:";
+  for (const auto& a : fmt::known_aliases()) out << " " << a;
+  out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  const auto parsed = parse(args);
+  if (!parsed) return usage(err);
+  try {
+    if (parsed->command == "accuracy") return cmd_accuracy(*parsed, out, err);
+    if (parsed->command == "campaign") return cmd_campaign(*parsed, out, err);
+    if (parsed->command == "dse") return cmd_dse(*parsed, out, err);
+    if (parsed->command == "range") return cmd_range(*parsed, out, err);
+    if (parsed->command == "features") return cmd_features(out);
+    if (parsed->command == "formats") return cmd_formats(out);
+  } catch (const std::exception& e) {
+    err << parsed->command << ": " << e.what() << "\n";
+    return 1;
+  }
+  err << "unknown command '" << parsed->command << "'\n";
+  return usage(err);
+}
+
+}  // namespace ge::core

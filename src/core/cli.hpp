@@ -1,0 +1,28 @@
+// Command-line front end: the paper drives GoldenEye "with a set of
+// command line arguments for hyperparameter tuning, extended with wrapper
+// scripts" (§IV-B). run_cli() is the whole tool behind the goldeneye_cli
+// binary, kept in the library so the argument handling is unit-testable.
+//
+// Commands:
+//   accuracy  --model M --format F [--samples N]        emulated accuracy
+//   campaign  --model M --format F [--site value|weight|metadata]
+//             [--error-model flip|sa0|sa1] [--injections N] [--seed S]
+//   dse       --model M --family fp|fxp|int|bfp|afp [--threshold X]
+//   range     --format F                                Table-I row
+//   features                                            Table II matrix
+//   formats                                             spec grammar help
+// Common: --cache DIR (trained-weight cache), --epochs N (training).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ge::core {
+
+/// Run one CLI invocation. `args` excludes the program name. Returns the
+/// process exit code (0 = success, 2 = usage error).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace ge::core

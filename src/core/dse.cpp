@@ -1,0 +1,178 @@
+#include "core/dse.hpp"
+
+#include <stdexcept>
+
+#include "core/emulator.hpp"
+
+namespace ge::core {
+
+int64_t DseResult::passing_nodes() const {
+  int64_t n = 0;
+  for (const auto& node : nodes) {
+    if (node.pass) ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<int, std::string>> bitwidth_ladder(
+    const std::string& family) {
+  if (family == "fp") {
+    return {{32, "fp_e8m23"}, {16, "fp_e5m10"}, {12, "fp_e5m6"},
+            {8, "fp_e4m3"},   {6, "fp_e3m2"},   {4, "fp_e2m1"}};
+  }
+  if (family == "afp") {
+    return {{32, "afp_e8m23"}, {16, "afp_e5m10"}, {12, "afp_e5m6"},
+            {8, "afp_e4m3"},   {6, "afp_e3m2"},   {4, "afp_e2m1"}};
+  }
+  if (family == "bfp") {
+    // Per-element width (1 sign + m mantissa); shared 5-bit exponent per
+    // 16-element block amortises to +5/16 bits.
+    return {{16, "bfp_e5m15_b16"},
+            {12, "bfp_e5m11_b16"},
+            {8, "bfp_e5m7_b16"},
+            {6, "bfp_e5m5_b16"},
+            {4, "bfp_e5m3_b16"}};
+  }
+  if (family == "fxp") {
+    return {{32, "fxp_1_15_16"}, {16, "fxp_1_7_8"}, {12, "fxp_1_5_6"},
+            {8, "fxp_1_3_4"},    {6, "fxp_1_2_3"},  {4, "fxp_1_1_2"}};
+  }
+  if (family == "int") {
+    return {{16, "int16"}, {12, "int12"}, {8, "int8"}, {6, "int6"},
+            {4, "int4"}};
+  }
+  if (family == "posit") {
+    return {{16, "posit_16_1"},
+            {12, "posit_12_1"},
+            {8, "posit_8_1"},
+            {6, "posit_6_1"},
+            {4, "posit_4_1"}};
+  }
+  throw std::invalid_argument("bitwidth_ladder: unknown family '" + family +
+                              "'");
+}
+
+namespace {
+
+/// Radix variants at a fixed total width, ordered from most range bits
+/// (conservative) to fewest (aggressive). Returns (spec, range_bits).
+std::vector<std::pair<std::string, int>> radix_ladder(
+    const std::string& family, int width) {
+  std::vector<std::pair<std::string, int>> out;
+  if (family == "fp" || family == "afp") {
+    const int max_e = std::min(8, width - 2);
+    for (int e = max_e; e >= 2; --e) {
+      const int m = width - 1 - e;
+      if (m < 1 || m > 23) continue;
+      out.emplace_back(family + "_e" + std::to_string(e) + "m" +
+                           std::to_string(m),
+                       e);
+    }
+  } else if (family == "bfp") {
+    const int m = width - 1;
+    for (int e = 8; e >= 2; --e) {
+      out.emplace_back("bfp_e" + std::to_string(e) + "m" + std::to_string(m) +
+                           "_b16",
+                       e);
+    }
+  } else if (family == "fxp") {
+    const int max_i = std::min(15, width - 2);
+    for (int i = max_i; i >= 1; --i) {
+      const int f = width - 1 - i;
+      if (f < 1) continue;
+      out.emplace_back(
+          "fxp_1_" + std::to_string(i) + "_" + std::to_string(f), i);
+    }
+  } else if (family == "posit") {
+    // es plays the radix role: more es = more range, less fraction
+    for (int es = 3; es >= 0; --es) {
+      out.emplace_back(
+          "posit_" + std::to_string(width) + "_" + std::to_string(es),
+          es + 1);
+    }
+  }
+  // "int" has no radix dimension: empty ladder.
+  return out;
+}
+
+}  // namespace
+
+DseResult run_dse(nn::Module& model, const data::Batch& batch,
+                  const DseConfig& cfg) {
+  DseResult result;
+  result.baseline_accuracy =
+      emulated_accuracy(model, batch.images, batch.labels, "native");
+  const float floor = result.baseline_accuracy - cfg.accuracy_drop_threshold;
+
+  int next_id = 1;
+  auto probe = [&](const std::string& spec, int width,
+                   const std::string& phase) -> bool {
+    DseNode node;
+    node.id = next_id++;
+    node.spec = spec;
+    node.bitwidth = width;
+    node.phase = phase;
+    node.accuracy =
+        emulated_accuracy(model, batch.images, batch.labels, spec);
+    node.pass = node.accuracy >= floor;
+    result.nodes.push_back(node);
+    return node.pass;
+  };
+  auto budget_left = [&] {
+    return static_cast<int>(result.nodes.size()) < cfg.max_nodes;
+  };
+
+  // Phase 1 — binary descent over the bitwidth ladder.
+  const auto ladder = bitwidth_ladder(cfg.family);
+  const int K = static_cast<int>(ladder.size());
+  // Root: the widest configuration must pass, else the family is rejected.
+  if (!probe(ladder[0].second, ladder[0].first, "bitwidth")) {
+    return result;  // no passing configuration; nodes record the evidence
+  }
+  int lo = 0;       // widest known-pass index
+  int hi = K - 1;   // narrowest candidate
+  while (lo < hi && budget_left()) {
+    const int mid = (lo + hi + 1) / 2;  // bias narrow: aggressive descent
+    if (probe(ladder[mid].second, ladder[mid].first, "bitwidth")) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  result.best_spec = ladder[static_cast<size_t>(lo)].second;
+  result.best_bitwidth = ladder[static_cast<size_t>(lo)].first;
+
+  // Phase 2 — binary descent over the radix ladder at the chosen width
+  // (skip index 0: it is the phase-1 winner or its sibling).
+  const auto radixes = radix_ladder(cfg.family, result.best_bitwidth);
+  if (!radixes.empty()) {
+    int rlo = -1;                               // most-aggressive known pass
+    int rhi = static_cast<int>(radixes.size()) - 1;
+    int known_pass = -1;
+    // The ladder is ordered conservative -> aggressive; find the largest
+    // index (fewest range bits) that still passes.
+    int a = 0, b = rhi;
+    while (a <= b && budget_left()) {
+      const int mid = (a + b + 1) / 2;
+      if (probe(radixes[static_cast<size_t>(mid)].first,
+                result.best_bitwidth, "radix")) {
+        known_pass = mid;
+        a = mid + 1;
+      } else {
+        b = mid - 1;
+      }
+    }
+    if (known_pass >= 0) {
+      result.best_spec = radixes[static_cast<size_t>(known_pass)].first;
+    }
+    (void)rlo;
+  }
+
+  // Final accuracy of the selected spec (reuse a recorded node).
+  for (const auto& n : result.nodes) {
+    if (n.spec == result.best_spec) result.best_accuracy = n.accuracy;
+  }
+  return result;
+}
+
+}  // namespace ge::core

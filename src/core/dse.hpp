@@ -1,0 +1,58 @@
+// DSE: the paper's recursive binary-tree design-space-exploration
+// heuristic for number-format selection (§IV-B, Fig. 5/6).
+//
+// Two phases, each a logarithmic binary descent over an ordered ladder:
+//   1. bitwidth  — find the narrowest total width whose accuracy stays
+//      within `accuracy_drop_threshold` of the FP32 baseline, probing
+//      aggressively toward shorter widths;
+//   2. radix     — at the chosen width, find the most aggressive
+//      integer/exponent split (fewer range bits) that still passes.
+// The heuristic visits at most `max_nodes` nodes (the paper reports <= 16)
+// and records every visited node with its measured accuracy, producing
+// the Fig. 6 series directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataloader.hpp"
+#include "nn/module.hpp"
+
+namespace ge::core {
+
+struct DseConfig {
+  /// Format family to search: "fp", "fxp", "int", "bfp", or "afp".
+  std::string family = "fp";
+  /// Allowed accuracy loss from the FP32 baseline (e.g. 0.01 = 1%).
+  float accuracy_drop_threshold = 0.01f;
+  int max_nodes = 16;
+};
+
+struct DseNode {
+  int id = 0;              ///< visit order (1-based, as Fig. 6's x-axis)
+  std::string spec;        ///< format probed at this node
+  int bitwidth = 0;        ///< total value bitwidth of the spec
+  float accuracy = 0.0f;
+  bool pass = false;       ///< accuracy >= baseline - threshold
+  std::string phase;       ///< "bitwidth" or "radix"
+};
+
+struct DseResult {
+  float baseline_accuracy = 0.0f;  ///< native FP32 on the same batch
+  std::vector<DseNode> nodes;      ///< in visit order
+  std::string best_spec;           ///< narrowest passing configuration
+  int best_bitwidth = 0;
+  float best_accuracy = 0.0f;
+  int64_t passing_nodes() const;
+};
+
+/// Run the heuristic for `model` on `batch`.
+DseResult run_dse(nn::Module& model, const data::Batch& batch,
+                  const DseConfig& cfg);
+
+/// The bitwidth ladder (spec per width, widest first) the heuristic
+/// searches for a family — exposed for tests and for Fig. 4's sweeps.
+std::vector<std::pair<int, std::string>> bitwidth_ladder(
+    const std::string& family);
+
+}  // namespace ge::core

@@ -1,0 +1,130 @@
+#include "core/emulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "formats/format_registry.hpp"
+#include "nn/loss.hpp"
+
+namespace ge::core {
+
+Emulator::Emulator(nn::Module& model, EmulatorConfig cfg)
+    : model_(&model), cfg_(std::move(cfg)) {
+  if (!fmt::is_valid_spec(cfg_.format_spec)) {
+    throw std::invalid_argument("Emulator: unknown format spec '" +
+                                cfg_.format_spec + "'");
+  }
+  for (const auto& [path, spec] : cfg_.per_layer_specs) {
+    if (!fmt::is_valid_spec(spec)) {
+      throw std::invalid_argument("Emulator: unknown per-layer spec '" +
+                                  spec + "' for layer '" + path + "'");
+    }
+  }
+  attach();
+}
+
+namespace {
+const std::string& spec_for(const EmulatorConfig& cfg,
+                            const std::string& path) {
+  const auto it = cfg.per_layer_specs.find(path);
+  return it != cfg.per_layer_specs.end() ? it->second : cfg.format_spec;
+}
+}  // namespace
+
+Emulator::~Emulator() { detach(); }
+
+void Emulator::attach() {
+  for (auto& [path, mod] : model_->named_modules()) {
+    const bool selected =
+        std::find(cfg_.layer_kinds.begin(), cfg_.layer_kinds.end(),
+                  mod->kind()) != cfg_.layer_kinds.end();
+    if (!selected) continue;
+
+    LayerSite site;
+    site.path = path;
+    site.module = mod;
+    site.act_format = fmt::make_format(spec_for(cfg_, path));
+
+    if (cfg_.quantize_weights) {
+      // Offline weight conversion: each parameter gets a fresh format
+      // instance (its metadata belongs to that tensor).
+      for (nn::Parameter* p : mod->local_parameters()) {
+        saved_weights_.emplace_back(p, p->value);
+        auto wfmt = fmt::make_format(spec_for(cfg_, path));
+        p->value = wfmt->real_to_format_tensor(p->value);
+        if (p->name == "weight") weight_by_path_.emplace_back(path, p);
+      }
+    }
+    if (cfg_.quantize_activations) {
+      // The GoldenEye hook: convert this layer's output tensor in place.
+      // Index-based site lookup stays valid across the vector's growth.
+      const size_t site_index = sites_.size();
+      site.hook = mod->add_forward_hook(
+          [this, site_index](nn::Module&, Tensor& y) {
+            LayerSite& s = sites_[site_index];
+            y = s.act_format->real_to_format_tensor(y);
+            if (post_quant_) post_quant_(s, y);
+          });
+    }
+    sites_.push_back(std::move(site));
+  }
+}
+
+void Emulator::detach() {
+  for (auto& s : sites_) {
+    if (s.hook != 0 && s.module != nullptr) s.module->remove_hook(s.hook);
+  }
+  for (auto& [param, original] : saved_weights_) {
+    param->value = original;
+  }
+  saved_weights_.clear();
+  sites_.clear();
+}
+
+LayerSite* Emulator::site(const std::string& path) {
+  for (auto& s : sites_) {
+    if (s.path == path) return &s;
+  }
+  return nullptr;
+}
+
+const Tensor* Emulator::original_weight(const std::string& path) const {
+  for (const auto& [p, param] : weight_by_path_) {
+    if (p == path) {
+      for (const auto& [saved_param, original] : saved_weights_) {
+        if (saved_param == param) return &original;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Emulator::restore_weights(const std::string& path) {
+  for (auto& [p, param] : weight_by_path_) {
+    if (p != path) continue;
+    for (auto& [saved_param, original] : saved_weights_) {
+      if (saved_param == param) {
+        auto wfmt = fmt::make_format(spec_for(cfg_, path));
+        param->value = wfmt->real_to_format_tensor(original);
+        return;
+      }
+    }
+  }
+  throw std::invalid_argument("Emulator::restore_weights: no weight at '" +
+                              path + "'");
+}
+
+float emulated_accuracy(nn::Module& model, const Tensor& images,
+                        const std::vector<int64_t>& labels,
+                        const std::string& format_spec) {
+  model.eval();
+  if (format_spec == "native") {
+    return nn::accuracy(model(images), labels);
+  }
+  EmulatorConfig cfg;
+  cfg.format_spec = format_spec;
+  Emulator emu(model, cfg);
+  return nn::accuracy(model(images), labels);
+}
+
+}  // namespace ge::core

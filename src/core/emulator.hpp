@@ -1,0 +1,102 @@
+// Emulator: attaches number-format emulation to a model via forward hooks
+// (the paper's Fig. 2 pipeline: read FP32 activations, convert to the
+// emulated format, write back the nearest FP32 value — capturing hardware
+// metadata on the way).
+//
+// RAII: construction instruments the model (quantises weights offline and
+// installs activation hooks); destruction removes all hooks and restores
+// the original FP32 weights bit-exactly. A Campaign can therefore
+// instrument/restore around every experiment without ever corrupting the
+// persistent model.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "formats/number_format.hpp"
+#include "nn/module.hpp"
+
+namespace ge::core {
+
+struct EmulatorConfig {
+  /// Registry spec (see formats/format_registry.hpp), e.g. "bfp_e5m5_b16".
+  std::string format_spec;
+  /// Per-layer overrides (module path -> spec): mixed-format emulation,
+  /// e.g. a wider format for the classifier head than for the trunk. Any
+  /// layer not listed uses `format_spec`.
+  std::map<std::string, std::string> per_layer_specs;
+  /// Quantise parameters once at attach time ("offline", as the paper
+  /// notes weight conversion needs no dynamic runtime support).
+  bool quantize_weights = true;
+  /// Install output hooks converting activations at every selected layer.
+  bool quantize_activations = true;
+  /// Layer kinds to instrument; CONV and LINEAR are the paper's defaults
+  /// (the computationally intensive layers).
+  std::vector<std::string> layer_kinds = {"Conv2d", "Linear"};
+};
+
+/// One instrumented layer: its path, module, and the per-layer format
+/// instance whose metadata state belongs to this layer's activations.
+struct LayerSite {
+  std::string path;
+  nn::Module* module = nullptr;
+  std::unique_ptr<fmt::NumberFormat> act_format;
+  nn::Module::HookHandle hook = 0;
+};
+
+class Emulator {
+ public:
+  /// Post-quantisation callback: runs after a site's activations were
+  /// converted, before they continue downstream — the injection point.
+  using PostQuant = std::function<void(LayerSite&, Tensor&)>;
+
+  Emulator(nn::Module& model, EmulatorConfig cfg);
+  ~Emulator();
+
+  Emulator(const Emulator&) = delete;
+  Emulator& operator=(const Emulator&) = delete;
+
+  const EmulatorConfig& config() const noexcept { return cfg_; }
+  nn::Module& model() noexcept { return *model_; }
+
+  /// Instrumented sites in network order.
+  std::vector<LayerSite>& sites() noexcept { return sites_; }
+  /// Find a site by its module path; nullptr when not instrumented.
+  LayerSite* site(const std::string& path);
+
+  /// Register/clear the injection callback (at most one).
+  void set_post_quant(PostQuant cb) { post_quant_ = std::move(cb); }
+  void clear_post_quant() { post_quant_ = nullptr; }
+
+  /// Re-quantise a single site's weights from the saved FP32 originals
+  /// (used by the injector to undo weight corruption).
+  void restore_weights(const std::string& path);
+
+  /// Saved FP32 original of an instrumented layer's weight parameter.
+  const Tensor* original_weight(const std::string& path) const;
+
+ private:
+  void attach();
+  void detach();
+
+  nn::Module* model_;
+  EmulatorConfig cfg_;
+  std::vector<LayerSite> sites_;
+  PostQuant post_quant_;
+  // (parameter pointer, pristine FP32 copy) for exact restore on detach
+  std::vector<std::pair<nn::Parameter*, Tensor>> saved_weights_;
+  std::vector<std::pair<std::string, nn::Parameter*>> weight_by_path_;
+};
+
+/// Convenience: top-1 accuracy of `model` on `batch` with `format_spec`
+/// emulation attached for the duration of the call ("native" skips
+/// emulation entirely and measures the bare FP32 model).
+float emulated_accuracy(nn::Module& model, const Tensor& images,
+                        const std::vector<int64_t>& labels,
+                        const std::string& format_spec);
+
+}  // namespace ge::core

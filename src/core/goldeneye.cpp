@@ -1,0 +1,97 @@
+#include "core/goldeneye.hpp"
+
+#include <algorithm>
+
+#include "formats/format_registry.hpp"
+
+namespace ge::core {
+
+GoldenEye::GoldenEye(nn::Module& model, const data::SyntheticVision& data)
+    : model_(&model), data_(&data) {}
+
+data::Batch GoldenEye::eval_batch(int64_t max_samples) const {
+  const int64_t n = max_samples < 0
+                        ? data_->test().size()
+                        : std::min<int64_t>(max_samples, data_->test().size());
+  return data::take(data_->test(), 0, n);
+}
+
+float GoldenEye::baseline_accuracy(int64_t max_samples) {
+  const auto b = eval_batch(max_samples);
+  return emulated_accuracy(*model_, b.images, b.labels, "native");
+}
+
+float GoldenEye::format_accuracy(const std::string& spec,
+                                 int64_t max_samples) {
+  const auto b = eval_batch(max_samples);
+  return emulated_accuracy(*model_, b.images, b.labels, spec);
+}
+
+CampaignResult GoldenEye::campaign(const CampaignConfig& cfg,
+                                   int64_t batch_size) {
+  const auto b = eval_batch(batch_size);
+  return run_campaign(*model_, b, cfg);
+}
+
+DseResult GoldenEye::dse(const DseConfig& cfg, int64_t max_samples) {
+  const auto b = eval_batch(max_samples);
+  return run_dse(*model_, b, cfg);
+}
+
+std::vector<std::string> GoldenEye::instrumented_layers(
+    const std::string& spec) {
+  EmulatorConfig cfg;
+  cfg.format_spec = spec;
+  Emulator emu(*model_, cfg);
+  std::vector<std::string> out;
+  for (const auto& s : emu.sites()) out.push_back(s.path);
+  return out;
+}
+
+RangeRow dynamic_range_row(const std::string& spec,
+                           const std::string& label) {
+  const auto f = fmt::make_format(spec);
+  RangeRow r;
+  r.label = label.empty() ? spec : label;
+  r.abs_max = f->abs_max();
+  r.abs_min = f->abs_min();
+  r.range_db = f->dynamic_range_db();
+  return r;
+}
+
+std::vector<RangeRow> table1_rows() {
+  // Paper order. INT rows report magnitudes in code units (min nonzero
+  // code = 1), matching the paper's dB values; the AFP row sits at the
+  // standard bias ("movable range").
+  return {
+      dynamic_range_row("fp_e8m23", "FP32 w/ DN"),
+      dynamic_range_row("fp_e8m23_nodn", "FP32 w/o DN"),
+      dynamic_range_row("fxp_1_15_16", "FxP (1,15,16)"),
+      dynamic_range_row("fp_e5m10", "FP16 w/ DN"),
+      dynamic_range_row("fp_e5m10_nodn", "FP16 w/o DN"),
+      dynamic_range_row("fp_e8m7", "BFloat16 w/ DN"),
+      dynamic_range_row("fp_e8m7_nodn", "BFloat16 w/o DN"),
+      dynamic_range_row("int16", "INT16 (symmetric)"),
+      dynamic_range_row("int8", "INT8 (symmetric)"),
+      dynamic_range_row("fp_e4m3", "FP8 (e4m3) w/ DN"),
+      dynamic_range_row("fp_e4m3_nodn", "FP8 (e4m3) w/o DN"),
+      dynamic_range_row("afp_e4m3", "AFP8 (e4m3) w/o DN"),
+  };
+}
+
+std::vector<ToolFeature> table2_features() {
+  return {
+      {"Floating Point (FP)", true, true, true},
+      {"Fixed Point (FxP)", true, false, true},
+      {"Integer Quantization (INT)", true, false, false},
+      {"Block Floating Point (BFP)", true, false, true},
+      {"Adaptive Float (AFP)", true, false, false},
+      {"Future number format support", true, false, false},
+      {"Error injections in values", true, true, false},
+      {"Error injections in metadata", true, false, false},
+      {"Error metric: mismatch", true, true, false},
+      {"Error metric: delta-loss", true, false, false},
+  };
+}
+
+}  // namespace ge::core

@@ -1,0 +1,68 @@
+// GoldenEye: the top-level facade tying model, dataset, emulation,
+// injection, campaigns and DSE together — the API a downstream user
+// programs against (mirrors the paper's command-line surface).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/dse.hpp"
+#include "data/synthetic.hpp"
+#include "nn/module.hpp"
+
+namespace ge::core {
+
+class GoldenEye {
+ public:
+  /// Non-owning: model and dataset must outlive the facade.
+  GoldenEye(nn::Module& model, const data::SyntheticVision& data);
+
+  /// Native FP32 accuracy on the first `max_samples` test images.
+  float baseline_accuracy(int64_t max_samples = 256);
+  /// Accuracy with `spec` emulation on the same evaluation subset.
+  float format_accuracy(const std::string& spec, int64_t max_samples = 256);
+
+  /// Per-layer injection campaign on a fixed evaluation batch.
+  CampaignResult campaign(const CampaignConfig& cfg, int64_t batch_size = 32);
+
+  /// Binary-tree format search (Fig. 5/6).
+  DseResult dse(const DseConfig& cfg, int64_t max_samples = 256);
+
+  /// Paths of the layers emulation would instrument (CONV/LINEAR).
+  std::vector<std::string> instrumented_layers(const std::string& spec);
+
+  nn::Module& model() noexcept { return *model_; }
+
+ private:
+  data::Batch eval_batch(int64_t max_samples) const;
+
+  nn::Module* model_;
+  const data::SyntheticVision* data_;
+};
+
+/// --- Table I: dynamic range of data types -----------------------------------
+struct RangeRow {
+  std::string label;
+  double abs_max = 0.0;
+  double abs_min = 0.0;
+  double range_db = 0.0;
+};
+/// Compute the paper's Table I row for one format spec.
+RangeRow dynamic_range_row(const std::string& spec, const std::string& label);
+/// All rows of the paper's Table I, in paper order.
+std::vector<RangeRow> table1_rows();
+
+/// --- Table II: tool feature matrix ------------------------------------------
+struct ToolFeature {
+  std::string feature;
+  bool goldeneye = false;
+  bool pytorchfi = false;
+  bool qpytorch = false;
+};
+/// The qualitative comparison of Table II (GoldenEye vs PyTorchFI vs
+/// QPyTorch), with this repo's column verified against what the code
+/// actually implements.
+std::vector<ToolFeature> table2_features();
+
+}  // namespace ge::core

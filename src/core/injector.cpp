@@ -1,0 +1,225 @@
+#include "core/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ge::core {
+
+const char* to_string(InjectionSite site) {
+  switch (site) {
+    case InjectionSite::kActivationValue: return "activation_value";
+    case InjectionSite::kWeightValue: return "weight_value";
+    case InjectionSite::kMetadata: return "metadata";
+  }
+  return "?";
+}
+
+const char* to_string(ErrorModel model) {
+  switch (model) {
+    case ErrorModel::kBitFlip: return "bit_flip";
+    case ErrorModel::kStuckAt0: return "stuck_at_0";
+    case ErrorModel::kStuckAt1: return "stuck_at_1";
+  }
+  return "?";
+}
+
+Injector::Injector(Emulator& emulator, uint64_t seed)
+    : emulator_(&emulator), rng_(seed) {
+  emulator_->set_post_quant([this](LayerSite& site, Tensor& y) {
+    if (!armed_ || fired_ || site.path != armed_->layer_path) return;
+    switch (armed_->site) {
+      case InjectionSite::kActivationValue:
+        apply_activation(site, y);
+        break;
+      case InjectionSite::kMetadata:
+        apply_metadata(site, y);
+        break;
+      case InjectionSite::kWeightValue:
+        break;  // applied at arm time, not in the hook
+    }
+  });
+}
+
+Injector::~Injector() {
+  disarm();
+  emulator_->clear_post_quant();
+}
+
+std::vector<int> Injector::choose_bits(int width, int requested_bit,
+                                       int count) {
+  std::vector<int> bits;
+  if (requested_bit >= 0) {
+    if (requested_bit >= width) {
+      throw std::invalid_argument("Injector: bit " +
+                                  std::to_string(requested_bit) +
+                                  " out of range for width " +
+                                  std::to_string(width));
+    }
+    bits.push_back(requested_bit);
+    --count;
+  }
+  while (count > 0) {
+    const int b = static_cast<int>(rng_.randint(0, width - 1));
+    if (std::find(bits.begin(), bits.end(), b) == bits.end()) {
+      bits.push_back(b);
+      --count;
+    }
+  }
+  return bits;
+}
+
+void Injector::perturb(fmt::BitString& bits,
+                       const std::vector<int>& chosen) const {
+  for (int b : chosen) {
+    switch (armed_->model) {
+      case ErrorModel::kBitFlip:
+        bits.flip_bit(b);
+        break;
+      case ErrorModel::kStuckAt0:
+        bits.set_bit(b, false);
+        break;
+      case ErrorModel::kStuckAt1:
+        bits.set_bit(b, true);
+        break;
+    }
+  }
+}
+
+void Injector::arm(const InjectionSpec& spec) {
+  disarm();
+  LayerSite* site = emulator_->site(spec.layer_path);
+  if (site == nullptr) {
+    throw std::invalid_argument("Injector: layer '" + spec.layer_path +
+                                "' is not instrumented");
+  }
+  if (spec.site == InjectionSite::kMetadata &&
+      !site->act_format->has_metadata()) {
+    throw std::invalid_argument("Injector: format '" +
+                                site->act_format->name() +
+                                "' exposes no metadata");
+  }
+  if (spec.num_bits < 1) {
+    throw std::invalid_argument("Injector: num_bits must be >= 1");
+  }
+  armed_ = spec;
+  fired_ = false;
+  record_.reset();
+  if (spec.site == InjectionSite::kWeightValue) {
+    apply_weight(*site);
+  }
+}
+
+void Injector::disarm() {
+  if (weight_corrupted_) {
+    emulator_->restore_weights(corrupted_weight_path_);
+    weight_corrupted_ = false;
+  }
+  armed_.reset();
+  fired_ = false;
+}
+
+void Injector::apply_activation(LayerSite& site, Tensor& y) {
+  const InjectionSpec& spec = *armed_;
+  fmt::NumberFormat& f = *site.act_format;
+  const int64_t element =
+      spec.element >= 0 ? spec.element : rng_.randint(0, y.numel() - 1);
+  if (element >= y.numel()) {
+    throw std::invalid_argument("Injector: element index out of range");
+  }
+  InjectionRecord rec;
+  rec.layer_path = site.path;
+  rec.site = InjectionSite::kActivationValue;
+  rec.model = spec.model;
+  rec.element = element;
+  rec.value_before = y[element];
+
+  fmt::BitString bits = f.real_to_format_at(y[element], element);
+  rec.bits = choose_bits(bits.width(), spec.bit, spec.num_bits);
+  perturb(bits, rec.bits);
+  y[element] = f.format_to_real_at(bits, element);
+  rec.value_after = y[element];
+
+  record_ = std::move(rec);
+  fired_ = true;
+}
+
+void Injector::apply_metadata(LayerSite& site, Tensor& y) {
+  const InjectionSpec& spec = *armed_;
+  fmt::NumberFormat& f = *site.act_format;
+  const auto fields = f.metadata_fields();
+  if (fields.empty()) {
+    throw std::logic_error("Injector: no metadata fields on format");
+  }
+  const fmt::MetadataField* field = &fields.front();
+  if (!spec.metadata_field.empty()) {
+    field = nullptr;
+    for (const auto& fd : fields) {
+      if (fd.name == spec.metadata_field) field = &fd;
+    }
+    if (field == nullptr) {
+      throw std::invalid_argument("Injector: unknown metadata field '" +
+                                  spec.metadata_field + "'");
+    }
+  }
+  const int64_t index = spec.metadata_index >= 0
+                            ? spec.metadata_index
+                            : rng_.randint(0, field->count - 1);
+
+  InjectionRecord rec;
+  rec.layer_path = site.path;
+  rec.site = InjectionSite::kMetadata;
+  rec.model = spec.model;
+  rec.metadata_field = field->name;
+  rec.metadata_index = index;
+
+  fmt::BitString bits = f.read_metadata(field->name, index);
+  rec.bits = choose_bits(bits.width(), spec.bit, spec.num_bits);
+  perturb(bits, rec.bits);
+  f.write_metadata(field->name, index, bits);
+  // Re-decode the whole tensor under the corrupted register: a single
+  // metadata bit flip behaves as a multi-bit flip of the data (§II-B).
+  y = f.decode_last_tensor();
+
+  record_ = std::move(rec);
+  fired_ = true;
+}
+
+void Injector::apply_weight(LayerSite& site) {
+  const InjectionSpec& spec = *armed_;
+  nn::Parameter* weight = nullptr;
+  for (nn::Parameter* p : site.module->local_parameters()) {
+    if (p->name == "weight") weight = p;
+  }
+  if (weight == nullptr) {
+    throw std::invalid_argument("Injector: layer '" + site.path +
+                                "' has no weight parameter");
+  }
+  // A cloned format instance re-captures this weight tensor's metadata so
+  // the scalar encode/decode is faithful to the quantised weights.
+  auto wfmt = site.act_format->clone();
+  (void)wfmt->real_to_format_tensor(weight->value);
+
+  const int64_t element = spec.element >= 0
+                              ? spec.element
+                              : rng_.randint(0, weight->value.numel() - 1);
+  InjectionRecord rec;
+  rec.layer_path = site.path;
+  rec.site = InjectionSite::kWeightValue;
+  rec.model = spec.model;
+  rec.element = element;
+  rec.value_before = weight->value[element];
+
+  fmt::BitString bits =
+      wfmt->real_to_format_at(weight->value[element], element);
+  rec.bits = choose_bits(bits.width(), spec.bit, spec.num_bits);
+  perturb(bits, rec.bits);
+  weight->value[element] = wfmt->format_to_real_at(bits, element);
+  rec.value_after = weight->value[element];
+
+  weight_corrupted_ = true;
+  corrupted_weight_path_ = site.path;
+  record_ = std::move(rec);
+  fired_ = true;
+}
+
+}  // namespace ge::core

@@ -1,0 +1,101 @@
+// Injector: single- and multi-bit fault injection into a format-emulated
+// model — GoldenEye's dependability engine (§III-B, §IV-C).
+//
+// Three injection sites:
+//  - ActivationValue: flip bit(s) of one activation element's format-domain
+//    bit pattern at a chosen layer (encode -> flip -> decode, the paper's
+//    Method 3 / flip / Method 4 routine), applied through the emulator's
+//    post-quantisation callback during the next forward pass;
+//  - WeightValue: the same routine on one (already format-quantised)
+//    weight element, applied offline when armed and undone on disarm;
+//  - Metadata: flip bit(s) inside a hardware metadata register (INT scale,
+//    BFP shared exponent, AFP exponent bias) and re-decode the layer's
+//    whole activation tensor under the corrupted register — the paper's
+//    headline hardware-aware capability.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/emulator.hpp"
+#include "tensor/rng.hpp"
+
+namespace ge::core {
+
+enum class InjectionSite { kActivationValue, kWeightValue, kMetadata };
+
+/// Fault model applied to each selected bit (§IV-C "different error
+/// models"): transient flip, or a stuck-at fault pinning the bit.
+enum class ErrorModel { kBitFlip, kStuckAt0, kStuckAt1 };
+
+const char* to_string(InjectionSite site);
+const char* to_string(ErrorModel model);
+
+struct InjectionSpec {
+  std::string layer_path;  ///< instrumented layer to target
+  InjectionSite site = InjectionSite::kActivationValue;
+  ErrorModel model = ErrorModel::kBitFlip;
+  int64_t element = -1;        ///< flat tensor index; -1 = uniform random
+  int bit = -1;                ///< bit position (0 = LSB); -1 = random
+  int num_bits = 1;            ///< >1 perturbs several distinct random bits
+  std::string metadata_field;  ///< empty = the format's first field
+  int64_t metadata_index = -1; ///< register index; -1 = random
+};
+
+/// What an armed injection actually did (resolved random choices).
+struct InjectionRecord {
+  std::string layer_path;
+  InjectionSite site = InjectionSite::kActivationValue;
+  ErrorModel model = ErrorModel::kBitFlip;
+  int64_t element = -1;
+  std::vector<int> bits;
+  std::string metadata_field;
+  int64_t metadata_index = -1;
+  float value_before = 0.0f;  ///< corrupted element / register decode
+  float value_after = 0.0f;
+};
+
+class Injector {
+ public:
+  /// Owns the emulator's post-quant slot while alive.
+  Injector(Emulator& emulator, uint64_t seed);
+  ~Injector();
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Schedule one injection: activation/metadata specs fire during the
+  /// next forward pass through the target layer; weight specs are applied
+  /// immediately. Throws if the layer is not instrumented or the spec is
+  /// inconsistent (e.g. metadata on a metadata-less format).
+  void arm(const InjectionSpec& spec);
+
+  /// Cancel a pending injection and undo any weight corruption.
+  void disarm();
+
+  /// True once the armed injection has been applied in a forward pass.
+  bool fired() const noexcept { return fired_; }
+
+  /// Details of the last applied injection.
+  const std::optional<InjectionRecord>& last_record() const noexcept {
+    return record_;
+  }
+
+ private:
+  void apply_activation(LayerSite& site, Tensor& y);
+  void apply_metadata(LayerSite& site, Tensor& y);
+  void apply_weight(LayerSite& site);
+  std::vector<int> choose_bits(int width, int requested_bit, int count);
+  /// Apply the armed error model to the chosen bits of `bits`.
+  void perturb(fmt::BitString& bits, const std::vector<int>& chosen) const;
+
+  Emulator* emulator_;
+  Rng rng_;
+  std::optional<InjectionSpec> armed_;
+  std::optional<InjectionRecord> record_;
+  bool fired_ = false;
+  bool weight_corrupted_ = false;
+  std::string corrupted_weight_path_;
+};
+
+}  // namespace ge::core

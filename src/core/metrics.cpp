@@ -1,0 +1,64 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace ge::core {
+
+GoldenRun run_golden(nn::Module& model, const data::Batch& batch) {
+  model.eval();
+  GoldenRun g;
+  g.logits = model(batch.images);
+  g.predictions = ops::argmax_rows(g.logits);
+  g.per_sample_loss = nn::CrossEntropyLoss::per_sample(g.logits, batch.labels);
+  double s = 0.0;
+  for (float l : g.per_sample_loss) s += l;
+  g.mean_loss = static_cast<float>(s / double(g.per_sample_loss.size()));
+  return g;
+}
+
+FaultOutcome compare_to_golden(const GoldenRun& golden, const Tensor& logits,
+                               const std::vector<int64_t>& labels) {
+  FaultOutcome out;
+  const auto preds = ops::argmax_rows(logits);
+  const auto losses = nn::CrossEntropyLoss::per_sample(logits, labels);
+  const auto n = preds.size();
+  double sum_delta = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (preds[i] != golden.predictions[i]) ++out.mismatched_samples;
+    float d = std::fabs(losses[i] - golden.per_sample_loss[i]);
+    if (!std::isfinite(d)) {
+      // A fault that drives the loss to inf/NaN is maximally severe; use a
+      // large finite sentinel so layer averages stay meaningful.
+      d = 100.0f;
+    }
+    sum_delta += d;
+    out.max_delta_loss = std::max(out.max_delta_loss, d);
+  }
+  out.mismatch_rate =
+      static_cast<float>(out.mismatched_samples) / static_cast<float>(n);
+  out.delta_loss = static_cast<float>(sum_delta / double(n));
+  out.sdc = out.mismatched_samples > 0;
+  return out;
+}
+
+void ConvergenceTracker::add(double x) {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double ConvergenceTracker::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double ConvergenceTracker::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * std::sqrt(variance() / static_cast<double>(n_));
+}
+
+}  // namespace ge::core

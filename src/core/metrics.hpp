@@ -1,0 +1,58 @@
+// Resiliency metrics (§IV-C): mismatch counting and ΔLoss.
+//
+// mismatch — an injected inference whose top-1 prediction differs from
+// the golden (fault-free) inference;
+// ΔLoss — the absolute difference of the cross-entropy loss between the
+// faulty and golden inference (Mahmoud et al.'s metric, which converges
+// with far fewer injections because it compares continuous values).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataloader.hpp"
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ge::core {
+
+/// Fault-free reference of one evaluation batch.
+struct GoldenRun {
+  Tensor logits;
+  std::vector<int64_t> predictions;
+  std::vector<float> per_sample_loss;  // CE against the *labels*
+  float mean_loss = 0.0f;
+};
+
+GoldenRun run_golden(nn::Module& model, const data::Batch& batch);
+
+/// Comparison of one faulty inference against the golden reference.
+struct FaultOutcome {
+  int64_t mismatched_samples = 0;  ///< top-1 changed vs golden
+  float mismatch_rate = 0.0f;      ///< fraction of the batch
+  float delta_loss = 0.0f;         ///< mean per-sample |CE_f - CE_g|
+  float max_delta_loss = 0.0f;     ///< worst sample
+  bool sdc = false;                ///< any mismatch (silent data corruption)
+};
+
+FaultOutcome compare_to_golden(const GoldenRun& golden, const Tensor& logits,
+                               const std::vector<int64_t>& labels);
+
+/// Running mean/variance tracker, used to show ΔLoss's faster convergence
+/// (the paper's argument for preferring it over mismatch counting).
+class ConvergenceTracker {
+ public:
+  void add(double x);
+  int64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  /// Half-width of the 95% normal confidence interval of the mean.
+  double ci95_halfwidth() const;
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace ge::core

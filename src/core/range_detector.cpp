@@ -1,0 +1,74 @@
+#include "core/range_detector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace ge::core {
+
+RangeDetector::RangeDetector(nn::Module& model,
+                             std::vector<std::string> layer_kinds)
+    : model_(&model) {
+  for (auto& [path, mod] : model.named_modules()) {
+    if (std::find(layer_kinds.begin(), layer_kinds.end(), mod->kind()) !=
+        layer_kinds.end()) {
+      targets_.emplace_back(path, mod);
+    }
+  }
+}
+
+RangeDetector::~RangeDetector() { disable(); }
+
+void RangeDetector::profile(const Tensor& inputs) {
+  // Temporary observation hooks, removed before returning.
+  std::vector<std::pair<nn::Module*, nn::Module::HookHandle>> tmp;
+  for (auto& [path, mod] : targets_) {
+    const std::string p = path;
+    tmp.emplace_back(
+        mod, mod->add_forward_hook([this, p](nn::Module&, Tensor& y) {
+          const float lo = ops::min_value(y);
+          const float hi = ops::max_value(y);
+          auto it = ranges_.find(p);
+          if (it == ranges_.end()) {
+            ranges_[p] = {lo, hi};
+          } else {
+            it->second.first = std::min(it->second.first, lo);
+            it->second.second = std::max(it->second.second, hi);
+          }
+        }));
+  }
+  (*model_)(inputs);
+  for (auto& [mod, h] : tmp) mod->remove_hook(h);
+}
+
+void RangeDetector::enable() {
+  if (enabled_) return;
+  for (auto& [path, mod] : targets_) {
+    const auto it = ranges_.find(path);
+    if (it == ranges_.end()) continue;  // never profiled: nothing to clamp to
+    const float lo = it->second.first;
+    const float hi = it->second.second;
+    hooks_.emplace_back(
+        mod, mod->add_forward_hook([this, lo, hi](nn::Module&, Tensor& y) {
+          for (float& v : y.flat()) {
+            if (v < lo) {
+              v = lo;
+              ++clamp_events_;
+            } else if (v > hi) {
+              v = hi;
+              ++clamp_events_;
+            }
+          }
+        }));
+  }
+  enabled_ = true;
+}
+
+void RangeDetector::disable() {
+  for (auto& [mod, h] : hooks_) mod->remove_hook(h);
+  hooks_.clear();
+  enabled_ = false;
+}
+
+}  // namespace ge::core

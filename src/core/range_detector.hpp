@@ -1,0 +1,53 @@
+// RangeDetector: the paper's toggleable activation-range guard (§V-B),
+// modeled off Ranger-style fault detection — profile each instrumented
+// layer's output range on clean data, then clamp (and count) out-of-range
+// activations during faulty runs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace ge::core {
+
+class RangeDetector {
+ public:
+  /// Instruments layers of the given kinds on `model` (profiling hooks are
+  /// installed lazily by profile(); protection hooks by enable()).
+  RangeDetector(nn::Module& model,
+                std::vector<std::string> layer_kinds = {"Conv2d", "Linear"});
+  ~RangeDetector();
+
+  RangeDetector(const RangeDetector&) = delete;
+  RangeDetector& operator=(const RangeDetector&) = delete;
+
+  /// Run the model on clean inputs, recording each layer's [min, max].
+  /// Call as many times as desired; ranges accumulate.
+  void profile(const Tensor& inputs);
+
+  /// Install clamping hooks using the profiled ranges.
+  void enable();
+  /// Remove clamping hooks.
+  void disable();
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Number of clamped scalar values since the last reset.
+  int64_t clamp_events() const noexcept { return clamp_events_; }
+  void reset_clamp_events() noexcept { clamp_events_ = 0; }
+
+  const std::map<std::string, std::pair<float, float>>& ranges() const {
+    return ranges_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, nn::Module*>> targets_;
+  std::map<std::string, std::pair<float, float>> ranges_;
+  std::vector<std::pair<nn::Module*, nn::Module::HookHandle>> hooks_;
+  nn::Module* model_;
+  bool enabled_ = false;
+  int64_t clamp_events_ = 0;
+};
+
+}  // namespace ge::core

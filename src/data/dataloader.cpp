@@ -1,0 +1,65 @@
+#include "data/dataloader.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ge::data {
+
+DataLoader::DataLoader(const Split& split, int64_t batch_size, bool shuffle,
+                       uint64_t seed)
+    : split_(&split), batch_size_(batch_size), shuffle_(shuffle), rng_(seed) {
+  if (batch_size <= 0) throw std::invalid_argument("DataLoader: batch <= 0");
+  order_.resize(static_cast<size_t>(split.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  if (shuffle_) reset();
+}
+
+int64_t DataLoader::batch_count() const {
+  return (split_->size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::reset() {
+  if (!shuffle_) return;
+  std::shuffle(order_.begin(), order_.end(), rng_.engine());
+}
+
+Batch DataLoader::batch(int64_t i) const {
+  if (i < 0 || i >= batch_count()) {
+    throw std::out_of_range("DataLoader: batch index out of range");
+  }
+  const int64_t begin = i * batch_size_;
+  const int64_t count = std::min(batch_size_, split_->size() - begin);
+  const Shape& s = split_->images.shape();
+  const int64_t sample = s[1] * s[2] * s[3];
+  Batch b;
+  b.images = Tensor({count, s[1], s[2], s[3]});
+  b.labels.resize(static_cast<size_t>(count));
+  const float* src = split_->images.data();
+  float* dst = b.images.data();
+  for (int64_t j = 0; j < count; ++j) {
+    const int64_t row = order_[static_cast<size_t>(begin + j)];
+    std::copy(src + row * sample, src + (row + 1) * sample,
+              dst + j * sample);
+    b.labels[static_cast<size_t>(j)] =
+        split_->labels[static_cast<size_t>(row)];
+  }
+  return b;
+}
+
+Batch take(const Split& split, int64_t begin, int64_t count) {
+  if (begin < 0 || begin + count > split.size()) {
+    throw std::out_of_range("take: range outside split");
+  }
+  const Shape& s = split.images.shape();
+  const int64_t sample = s[1] * s[2] * s[3];
+  Batch b;
+  b.images = Tensor({count, s[1], s[2], s[3]});
+  b.labels.assign(split.labels.begin() + begin,
+                  split.labels.begin() + begin + count);
+  std::copy(split.images.data() + begin * sample,
+            split.images.data() + (begin + count) * sample, b.images.data());
+  return b;
+}
+
+}  // namespace ge::data

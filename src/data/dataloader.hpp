@@ -1,0 +1,43 @@
+// Mini-batch iteration over a Split, with optional seeded shuffling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "tensor/rng.hpp"
+
+namespace ge::data {
+
+struct Batch {
+  Tensor images;
+  std::vector<int64_t> labels;
+};
+
+class DataLoader {
+ public:
+  /// Iterates `split` in batches of `batch_size` (last batch may be
+  /// short). When `shuffle`, order is re-drawn from `seed` at each reset.
+  DataLoader(const Split& split, int64_t batch_size, bool shuffle = false,
+             uint64_t seed = 1);
+
+  /// Number of batches per epoch.
+  int64_t batch_count() const;
+  /// Fetch batch `i` of the current epoch order.
+  Batch batch(int64_t i) const;
+  /// Re-shuffle (no-op when shuffle is off).
+  void reset();
+
+ private:
+  const Split* split_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+};
+
+/// Copy `count` rows starting at `begin` into a contiguous batch — useful
+/// for fixed evaluation subsets.
+Batch take(const Split& split, int64_t begin, int64_t count);
+
+}  // namespace ge::data

@@ -1,0 +1,79 @@
+#include "formats/fxp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ge::fmt {
+
+FxpFormat::FxpFormat(int int_bits, int frac_bits)
+    : NumberFormat(
+          "fxp_1_" + std::to_string(int_bits) + "_" + std::to_string(frac_bits),
+          1 + int_bits + frac_bits),
+      int_bits_(int_bits),
+      frac_bits_(frac_bits) {
+  if (int_bits < 0 || frac_bits < 0 || int_bits + frac_bits < 1 ||
+      int_bits + frac_bits > 62) {
+    throw std::invalid_argument("FxpFormat: need 1 <= i+f <= 62, i,f >= 0");
+  }
+  const int data_bits = int_bits_ + frac_bits_;
+  min_code_ = -(int64_t{1} << data_bits);
+  max_code_ = (int64_t{1} << data_bits) - 1;
+}
+
+float FxpFormat::quantize_value(float x) const {
+  if (std::isnan(x)) return x;
+  const double scaled = double(x) * std::ldexp(1.0, frac_bits_);
+  double code = std::nearbyint(scaled);
+  code = std::clamp(code, double(min_code_), double(max_code_));
+  return static_cast<float>(code * std::ldexp(1.0, -frac_bits_));
+}
+
+Tensor FxpFormat::real_to_format_tensor(const Tensor& t) {
+  Tensor out(t.shape());
+  const float* pin = t.data();
+  float* po = out.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = quantize_value(pin[i]);
+  return out;
+}
+
+BitString FxpFormat::real_to_format(float value) const {
+  const double scaled = double(value) * std::ldexp(1.0, frac_bits_);
+  double code = std::nearbyint(scaled);
+  code = std::clamp(code, double(min_code_), double(max_code_));
+  // Two's-complement over bit_width_ bits.
+  const auto icode = static_cast<int64_t>(code);
+  const uint64_t mask = (bit_width_ >= 64)
+                            ? ~uint64_t{0}
+                            : ((uint64_t{1} << bit_width_) - 1);
+  return BitString(static_cast<uint64_t>(icode) & mask, bit_width_);
+}
+
+float FxpFormat::format_to_real(const BitString& bits) const {
+  if (bits.width() != bit_width_) {
+    throw std::invalid_argument("FxpFormat: bitstring width mismatch");
+  }
+  uint64_t raw = bits.value();
+  // Sign-extend from bit_width_ bits.
+  const uint64_t sign_bit = uint64_t{1} << (bit_width_ - 1);
+  int64_t code;
+  if (raw & sign_bit) {
+    code = static_cast<int64_t>(raw | ~((sign_bit << 1) - 1));
+  } else {
+    code = static_cast<int64_t>(raw);
+  }
+  return static_cast<float>(double(code) * std::ldexp(1.0, -frac_bits_));
+}
+
+double FxpFormat::abs_max() const { return std::ldexp(1.0, int_bits_); }
+
+double FxpFormat::abs_min() const { return std::ldexp(1.0, -frac_bits_); }
+
+std::string FxpFormat::spec() const { return name_; }
+
+std::unique_ptr<NumberFormat> FxpFormat::clone() const {
+  return std::make_unique<FxpFormat>(*this);
+}
+
+}  // namespace ge::fmt

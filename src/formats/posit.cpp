@@ -1,0 +1,157 @@
+#include "formats/posit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ge::fmt {
+
+PositFormat::PositFormat(int n, int es)
+    : NumberFormat("posit_" + std::to_string(n) + "_" + std::to_string(es),
+                   n),
+      n_(n),
+      es_(es) {
+  if (n < 3 || n > 16) {
+    throw std::invalid_argument("PositFormat: n must be in [3, 16]");
+  }
+  if (es < 0 || es > 3) {
+    throw std::invalid_argument("PositFormat: es must be in [0, 3]");
+  }
+  // Positive patterns are 0x0001 .. 0x7FFF... (sign bit clear, nonzero);
+  // their decoded values are strictly increasing with the pattern — a
+  // defining property of posits — so the table is sorted for free.
+  const uint32_t count = uint32_t{1} << (n - 1);
+  pos_values_.reserve(count - 1);
+  pos_patterns_.reserve(count - 1);
+  for (uint32_t p = 1; p < count; ++p) {
+    pos_values_.push_back(decode_pattern(p, n, es));
+    pos_patterns_.push_back(p);
+  }
+}
+
+double PositFormat::decode_pattern(uint32_t pattern, int n, int es) {
+  const uint32_t mask = (uint32_t{1} << n) - 1;
+  pattern &= mask;
+  if (pattern == 0) return 0.0;
+  const uint32_t nar = uint32_t{1} << (n - 1);
+  if (pattern == nar) return std::numeric_limits<double>::quiet_NaN();
+
+  double sign = 1.0;
+  if (pattern & nar) {
+    sign = -1.0;
+    pattern = (~pattern + 1) & mask;  // two's complement negate
+  }
+  // regime: run of identical bits after the sign position
+  int i = n - 2;  // index of the first regime bit
+  const int first = (pattern >> i) & 1;
+  int run = 0;
+  while (i >= 0 && ((pattern >> i) & 1) == static_cast<uint32_t>(first)) {
+    ++run;
+    --i;
+  }
+  --i;  // skip the regime terminator bit (if present)
+  const int k = first ? (run - 1) : -run;
+
+  // exponent: up to es bits
+  int e = 0;
+  for (int b = 0; b < es; ++b) {
+    e <<= 1;
+    if (i >= 0) {
+      e |= (pattern >> i) & 1;
+      --i;
+    }
+  }
+  // fraction: remaining bits
+  double frac = 1.0;
+  double w = 0.5;
+  while (i >= 0) {
+    if ((pattern >> i) & 1) frac += w;
+    w *= 0.5;
+    --i;
+  }
+  const double scale = std::ldexp(1.0, k * (1 << es) + e);
+  return sign * scale * frac;
+}
+
+float PositFormat::quantize_value(float x) const {
+  if (std::isnan(x)) return x;
+  if (x == 0.0f) return 0.0f;
+  const double ax = std::fabs(x);
+  const double sign = std::signbit(x) ? -1.0 : 1.0;
+  // saturation: posits never round past maxpos / below minpos to zero
+  if (ax >= pos_values_.back()) {
+    return static_cast<float>(sign * pos_values_.back());
+  }
+  if (ax <= pos_values_.front()) {
+    return static_cast<float>(sign * pos_values_.front());
+  }
+  const auto it =
+      std::lower_bound(pos_values_.begin(), pos_values_.end(), ax);
+  const size_t hi = static_cast<size_t>(it - pos_values_.begin());
+  const size_t lo = hi - 1;
+  const double dlo = ax - pos_values_[lo];
+  const double dhi = pos_values_[hi] - ax;
+  size_t pick;
+  if (dlo < dhi) {
+    pick = lo;
+  } else if (dhi < dlo) {
+    pick = hi;
+  } else {
+    // tie: round to the even pattern (posit standard)
+    pick = (pos_patterns_[lo] & 1) == 0 ? lo : hi;
+  }
+  return static_cast<float>(sign * pos_values_[pick]);
+}
+
+Tensor PositFormat::real_to_format_tensor(const Tensor& t) {
+  Tensor out(t.shape());
+  const float* pin = t.data();
+  float* po = out.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = quantize_value(pin[i]);
+  return out;
+}
+
+BitString PositFormat::real_to_format(float value) const {
+  if (std::isnan(value)) {
+    return BitString(uint64_t{1} << (n_ - 1), n_);  // NaR
+  }
+  const float q = quantize_value(value);
+  if (q == 0.0f) return BitString(0, n_);
+  const double aq = std::fabs(q);
+  const auto it =
+      std::lower_bound(pos_values_.begin(), pos_values_.end(), aq);
+  if (it == pos_values_.end() || *it != aq) {
+    throw std::logic_error("PositFormat: quantised value not in table");
+  }
+  uint32_t pattern =
+      pos_patterns_[static_cast<size_t>(it - pos_values_.begin())];
+  if (q < 0.0f) {
+    const uint32_t mask = (uint32_t{1} << n_) - 1;
+    pattern = (~pattern + 1) & mask;
+  }
+  return BitString(pattern, n_);
+}
+
+float PositFormat::format_to_real(const BitString& bits) const {
+  if (bits.width() != n_) {
+    throw std::invalid_argument("PositFormat: bitstring width mismatch");
+  }
+  return static_cast<float>(
+      decode_pattern(static_cast<uint32_t>(bits.value()), n_, es_));
+}
+
+double PositFormat::abs_max() const { return pos_values_.back(); }
+
+double PositFormat::abs_min() const { return pos_values_.front(); }
+
+double PositFormat::useed() const { return std::ldexp(1.0, 1 << es_); }
+
+std::string PositFormat::spec() const { return name_; }
+
+std::unique_ptr<NumberFormat> PositFormat::clone() const {
+  return std::make_unique<PositFormat>(*this);
+}
+
+}  // namespace ge::fmt

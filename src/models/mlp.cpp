@@ -1,0 +1,28 @@
+#include "models/mlp.hpp"
+
+#include "nn/activation.hpp"
+#include "nn/linear.hpp"
+
+namespace ge::models {
+
+Mlp::Mlp(int64_t input_dim, std::vector<int64_t> hidden, int64_t num_classes,
+         Rng& rng)
+    : Module("Mlp"), body_(std::make_unique<nn::Sequential>()) {
+  body_->emplace<nn::Flatten>();
+  int64_t d = input_dim;
+  for (int64_t h : hidden) {
+    body_->emplace<nn::Linear>(d, h, rng);
+    body_->emplace<nn::ReLU>();
+    d = h;
+  }
+  body_->emplace<nn::Linear>(d, num_classes, rng);
+  register_child("body", *body_);
+}
+
+Tensor Mlp::forward(const Tensor& input) { return (*body_)(input); }
+
+Tensor Mlp::backward(const Tensor& grad_out) {
+  return body_->backward(grad_out);
+}
+
+}  // namespace ge::models

@@ -1,0 +1,24 @@
+// MLP: flatten + fully-connected stack; the smallest model in the zoo
+// (used heavily by unit tests).
+#pragma once
+
+#include <memory>
+
+#include "nn/sequential.hpp"
+#include "tensor/rng.hpp"
+
+namespace ge::models {
+
+class Mlp : public nn::Module {
+ public:
+  Mlp(int64_t input_dim, std::vector<int64_t> hidden, int64_t num_classes,
+      Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::unique_ptr<nn::Sequential> body_;
+};
+
+}  // namespace ge::models

@@ -1,0 +1,35 @@
+#include "models/simple_cnn.hpp"
+
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+#include "nn/pooling.hpp"
+
+namespace ge::models {
+
+SimpleCnn::SimpleCnn(int64_t in_channels, int64_t num_classes, Rng& rng)
+    : Module("SimpleCnn"), body_(std::make_unique<nn::Sequential>()) {
+  body_->emplace<nn::Conv2d>(in_channels, 16, 3, 1, 1, rng);
+  body_->emplace<nn::BatchNorm2d>(16);
+  body_->emplace<nn::ReLU>();
+  body_->emplace<nn::MaxPool2d>(2, 2);
+  body_->emplace<nn::Conv2d>(16, 32, 3, 1, 1, rng);
+  body_->emplace<nn::BatchNorm2d>(32);
+  body_->emplace<nn::ReLU>();
+  body_->emplace<nn::MaxPool2d>(2, 2);
+  body_->emplace<nn::Conv2d>(32, 64, 3, 1, 1, rng);
+  body_->emplace<nn::BatchNorm2d>(64);
+  body_->emplace<nn::ReLU>();
+  body_->emplace<nn::GlobalAvgPool>();
+  body_->emplace<nn::Linear>(64, num_classes, rng);
+  register_child("body", *body_);
+}
+
+Tensor SimpleCnn::forward(const Tensor& input) { return (*body_)(input); }
+
+Tensor SimpleCnn::backward(const Tensor& grad_out) {
+  return body_->backward(grad_out);
+}
+
+}  // namespace ge::models

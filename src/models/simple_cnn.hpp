@@ -1,0 +1,22 @@
+// SimpleCnn: a compact conv-bn-relu stack for the synthetic vision task.
+#pragma once
+
+#include <memory>
+
+#include "nn/sequential.hpp"
+#include "tensor/rng.hpp"
+
+namespace ge::models {
+
+class SimpleCnn : public nn::Module {
+ public:
+  SimpleCnn(int64_t in_channels, int64_t num_classes, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::unique_ptr<nn::Sequential> body_;
+};
+
+}  // namespace ge::models

@@ -1,0 +1,49 @@
+#include "models/tiny_deit.hpp"
+
+#include <stdexcept>
+
+#include "nn/linear.hpp"
+
+namespace ge::models {
+
+TinyDeit::TinyDeit(Config cfg, Rng& rng) : Module("TinyDeit"), cfg_(cfg) {
+  if (cfg.image_size % cfg.patch != 0) {
+    throw std::invalid_argument("TinyDeit: image_size % patch != 0");
+  }
+  const int64_t grid = cfg.image_size / cfg.patch;
+  const int64_t num_patches = grid * grid;
+  patch_ = std::make_unique<nn::PatchEmbed>(cfg.in_channels, cfg.dim,
+                                            cfg.patch, rng);
+  embed_ = std::make_unique<nn::ClassTokenPosEmbed>(num_patches, cfg.dim, rng);
+  register_child("patch", *patch_);
+  register_child("embed", *embed_);
+  for (int64_t i = 0; i < cfg.depth; ++i) {
+    auto block = std::make_unique<nn::TransformerBlock>(
+        cfg.dim, cfg.heads, cfg.dim * cfg.mlp_ratio, rng);
+    register_child("block" + std::to_string(i), *block);
+    blocks_.push_back(std::move(block));
+  }
+  norm_ = std::make_unique<nn::LayerNorm>(cfg.dim);
+  take_cls_ = std::make_unique<nn::TakeClassToken>();
+  head_ = std::make_unique<nn::Linear>(cfg.dim, cfg.num_classes, rng);
+  register_child("norm", *norm_);
+  register_child("take_cls", *take_cls_);
+  register_child("head", *head_);
+}
+
+Tensor TinyDeit::forward(const Tensor& input) {
+  Tensor x = (*embed_)((*patch_)(input));
+  for (auto& b : blocks_) x = (*b)(x);
+  return (*head_)((*take_cls_)((*norm_)(x)));
+}
+
+Tensor TinyDeit::backward(const Tensor& grad_out) {
+  Tensor g = norm_->backward(
+      take_cls_->backward(head_->backward(grad_out)));
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return patch_->backward(embed_->backward(g));
+}
+
+}  // namespace ge::models

@@ -1,0 +1,45 @@
+// TinyDeiT: a small DeiT/ViT-style vision transformer — this repo's
+// stand-in for the paper's DeiT-tiny/DeiT-base (patchify conv, class
+// token + learned positions, pre-norm encoder blocks, classification off
+// the class token).
+#pragma once
+
+#include <memory>
+
+#include "nn/embedding.hpp"
+#include "nn/norm.hpp"
+#include "nn/transformer.hpp"
+
+namespace ge::models {
+
+class TinyDeit : public nn::Module {
+ public:
+  struct Config {
+    int64_t image_size = 16;
+    int64_t in_channels = 3;
+    int64_t patch = 4;
+    int64_t dim = 48;
+    int64_t heads = 4;
+    int64_t mlp_ratio = 2;
+    int64_t depth = 3;
+    int64_t num_classes = 10;
+  };
+
+  TinyDeit(Config cfg, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::unique_ptr<nn::PatchEmbed> patch_;
+  std::unique_ptr<nn::ClassTokenPosEmbed> embed_;
+  std::vector<std::unique_ptr<nn::TransformerBlock>> blocks_;
+  std::unique_ptr<nn::LayerNorm> norm_;
+  std::unique_ptr<nn::TakeClassToken> take_cls_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace ge::models

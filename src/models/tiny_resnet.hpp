@@ -1,0 +1,57 @@
+// TinyResNet: a residual CNN in the CIFAR-ResNet style — this repo's
+// stand-in for the paper's ResNet18/ResNet50 (same layer vocabulary:
+// conv-bn-relu basic blocks with identity/projection skips, global average
+// pooling, linear classifier).
+#pragma once
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+#include "nn/pooling.hpp"
+
+namespace ge::models {
+
+/// conv-bn-relu-conv-bn plus skip (projection when the shape changes),
+/// with a final ReLU on the sum.
+class BasicBlock : public nn::Module {
+ public:
+  BasicBlock(int64_t in_channels, int64_t out_channels, int64_t stride,
+             Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  bool projected_;
+  std::unique_ptr<nn::Conv2d> conv1_;
+  std::unique_ptr<nn::BatchNorm2d> bn1_;
+  std::unique_ptr<nn::ReLU> relu1_;
+  std::unique_ptr<nn::Conv2d> conv2_;
+  std::unique_ptr<nn::BatchNorm2d> bn2_;
+  std::unique_ptr<nn::Conv2d> proj_conv_;  // only when projected_
+  std::unique_ptr<nn::BatchNorm2d> proj_bn_;
+  std::vector<uint8_t> out_mask_;  // final-ReLU mask (training forward)
+};
+
+class TinyResNet : public nn::Module {
+ public:
+  /// width = base channel count (16 gives the classic 16/32/64 ladder).
+  TinyResNet(int64_t in_channels, int64_t num_classes, Rng& rng,
+             int64_t width = 16, int64_t blocks_per_stage = 2);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::unique_ptr<nn::Conv2d> stem_conv_;
+  std::unique_ptr<nn::BatchNorm2d> stem_bn_;
+  std::unique_ptr<nn::ReLU> stem_relu_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  std::unique_ptr<nn::GlobalAvgPool> pool_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace ge::models

@@ -1,0 +1,84 @@
+// Pointwise activations and shape utilities.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace ge::nn {
+
+class ReLU : public Module {
+ public:
+  ReLU() : Module("ReLU") {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<uint8_t> mask_;  // 1 where input > 0 (training forward only)
+};
+
+/// GELU with the tanh approximation (the variant transformer stacks use).
+class GELU : public Module {
+ public:
+  GELU() : Module("GELU") {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+class Sigmoid : public Module {
+ public:
+  Sigmoid() : Module("Sigmoid") {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_output_;  // sigmoid' = y (1 - y)
+};
+
+class Tanh : public Module {
+ public:
+  Tanh() : Module("Tanh") {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_output_;  // tanh' = 1 - y^2
+};
+
+/// Inverted dropout: scales surviving activations by 1/(1-p) in training,
+/// identity in eval. Mask stream is drawn from an internal seeded Rng so
+/// training remains reproducible.
+class Dropout : public Module {
+ public:
+  explicit Dropout(float p, uint64_t seed = 0xD0D0);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  float p() const noexcept { return p_; }
+
+ private:
+  float p_;
+  uint64_t rng_state_;
+  std::vector<uint8_t> mask_;
+};
+
+/// Collapse all trailing dims: (N, ...) -> (N, prod(...)).
+class Flatten : public Module {
+ public:
+  Flatten() : Module("Flatten") {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Shape cached_shape_;
+};
+
+class Identity : public Module {
+ public:
+  Identity() : Module("Identity") {}
+  Tensor forward(const Tensor& input) override { return input; }
+  Tensor backward(const Tensor& grad_out) override { return grad_out; }
+};
+
+}  // namespace ge::nn

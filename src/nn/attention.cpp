@@ -1,0 +1,165 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace ge::nn {
+
+MultiheadSelfAttention::MultiheadSelfAttention(int64_t embed_dim,
+                                               int64_t num_heads, Rng& rng)
+    : Module("MultiheadSelfAttention"),
+      dim_(embed_dim),
+      heads_(num_heads),
+      head_dim_(embed_dim / num_heads),
+      scale_(1.0f / std::sqrt(static_cast<float>(embed_dim / num_heads))),
+      qkv_(std::make_unique<Linear>(embed_dim, 3 * embed_dim, rng)),
+      proj_(std::make_unique<Linear>(embed_dim, embed_dim, rng)) {
+  if (embed_dim % num_heads != 0) {
+    throw std::invalid_argument(
+        "MultiheadSelfAttention: embed_dim % num_heads != 0");
+  }
+  register_child("qkv", *qkv_);
+  register_child("proj", *proj_);
+}
+
+namespace {
+
+/// Copy one (T, head_dim) head slice out of a (B, T, 3D) qkv tensor.
+/// `which` selects q (0), k (1) or v (2).
+void gather_head(const Tensor& qkv, int64_t b, int64_t h, int which,
+                 int64_t T, int64_t D, int64_t hd, Tensor& dst) {
+  const float* p = qkv.data();
+  float* pd = dst.data();
+  for (int64_t t = 0; t < T; ++t) {
+    const float* row = p + (b * T + t) * 3 * D + which * D + h * hd;
+    for (int64_t i = 0; i < hd; ++i) pd[t * hd + i] = row[i];
+  }
+}
+
+/// Scatter-add one (T, head_dim) gradient back into a (B, T, 3D) tensor.
+void scatter_head(Tensor& gqkv, int64_t b, int64_t h, int which, int64_t T,
+                  int64_t D, int64_t hd, const Tensor& src) {
+  float* p = gqkv.data();
+  const float* ps = src.data();
+  for (int64_t t = 0; t < T; ++t) {
+    float* row = p + (b * T + t) * 3 * D + which * D + h * hd;
+    for (int64_t i = 0; i < hd; ++i) row[i] += ps[t * hd + i];
+  }
+}
+
+}  // namespace
+
+Tensor MultiheadSelfAttention::forward(const Tensor& input) {
+  if (input.dim() != 3 || input.size(2) != dim_) {
+    throw std::invalid_argument("MultiheadSelfAttention: expected (B, T, " +
+                                std::to_string(dim_) + ")");
+  }
+  const int64_t B = input.size(0), T = input.size(1);
+  Tensor qkv = (*qkv_)(input);  // (B, T, 3D), hooks fire on the projection
+
+  const bool cache = is_training();
+  if (cache) {
+    q_ = Tensor({B, heads_, T, head_dim_});
+    k_ = Tensor({B, heads_, T, head_dim_});
+    v_ = Tensor({B, heads_, T, head_dim_});
+    attn_ = Tensor({B, heads_, T, T});
+    cached_B_ = B;
+    cached_T_ = T;
+  }
+
+  Tensor merged({B, T, dim_});
+  Tensor qh({T, head_dim_}), kh({T, head_dim_}), vh({T, head_dim_});
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t h = 0; h < heads_; ++h) {
+      gather_head(qkv, b, h, 0, T, dim_, head_dim_, qh);
+      gather_head(qkv, b, h, 1, T, dim_, head_dim_, kh);
+      gather_head(qkv, b, h, 2, T, dim_, head_dim_, vh);
+      Tensor scores = ops::matmul_bt(qh, kh);  // (T, T)
+      ops::mul_scalar_inplace(scores, scale_);
+      Tensor attn = ops::softmax_lastdim(scores);
+      Tensor out = ops::matmul(attn, vh);  // (T, head_dim)
+      // write head output into the merged (B, T, D) tensor
+      float* pm = merged.data();
+      const float* po = out.data();
+      for (int64_t t = 0; t < T; ++t) {
+        float* row = pm + (b * T + t) * dim_ + h * head_dim_;
+        for (int64_t i = 0; i < head_dim_; ++i) row[i] = po[t * head_dim_ + i];
+      }
+      if (cache) {
+        const int64_t base = ((b * heads_ + h) * T) * head_dim_;
+        std::copy(qh.data(), qh.data() + T * head_dim_, q_.data() + base);
+        std::copy(kh.data(), kh.data() + T * head_dim_, k_.data() + base);
+        std::copy(vh.data(), vh.data() + T * head_dim_, v_.data() + base);
+        std::copy(attn.data(), attn.data() + T * T,
+                  attn_.data() + (b * heads_ + h) * T * T);
+      }
+    }
+  }
+  return (*proj_)(merged);
+}
+
+Tensor MultiheadSelfAttention::backward(const Tensor& grad_out) {
+  if (attn_.empty()) {
+    throw std::logic_error(
+        "MultiheadSelfAttention::backward before training forward");
+  }
+  const int64_t B = cached_B_, T = cached_T_;
+  Tensor g_merged = proj_->backward(grad_out);  // (B, T, D)
+  Tensor gqkv({B, T, 3 * dim_});
+
+  Tensor gout({T, head_dim_});
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t h = 0; h < heads_; ++h) {
+      // slice caches for this (b, h)
+      const int64_t base = ((b * heads_ + h) * T) * head_dim_;
+      Tensor qh({T, head_dim_}), kh({T, head_dim_}), vh({T, head_dim_});
+      std::copy(q_.data() + base, q_.data() + base + T * head_dim_,
+                qh.data());
+      std::copy(k_.data() + base, k_.data() + base + T * head_dim_,
+                kh.data());
+      std::copy(v_.data() + base, v_.data() + base + T * head_dim_,
+                vh.data());
+      Tensor attn({T, T});
+      std::copy(attn_.data() + (b * heads_ + h) * T * T,
+                attn_.data() + (b * heads_ + h + 1) * T * T, attn.data());
+      // gradient of this head's output
+      const float* pm = g_merged.data();
+      float* pg = gout.data();
+      for (int64_t t = 0; t < T; ++t) {
+        const float* row = pm + (b * T + t) * dim_ + h * head_dim_;
+        for (int64_t i = 0; i < head_dim_; ++i) pg[t * head_dim_ + i] = row[i];
+      }
+      // out = attn @ v
+      Tensor d_attn = ops::matmul_bt(gout, vh);      // (T, T)
+      Tensor d_v = ops::matmul_at(attn, gout);       // (T, head_dim)
+      // softmax backward, row-wise: ds = a * (da - sum(da * a))
+      Tensor d_scores({T, T});
+      {
+        const float* pa = attn.data();
+        const float* pda = d_attn.data();
+        float* pds = d_scores.data();
+        for (int64_t r = 0; r < T; ++r) {
+          double dot = 0.0;
+          for (int64_t c = 0; c < T; ++c) {
+            dot += double(pda[r * T + c]) * pa[r * T + c];
+          }
+          for (int64_t c = 0; c < T; ++c) {
+            pds[r * T + c] = pa[r * T + c] *
+                             (pda[r * T + c] - static_cast<float>(dot));
+          }
+        }
+      }
+      ops::mul_scalar_inplace(d_scores, scale_);
+      Tensor d_q = ops::matmul(d_scores, kh);     // (T, head_dim)
+      Tensor d_k = ops::matmul_at(d_scores, qh);  // (T, head_dim)
+      scatter_head(gqkv, b, h, 0, T, dim_, head_dim_, d_q);
+      scatter_head(gqkv, b, h, 1, T, dim_, head_dim_, d_k);
+      scatter_head(gqkv, b, h, 2, T, dim_, head_dim_, d_v);
+    }
+  }
+  return qkv_->backward(gqkv);
+}
+
+}  // namespace ge::nn

@@ -1,0 +1,57 @@
+// Vision-transformer input embeddings: patchify + class token + positions.
+#pragma once
+
+#include <memory>
+
+#include "nn/conv.hpp"
+#include "nn/module.hpp"
+
+namespace ge::nn {
+
+/// NCHW image -> (B, T, D) patch tokens via a stride=patch conv (the
+/// standard ViT patchify, which also makes it a CONV layer GoldenEye
+/// instruments by default).
+class PatchEmbed : public Module {
+ public:
+  PatchEmbed(int64_t in_channels, int64_t embed_dim, int64_t patch, Rng& rng);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  int64_t embed_dim() const noexcept { return dim_; }
+
+ private:
+  int64_t dim_;
+  std::unique_ptr<Conv2d> proj_;
+  Shape cached_conv_shape_;  // (B, D, GH, GW) of the last forward
+};
+
+/// Prepend a learnable class token and add learnable position embeddings:
+/// (B, T, D) -> (B, T+1, D).
+class ClassTokenPosEmbed : public Module {
+ public:
+  /// `num_patches` fixes the positional table size (T must match).
+  ClassTokenPosEmbed(int64_t num_patches, int64_t dim, Rng& rng);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Parameter*> local_parameters() override;
+
+ private:
+  int64_t num_patches_;
+  int64_t dim_;
+  Parameter cls_;  // (1, D)
+  Parameter pos_;  // (T+1, D)
+};
+
+/// Select token 0 of every sequence: (B, T, D) -> (B, D).
+class TakeClassToken : public Module {
+ public:
+  TakeClassToken() : Module("TakeClassToken") {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Shape cached_shape_;
+};
+
+}  // namespace ge::nn

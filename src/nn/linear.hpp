@@ -1,0 +1,38 @@
+// Linear: fully-connected layer, y = x W^T + b.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/rng.hpp"
+
+namespace ge::nn {
+
+class Linear : public Module {
+ public:
+  /// Weight (out_features, in_features) Kaiming-initialised from `rng`;
+  /// bias zero-initialised (omitted entirely when with_bias = false).
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool with_bias = true);
+
+  /// Input (N, in_features) -> (N, out_features). Higher-rank inputs are
+  /// treated as (prod(leading dims), in_features) and reshaped back.
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Parameter*> local_parameters() override;
+
+  int64_t in_features() const noexcept { return in_; }
+  int64_t out_features() const noexcept { return out_; }
+  Parameter& weight() noexcept { return weight_; }
+  Parameter* bias() noexcept { return with_bias_ ? &bias_ : nullptr; }
+
+ private:
+  int64_t in_;
+  int64_t out_;
+  bool with_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;  // 2-D view of the last forward input
+  Shape input_shape_;    // original rank of the last forward input
+};
+
+}  // namespace ge::nn

@@ -1,0 +1,80 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace ge::nn {
+
+namespace {
+void check_targets(const Tensor& logits, const std::vector<int64_t>& targets) {
+  if (logits.dim() != 2) {
+    throw std::invalid_argument("cross entropy: logits must be (N, C)");
+  }
+  if (static_cast<int64_t>(targets.size()) != logits.size(0)) {
+    throw std::invalid_argument("cross entropy: batch size mismatch");
+  }
+  for (int64_t t : targets) {
+    if (t < 0 || t >= logits.size(1)) {
+      throw std::invalid_argument("cross entropy: target class out of range");
+    }
+  }
+}
+}  // namespace
+
+std::vector<float> CrossEntropyLoss::per_sample(
+    const Tensor& logits, const std::vector<int64_t>& targets) {
+  check_targets(logits, targets);
+  const Tensor logp = ops::log_softmax_lastdim(logits);
+  const int64_t N = logits.size(0), C = logits.size(1);
+  std::vector<float> out(static_cast<size_t>(N));
+  for (int64_t i = 0; i < N; ++i) {
+    out[static_cast<size_t>(i)] =
+        -logp[i * C + targets[static_cast<size_t>(i)]];
+  }
+  return out;
+}
+
+float CrossEntropyLoss::evaluate(const Tensor& logits,
+                                 const std::vector<int64_t>& targets) {
+  const auto losses = per_sample(logits, targets);
+  double s = 0.0;
+  for (float l : losses) s += l;
+  return static_cast<float>(s / double(losses.size()));
+}
+
+float CrossEntropyLoss::forward(const Tensor& logits,
+                                const std::vector<int64_t>& targets) {
+  check_targets(logits, targets);
+  cached_softmax_ = ops::softmax_lastdim(logits);
+  cached_targets_ = targets;
+  return evaluate(logits, targets);
+}
+
+Tensor CrossEntropyLoss::backward() const {
+  if (cached_targets_.empty()) {
+    throw std::logic_error("CrossEntropyLoss::backward before forward");
+  }
+  const int64_t N = cached_softmax_.size(0), C = cached_softmax_.size(1);
+  Tensor g = cached_softmax_;
+  float* pg = g.data();
+  const float inv_n = 1.0f / static_cast<float>(N);
+  for (int64_t i = 0; i < N; ++i) {
+    pg[i * C + cached_targets_[static_cast<size_t>(i)]] -= 1.0f;
+    for (int64_t c = 0; c < C; ++c) pg[i * C + c] *= inv_n;
+  }
+  return g;
+}
+
+float accuracy(const Tensor& logits, const std::vector<int64_t>& targets) {
+  check_targets(logits, targets);
+  const auto pred = ops::argmax_rows(logits);
+  int64_t correct = 0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (pred[i] == targets[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(targets.size());
+}
+
+}  // namespace ge::nn

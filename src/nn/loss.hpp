@@ -1,0 +1,38 @@
+// Losses and classification metrics.
+//
+// Cross entropy is central to GoldenEye beyond training: the ΔLoss
+// resiliency metric (§IV-C) is the absolute difference of this loss
+// between a faulty and a golden inference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ge::nn {
+
+/// Softmax cross entropy over logits (N, C) with integer class targets.
+class CrossEntropyLoss {
+ public:
+  /// Mean loss over the batch; caches what backward needs.
+  float forward(const Tensor& logits, const std::vector<int64_t>& targets);
+  /// d(loss)/d(logits), shape (N, C).
+  Tensor backward() const;
+
+  /// Stateless evaluation (no cache) — used by metric code.
+  static float evaluate(const Tensor& logits,
+                        const std::vector<int64_t>& targets);
+  /// Per-sample losses, one per row.
+  static std::vector<float> per_sample(const Tensor& logits,
+                                       const std::vector<int64_t>& targets);
+
+ private:
+  Tensor cached_softmax_;
+  std::vector<int64_t> cached_targets_;
+};
+
+/// Fraction of rows whose argmax equals the target.
+float accuracy(const Tensor& logits, const std::vector<int64_t>& targets);
+
+}  // namespace ge::nn

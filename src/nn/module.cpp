@@ -1,0 +1,164 @@
+#include "nn/module.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace ge::nn {
+
+Tensor Module::backward(const Tensor& /*grad_out*/) {
+  throw std::logic_error("backward not implemented for layer kind '" + kind_ +
+                         "'");
+}
+
+Tensor Module::operator()(const Tensor& input) {
+  Tensor x = input;
+  for (auto& [handle, hook] : pre_hooks_) hook(*this, x);
+  Tensor y = forward(x);
+  for (auto& [handle, hook] : post_hooks_) hook(*this, y);
+  return y;
+}
+
+Module::HookHandle Module::add_forward_hook(Hook h) {
+  const HookHandle handle = next_handle_++;
+  post_hooks_.emplace_back(handle, std::move(h));
+  return handle;
+}
+
+Module::HookHandle Module::add_forward_pre_hook(Hook h) {
+  const HookHandle handle = next_handle_++;
+  pre_hooks_.emplace_back(handle, std::move(h));
+  return handle;
+}
+
+void Module::remove_hook(HookHandle handle) {
+  auto drop = [handle](auto& vec) {
+    std::erase_if(vec, [handle](const auto& p) { return p.first == handle; });
+  };
+  drop(pre_hooks_);
+  drop(post_hooks_);
+}
+
+void Module::clear_hooks() {
+  pre_hooks_.clear();
+  post_hooks_.clear();
+}
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  for (Parameter* p : local_parameters()) out.push_back(p);
+  for (auto& [name, child] : children_) {
+    for (Parameter* p : child->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Parameter*>> Module::named_parameters() {
+  std::vector<std::pair<std::string, Parameter*>> out;
+  for (auto& [path, mod] : named_modules()) {
+    for (Parameter* p : mod->local_parameters()) {
+      out.emplace_back(path.empty() ? p->name : path + "." + p->name, p);
+    }
+  }
+  return out;
+}
+
+std::vector<Parameter*> Module::buffers() {
+  std::vector<Parameter*> out;
+  for (Parameter* p : local_buffers()) out.push_back(p);
+  for (auto& [name, child] : children_) {
+    for (Parameter* p : child->buffers()) out.push_back(p);
+  }
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+int64_t Module::parameter_count() {
+  int64_t n = 0;
+  for (Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+void Module::collect_named_modules(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Module*>>& out) {
+  out.emplace_back(prefix, this);
+  for (auto& [name, child] : children_) {
+    child->collect_named_modules(prefix.empty() ? name : prefix + "." + name,
+                                 out);
+  }
+}
+
+std::vector<std::pair<std::string, Module*>> Module::named_modules() {
+  std::vector<std::pair<std::string, Module*>> out;
+  collect_named_modules("", out);
+  return out;
+}
+
+Module* Module::find_module(const std::string& path) {
+  for (auto& [p, m] : named_modules()) {
+    if (p == path) return m;
+  }
+  return nullptr;
+}
+
+void Module::train(bool on) {
+  training_ = on;
+  for (auto& [name, child] : children_) child->train(on);
+}
+
+void Module::register_child(std::string name, Module& child) {
+  children_.emplace_back(std::move(name), &child);
+}
+
+namespace {
+constexpr uint32_t kWeightFileMagic = 0x47455731;  // "GEW1"
+}
+
+void Module::save_weights(const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_weights: cannot open " + path);
+  auto params = parameters();
+  for (Parameter* b : buffers()) params.push_back(b);
+  const auto count = static_cast<uint64_t>(params.size());
+  f.write(reinterpret_cast<const char*>(&kWeightFileMagic), sizeof(uint32_t));
+  f.write(reinterpret_cast<const char*>(&count), sizeof(uint64_t));
+  for (Parameter* p : params) {
+    const auto n = static_cast<uint64_t>(p->value.numel());
+    f.write(reinterpret_cast<const char*>(&n), sizeof(uint64_t));
+    f.write(reinterpret_cast<const char*>(p->value.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  if (!f) throw std::runtime_error("save_weights: write failed for " + path);
+}
+
+void Module::load_weights(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_weights: cannot open " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(uint32_t));
+  f.read(reinterpret_cast<char*>(&count), sizeof(uint64_t));
+  auto params = parameters();
+  for (Parameter* b : buffers()) params.push_back(b);
+  if (!f || magic != kWeightFileMagic ||
+      count != static_cast<uint64_t>(params.size())) {
+    throw std::runtime_error("load_weights: " + path +
+                             " is not a weight file for this model");
+  }
+  for (Parameter* p : params) {
+    uint64_t n = 0;
+    f.read(reinterpret_cast<char*>(&n), sizeof(uint64_t));
+    if (!f || n != static_cast<uint64_t>(p->value.numel())) {
+      throw std::runtime_error("load_weights: shape mismatch for parameter '" +
+                               p->name + "'");
+    }
+    f.read(reinterpret_cast<char*>(p->value.data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  if (!f) throw std::runtime_error("load_weights: truncated file " + path);
+}
+
+}  // namespace ge::nn

@@ -1,0 +1,135 @@
+// Module: base class of the NN framework — this repo's stand-in for
+// torch.nn.Module.
+//
+// The feature GoldenEye actually depends on is the *forward hook*: a
+// callback that observes (and may rewrite, in place) a layer's output
+// tensor after `forward` runs. Number-format emulation and fault injection
+// are implemented entirely as hooks (src/core/emulator.*), keeping every
+// layer format-agnostic — the paper's central design (§III-A).
+//
+// Invariants:
+//  - composite modules must invoke children through operator() (never
+//    child.forward() directly) so hooks fire at every layer;
+//  - backward() implements the gradient of forward() w.r.t. its input and
+//    accumulates parameter gradients; quantisation applied by hooks is
+//    intentionally invisible to backward (straight-through estimator, the
+//    standard choice for quantised training and what QPyTorch does).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ge::nn {
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;  ///< local name, e.g. "weight"
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+class Module {
+ public:
+  /// Callback invoked around forward; may mutate the tensor in place.
+  using Hook = std::function<void(Module&, Tensor&)>;
+  /// Opaque handle for removing a previously added hook.
+  using HookHandle = int64_t;
+
+  explicit Module(std::string kind) : kind_(std::move(kind)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Layer kind, e.g. "Conv2d", "Linear", "ReLU" (used by the emulator to
+  /// pick default instrumentation targets, as the paper defaults to CONV
+  /// and LINEAR layers).
+  const std::string& kind() const noexcept { return kind_; }
+
+  /// --- computation --------------------------------------------------------
+  /// The layer function itself. Call through operator() so hooks fire.
+  virtual Tensor forward(const Tensor& input) = 0;
+  /// Gradient of forward w.r.t. input; accumulates parameter grads.
+  /// Layers that do not need training may keep the default (throws).
+  virtual Tensor backward(const Tensor& grad_out);
+
+  /// Run pre-hooks, forward, then post-hooks. This is how parents (and
+  /// users) invoke a module.
+  Tensor operator()(const Tensor& input);
+
+  /// --- hooks ---------------------------------------------------------------
+  HookHandle add_forward_hook(Hook h);
+  HookHandle add_forward_pre_hook(Hook h);
+  /// Remove one hook by handle; unknown handles are ignored (idempotent).
+  void remove_hook(HookHandle handle);
+  void clear_hooks();
+  int64_t hook_count() const noexcept {
+    return static_cast<int64_t>(pre_hooks_.size() + post_hooks_.size());
+  }
+
+  /// --- parameters ------------------------------------------------------------
+  /// Parameters owned directly by this module (not children).
+  virtual std::vector<Parameter*> local_parameters() { return {}; }
+  /// Non-learnable persistent state (e.g. BatchNorm running statistics):
+  /// saved/loaded with the weights but never touched by optimizers.
+  virtual std::vector<Parameter*> local_buffers() { return {}; }
+  /// All buffers in the subtree, depth-first.
+  std::vector<Parameter*> buffers();
+  /// All parameters in the subtree, depth-first, deterministic order.
+  std::vector<Parameter*> parameters();
+  /// Subtree parameters with dotted names ("stage1.0.conv1.weight").
+  std::vector<std::pair<std::string, Parameter*>> named_parameters();
+  void zero_grad();
+  /// Total scalar parameter count of the subtree.
+  int64_t parameter_count();
+
+  /// --- module tree -------------------------------------------------------------
+  /// Direct children in registration order.
+  const std::vector<std::pair<std::string, Module*>>& children() const {
+    return children_;
+  }
+  /// This module plus all descendants with dotted path names; the root's
+  /// own path is "".
+  std::vector<std::pair<std::string, Module*>> named_modules();
+  /// Find a descendant by dotted path; nullptr if absent.
+  Module* find_module(const std::string& path);
+
+  /// --- train / eval mode ----------------------------------------------------
+  void train(bool on = true);
+  void eval() { train(false); }
+  bool is_training() const noexcept { return training_; }
+
+  /// --- weight persistence ----------------------------------------------------
+  /// Serialise all parameters to a flat binary file (shape-checked load).
+  void save_weights(const std::string& path);
+  /// Throws std::runtime_error on missing file or shape mismatch.
+  void load_weights(const std::string& path);
+
+ protected:
+  /// Register a child (held by the derived class; base stores a non-owning
+  /// pointer for traversal). Call in construction order.
+  void register_child(std::string name, Module& child);
+
+ private:
+  void collect_named_modules(const std::string& prefix,
+                             std::vector<std::pair<std::string, Module*>>& out);
+
+  std::string kind_;
+  bool training_ = false;
+  std::vector<std::pair<std::string, Module*>> children_;
+  std::vector<std::pair<HookHandle, Hook>> pre_hooks_;
+  std::vector<std::pair<HookHandle, Hook>> post_hooks_;
+  HookHandle next_handle_ = 1;
+};
+
+}  // namespace ge::nn

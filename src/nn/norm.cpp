@@ -1,0 +1,216 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ge::nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
+    : Module("BatchNorm2d"),
+      channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_("weight", Tensor::ones({channels})),
+      beta_("bias", Tensor({channels})),
+      running_mean_("running_mean", Tensor({channels})),
+      running_var_("running_var", Tensor::ones({channels})) {
+  if (channels <= 0) throw std::invalid_argument("BatchNorm2d: channels <= 0");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  if (input.dim() != 4 || input.size(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: expected NCHW with C=" +
+                                std::to_string(channels_));
+  }
+  const int64_t N = input.size(0), H = input.size(2), W = input.size(3);
+  const int64_t plane = H * W;
+  const int64_t m = N * plane;  // samples per channel
+  Tensor out(input.shape());
+  const float* pin = input.data();
+  float* po = out.data();
+  const float* pgamma = gamma_.value.data();
+  const float* pbeta = beta_.value.data();
+
+  const bool use_batch_stats = is_training();
+  if (use_batch_stats) {
+    cached_xhat_ = Tensor(input.shape());
+    cached_inv_std_.assign(static_cast<size_t>(channels_), 0.0f);
+    cached_shape_ = input.shape();
+  }
+  for (int64_t c = 0; c < channels_; ++c) {
+    float mean_c, var_c;
+    if (use_batch_stats) {
+      double s = 0.0;
+      for (int64_t n = 0; n < N; ++n) {
+        const float* p = pin + (n * channels_ + c) * plane;
+        for (int64_t i = 0; i < plane; ++i) s += p[i];
+      }
+      mean_c = static_cast<float>(s / double(m));
+      double v = 0.0;
+      for (int64_t n = 0; n < N; ++n) {
+        const float* p = pin + (n * channels_ + c) * plane;
+        for (int64_t i = 0; i < plane; ++i) {
+          const double d = double(p[i]) - mean_c;
+          v += d * d;
+        }
+      }
+      var_c = static_cast<float>(v / double(m));  // biased, as PyTorch does
+      running_mean_.value[c] =
+          (1.0f - momentum_) * running_mean_.value[c] + momentum_ * mean_c;
+      running_var_.value[c] =
+          (1.0f - momentum_) * running_var_.value[c] + momentum_ * var_c;
+    } else {
+      mean_c = running_mean_.value[c];
+      var_c = running_var_.value[c];
+    }
+    const float inv_std = 1.0f / std::sqrt(var_c + eps_);
+    if (use_batch_stats) cached_inv_std_[static_cast<size_t>(c)] = inv_std;
+    for (int64_t n = 0; n < N; ++n) {
+      const float* p = pin + (n * channels_ + c) * plane;
+      float* q = po + (n * channels_ + c) * plane;
+      float* xh = use_batch_stats
+                      ? cached_xhat_.data() + (n * channels_ + c) * plane
+                      : nullptr;
+      for (int64_t i = 0; i < plane; ++i) {
+        const float xhat = (p[i] - mean_c) * inv_std;
+        if (xh) xh[i] = xhat;
+        q[i] = pgamma[c] * xhat + pbeta[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  if (cached_xhat_.empty()) {
+    throw std::logic_error("BatchNorm2d::backward before training forward");
+  }
+  const int64_t N = cached_shape_[0], H = cached_shape_[2],
+                W = cached_shape_[3];
+  const int64_t plane = H * W;
+  const int64_t m = N * plane;
+  Tensor gx(cached_shape_);
+  const float* pg = grad_out.data();
+  const float* pxh = cached_xhat_.data();
+  float* pgx = gx.data();
+  for (int64_t c = 0; c < channels_; ++c) {
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (int64_t n = 0; n < N; ++n) {
+      const int64_t base = (n * channels_ + c) * plane;
+      for (int64_t i = 0; i < plane; ++i) {
+        sum_g += pg[base + i];
+        sum_gx += double(pg[base + i]) * pxh[base + i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_gx);
+    beta_.grad[c] += static_cast<float>(sum_g);
+    const float mean_g = static_cast<float>(sum_g / double(m));
+    const float mean_gx = static_cast<float>(sum_gx / double(m));
+    const float k = gamma_.value[c] * cached_inv_std_[static_cast<size_t>(c)];
+    for (int64_t n = 0; n < N; ++n) {
+      const int64_t base = (n * channels_ + c) * plane;
+      for (int64_t i = 0; i < plane; ++i) {
+        pgx[base + i] =
+            k * (pg[base + i] - mean_g - pxh[base + i] * mean_gx);
+      }
+    }
+  }
+  return gx;
+}
+
+std::vector<Parameter*> BatchNorm2d::local_parameters() {
+  return {&gamma_, &beta_};
+}
+
+std::vector<Parameter*> BatchNorm2d::local_buffers() {
+  return {&running_mean_, &running_var_};
+}
+
+LayerNorm::LayerNorm(int64_t normalized_dim, float eps)
+    : Module("LayerNorm"),
+      dim_(normalized_dim),
+      eps_(eps),
+      gamma_("weight", Tensor::ones({normalized_dim})),
+      beta_("bias", Tensor({normalized_dim})) {
+  if (normalized_dim <= 0) throw std::invalid_argument("LayerNorm: dim <= 0");
+}
+
+Tensor LayerNorm::forward(const Tensor& input) {
+  if (input.size(-1) != dim_) {
+    throw std::invalid_argument("LayerNorm: expected last dim " +
+                                std::to_string(dim_));
+  }
+  const int64_t rows = input.numel() / dim_;
+  Tensor out(input.shape());
+  const bool cache = is_training();
+  if (cache) {
+    cached_xhat_ = Tensor(input.shape());
+    cached_inv_std_.assign(static_cast<size_t>(rows), 0.0f);
+    cached_shape_ = input.shape();
+  }
+  const float* pin = input.data();
+  float* po = out.data();
+  const float* pgamma = gamma_.value.data();
+  const float* pbeta = beta_.value.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = pin + r * dim_;
+    float* y = po + r * dim_;
+    double s = 0.0;
+    for (int64_t i = 0; i < dim_; ++i) s += x[i];
+    const float mu = static_cast<float>(s / double(dim_));
+    double v = 0.0;
+    for (int64_t i = 0; i < dim_; ++i) {
+      const double d = double(x[i]) - mu;
+      v += d * d;
+    }
+    const float inv_std =
+        1.0f / std::sqrt(static_cast<float>(v / double(dim_)) + eps_);
+    if (cache) cached_inv_std_[static_cast<size_t>(r)] = inv_std;
+    float* xh = cache ? cached_xhat_.data() + r * dim_ : nullptr;
+    for (int64_t i = 0; i < dim_; ++i) {
+      const float xhat = (x[i] - mu) * inv_std;
+      if (xh) xh[i] = xhat;
+      y[i] = pgamma[i] * xhat + pbeta[i];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  if (cached_xhat_.empty()) {
+    throw std::logic_error("LayerNorm::backward before training forward");
+  }
+  const int64_t rows = cached_xhat_.numel() / dim_;
+  Tensor gx(cached_shape_);
+  const float* pg = grad_out.data();
+  const float* pxh = cached_xhat_.data();
+  float* pgx = gx.data();
+  const float* pgamma = gamma_.value.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* g = pg + r * dim_;
+    const float* xh = pxh + r * dim_;
+    float* out = pgx + r * dim_;
+    double sum_gg = 0.0, sum_ggx = 0.0;  // sums of gamma*g and gamma*g*xhat
+    for (int64_t i = 0; i < dim_; ++i) {
+      const double gg = double(pgamma[i]) * g[i];
+      sum_gg += gg;
+      sum_ggx += gg * xh[i];
+      gamma_.grad[i] += g[i] * xh[i];
+      beta_.grad[i] += g[i];
+    }
+    const float mean_gg = static_cast<float>(sum_gg / double(dim_));
+    const float mean_ggx = static_cast<float>(sum_ggx / double(dim_));
+    const float inv_std = cached_inv_std_[static_cast<size_t>(r)];
+    for (int64_t i = 0; i < dim_; ++i) {
+      out[i] = inv_std *
+               (pgamma[i] * g[i] - mean_gg - xh[i] * mean_ggx);
+    }
+  }
+  return gx;
+}
+
+std::vector<Parameter*> LayerNorm::local_parameters() {
+  return {&gamma_, &beta_};
+}
+
+}  // namespace ge::nn

@@ -1,0 +1,55 @@
+// Normalisation layers: BatchNorm2d (NCHW, running stats) and LayerNorm
+// (over the last dimension, as used inside transformer blocks).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace ge::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  /// Training mode normalises with batch statistics and updates running
+  /// stats; eval mode uses the running statistics.
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Parameter*> local_parameters() override;
+  std::vector<Parameter*> local_buffers() override;
+
+ private:
+  int64_t channels_;
+  float eps_;
+  float momentum_;
+  Parameter gamma_;
+  Parameter beta_;
+  Parameter running_mean_;  // buffer
+  Parameter running_var_;   // buffer
+  // training-forward caches for backward
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  Shape cached_shape_;
+};
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t normalized_dim, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Parameter*> local_parameters() override;
+
+ private:
+  int64_t dim_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  Shape cached_shape_;
+};
+
+}  // namespace ge::nn

@@ -1,0 +1,48 @@
+// Optimizers over a module's parameter set.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace ge::nn {
+
+/// SGD with classical momentum and decoupled L2 weight decay.
+class SGD {
+ public:
+  SGD(std::vector<Parameter*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  float lr() const noexcept { return lr_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  float lr() const noexcept { return lr_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+};
+
+}  // namespace ge::nn

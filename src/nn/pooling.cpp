@@ -1,0 +1,107 @@
+#include "nn/pooling.hpp"
+
+#include <stdexcept>
+
+namespace ge::nn {
+
+namespace {
+ops::Conv2dSpec pool_spec(int64_t kernel, int64_t stride) {
+  if (kernel <= 0 || stride <= 0) {
+    throw std::invalid_argument("pooling: kernel and stride must be > 0");
+  }
+  ops::Conv2dSpec s;
+  s.kernel_h = s.kernel_w = kernel;
+  s.stride_h = s.stride_w = stride;
+  return s;
+}
+}  // namespace
+
+MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride)
+    : Module("MaxPool2d"), spec_(pool_spec(kernel, stride)) {}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  cached_input_shape_ = input.shape();
+  return ops::maxpool2d(input, spec_, is_training() ? &argmax_ : nullptr);
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  if (argmax_.size() != static_cast<size_t>(grad_out.numel())) {
+    throw std::logic_error("MaxPool2d::backward before training forward");
+  }
+  Tensor gx(cached_input_shape_);
+  float* po = gx.data();
+  const float* pg = grad_out.data();
+  for (int64_t i = 0; i < grad_out.numel(); ++i) {
+    const int64_t src = argmax_[static_cast<size_t>(i)];
+    if (src >= 0) po[src] += pg[i];
+  }
+  return gx;
+}
+
+AvgPool2d::AvgPool2d(int64_t kernel, int64_t stride)
+    : Module("AvgPool2d"), spec_(pool_spec(kernel, stride)) {}
+
+Tensor AvgPool2d::forward(const Tensor& input) {
+  cached_input_shape_ = input.shape();
+  return ops::avgpool2d(input, spec_);
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  if (cached_input_shape_.size() != 4) {
+    throw std::logic_error("AvgPool2d::backward before forward");
+  }
+  const int64_t N = cached_input_shape_[0], C = cached_input_shape_[1],
+                H = cached_input_shape_[2], W = cached_input_shape_[3];
+  const int64_t OH = spec_.out_h(H), OW = spec_.out_w(W);
+  const float inv = 1.0f / static_cast<float>(spec_.kernel_h * spec_.kernel_w);
+  Tensor gx(cached_input_shape_);
+  const float* pg = grad_out.data();
+  float* po = gx.data();
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      for (int64_t oh = 0; oh < OH; ++oh) {
+        for (int64_t ow = 0; ow < OW; ++ow) {
+          const float g =
+              pg[((n * C + c) * OH + oh) * OW + ow] * inv;
+          for (int64_t kh = 0; kh < spec_.kernel_h; ++kh) {
+            const int64_t ih = oh * spec_.stride_h + kh;
+            if (ih >= H) continue;
+            for (int64_t kw = 0; kw < spec_.kernel_w; ++kw) {
+              const int64_t iw = ow * spec_.stride_w + kw;
+              if (iw >= W) continue;
+              po[((n * C + c) * H + ih) * W + iw] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+  cached_input_shape_ = input.shape();
+  return ops::global_avgpool(input);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  if (cached_input_shape_.size() != 4) {
+    throw std::logic_error("GlobalAvgPool::backward before forward");
+  }
+  const int64_t N = cached_input_shape_[0], C = cached_input_shape_[1],
+                HW = cached_input_shape_[2] * cached_input_shape_[3];
+  const float inv = 1.0f / static_cast<float>(HW);
+  Tensor gx(cached_input_shape_);
+  const float* pg = grad_out.data();
+  float* po = gx.data();
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      const float g = pg[n * C + c] * inv;
+      float* plane = po + (n * C + c) * HW;
+      for (int64_t i = 0; i < HW; ++i) plane[i] = g;
+    }
+  }
+  return gx;
+}
+
+}  // namespace ge::nn

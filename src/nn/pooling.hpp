@@ -1,0 +1,43 @@
+// Pooling layers over NCHW tensors.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace ge::nn {
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(int64_t kernel, int64_t stride);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  ops::Conv2dSpec spec_;
+  std::vector<int64_t> argmax_;
+  Shape cached_input_shape_;
+};
+
+class AvgPool2d : public Module {
+ public:
+  AvgPool2d(int64_t kernel, int64_t stride);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  ops::Conv2dSpec spec_;
+  Shape cached_input_shape_;
+};
+
+/// NCHW -> (N, C) by averaging each channel plane.
+class GlobalAvgPool : public Module {
+ public:
+  GlobalAvgPool() : Module("GlobalAvgPool") {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace ge::nn

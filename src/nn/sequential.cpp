@@ -1,0 +1,29 @@
+#include "nn/sequential.hpp"
+
+namespace ge::nn {
+
+Module& Sequential::append(std::unique_ptr<Module> m, std::string name) {
+  Module& ref = *m;
+  if (name.empty()) name = std::to_string(owned_.size());
+  register_child(std::move(name), ref);
+  owned_.push_back(std::move(m));
+  // keep the child's mode in sync with the container
+  ref.train(is_training());
+  return ref;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& m : owned_) x = (*m)(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = owned_.rbegin(); it != owned_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+}  // namespace ge::nn

@@ -1,0 +1,38 @@
+// Sequential: an owning chain of modules applied in order.
+#pragma once
+
+#include <memory>
+
+#include "nn/module.hpp"
+
+namespace ge::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() : Module("Sequential") {}
+
+  /// Append a module (takes ownership); returns a reference for chaining
+  /// configuration at the call site.
+  Module& append(std::unique_ptr<Module> m, std::string name = "");
+
+  /// Typed emplace-append: seq.emplace<Linear>(16, 10, rng).
+  template <typename M, typename... Args>
+  M& emplace(Args&&... args) {
+    auto m = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *m;
+    append(std::move(m));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  int64_t size() const noexcept {
+    return static_cast<int64_t>(owned_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<Module>> owned_;
+};
+
+}  // namespace ge::nn

@@ -1,0 +1,51 @@
+#include "nn/transformer.hpp"
+
+#include "tensor/tensor_ops.hpp"
+
+namespace ge::nn {
+
+MlpBlock::MlpBlock(int64_t dim, int64_t hidden_dim, Rng& rng)
+    : Module("MlpBlock"),
+      fc1_(std::make_unique<Linear>(dim, hidden_dim, rng)),
+      act_(std::make_unique<GELU>()),
+      fc2_(std::make_unique<Linear>(hidden_dim, dim, rng)) {
+  register_child("fc1", *fc1_);
+  register_child("act", *act_);
+  register_child("fc2", *fc2_);
+}
+
+Tensor MlpBlock::forward(const Tensor& input) {
+  return (*fc2_)((*act_)((*fc1_)(input)));
+}
+
+Tensor MlpBlock::backward(const Tensor& grad_out) {
+  return fc1_->backward(act_->backward(fc2_->backward(grad_out)));
+}
+
+TransformerBlock::TransformerBlock(int64_t dim, int64_t num_heads,
+                                   int64_t mlp_hidden, Rng& rng)
+    : Module("TransformerBlock"),
+      ln1_(std::make_unique<LayerNorm>(dim)),
+      attn_(std::make_unique<MultiheadSelfAttention>(dim, num_heads, rng)),
+      ln2_(std::make_unique<LayerNorm>(dim)),
+      mlp_(std::make_unique<MlpBlock>(dim, mlp_hidden, rng)) {
+  register_child("ln1", *ln1_);
+  register_child("attn", *attn_);
+  register_child("ln2", *ln2_);
+  register_child("mlp", *mlp_);
+}
+
+Tensor TransformerBlock::forward(const Tensor& input) {
+  Tensor h = ops::add(input, (*attn_)((*ln1_)(input)));
+  return ops::add(h, (*mlp_)((*ln2_)(h)));
+}
+
+Tensor TransformerBlock::backward(const Tensor& grad_out) {
+  // y = h + mlp(ln2(h)):  dh = g + ln2.bw(mlp.bw(g))
+  Tensor dh = ops::add(grad_out,
+                       ln2_->backward(mlp_->backward(grad_out)));
+  // h = x + attn(ln1(x)):  dx = dh + ln1.bw(attn.bw(dh))
+  return ops::add(dh, ln1_->backward(attn_->backward(dh)));
+}
+
+}  // namespace ge::nn

@@ -1,0 +1,41 @@
+// Transformer encoder building blocks (pre-norm, DeiT/ViT style).
+#pragma once
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/attention.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+
+namespace ge::nn {
+
+/// Two-layer MLP with GELU, the transformer feed-forward block.
+class MlpBlock : public Module {
+ public:
+  MlpBlock(int64_t dim, int64_t hidden_dim, Rng& rng);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::unique_ptr<Linear> fc1_;
+  std::unique_ptr<GELU> act_;
+  std::unique_ptr<Linear> fc2_;
+};
+
+/// Pre-norm encoder block:  x + Attn(LN(x)),  then  h + MLP(LN(h)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int64_t dim, int64_t num_heads, int64_t mlp_hidden,
+                   Rng& rng);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::unique_ptr<LayerNorm> ln1_;
+  std::unique_ptr<MultiheadSelfAttention> attn_;
+  std::unique_ptr<LayerNorm> ln2_;
+  std::unique_ptr<MlpBlock> mlp_;
+};
+
+}  // namespace ge::nn

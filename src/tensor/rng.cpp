@@ -1,0 +1,53 @@
+#include "tensor/rng.hpp"
+
+#include <cmath>
+
+namespace ge {
+
+float Rng::uniform(float lo, float hi) {
+  std::uniform_real_distribution<float> d(lo, hi);
+  return d(engine_);
+}
+
+float Rng::normal(float mean, float stddev) {
+  std::normal_distribution<float> d(mean, stddev);
+  return d(engine_);
+}
+
+int64_t Rng::randint(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+Tensor Rng::uniform_tensor(Shape shape, float lo, float hi) {
+  Tensor t(std::move(shape));
+  std::uniform_real_distribution<float> d(lo, hi);
+  for (float& v : t.flat()) v = d(engine_);
+  return t;
+}
+
+Tensor Rng::normal_tensor(Shape shape, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  std::normal_distribution<float> d(mean, stddev);
+  for (float& v : t.flat()) v = d(engine_);
+  return t;
+}
+
+Tensor Rng::kaiming_normal(Shape shape, int64_t fan_in) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return normal_tensor(std::move(shape), 0.0f, stddev);
+}
+
+Tensor Rng::xavier_uniform(Shape shape, int64_t fan_in, int64_t fan_out) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return uniform_tensor(std::move(shape), -bound, bound);
+}
+
+Rng Rng::fork() {
+  // Two draws decorrelate the child stream from subsequent parent draws.
+  const uint64_t a = engine_();
+  const uint64_t b = engine_();
+  return Rng(a ^ (b << 1));
+}
+
+}  // namespace ge

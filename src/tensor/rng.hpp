@@ -1,0 +1,46 @@
+// Seeded random number generation for reproducible experiments.
+//
+// Every stochastic component in the repository (dataset synthesis, weight
+// init, fault-site sampling) draws from an explicitly seeded Rng instance;
+// there is no global random state, so every experiment in EXPERIMENTS.md
+// is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.hpp"
+
+namespace ge {
+
+/// Thin wrapper around std::mt19937_64 with tensor-filling helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = 0.0f, float hi = 1.0f);
+  /// Standard-normal (or scaled) float.
+  float normal(float mean = 0.0f, float stddev = 1.0f);
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t randint(int64_t lo, int64_t hi);
+
+  /// Tensor factories.
+  Tensor uniform_tensor(Shape shape, float lo = 0.0f, float hi = 1.0f);
+  Tensor normal_tensor(Shape shape, float mean = 0.0f, float stddev = 1.0f);
+
+  /// Kaiming/He-normal init for a weight tensor with `fan_in` inputs.
+  Tensor kaiming_normal(Shape shape, int64_t fan_in);
+  /// Xavier/Glorot-uniform init.
+  Tensor xavier_uniform(Shape shape, int64_t fan_in, int64_t fan_out);
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork();
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ge

@@ -1,0 +1,143 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace ge {
+
+int64_t shape_numel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t e : shape) {
+    if (e < 0) throw std::invalid_argument("negative extent in shape");
+    n *= e;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_numel(shape_) != static_cast<int64_t>(data_.size())) {
+    throw std::invalid_argument("Tensor: shape " + shape_to_string(shape_) +
+                                " does not match data size " +
+                                std::to_string(data_.size()));
+  }
+}
+
+Tensor Tensor::of(std::initializer_list<float> values) {
+  return Tensor({static_cast<int64_t>(values.size())},
+                std::vector<float>(values));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::arange(int64_t n) {
+  Tensor t({n});
+  for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::size(int64_t d) const {
+  const int64_t rank = dim();
+  if (d < 0) d += rank;
+  if (d < 0 || d >= rank) {
+    throw std::out_of_range("Tensor::size: dim " + std::to_string(d) +
+                            " out of range for shape " +
+                            shape_to_string(shape_));
+  }
+  return shape_[static_cast<size_t>(d)];
+}
+
+int64_t Tensor::offset_of(std::span<const int64_t> idx) const {
+  if (static_cast<int64_t>(idx.size()) != dim()) {
+    throw std::invalid_argument("Tensor: index rank mismatch");
+  }
+  int64_t off = 0;
+  for (size_t d = 0; d < idx.size(); ++d) {
+    if (idx[d] < 0 || idx[d] >= shape_[d]) {
+      throw std::out_of_range("Tensor: index out of range in dim " +
+                              std::to_string(d));
+    }
+    off = off * shape_[d] + idx[d];
+  }
+  return off;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  return data_[static_cast<size_t>(
+      offset_of(std::span<const int64_t>(idx.begin(), idx.size())))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return data_[static_cast<size_t>(
+      offset_of(std::span<const int64_t>(idx.begin(), idx.size())))];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  int64_t inferred = -1;
+  int64_t known = 1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      if (inferred >= 0) {
+        throw std::invalid_argument("reshape: more than one -1 extent");
+      }
+      inferred = static_cast<int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (inferred >= 0) {
+    if (known == 0 || numel() % known != 0) {
+      throw std::invalid_argument("reshape: cannot infer extent");
+    }
+    new_shape[static_cast<size_t>(inferred)] = numel() / known;
+  }
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("reshape: element count mismatch (" +
+                                shape_to_string(shape_) + " -> " +
+                                shape_to_string(new_shape) + ")");
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+bool Tensor::allclose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace ge

@@ -1,0 +1,99 @@
+// Tensor: the float32 "compute fabric" substrate.
+//
+// GoldenEye (DSN'22) emulates arbitrary number formats *on top of* the
+// number format natively supported by the hardware (the paper uses FP32 on
+// a GPU). This class is our equivalent of that fabric: a contiguous,
+// row-major, CPU float32 N-dimensional array with value semantics.
+//
+// Design notes (C++ Core Guidelines):
+//  - value semantics; copying copies the buffer (explicit, predictable),
+//  - the class owns exactly one invariant: shape_ product == data_.size(),
+//  - no raw new/delete; storage is a std::vector<float>.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ge {
+
+/// Shape of a tensor: one extent per dimension, row-major layout.
+using Shape = std::vector<int64_t>;
+
+/// Number of elements a shape describes (product of extents; 1 for rank-0).
+int64_t shape_numel(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" form, used in error messages.
+std::string shape_to_string(const Shape& shape);
+
+/// Contiguous row-major float32 tensor.
+class Tensor {
+ public:
+  /// Empty rank-1 tensor with zero elements.
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape with explicit contents.
+  /// Throws std::invalid_argument if sizes disagree.
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// --- factories -------------------------------------------------------
+  /// Rank-1 tensor from a braced list of values. A named factory (not a
+  /// constructor) so it can never collide with the Shape constructor.
+  static Tensor of(std::initializer_list<float> values);
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// 0, 1, 2, ... n-1 as a rank-1 tensor (useful in tests).
+  static Tensor arange(int64_t n);
+
+  /// --- shape queries ---------------------------------------------------
+  const Shape& shape() const noexcept { return shape_; }
+  int64_t dim() const noexcept { return static_cast<int64_t>(shape_.size()); }
+  /// Extent of dimension `d`; negative `d` counts from the back.
+  int64_t size(int64_t d) const;
+  int64_t numel() const noexcept { return static_cast<int64_t>(data_.size()); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// --- element access --------------------------------------------------
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::span<float> flat() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+  /// Flat (linearised) element access, bounds-checked in debug builds.
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  /// Multi-dimensional access; index count must equal rank.
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  /// Flat offset of a multi-dimensional index (row-major).
+  int64_t offset_of(std::span<const int64_t> idx) const;
+
+  /// --- shape manipulation ----------------------------------------------
+  /// Same data, new shape; one extent may be -1 (inferred). Throws on
+  /// element-count mismatch.
+  Tensor reshape(Shape new_shape) const;
+  /// Deep copy (alias for the copy constructor, for call-site clarity).
+  Tensor clone() const { return *this; }
+
+  /// --- in-place fill ----------------------------------------------------
+  void fill(float value);
+
+  /// True if shapes and all elements are exactly equal.
+  bool equals(const Tensor& other) const;
+  /// True if shapes match and elements differ by at most `atol`.
+  bool allclose(const Tensor& other, float atol = 1e-6f) const;
+
+ private:
+  Shape shape_{0};
+  std::vector<float> data_;
+};
+
+}  // namespace ge

@@ -1,0 +1,440 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ge::ops {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+
+template <typename F>
+Tensor binary(const Tensor& a, const Tensor& b, const char* op, F f) {
+  check_same_shape(a, b, op);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+template <typename F>
+Tensor unary(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "add", [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "sub", [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "mul", [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x * s; });
+}
+void mul_scalar_inplace(Tensor& a, float s) {
+  for (float& v : a.flat()) v *= s;
+}
+
+Tensor neg(const Tensor& a) {
+  return unary(a, [](float x) { return -x; });
+}
+Tensor exp(const Tensor& a) {
+  return unary(a, [](float x) { return std::exp(x); });
+}
+Tensor abs(const Tensor& a) {
+  return unary(a, [](float x) { return std::fabs(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary(a, [](float x) { return std::sqrt(x); });
+}
+Tensor tanh(const Tensor& a) {
+  return unary(a, [](float x) { return std::tanh(x); });
+}
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  return unary(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  return unary(a, [&f](float x) { return f(x); });
+}
+void map_inplace(Tensor& a, const std::function<float(float)>& f) {
+  for (float& v : a.flat()) v = f(v);
+}
+
+float sum(const Tensor& a) {
+  double s = 0.0;  // double accumulator: stable for large tensors
+  for (float v : a.flat()) s += v;
+  return static_cast<float>(s);
+}
+
+float mean(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (float v : a.flat()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float min_value(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("min of empty tensor");
+  float m = std::numeric_limits<float>::infinity();
+  for (float v : a.flat()) m = std::min(m, v);
+  return m;
+}
+
+float max_value(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("max of empty tensor");
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : a.flat()) m = std::max(m, v);
+  return m;
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& a) {
+  if (a.dim() < 1) throw std::invalid_argument("argmax_rows: rank-0 tensor");
+  const int64_t cols = a.size(-1);
+  if (cols == 0) throw std::invalid_argument("argmax_rows: empty rows");
+  const int64_t rows = a.numel() / cols;
+  std::vector<int64_t> out(static_cast<size_t>(rows));
+  const float* p = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = p + r * cols;
+    int64_t best = 0;
+    for (int64_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[static_cast<size_t>(r)] = best;
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.dim() != 2 || b.dim() != 2 || a.size(1) != b.size(0)) {
+    throw std::invalid_argument("matmul: bad shapes " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  const int64_t M = a.size(0), K = a.size(1), N = b.size(1);
+  Tensor out({M, N});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // ikj loop order: unit-stride inner loops on both B and C.
+  for (int64_t i = 0; i < M; ++i) {
+    float* crow = po + i * N;
+    for (int64_t k = 0; k < K; ++k) {
+      const float aval = pa[i * K + k];
+      if (aval == 0.0f) continue;
+      const float* brow = pb + k * N;
+      for (int64_t j = 0; j < N; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b_t) {
+  if (a.dim() != 2 || b_t.dim() != 2 || a.size(1) != b_t.size(1)) {
+    throw std::invalid_argument("matmul_bt: bad shapes " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b_t.shape()) + "^T");
+  }
+  const int64_t M = a.size(0), K = a.size(1), N = b_t.size(0);
+  Tensor out({M, N});
+  const float* pa = a.data();
+  const float* pb = b_t.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < M; ++i) {
+    const float* arow = pa + i * K;
+    for (int64_t j = 0; j < N; ++j) {
+      const float* brow = pb + j * K;
+      double acc = 0.0;
+      for (int64_t k = 0; k < K; ++k) acc += double(arow[k]) * brow[k];
+      po[i * N + j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor matmul_at(const Tensor& a_t, const Tensor& b) {
+  if (a_t.dim() != 2 || b.dim() != 2 || a_t.size(0) != b.size(0)) {
+    throw std::invalid_argument("matmul_at: bad shapes " +
+                                shape_to_string(a_t.shape()) + "^T x " +
+                                shape_to_string(b.shape()));
+  }
+  const int64_t K = a_t.size(0), M = a_t.size(1), N = b.size(1);
+  Tensor out({M, N});
+  const float* pa = a_t.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t k = 0; k < K; ++k) {
+    const float* arow = pa + k * M;
+    const float* brow = pb + k * N;
+    for (int64_t i = 0; i < M; ++i) {
+      const float aval = arow[i];
+      if (aval == 0.0f) continue;
+      float* crow = po + i * N;
+      for (int64_t j = 0; j < N; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  if (a.dim() != 2) throw std::invalid_argument("transpose2d: need rank 2");
+  const int64_t M = a.size(0), N = a.size(1);
+  Tensor out({N, M});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < M; ++i) {
+    for (int64_t j = 0; j < N; ++j) po[j * M + i] = pa[i * N + j];
+  }
+  return out;
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  const int64_t cols = a.size(-1);
+  const int64_t rows = a.numel() / cols;
+  Tensor out(a.shape());
+  const float* p = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = p + r * cols;
+    float* orow = po + r * cols;
+    float mx = row[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    double s = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      orow[c] = std::exp(row[c] - mx);
+      s += orow[c];
+    }
+    const float inv = static_cast<float>(1.0 / s);
+    for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_lastdim(const Tensor& a) {
+  const int64_t cols = a.size(-1);
+  const int64_t rows = a.numel() / cols;
+  Tensor out(a.shape());
+  const float* p = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = p + r * cols;
+    float* orow = po + r * cols;
+    float mx = row[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    double s = 0.0;
+    for (int64_t c = 0; c < cols; ++c) s += std::exp(double(row[c]) - mx);
+    const float lse = mx + static_cast<float>(std::log(s));
+    for (int64_t c = 0; c < cols; ++c) orow[c] = row[c] - lse;
+  }
+  return out;
+}
+
+Tensor im2col(const Tensor& input, const Conv2dSpec& s) {
+  if (input.dim() != 4) throw std::invalid_argument("im2col: need NCHW");
+  const int64_t N = input.size(0), C = input.size(1), H = input.size(2),
+                W = input.size(3);
+  const int64_t OH = s.out_h(H), OW = s.out_w(W);
+  if (OH <= 0 || OW <= 0) {
+    throw std::invalid_argument("im2col: empty output window");
+  }
+  const int64_t patch = C * s.kernel_h * s.kernel_w;
+  Tensor cols({N * OH * OW, patch});
+  const float* pin = input.data();
+  float* pc = cols.data();
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t oh = 0; oh < OH; ++oh) {
+      for (int64_t ow = 0; ow < OW; ++ow) {
+        float* dst = pc + ((n * OH + oh) * OW + ow) * patch;
+        for (int64_t c = 0; c < C; ++c) {
+          for (int64_t kh = 0; kh < s.kernel_h; ++kh) {
+            const int64_t ih = oh * s.stride_h - s.pad_h + kh;
+            for (int64_t kw = 0; kw < s.kernel_w; ++kw) {
+              const int64_t iw = ow * s.stride_w - s.pad_w + kw;
+              float v = 0.0f;
+              if (ih >= 0 && ih < H && iw >= 0 && iw < W) {
+                v = pin[((n * C + c) * H + ih) * W + iw];
+              }
+              *dst++ = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Shape& input_shape,
+              const Conv2dSpec& s) {
+  if (input_shape.size() != 4) {
+    throw std::invalid_argument("col2im: need NCHW target shape");
+  }
+  const int64_t N = input_shape[0], C = input_shape[1], H = input_shape[2],
+                W = input_shape[3];
+  const int64_t OH = s.out_h(H), OW = s.out_w(W);
+  const int64_t patch = C * s.kernel_h * s.kernel_w;
+  if (cols.dim() != 2 || cols.size(0) != N * OH * OW ||
+      cols.size(1) != patch) {
+    throw std::invalid_argument("col2im: cols shape mismatch");
+  }
+  Tensor out(input_shape);
+  const float* pc = cols.data();
+  float* pout = out.data();
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t oh = 0; oh < OH; ++oh) {
+      for (int64_t ow = 0; ow < OW; ++ow) {
+        const float* src = pc + ((n * OH + oh) * OW + ow) * patch;
+        for (int64_t c = 0; c < C; ++c) {
+          for (int64_t kh = 0; kh < s.kernel_h; ++kh) {
+            const int64_t ih = oh * s.stride_h - s.pad_h + kh;
+            for (int64_t kw = 0; kw < s.kernel_w; ++kw) {
+              const int64_t iw = ow * s.stride_w - s.pad_w + kw;
+              const float v = *src++;
+              if (ih >= 0 && ih < H && iw >= 0 && iw < W) {
+                pout[((n * C + c) * H + ih) * W + iw] += v;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor maxpool2d(const Tensor& input, const Conv2dSpec& s,
+                 std::vector<int64_t>* argmax_out) {
+  if (input.dim() != 4) throw std::invalid_argument("maxpool2d: need NCHW");
+  const int64_t N = input.size(0), C = input.size(1), H = input.size(2),
+                W = input.size(3);
+  const int64_t OH = s.out_h(H), OW = s.out_w(W);
+  Tensor out({N, C, OH, OW});
+  if (argmax_out) argmax_out->assign(static_cast<size_t>(out.numel()), -1);
+  const float* pin = input.data();
+  float* po = out.data();
+  int64_t oidx = 0;
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      const float* plane = pin + (n * C + c) * H * W;
+      for (int64_t oh = 0; oh < OH; ++oh) {
+        for (int64_t ow = 0; ow < OW; ++ow, ++oidx) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = -1;
+          for (int64_t kh = 0; kh < s.kernel_h; ++kh) {
+            const int64_t ih = oh * s.stride_h - s.pad_h + kh;
+            if (ih < 0 || ih >= H) continue;
+            for (int64_t kw = 0; kw < s.kernel_w; ++kw) {
+              const int64_t iw = ow * s.stride_w - s.pad_w + kw;
+              if (iw < 0 || iw >= W) continue;
+              const float v = plane[ih * W + iw];
+              if (v > best) {
+                best = v;
+                best_idx = (n * C + c) * H * W + ih * W + iw;
+              }
+            }
+          }
+          po[oidx] = best;
+          if (argmax_out) (*argmax_out)[static_cast<size_t>(oidx)] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor avgpool2d(const Tensor& input, const Conv2dSpec& s) {
+  if (input.dim() != 4) throw std::invalid_argument("avgpool2d: need NCHW");
+  const int64_t N = input.size(0), C = input.size(1), H = input.size(2),
+                W = input.size(3);
+  const int64_t OH = s.out_h(H), OW = s.out_w(W);
+  Tensor out({N, C, OH, OW});
+  const float window = static_cast<float>(s.kernel_h * s.kernel_w);
+  const float* pin = input.data();
+  float* po = out.data();
+  int64_t oidx = 0;
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      const float* plane = pin + (n * C + c) * H * W;
+      for (int64_t oh = 0; oh < OH; ++oh) {
+        for (int64_t ow = 0; ow < OW; ++ow, ++oidx) {
+          double acc = 0.0;
+          for (int64_t kh = 0; kh < s.kernel_h; ++kh) {
+            const int64_t ih = oh * s.stride_h - s.pad_h + kh;
+            if (ih < 0 || ih >= H) continue;
+            for (int64_t kw = 0; kw < s.kernel_w; ++kw) {
+              const int64_t iw = ow * s.stride_w - s.pad_w + kw;
+              if (iw < 0 || iw >= W) continue;
+              acc += plane[ih * W + iw];
+            }
+          }
+          po[oidx] = static_cast<float>(acc) / window;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor global_avgpool(const Tensor& input) {
+  if (input.dim() != 4) {
+    throw std::invalid_argument("global_avgpool: need NCHW");
+  }
+  const int64_t N = input.size(0), C = input.size(1),
+                HW = input.size(2) * input.size(3);
+  Tensor out({N, C});
+  const float* pin = input.data();
+  float* po = out.data();
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      const float* plane = pin + (n * C + c) * HW;
+      double acc = 0.0;
+      for (int64_t i = 0; i < HW; ++i) acc += plane[i];
+      po[n * C + c] = static_cast<float>(acc / double(HW));
+    }
+  }
+  return out;
+}
+
+}  // namespace ge::ops

@@ -1,0 +1,246 @@
+// Metrics (mismatch, ΔLoss) and campaign engine behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/campaign.hpp"
+#include "data/synthetic.hpp"
+#include "models/model_factory.hpp"
+
+namespace ge::core {
+namespace {
+
+struct Fixture {
+  data::SyntheticVision data;
+  std::unique_ptr<nn::Module> model;
+  data::Batch batch;
+
+  Fixture()
+      : data([] {
+          data::SyntheticVisionConfig cfg;
+          cfg.train_count = 16;
+          cfg.test_count = 64;
+          return cfg;
+        }()),
+        model(models::make_model("simple_cnn", data.config(), 3)),
+        batch(data::take(data.test(), 0, 16)) {
+    model->eval();
+  }
+};
+
+TEST(Metrics, GoldenRunIsSelfConsistent) {
+  Fixture f;
+  const GoldenRun g = run_golden(*f.model, f.batch);
+  EXPECT_EQ(g.logits.size(0), 16);
+  EXPECT_EQ(g.predictions.size(), 16u);
+  EXPECT_EQ(g.per_sample_loss.size(), 16u);
+  double s = 0.0;
+  for (float l : g.per_sample_loss) s += l;
+  EXPECT_NEAR(g.mean_loss, s / 16.0, 1e-5);
+}
+
+TEST(Metrics, IdenticalLogitsGiveZeroOutcome) {
+  Fixture f;
+  const GoldenRun g = run_golden(*f.model, f.batch);
+  const FaultOutcome out = compare_to_golden(g, g.logits, f.batch.labels);
+  EXPECT_EQ(out.mismatched_samples, 0);
+  EXPECT_EQ(out.delta_loss, 0.0f);
+  EXPECT_FALSE(out.sdc);
+}
+
+TEST(Metrics, CorruptedLogitsAreDetected) {
+  Fixture f;
+  const GoldenRun g = run_golden(*f.model, f.batch);
+  Tensor corrupted = g.logits;
+  // force sample 0 to a different argmax with a big margin
+  const int64_t C = corrupted.size(1);
+  const int64_t wrong = (g.predictions[0] + 1) % C;
+  corrupted[0 * C + wrong] = 1000.0f;
+  const FaultOutcome out = compare_to_golden(g, corrupted, f.batch.labels);
+  EXPECT_EQ(out.mismatched_samples, 1);
+  EXPECT_NEAR(out.mismatch_rate, 1.0f / 16.0f, 1e-6f);
+  EXPECT_TRUE(out.sdc);
+  EXPECT_GT(out.delta_loss, 0.0f);
+  EXPECT_GT(out.max_delta_loss, out.delta_loss);  // concentrated on sample 0
+}
+
+TEST(Metrics, NonFiniteLossesUseSentinel) {
+  Fixture f;
+  const GoldenRun g = run_golden(*f.model, f.batch);
+  Tensor corrupted = g.logits;
+  corrupted[0] = std::numeric_limits<float>::infinity();
+  const FaultOutcome out = compare_to_golden(g, corrupted, f.batch.labels);
+  EXPECT_TRUE(std::isfinite(out.delta_loss));
+  EXPECT_TRUE(std::isfinite(out.max_delta_loss));
+}
+
+TEST(Metrics, ConvergenceTrackerStatistics) {
+  ConvergenceTracker t;
+  EXPECT_EQ(t.mean(), 0.0);
+  EXPECT_EQ(t.ci95_halfwidth(), 0.0);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) t.add(x);
+  EXPECT_EQ(t.count(), 4);
+  EXPECT_NEAR(t.mean(), 2.5, 1e-12);
+  EXPECT_NEAR(t.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_GT(t.ci95_halfwidth(), 0.0);
+}
+
+TEST(Metrics, ConvergenceCiShrinksWithSamples) {
+  Rng rng(5);
+  ConvergenceTracker t;
+  for (int i = 0; i < 50; ++i) t.add(rng.normal(1.0f, 1.0f));
+  const double ci50 = t.ci95_halfwidth();
+  for (int i = 0; i < 450; ++i) t.add(rng.normal(1.0f, 1.0f));
+  EXPECT_LT(t.ci95_halfwidth(), ci50 / 2.0);
+}
+
+TEST(Campaign, RunsAllInstrumentedLayers) {
+  Fixture f;
+  CampaignConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  cfg.injections_per_layer = 5;
+  const CampaignResult r = run_campaign(*f.model, f.batch, cfg);
+  EXPECT_EQ(r.layers.size(), 4u);  // 3 conv + 1 linear
+  for (const auto& l : r.layers) {
+    EXPECT_EQ(l.injections, 5);
+    EXPECT_EQ(l.delta_losses.size(), 5u);
+    EXPECT_GE(l.mean_delta_loss, 0.0);
+  }
+  EXPECT_GE(r.golden_accuracy, 0.0f);
+}
+
+TEST(Campaign, LayerFilterRestrictsScope) {
+  Fixture f;
+  CampaignConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  cfg.injections_per_layer = 2;
+  {
+    // discover one layer path
+    EmulatorConfig ecfg;
+    ecfg.format_spec = cfg.format_spec;
+    Emulator emu(*f.model, ecfg);
+    cfg.layers = {emu.sites()[0].path};
+  }
+  const CampaignResult r = run_campaign(*f.model, f.batch, cfg);
+  ASSERT_EQ(r.layers.size(), 1u);
+  EXPECT_EQ(r.layers[0].layer, cfg.layers[0]);
+}
+
+TEST(Campaign, MetadataCampaignSkipsValueOnlyFormats) {
+  Fixture f;
+  CampaignConfig cfg;
+  cfg.format_spec = "fp_e5m10";  // no metadata
+  cfg.site = InjectionSite::kMetadata;
+  cfg.injections_per_layer = 2;
+  const CampaignResult r = run_campaign(*f.model, f.batch, cfg);
+  EXPECT_TRUE(r.layers.empty());
+}
+
+TEST(Campaign, DeterministicUnderSeed) {
+  Fixture f;
+  CampaignConfig cfg;
+  cfg.format_spec = "int8";
+  cfg.injections_per_layer = 4;
+  cfg.seed = 77;
+  const CampaignResult a = run_campaign(*f.model, f.batch, cfg);
+  const CampaignResult b = run_campaign(*f.model, f.batch, cfg);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].delta_losses, b.layers[i].delta_losses);
+  }
+}
+
+TEST(Campaign, ModelRestoredAfterCampaign) {
+  Fixture f;
+  std::vector<Tensor> originals;
+  for (auto* p : f.model->parameters()) originals.push_back(p->value);
+  CampaignConfig cfg;
+  cfg.format_spec = "int8";
+  cfg.injections_per_layer = 3;
+  (void)run_campaign(*f.model, f.batch, cfg);
+  for (size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_TRUE(f.model->parameters()[i]->value.equals(originals[i]));
+  }
+  for (auto& [p, m] : f.model->named_modules()) {
+    EXPECT_EQ(m->hook_count(), 0);
+  }
+}
+
+TEST(Campaign, MetadataInjectionsMoreSevereThanValue_BFP) {
+  // The paper's Fig. 7 headline: BFP metadata faults dwarf value faults.
+  Fixture f;
+  CampaignConfig value_cfg;
+  value_cfg.format_spec = "bfp_e5m5_b16";
+  value_cfg.injections_per_layer = 20;
+  value_cfg.seed = 11;
+  CampaignConfig meta_cfg = value_cfg;
+  meta_cfg.site = InjectionSite::kMetadata;
+  const auto value_r = run_campaign(*f.model, f.batch, value_cfg);
+  const auto meta_r = run_campaign(*f.model, f.batch, meta_cfg);
+  EXPECT_GT(meta_r.network_mean_delta_loss(),
+            value_r.network_mean_delta_loss());
+}
+
+TEST(Campaign, WeightSiteCampaignRunsAndRestores) {
+  Fixture f;
+  std::vector<Tensor> originals;
+  for (auto* p : f.model->parameters()) originals.push_back(p->value);
+  CampaignConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  cfg.site = InjectionSite::kWeightValue;
+  cfg.injections_per_layer = 4;
+  const CampaignResult r = run_campaign(*f.model, f.batch, cfg);
+  EXPECT_EQ(r.layers.size(), 4u);
+  for (const auto& l : r.layers) EXPECT_EQ(l.injections, 4);
+  for (size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_TRUE(f.model->parameters()[i]->value.equals(originals[i]));
+  }
+}
+
+TEST(Campaign, StuckAtZeroMilderThanFlips) {
+  Fixture f;
+  CampaignConfig flip;
+  flip.format_spec = "fp_e5m10";
+  flip.injections_per_layer = 30;
+  flip.seed = 5;
+  CampaignConfig sa0 = flip;
+  sa0.model = ErrorModel::kStuckAt0;
+  const auto rf = run_campaign(*f.model, f.batch, flip);
+  const auto rs = run_campaign(*f.model, f.batch, sa0);
+  // clearing bits can only shrink FP magnitudes; flips can explode them
+  EXPECT_LE(rs.network_mean_delta_loss(), rf.network_mean_delta_loss());
+}
+
+TEST(Campaign, MultiBitInjectionsSupported) {
+  Fixture f;
+  CampaignConfig cfg;
+  cfg.format_spec = "int8";
+  cfg.injections_per_layer = 3;
+  cfg.num_bits = 3;
+  const auto r = run_campaign(*f.model, f.batch, cfg);
+  EXPECT_EQ(r.layers.size(), 4u);
+}
+
+TEST(Campaign, GoldenAccuracyReflectsEmulatedModel) {
+  Fixture f;
+  CampaignConfig cfg;
+  cfg.format_spec = "int2";  // aggressive: emulated accuracy must suffer
+  cfg.injections_per_layer = 1;
+  const auto aggressive = run_campaign(*f.model, f.batch, cfg);
+  cfg.format_spec = "fp_e8m23";
+  const auto exact = run_campaign(*f.model, f.batch, cfg);
+  EXPECT_LE(aggressive.golden_accuracy, exact.golden_accuracy);
+}
+
+TEST(Campaign, NetworkMeanAggregatesLayers) {
+  CampaignResult r;
+  EXPECT_EQ(r.network_mean_delta_loss(), 0.0);
+  LayerCampaignResult a, b;
+  a.mean_delta_loss = 1.0;
+  b.mean_delta_loss = 3.0;
+  r.layers = {a, b};
+  EXPECT_NEAR(r.network_mean_delta_loss(), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ge::core

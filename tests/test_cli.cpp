@@ -1,0 +1,121 @@
+// CLI front end: argument handling, command dispatch, error paths. Model
+// commands use tiny configs via the fast "range/features/formats" paths
+// plus one real accuracy invocation against a cached model.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/cli.hpp"
+
+namespace ge::core {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, EmptyArgsPrintUsage) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto r = run({"explode"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, MalformedOptionsFail) {
+  EXPECT_EQ(run({"range", "--format"}).code, 2);     // missing value
+  EXPECT_EQ(run({"range", "stray"}).code, 2);        // positional arg
+  EXPECT_EQ(run({"range", "-f", "fp16"}).code, 2);   // single dash
+}
+
+TEST(Cli, RangeCommandPrintsTableOneRow) {
+  const auto r = run({"range", "--format", "fp_e4m3"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("abs max: 240"), std::string::npos);
+  EXPECT_NE(r.out.find("dB"), std::string::npos);
+}
+
+TEST(Cli, RangeRejectsBadFormat) {
+  const auto r = run({"range", "--format", "garbage"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad or missing"), std::string::npos);
+}
+
+TEST(Cli, FeaturesListsTableTwo) {
+  const auto r = run({"features"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("Block Floating Point"), std::string::npos);
+  EXPECT_NE(r.out.find("[x]"), std::string::npos);
+}
+
+TEST(Cli, FormatsPrintsGrammarAndAliases) {
+  const auto r = run({"formats"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("posit_<N>_<ES>"), std::string::npos);
+  EXPECT_NE(r.out.find("bfloat16"), std::string::npos);
+}
+
+TEST(Cli, AccuracyRejectsMissingFormat) {
+  const auto r = run({"accuracy", "--model", "mlp"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, CampaignValidatesSiteAndErrorModel) {
+  EXPECT_EQ(run({"campaign", "--format", "int8", "--site", "nowhere"}).code,
+            2);
+  EXPECT_EQ(run({"campaign", "--format", "int8", "--error-model", "zap"})
+                .code,
+            2);
+  EXPECT_EQ(run({"campaign", "--format", "bogus"}).code, 2);
+}
+
+TEST(Cli, DseRejectsUnknownFamily) {
+  const auto r = run({"dse", "--family", "unum", "--model", "mlp",
+                      "--epochs", "1", "--cache", "/tmp/ge_cli_cache",
+                      "--samples", "16"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown family"), std::string::npos);
+}
+
+TEST(Cli, AccuracyEndToEnd) {
+  // trains a 1-epoch mlp into a private cache; asserts sane output shape
+  const auto r = run({"accuracy", "--model", "mlp", "--format", "int8",
+                      "--epochs", "1", "--cache", "/tmp/ge_cli_cache",
+                      "--samples", "32"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("baseline:"), std::string::npos);
+  EXPECT_NE(r.out.find("accuracy:"), std::string::npos);
+}
+
+TEST(Cli, CampaignEndToEnd) {
+  const auto r = run({"campaign", "--model", "mlp", "--format",
+                      "bfp_e5m5_b16", "--site", "metadata", "--injections",
+                      "2", "--epochs", "1", "--cache", "/tmp/ge_cli_cache",
+                      "--samples", "8"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("network mean dLoss"), std::string::npos);
+}
+
+TEST(Cli, CampaignStuckAtErrorModelEndToEnd) {
+  const auto r = run({"campaign", "--model", "mlp", "--format", "int8",
+                      "--error-model", "sa1", "--injections", "2",
+                      "--epochs", "1", "--cache", "/tmp/ge_cli_cache",
+                      "--samples", "8"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("error-model=sa1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ge::core

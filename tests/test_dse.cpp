@@ -1,0 +1,169 @@
+// DSE heuristic: node budget, ladder structure, pass/fail logic, and the
+// GoldenEye facade plus Table I/II helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dse.hpp"
+#include "core/goldeneye.hpp"
+#include "formats/format_registry.hpp"
+#include "data/synthetic.hpp"
+#include "models/model_factory.hpp"
+
+namespace ge::core {
+namespace {
+
+struct Fixture {
+  data::SyntheticVision data;
+  models::TrainedModel trained;
+
+  Fixture()
+      : data([] {
+          data::SyntheticVisionConfig cfg;
+          cfg.train_count = 512;
+          cfg.test_count = 128;
+          return cfg;
+        }()),
+        trained([this] {
+          models::TrainConfig tc;
+          tc.epochs = 4;
+          return models::ensure_trained("mlp", data, "/tmp/ge_dse_cache", tc);
+        }()) {}
+};
+
+TEST(DseLadders, AllFamiliesHaveDescendingWidths) {
+  for (const char* family : {"fp", "fxp", "int", "bfp", "afp", "posit"}) {
+    const auto ladder = bitwidth_ladder(family);
+    ASSERT_GE(ladder.size(), 4u) << family;
+    for (size_t i = 1; i < ladder.size(); ++i) {
+      EXPECT_LT(ladder[i].first, ladder[i - 1].first) << family;
+    }
+  }
+  EXPECT_THROW(bitwidth_ladder("unum"), std::invalid_argument);
+}
+
+TEST(DseLadders, AllSpecsParse) {
+  for (const char* family : {"fp", "fxp", "int", "bfp", "afp", "posit"}) {
+    for (const auto& [w, spec] : bitwidth_ladder(family)) {
+      EXPECT_TRUE(fmt::is_valid_spec(spec)) << spec;
+    }
+  }
+}
+
+TEST(Dse, RespectsNodeBudget) {
+  Fixture f;
+  const auto batch = data::take(f.data.test(), 0, 64);
+  for (const char* family : {"fp", "fxp", "int", "bfp", "afp", "posit"}) {
+    DseConfig cfg;
+    cfg.family = family;
+    const DseResult r = run_dse(*f.trained.model, batch, cfg);
+    EXPECT_LE(static_cast<int>(r.nodes.size()), cfg.max_nodes) << family;
+    EXPECT_GE(r.nodes.size(), 1u) << family;
+  }
+}
+
+TEST(Dse, NodesAreSequentiallyNumbered) {
+  Fixture f;
+  const auto batch = data::take(f.data.test(), 0, 64);
+  DseConfig cfg;
+  cfg.family = "fp";
+  const DseResult r = run_dse(*f.trained.model, batch, cfg);
+  for (size_t i = 0; i < r.nodes.size(); ++i) {
+    EXPECT_EQ(r.nodes[i].id, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(Dse, BestSpecPassesThreshold) {
+  Fixture f;
+  const auto batch = data::take(f.data.test(), 0, 64);
+  DseConfig cfg;
+  cfg.family = "fp";
+  cfg.accuracy_drop_threshold = 0.05f;
+  const DseResult r = run_dse(*f.trained.model, batch, cfg);
+  ASSERT_FALSE(r.best_spec.empty());
+  EXPECT_GE(r.best_accuracy, r.baseline_accuracy - 0.05f - 1e-6f);
+  EXPECT_GT(r.passing_nodes(), 0);
+}
+
+TEST(Dse, LooseThresholdFindsNarrowerFormats) {
+  Fixture f;
+  const auto batch = data::take(f.data.test(), 0, 64);
+  DseConfig tight;
+  tight.family = "int";
+  tight.accuracy_drop_threshold = 0.002f;
+  DseConfig loose = tight;
+  loose.accuracy_drop_threshold = 0.40f;
+  const DseResult rt = run_dse(*f.trained.model, batch, tight);
+  const DseResult rl = run_dse(*f.trained.model, batch, loose);
+  EXPECT_LE(rl.best_bitwidth, rt.best_bitwidth);
+}
+
+TEST(Dse, ImpossibleThresholdStopsAtRoot) {
+  Fixture f;
+  const auto batch = data::take(f.data.test(), 0, 64);
+  DseConfig cfg;
+  cfg.family = "int";
+  cfg.accuracy_drop_threshold = -1.0f;  // nothing can beat baseline + 1.0
+  const DseResult r = run_dse(*f.trained.model, batch, cfg);
+  EXPECT_EQ(r.nodes.size(), 1u);  // root fails, family rejected
+  EXPECT_FALSE(r.nodes[0].pass);
+  EXPECT_TRUE(r.best_spec.empty());
+}
+
+TEST(Facade, AccuracyHelpers) {
+  Fixture f;
+  GoldenEye ge(*f.trained.model, f.data);
+  const float base = ge.baseline_accuracy(64);
+  EXPECT_NEAR(base, ge.format_accuracy("fp_e8m23", 64), 1e-6f);
+  EXPECT_GT(base, 0.3f);
+}
+
+TEST(Facade, InstrumentedLayers) {
+  Fixture f;
+  GoldenEye ge(*f.trained.model, f.data);
+  const auto layers = ge.instrumented_layers("fp_e5m10");
+  EXPECT_EQ(layers.size(), 3u);  // Mlp: 3 Linear layers
+}
+
+TEST(Facade, CampaignAndDsePassthrough) {
+  Fixture f;
+  GoldenEye ge(*f.trained.model, f.data);
+  CampaignConfig cc;
+  cc.format_spec = "int8";
+  cc.injections_per_layer = 2;
+  const auto cr = ge.campaign(cc, 8);
+  EXPECT_EQ(cr.layers.size(), 3u);
+  DseConfig dc;
+  dc.family = "int";
+  const auto dr = ge.dse(dc, 32);
+  EXPECT_GE(dr.nodes.size(), 1u);
+}
+
+TEST(Table1, MatchesPaperValues) {
+  const auto rows = table1_rows();
+  ASSERT_EQ(rows.size(), 12u);
+  // spot-check the anchor rows of the paper's Table I
+  EXPECT_EQ(rows[0].label, "FP32 w/ DN");
+  EXPECT_NEAR(rows[0].range_db, 1667.71, 0.5);
+  EXPECT_NEAR(rows[1].range_db, 1529.23, 0.5);
+  EXPECT_NEAR(rows[2].abs_max, 32768.0, 1e-6);
+  EXPECT_NEAR(rows[3].range_db, 240.82, 0.5);   // FP16 w/ DN
+  EXPECT_NEAR(rows[8].range_db, 42.08, 0.05);   // INT8
+  EXPECT_NEAR(rows[10].abs_max, 240.0, 1e-9);   // FP8 e4m3
+  EXPECT_NEAR(rows[11].range_db, 83.73, 0.05);  // AFP8
+}
+
+TEST(Table2, GoldenEyeColumnIsComplete) {
+  const auto feats = table2_features();
+  ASSERT_EQ(feats.size(), 10u);
+  for (const auto& f : feats) {
+    EXPECT_TRUE(f.goldeneye) << f.feature;  // the tool supports everything
+  }
+  // the differentiators: metadata injection and delta-loss are unique
+  EXPECT_FALSE(feats[7].pytorchfi);
+  EXPECT_FALSE(feats[7].qpytorch);
+  EXPECT_FALSE(feats[9].pytorchfi);
+}
+
+}  // namespace
+}  // namespace ge::core

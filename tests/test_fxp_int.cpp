@@ -1,0 +1,241 @@
+// FxpFormat and IntFormat conformance: coding, ranges, two's-complement
+// bit patterns, and INT's scale-factor metadata register.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "formats/fxp.hpp"
+#include "formats/intq.hpp"
+#include "tensor/rng.hpp"
+
+namespace ge::fmt {
+namespace {
+
+/// ---------------- FxP -------------------------------------------------------
+
+TEST(Fxp, RejectsBadParameters) {
+  EXPECT_THROW(FxpFormat(0, 0), std::invalid_argument);
+  EXPECT_THROW(FxpFormat(-1, 4), std::invalid_argument);
+  EXPECT_THROW(FxpFormat(40, 40), std::invalid_argument);
+}
+
+TEST(Fxp, BitWidthAndRadix) {
+  FxpFormat f(15, 16);
+  EXPECT_EQ(f.bit_width(), 32);
+  EXPECT_EQ(f.radix(), 16);
+  EXPECT_EQ(f.spec(), "fxp_1_15_16");
+}
+
+TEST(Fxp, TableOneRow) {
+  FxpFormat f(15, 16);  // the paper's FxP(1,15,16)
+  EXPECT_EQ(f.abs_max(), 32768.0);
+  EXPECT_NEAR(f.abs_min(), 1.52587890625e-5, 1e-12);
+  EXPECT_NEAR(f.dynamic_range_db(), 186.64, 0.1);
+}
+
+TEST(Fxp, QuantizesToGrid) {
+  FxpFormat f(3, 4);  // step = 1/16
+  EXPECT_EQ(f.quantize_value(0.25f), 0.25f);
+  EXPECT_EQ(f.quantize_value(0.26f), 0.25f);
+  EXPECT_EQ(f.quantize_value(0.0f), 0.0f);
+  EXPECT_EQ(f.quantize_value(-1.37f), -1.375f);
+}
+
+TEST(Fxp, SaturatesAtCodeLimits) {
+  FxpFormat f(3, 4);
+  EXPECT_EQ(f.quantize_value(100.0f), 8.0f - 1.0f / 16.0f);  // max code
+  EXPECT_EQ(f.quantize_value(-100.0f), -8.0f);               // min code
+}
+
+TEST(Fxp, TwosComplementEncoding) {
+  FxpFormat f(3, 4);  // 8-bit total
+  EXPECT_EQ(f.real_to_format(1.0f).value(), 16u);         // 1.0 * 2^4
+  EXPECT_EQ(f.real_to_format(-1.0f).value(), 0xF0u);      // -16 in 8 bits
+  EXPECT_EQ(f.real_to_format(0.0f).value(), 0u);
+  EXPECT_EQ(f.real_to_format(-8.0f).value(), 0x80u);      // most negative
+}
+
+TEST(Fxp, DecodeSignExtends) {
+  FxpFormat f(3, 4);
+  EXPECT_EQ(f.format_to_real(BitString(0xF0, 8)), -1.0f);
+  EXPECT_EQ(f.format_to_real(BitString(0x80, 8)), -8.0f);
+  EXPECT_EQ(f.format_to_real(BitString(0x7F, 8)), 8.0f - 1.0f / 16.0f);
+}
+
+TEST(Fxp, SignBitFlipIsCatastrophic) {
+  // Flipping the MSB (sign) of a small positive value lands far negative —
+  // the classic FxP vulnerability.
+  FxpFormat f(7, 8);
+  BitString b = f.real_to_format(0.5f);
+  b.flip_bit(f.bit_width() - 1);
+  // setting the MSB subtracts 2^(i+f) codes = 2^i in value
+  EXPECT_NEAR(f.format_to_real(b), 0.5f - 128.0f, 1e-3f);
+}
+
+TEST(Fxp, TensorMatchesScalarPath) {
+  FxpFormat f(3, 12);
+  Rng rng(11);
+  Tensor t = rng.normal_tensor({256}, 0.0f, 4.0f);
+  Tensor q = f.real_to_format_tensor(t);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(q[i], f.format_to_real(f.real_to_format(t[i])));
+  }
+}
+
+class FxpGrid : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FxpGrid, RoundTripIdempotentSymmetricMonotone) {
+  const auto [i, fbits] = GetParam();
+  FxpFormat f(i, fbits);
+  Rng rng(40 + i + fbits);
+  float prev_q = -1e30f;
+  std::vector<float> xs;
+  for (int k = 0; k < 200; ++k) xs.push_back(rng.normal(0.0f, 3.0f));
+  std::sort(xs.begin(), xs.end());
+  for (float x : xs) {
+    const float q = f.quantize_value(x);
+    EXPECT_EQ(f.quantize_value(q), q);
+    EXPECT_GE(q, prev_q);
+    prev_q = q;
+  }
+  // symmetry away from the asymmetric two's-complement extreme
+  for (int k = 0; k < 100; ++k) {
+    const float x = rng.uniform(0.0f, static_cast<float>(f.abs_max()) * 0.9f);
+    EXPECT_EQ(f.quantize_value(-x), -f.quantize_value(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FxpGrid,
+                         ::testing::Values(std::pair{1, 2}, std::pair{2, 3},
+                                           std::pair{3, 4}, std::pair{4, 4},
+                                           std::pair{3, 12}, std::pair{7, 8},
+                                           std::pair{15, 16}),
+                         [](const auto& info) {
+                           return "i" + std::to_string(info.param.first) +
+                                  "f" + std::to_string(info.param.second);
+                         });
+
+/// ---------------- INT -------------------------------------------------------
+
+TEST(Int, RejectsBadParameters) {
+  EXPECT_THROW(IntFormat(1), std::invalid_argument);
+  EXPECT_THROW(IntFormat(33), std::invalid_argument);
+}
+
+TEST(Int, TableOneRows) {
+  IntFormat i8(8);
+  EXPECT_EQ(i8.abs_max(), 127.0);
+  EXPECT_EQ(i8.abs_min(), 1.0);
+  EXPECT_NEAR(i8.dynamic_range_db(), 42.08, 0.05);
+  IntFormat i16(16);
+  EXPECT_EQ(i16.abs_max(), 32767.0);
+  EXPECT_NEAR(i16.dynamic_range_db(), 90.31, 0.05);
+}
+
+TEST(Int, ScaleCapturedFromTensor) {
+  IntFormat f(8);
+  Tensor t({4}, {-1.0f, 0.5f, 2.54f, 0.0f});
+  Tensor q = f.real_to_format_tensor(t);
+  EXPECT_NEAR(f.scale(), 2.54f / 127.0f, 1e-7f);
+  // max element is exactly representable
+  EXPECT_NEAR(q[2], 2.54f, 1e-6f);
+  // everything lies on the scale grid
+  for (int64_t i = 0; i < 4; ++i) {
+    const float code = q[i] / f.scale();
+    EXPECT_NEAR(code, std::nearbyint(code), 1e-3f);
+  }
+}
+
+TEST(Int, FixedRangeOverridesProfiling) {
+  IntFormat f(8);
+  f.set_range(10.0f);
+  Tensor t({2}, {1.0f, 2.0f});  // max abs 2, but range pinned at 10
+  (void)f.real_to_format_tensor(t);
+  EXPECT_NEAR(f.scale(), 10.0f / 127.0f, 1e-7f);
+  EXPECT_THROW(f.set_range(0.0f), std::invalid_argument);
+}
+
+TEST(Int, SymmetricSaturation) {
+  IntFormat f(8);
+  f.set_range(1.0f);  // scale = 1/127
+  // Values beyond the range clamp to +/- max_code * scale = +/- 1.0.
+  Tensor t({2}, {50.0f, -50.0f});
+  Tensor q = f.real_to_format_tensor(t);
+  EXPECT_NEAR(q[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(q[1], -1.0f, 1e-6f);
+}
+
+TEST(Int, ScalarCodingRoundTrips) {
+  IntFormat f(8);
+  f.set_range(12.7f);  // scale = 0.1
+  const BitString b = f.real_to_format(0.55f);
+  EXPECT_NEAR(f.format_to_real(b), 0.6f, 1e-5f);  // rounds to 6 * 0.1
+  const BitString neg = f.real_to_format(-1.0f);
+  EXPECT_NEAR(f.format_to_real(neg), -1.0f, 1e-5f);
+}
+
+TEST(Int, MetadataScaleRegisterIsFp32Bits) {
+  IntFormat f(8);
+  f.set_range(127.0f);  // scale = 1.0
+  const auto fields = f.metadata_fields();
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0].name, "scale");
+  EXPECT_EQ(fields[0].bit_width, 32);
+  const BitString reg = f.read_metadata("scale", 0);
+  EXPECT_EQ(reg.value(), 0x3F800000u);  // 1.0f
+}
+
+TEST(Int, MetadataExponentBitFlipDoublesAllValues) {
+  IntFormat f(8);
+  Tensor t({3}, {1.0f, -2.0f, 4.0f});
+  Tensor q = f.real_to_format_tensor(t);
+  BitString reg = f.read_metadata("scale", 0);
+  reg.flip_bit(23);  // lowest exponent bit of the FP32 scale register
+  f.write_metadata("scale", 0, reg);
+  Tensor corrupted = f.decode_last_tensor();
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(corrupted[i], q[i] * 2.0f, 1e-5f);
+  }
+}
+
+TEST(Int, MetadataErrorsAreChecked) {
+  IntFormat f(8);
+  EXPECT_THROW(f.read_metadata("nope", 0), std::logic_error);
+  EXPECT_THROW(f.read_metadata("scale", 1), std::logic_error);
+  EXPECT_THROW(f.write_metadata("scale", 0, BitString(0, 8)),
+               std::logic_error);
+  EXPECT_THROW(f.decode_last_tensor(), std::logic_error);
+}
+
+class IntGrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntGrid, QuantizationErrorBoundedByHalfStep) {
+  IntFormat f(GetParam());
+  Rng rng(60 + GetParam());
+  Tensor t = rng.normal_tensor({512}, 0.0f, 2.0f);
+  Tensor q = f.real_to_format_tensor(t);
+  const float half_step = f.scale() / 2.0f + 1e-6f;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(q[i] - t[i]), half_step);
+  }
+}
+
+TEST_P(IntGrid, QuantizedValuesStayInSymmetricRange) {
+  IntFormat f(GetParam());
+  Rng rng(70 + GetParam());
+  Tensor t = rng.normal_tensor({512}, 0.0f, 5.0f);
+  Tensor q = f.real_to_format_tensor(t);
+  const float limit =
+      static_cast<float>(f.max_code()) * f.scale() + 1e-5f;
+  for (int64_t i = 0; i < q.numel(); ++i) {
+    EXPECT_LE(std::fabs(q[i]), limit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, IntGrid, ::testing::Values(2, 4, 6, 8, 12, 16),
+                         [](const auto& info) {
+                           return "int" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ge::fmt

@@ -1,0 +1,334 @@
+// Injector: value and metadata fault injection, determinism, cleanup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/injector.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic.hpp"
+#include "models/model_factory.hpp"
+
+namespace ge::core {
+namespace {
+
+struct Fixture {
+  data::SyntheticVision data;
+  std::unique_ptr<nn::Module> model;
+  data::Batch batch;
+
+  explicit Fixture(const std::string& model_name = "simple_cnn")
+      : data([] {
+          data::SyntheticVisionConfig cfg;
+          cfg.train_count = 16;
+          cfg.test_count = 64;
+          return cfg;
+        }()),
+        model(models::make_model(model_name, data.config(), 3)),
+        batch(data::take(data.test(), 0, 8)) {
+    model->eval();
+  }
+};
+
+TEST(Injector, ArmRejectsUnknownLayer) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  Emulator emu(*f.model, cfg);
+  Injector inj(emu, 1);
+  InjectionSpec spec;
+  spec.layer_path = "not.a.layer";
+  EXPECT_THROW(inj.arm(spec), std::invalid_argument);
+}
+
+TEST(Injector, ArmRejectsMetadataOnMetadatalessFormat) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "fp_e5m10";  // plain FP: no metadata
+  Emulator emu(*f.model, cfg);
+  Injector inj(emu, 1);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  spec.site = InjectionSite::kMetadata;
+  EXPECT_THROW(inj.arm(spec), std::invalid_argument);
+}
+
+TEST(Injector, ArmRejectsZeroBits) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  Emulator emu(*f.model, cfg);
+  Injector inj(emu, 1);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  spec.num_bits = 0;
+  EXPECT_THROW(inj.arm(spec), std::invalid_argument);
+}
+
+TEST(Injector, ActivationFlipFiresOncePerForward) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  Emulator emu(*f.model, cfg);
+  Injector inj(emu, 7);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  inj.arm(spec);
+  EXPECT_FALSE(inj.fired());
+  (void)(*f.model)(f.batch.images);
+  EXPECT_TRUE(inj.fired());
+  ASSERT_TRUE(inj.last_record().has_value());
+  const auto& rec = *inj.last_record();
+  EXPECT_EQ(rec.site, InjectionSite::kActivationValue);
+  EXPECT_EQ(rec.bits.size(), 1u);
+  // second forward without re-arming: no further injection
+  const Tensor clean1 = (*f.model)(f.batch.images);
+  const Tensor clean2 = (*f.model)(f.batch.images);
+  EXPECT_TRUE(clean1.equals(clean2));
+}
+
+TEST(Injector, DeterministicUnderSeed) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  auto run = [&](uint64_t seed) {
+    Emulator emu(*f.model, cfg);
+    Injector inj(emu, seed);
+    InjectionSpec spec;
+    spec.layer_path = emu.sites()[1].path;
+    inj.arm(spec);
+    (void)(*f.model)(f.batch.images);
+    return *inj.last_record();
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  EXPECT_EQ(a.element, b.element);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_TRUE(a.element != c.element || a.bits != c.bits);
+}
+
+TEST(Injector, ExplicitElementAndBitAreHonoured) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  Emulator emu(*f.model, cfg);
+  Injector inj(emu, 1);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  spec.element = 5;
+  spec.bit = 14;  // top exponent bit of e5m10
+  inj.arm(spec);
+  (void)(*f.model)(f.batch.images);
+  const auto& rec = *inj.last_record();
+  EXPECT_EQ(rec.element, 5);
+  ASSERT_EQ(rec.bits.size(), 1u);
+  EXPECT_EQ(rec.bits[0], 14);
+  EXPECT_NE(rec.value_before, rec.value_after);
+}
+
+TEST(Injector, BitOutOfRangeThrowsAtApplication) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "int8";
+  Emulator emu(*f.model, cfg);
+  Injector inj(emu, 1);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  spec.bit = 9;  // int8 has 8 bits
+  inj.arm(spec);
+  EXPECT_THROW((void)(*f.model)(f.batch.images), std::invalid_argument);
+}
+
+TEST(Injector, MultiBitFlipsDistinctBits) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  Emulator emu(*f.model, cfg);
+  Injector inj(emu, 9);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  spec.num_bits = 4;
+  inj.arm(spec);
+  (void)(*f.model)(f.batch.images);
+  const auto& rec = *inj.last_record();
+  ASSERT_EQ(rec.bits.size(), 4u);
+  std::set<int> unique(rec.bits.begin(), rec.bits.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(Injector, SignBitFlipNegatesActivation) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  Emulator emu(*f.model, cfg);
+  Injector inj(emu, 1);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  spec.element = 3;
+  spec.bit = 15;  // sign bit
+  inj.arm(spec);
+  (void)(*f.model)(f.batch.images);
+  const auto& rec = *inj.last_record();
+  EXPECT_EQ(rec.value_after, -rec.value_before);
+}
+
+TEST(Injector, WeightInjectionAppliedAndRestored) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  Emulator emu(*f.model, cfg);
+  Injector inj(emu, 3);
+  LayerSite& site = emu.sites()[0];
+  nn::Parameter* w = site.module->local_parameters()[0];
+  const Tensor before = w->value;
+  InjectionSpec spec;
+  spec.layer_path = site.path;
+  spec.site = InjectionSite::kWeightValue;
+  spec.element = 7;
+  inj.arm(spec);
+  EXPECT_TRUE(inj.fired());  // weight faults apply at arm time
+  EXPECT_FALSE(w->value.equals(before));
+  EXPECT_NE(w->value[7], before[7]);
+  inj.disarm();
+  EXPECT_TRUE(w->value.equals(before));
+}
+
+TEST(Injector, MetadataInjectionAffectsManyValues) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "bfp_e5m5_b16";
+  Emulator emu(*f.model, cfg);
+
+  // fault-free emulated reference
+  const Tensor golden = (*f.model)(f.batch.images);
+
+  Injector inj(emu, 5);
+  InjectionSpec spec;
+  // Target the classifier head: its output IS the logits, so the fault
+  // cannot be masked by downstream ReLUs (earlier-layer faults can be —
+  // that masking is itself paper-faithful behaviour).
+  spec.layer_path = emu.sites().back().path;
+  spec.site = InjectionSite::kMetadata;
+  spec.bit = 4;  // MSB of the 5-bit shared exponent: large corruption
+  spec.metadata_index = 0;
+  inj.arm(spec);
+  const Tensor faulty = (*f.model)(f.batch.images);
+  const auto& rec = *inj.last_record();
+  EXPECT_EQ(rec.metadata_field, "shared_exponent");
+  EXPECT_EQ(rec.metadata_index, 0);
+  EXPECT_FALSE(faulty.allclose(golden, 1e-6f));
+}
+
+TEST(Injector, MetadataFieldNameIsValidated) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "int8";
+  Emulator emu(*f.model, cfg);
+  Injector inj(emu, 5);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  spec.site = InjectionSite::kMetadata;
+  spec.metadata_field = "unknown_register";
+  inj.arm(spec);
+  EXPECT_THROW((void)(*f.model)(f.batch.images), std::invalid_argument);
+}
+
+TEST(Injector, AfpBiasInjectionMisalignsLayerRange) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "afp_e4m3";
+  Emulator emu(*f.model, cfg);
+  const Tensor golden = (*f.model)(f.batch.images);
+  Injector inj(emu, 6);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  spec.site = InjectionSite::kMetadata;
+  // Conv activations adapt to a small positive offset (bit 3 clear), so
+  // setting bit 3 raises the bias by 8: the representable range moves 8
+  // binades down and the layer's activations clip hard.
+  spec.bit = 3;
+  inj.arm(spec);
+  const Tensor faulty = (*f.model)(f.batch.images);
+  EXPECT_FALSE(faulty.equals(golden));
+}
+
+TEST(Injector, ToStringCoversAllSites) {
+  EXPECT_STREQ(to_string(InjectionSite::kActivationValue),
+               "activation_value");
+  EXPECT_STREQ(to_string(InjectionSite::kWeightValue), "weight_value");
+  EXPECT_STREQ(to_string(InjectionSite::kMetadata), "metadata");
+  EXPECT_STREQ(to_string(ErrorModel::kBitFlip), "bit_flip");
+  EXPECT_STREQ(to_string(ErrorModel::kStuckAt0), "stuck_at_0");
+  EXPECT_STREQ(to_string(ErrorModel::kStuckAt1), "stuck_at_1");
+}
+
+TEST(Injector, StuckAt0ClearsSignBitOfNegativeActivation) {
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  Emulator emu(*f.model, cfg);
+
+  // find a negative activation element at the first site
+  Tensor probe;
+  auto h = emu.sites()[0].module->add_forward_hook(
+      [&probe](nn::Module&, Tensor& y) { probe = y; });
+  (void)(*f.model)(f.batch.images);
+  emu.sites()[0].module->remove_hook(h);
+  int64_t neg = -1;
+  for (int64_t i = 0; i < probe.numel(); ++i) {
+    if (probe[i] < 0.0f) {
+      neg = i;
+      break;
+    }
+  }
+  ASSERT_GE(neg, 0);
+
+  Injector inj(emu, 1);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  spec.model = ErrorModel::kStuckAt0;
+  spec.element = neg;
+  spec.bit = 15;  // sign bit
+  inj.arm(spec);
+  (void)(*f.model)(f.batch.images);
+  const auto& rec = *inj.last_record();
+  EXPECT_LT(rec.value_before, 0.0f);
+  EXPECT_GT(rec.value_after, 0.0f);  // sign forced to 0: now positive
+  EXPECT_EQ(rec.value_after, -rec.value_before);
+}
+
+TEST(Injector, StuckAt1IsIdempotentOnSetBits) {
+  // Pinning a bit that is already 1 must be a masked fault (no change).
+  Fixture f;
+  EmulatorConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  Emulator emu(*f.model, cfg);
+  Tensor probe;
+  auto h = emu.sites()[0].module->add_forward_hook(
+      [&probe](nn::Module&, Tensor& y) { probe = y; });
+  (void)(*f.model)(f.batch.images);
+  emu.sites()[0].module->remove_hook(h);
+  int64_t neg = -1;
+  for (int64_t i = 0; i < probe.numel(); ++i) {
+    if (probe[i] < 0.0f) {
+      neg = i;
+      break;
+    }
+  }
+  ASSERT_GE(neg, 0);
+
+  Injector inj(emu, 1);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  spec.model = ErrorModel::kStuckAt1;
+  spec.element = neg;
+  spec.bit = 15;  // sign bit of a negative value is already 1
+  inj.arm(spec);
+  (void)(*f.model)(f.batch.images);
+  const auto& rec = *inj.last_record();
+  EXPECT_EQ(rec.value_after, rec.value_before);
+}
+
+}  // namespace
+}  // namespace ge::core

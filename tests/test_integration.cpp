@@ -1,0 +1,209 @@
+// End-to-end integration: train a model, emulate every format family on
+// it, run value + metadata campaigns, verify the qualitative relationships
+// the paper reports, and confirm the system never corrupts persistent
+// state across a full experiment sequence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/goldeneye.hpp"
+#include "core/range_detector.hpp"
+#include "data/synthetic.hpp"
+#include "models/model_factory.hpp"
+#include "nn/loss.hpp"
+
+namespace ge::core {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticVisionConfig cfg;
+    cfg.train_count = 1024;
+    cfg.test_count = 256;
+    data_ = new data::SyntheticVision(cfg);
+    models::TrainConfig tc;
+    tc.epochs = 5;
+    trained_ = new models::TrainedModel(
+        models::ensure_trained("simple_cnn", *data_, "/tmp/ge_it_cache", tc));
+  }
+  static void TearDownTestSuite() {
+    delete trained_;
+    delete data_;
+  }
+
+  static data::SyntheticVision* data_;
+  static models::TrainedModel* trained_;
+};
+
+data::SyntheticVision* IntegrationTest::data_ = nullptr;
+models::TrainedModel* IntegrationTest::trained_ = nullptr;
+
+TEST_F(IntegrationTest, ModelLearnedTheTask) {
+  EXPECT_GT(trained_->test_accuracy, 0.75f);
+}
+
+TEST_F(IntegrationTest, WideFormatsPreserveAccuracy) {
+  GoldenEye ge(*trained_->model, *data_);
+  const float base = ge.baseline_accuracy(128);
+  for (const char* spec : {"fp_e5m10", "fp_e8m7", "bfp_e8m15_b16",
+                           "fxp_1_7_8", "int8", "afp_e5m10"}) {
+    const float acc = ge.format_accuracy(spec, 128);
+    EXPECT_GE(acc, base - 0.03f) << spec;
+  }
+}
+
+TEST_F(IntegrationTest, AggressiveFormatsDegradeAccuracy) {
+  GoldenEye ge(*trained_->model, *data_);
+  const float base = ge.baseline_accuracy(128);
+  // 2-3 bit configurations must visibly hurt a CNN
+  const float acc_int2 = ge.format_accuracy("int2", 128);
+  EXPECT_LT(acc_int2, base);
+}
+
+TEST_F(IntegrationTest, AfpBeatsPlainFpAtSameWidthWhenRangeIsOff) {
+  // ResNet-style finding from Fig. 4: AFP's movable range rescues
+  // low-bitwidth configs that plain FP (fixed bias) cannot represent.
+  GoldenEye ge(*trained_->model, *data_);
+  const float fp = ge.format_accuracy("fp_e2m5", 128);
+  const float afp = ge.format_accuracy("afp_e2m5", 128);
+  EXPECT_GE(afp, fp - 1e-6f);
+}
+
+TEST_F(IntegrationTest, ValueCampaignAcrossAllEightInjectionTypes) {
+  // The paper's 8 single-bit injection data types: value flips for all 5
+  // formats + metadata flips for INT, BFP, AFP.
+  GoldenEye ge(*trained_->model, *data_);
+  const char* value_formats[] = {"fp_e5m10", "fxp_1_7_8", "int8",
+                                 "bfp_e5m5_b16", "afp_e5m2"};
+  for (const char* spec : value_formats) {
+    CampaignConfig cfg;
+    cfg.format_spec = spec;
+    cfg.injections_per_layer = 3;
+    const auto r = ge.campaign(cfg, 8);
+    EXPECT_EQ(r.layers.size(), 4u) << spec;
+  }
+  const char* meta_formats[] = {"int8", "bfp_e5m5_b16", "afp_e5m2"};
+  for (const char* spec : meta_formats) {
+    CampaignConfig cfg;
+    cfg.format_spec = spec;
+    cfg.site = InjectionSite::kMetadata;
+    cfg.injections_per_layer = 3;
+    const auto r = ge.campaign(cfg, 8);
+    EXPECT_EQ(r.layers.size(), 4u) << spec;
+  }
+}
+
+TEST_F(IntegrationTest, BfpMetadataWorseThanAfpMetadata) {
+  // Fig. 7 relationship: a BFP shared-exponent fault is a stored multi-bit
+  // corruption of a whole block, while an AFP bias fault misaligns a
+  // bounded range — BFP metadata campaigns must come out markedly worse,
+  // and both must dwarf their own value campaigns.
+  GoldenEye ge(*trained_->model, *data_);
+  CampaignConfig bfp_meta;
+  bfp_meta.format_spec = "bfp_e5m5_b16";
+  bfp_meta.site = InjectionSite::kMetadata;
+  bfp_meta.injections_per_layer = 25;
+  bfp_meta.seed = 3;
+  CampaignConfig afp_meta = bfp_meta;
+  afp_meta.format_spec = "afp_e5m2";
+  CampaignConfig bfp_value = bfp_meta;
+  bfp_value.site = InjectionSite::kActivationValue;
+
+  const auto rb = ge.campaign(bfp_meta, 16);
+  const auto ra = ge.campaign(afp_meta, 16);
+  const auto rv = ge.campaign(bfp_value, 16);
+  EXPECT_GT(rb.network_mean_delta_loss(), ra.network_mean_delta_loss());
+  EXPECT_GT(rb.network_mean_delta_loss(),
+            10.0 * rv.network_mean_delta_loss());
+}
+
+TEST_F(IntegrationTest, RangeDetectorSuppressesFaultImpact) {
+  nn::Module& model = *trained_->model;
+  const auto batch = data::take(data_->test(), 0, 16);
+  RangeDetector det(model);
+  det.profile(batch.images);
+
+  EmulatorConfig ecfg;
+  ecfg.format_spec = "fp_e5m10";
+  Emulator emu(model, ecfg);
+  const GoldenRun golden = run_golden(model, batch);
+
+  // Find a weight fault that *amplifies* (exponent-MSB flips on values
+  // below 1.0 scale them up by thousands; flips on values >= 1.0 can land
+  // on the Inf/NaN codes instead, which downstream ops may mask).
+  Injector inj(emu, 1);
+  InjectionSpec spec;
+  spec.layer_path = emu.sites()[0].path;
+  spec.site = InjectionSite::kWeightValue;
+  spec.bit = 14;
+  bool found = false;
+  for (int64_t e = 0; e < 64 && !found; ++e) {
+    spec.element = e;
+    inj.arm(spec);
+    const auto& rec = *inj.last_record();
+    if (std::isfinite(rec.value_after) &&
+        std::fabs(rec.value_after) > 100.0f * std::fabs(rec.value_before) &&
+        rec.value_before != 0.0f) {
+      found = true;  // keep it armed
+    }
+  }
+  ASSERT_TRUE(found);
+
+  const Tensor faulty_unprotected = model(batch.images);
+  const float dl_unprotected =
+      compare_to_golden(golden, faulty_unprotected, batch.labels).delta_loss;
+  det.enable();
+  const Tensor faulty_protected = model(batch.images);
+  const float dl_protected =
+      compare_to_golden(golden, faulty_protected, batch.labels).delta_loss;
+  det.disable();
+  inj.disarm();
+
+  EXPECT_GT(dl_unprotected, 0.0f);
+  EXPECT_LT(dl_protected, dl_unprotected);
+  EXPECT_GT(det.clamp_events(), 0);
+}
+
+TEST_F(IntegrationTest, TrainingUnderEmulationImprovesLoss) {
+  // §V-B: emulation supports training (straight-through estimator).
+  data::SyntheticVisionConfig cfg;
+  cfg.train_count = 256;
+  cfg.test_count = 64;
+  data::SyntheticVision small(cfg);
+  auto model = models::make_model("mlp", cfg, 11);
+  EmulatorConfig ecfg;
+  ecfg.format_spec = "fp_e5m10";
+  ecfg.quantize_weights = false;  // weights keep FP32 master copies
+  Emulator emu(*model, ecfg);
+  models::TrainConfig tc;
+  tc.epochs = 6;
+  const auto r = models::train_model(*model, small, tc);
+  EXPECT_GT(r.test_accuracy, 0.3f);  // far above the 10% chance floor
+}
+
+TEST_F(IntegrationTest, ExperimentSequenceLeavesModelPristine) {
+  nn::Module& model = *trained_->model;
+  std::vector<Tensor> originals;
+  for (auto* p : model.parameters()) originals.push_back(p->value);
+
+  GoldenEye ge(model, *data_);
+  (void)ge.format_accuracy("int4", 32);
+  CampaignConfig cc;
+  cc.format_spec = "bfp_e5m5_b16";
+  cc.injections_per_layer = 2;
+  (void)ge.campaign(cc, 8);
+  cc.site = InjectionSite::kMetadata;
+  (void)ge.campaign(cc, 8);
+  DseConfig dc;
+  dc.family = "fp";
+  (void)ge.dse(dc, 32);
+
+  for (size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_TRUE(model.parameters()[i]->value.equals(originals[i]));
+  }
+  for (auto& [p, m] : model.named_modules()) EXPECT_EQ(m->hook_count(), 0);
+}
+
+}  // namespace
+}  // namespace ge::core

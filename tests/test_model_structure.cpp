@@ -1,0 +1,103 @@
+// Structural checks on the model zoo: the module-tree paths the emulator
+// and campaigns address must be stable, and parameter bookkeeping must be
+// exact (these paths appear in EXPERIMENTS.md output).
+#include <gtest/gtest.h>
+
+#include "core/emulator.hpp"
+#include "data/dataloader.hpp"
+#include "models/model_factory.hpp"
+#include "models/tiny_deit.hpp"
+#include "models/tiny_resnet.hpp"
+
+namespace ge {
+namespace {
+
+data::SyntheticVisionConfig cfg() {
+  data::SyntheticVisionConfig c;
+  c.train_count = 8;
+  c.test_count = 16;
+  return c;
+}
+
+TEST(ModelStructure, TinyResNetHasExpectedInstrumentationSites) {
+  auto m = models::make_model("tiny_resnet", cfg(), 1);
+  core::EmulatorConfig ecfg;
+  ecfg.format_spec = "fp16";
+  core::Emulator emu(*m, ecfg);
+  // stem + 6 blocks x 2 convs + 2 projection convs + head
+  EXPECT_EQ(emu.sites().size(), 16u);
+  EXPECT_NE(m->find_module("stem_conv"), nullptr);
+  EXPECT_NE(m->find_module("block2.proj_conv"), nullptr);
+  EXPECT_NE(m->find_module("head"), nullptr);
+  EXPECT_EQ(m->find_module("block0.proj_conv"), nullptr);  // identity skip
+}
+
+TEST(ModelStructure, TinyDeitHasExpectedInstrumentationSites) {
+  auto m = models::make_model("tiny_deit", cfg(), 1);
+  core::EmulatorConfig ecfg;
+  ecfg.format_spec = "fp16";
+  core::Emulator emu(*m, ecfg);
+  // patch conv + 3 blocks x (qkv, proj, fc1, fc2) + head
+  EXPECT_EQ(emu.sites().size(), 14u);
+  EXPECT_NE(m->find_module("patch.proj"), nullptr);
+  EXPECT_NE(m->find_module("block1.attn.qkv"), nullptr);
+  EXPECT_NE(m->find_module("block2.mlp.fc2"), nullptr);
+}
+
+TEST(ModelStructure, ParameterCountsAreExact) {
+  auto mlp = models::make_model("mlp", cfg(), 1);
+  // 768*128+128 + 128*64+64 + 64*10+10
+  EXPECT_EQ(mlp->parameter_count(), 768 * 128 + 128 + 128 * 64 + 64 +
+                                        64 * 10 + 10);
+  auto cnn = models::make_model("simple_cnn", cfg(), 1);
+  EXPECT_EQ(cnn->parameter_count(),
+            (3 * 9 + 1) * 16 + 2 * 16 +   // conv1 + bn1
+                (16 * 9 + 1) * 32 + 2 * 32 +  // conv2 + bn2
+                (32 * 9 + 1) * 64 + 2 * 64 +  // conv3 + bn3
+                64 * 10 + 10);                // head
+}
+
+TEST(ModelStructure, NamedParametersCoverAllParameters) {
+  auto m = models::make_model("tiny_deit", cfg(), 1);
+  const auto named = m->named_parameters();
+  EXPECT_EQ(named.size(), m->parameters().size());
+  int64_t total = 0;
+  for (const auto& [name, p] : named) {
+    EXPECT_FALSE(name.empty());
+    total += p->value.numel();
+  }
+  EXPECT_EQ(total, m->parameter_count());
+}
+
+TEST(ModelStructure, BuffersAreSeparateFromParameters) {
+  auto m = models::make_model("simple_cnn", cfg(), 1);
+  // 3 BatchNorms x (running_mean, running_var)
+  EXPECT_EQ(m->buffers().size(), 6u);
+  for (auto* b : m->buffers()) {
+    for (auto* p : m->parameters()) EXPECT_NE(b, p);
+  }
+}
+
+TEST(ModelStructure, ForwardIsDeterministicInEval) {
+  auto m = models::make_model("tiny_resnet", cfg(), 1);
+  m->eval();
+  data::SyntheticVision data(cfg());
+  const auto batch = data::take(data.test(), 0, 4);
+  const Tensor a = (*m)(batch.images);
+  const Tensor b = (*m)(batch.images);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(ModelStructure, TrainEvalBatchNormDiffers) {
+  auto m = models::make_model("simple_cnn", cfg(), 1);
+  data::SyntheticVision data(cfg());
+  const auto batch = data::take(data.test(), 0, 4);
+  m->train(true);
+  const Tensor train_out = (*m)(batch.images);
+  m->eval();
+  const Tensor eval_out = (*m)(batch.images);
+  EXPECT_FALSE(train_out.allclose(eval_out, 1e-3f));
+}
+
+}  // namespace
+}  // namespace ge

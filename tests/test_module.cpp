@@ -1,0 +1,197 @@
+// Module framework: hooks (the GoldenEye interception mechanism), module
+// tree traversal, parameter bookkeeping, weight persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "models/mlp.hpp"
+#include "nn/activation.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace ge::nn {
+namespace {
+
+TEST(Hooks, ForwardHookSeesAndMutatesOutput) {
+  Rng rng(1);
+  Linear lin(4, 2, rng);
+  int fired = 0;
+  lin.add_forward_hook([&fired](Module& m, Tensor& y) {
+    ++fired;
+    EXPECT_EQ(m.kind(), "Linear");
+    y.fill(7.0f);
+  });
+  Tensor out = lin(Tensor({1, 4}));
+  EXPECT_EQ(fired, 1);
+  for (float v : out.flat()) EXPECT_EQ(v, 7.0f);
+}
+
+TEST(Hooks, PreHookRunsBeforeForward) {
+  Rng rng(2);
+  Linear lin(2, 2, rng);
+  lin.weight().value.fill(1.0f);
+  lin.bias()->value.fill(0.0f);
+  lin.add_forward_pre_hook([](Module&, Tensor& x) { x.fill(1.0f); });
+  Tensor out = lin(Tensor({1, 2}));  // zeros replaced by ones pre-forward
+  EXPECT_NEAR(out[0], 2.0f, 1e-6f);
+}
+
+TEST(Hooks, RunInRegistrationOrder) {
+  Rng rng(3);
+  Linear lin(2, 2, rng);
+  std::vector<int> order;
+  lin.add_forward_hook([&order](Module&, Tensor&) { order.push_back(1); });
+  lin.add_forward_hook([&order](Module&, Tensor&) { order.push_back(2); });
+  (void)lin(Tensor({1, 2}));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Hooks, RemoveByHandleIsIdempotent) {
+  Rng rng(4);
+  Linear lin(2, 2, rng);
+  int fired = 0;
+  const auto h = lin.add_forward_hook([&fired](Module&, Tensor&) { ++fired; });
+  lin.remove_hook(h);
+  lin.remove_hook(h);  // second removal: no-op
+  (void)lin(Tensor({1, 2}));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(lin.hook_count(), 0);
+}
+
+TEST(Hooks, ClearRemovesEverything) {
+  Rng rng(5);
+  Linear lin(2, 2, rng);
+  lin.add_forward_hook([](Module&, Tensor&) {});
+  lin.add_forward_pre_hook([](Module&, Tensor&) {});
+  EXPECT_EQ(lin.hook_count(), 2);
+  lin.clear_hooks();
+  EXPECT_EQ(lin.hook_count(), 0);
+}
+
+TEST(Hooks, FireAtEveryNestedLayer) {
+  Rng rng(6);
+  Sequential seq;
+  seq.emplace<Linear>(4, 4, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Linear>(4, 2, rng);
+  int fired = 0;
+  for (auto& [path, mod] : seq.named_modules()) {
+    if (mod->kind() == "Linear") {
+      mod->add_forward_hook([&fired](Module&, Tensor&) { ++fired; });
+    }
+  }
+  (void)seq(Tensor({1, 4}));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ModuleTree, NamedModulesUsesDottedPaths) {
+  Rng rng(7);
+  models::Mlp mlp(8, {4}, 2, rng);
+  std::vector<std::string> paths;
+  for (auto& [p, m] : mlp.named_modules()) paths.push_back(p);
+  EXPECT_EQ(paths[0], "");  // the root itself
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "body.1"), paths.end());
+}
+
+TEST(ModuleTree, FindModuleByPath) {
+  Rng rng(8);
+  models::Mlp mlp(8, {4}, 2, rng);
+  Module* m = mlp.find_module("body.1");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind(), "Linear");
+  EXPECT_EQ(mlp.find_module("nope"), nullptr);
+}
+
+TEST(Parameters, CountsAndNames) {
+  Rng rng(9);
+  models::Mlp mlp(8, {4}, 2, rng);
+  // body.1: 8*4+4, body.3: 4*2+2
+  EXPECT_EQ(mlp.parameter_count(), 8 * 4 + 4 + 4 * 2 + 2);
+  bool found = false;
+  for (auto& [name, p] : mlp.named_parameters()) {
+    if (name == "body.1.weight") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Parameters, ZeroGradClearsAll) {
+  Rng rng(10);
+  Linear lin(3, 3, rng);
+  lin.weight().grad.fill(5.0f);
+  lin.zero_grad();
+  for (float v : lin.weight().grad.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TrainMode, PropagatesToChildren) {
+  Rng rng(11);
+  Sequential seq;
+  auto& lin = seq.emplace<Linear>(2, 2, rng);
+  EXPECT_FALSE(lin.is_training());
+  seq.train(true);
+  EXPECT_TRUE(lin.is_training());
+  seq.eval();
+  EXPECT_FALSE(lin.is_training());
+}
+
+TEST(Backward, DefaultThrowsForUnimplementedLayers) {
+  class NoBackward : public Module {
+   public:
+    NoBackward() : Module("NoBackward") {}
+    Tensor forward(const Tensor& x) override { return x; }
+  };
+  NoBackward m;
+  EXPECT_THROW(m.backward(Tensor({1})), std::logic_error);
+}
+
+TEST(Persistence, SaveLoadRoundTripsWeights) {
+  Rng rng(12);
+  models::Mlp a(8, {4}, 2, rng);
+  Rng rng2(999);
+  models::Mlp b(8, {4}, 2, rng2);
+  const std::string path = "/tmp/ge_test_weights.gew";
+  a.save_weights(path);
+  b.load_weights(path);
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value.equals(pb[i]->value));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Persistence, LoadRejectsWrongArchitecture) {
+  Rng rng(13);
+  models::Mlp a(8, {4}, 2, rng);
+  models::Mlp wrong(8, {16}, 2, rng);
+  const std::string path = "/tmp/ge_test_weights2.gew";
+  a.save_weights(path);
+  EXPECT_THROW(wrong.load_weights(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Persistence, LoadRejectsMissingFile) {
+  Rng rng(14);
+  models::Mlp a(8, {4}, 2, rng);
+  EXPECT_THROW(a.load_weights("/tmp/definitely_missing.gew"),
+               std::runtime_error);
+}
+
+TEST(Persistence, LoadRejectsGarbageFile) {
+  const std::string path = "/tmp/ge_garbage.gew";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a weight file", f);
+  std::fclose(f);
+  Rng rng(15);
+  models::Mlp a(8, {4}, 2, rng);
+  EXPECT_THROW(a.load_weights(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ge::nn

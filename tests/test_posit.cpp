@@ -1,0 +1,175 @@
+// PositFormat conformance — and the proof of the "future number format
+// support" claim: a format added after the fact works with the emulator,
+// injector and campaign engine unchanged.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/campaign.hpp"
+#include "data/dataloader.hpp"
+#include "formats/format_registry.hpp"
+#include "formats/posit.hpp"
+#include "models/model_factory.hpp"
+#include "tensor/rng.hpp"
+
+namespace ge::fmt {
+namespace {
+
+TEST(Posit, RejectsBadParameters) {
+  EXPECT_THROW(PositFormat(2, 1), std::invalid_argument);
+  EXPECT_THROW(PositFormat(17, 1), std::invalid_argument);
+  EXPECT_THROW(PositFormat(8, -1), std::invalid_argument);
+  EXPECT_THROW(PositFormat(8, 4), std::invalid_argument);
+}
+
+TEST(Posit, KnownDecodings_P8es0) {
+  // classic posit(8,0) anchor values
+  EXPECT_EQ(PositFormat::decode_pattern(0x00, 8, 0), 0.0);
+  EXPECT_EQ(PositFormat::decode_pattern(0x40, 8, 0), 1.0);   // 0100 0000
+  EXPECT_EQ(PositFormat::decode_pattern(0x60, 8, 0), 2.0);   // 0110 0000
+  EXPECT_EQ(PositFormat::decode_pattern(0x20, 8, 0), 0.5);   // 0010 0000
+  EXPECT_EQ(PositFormat::decode_pattern(0x50, 8, 0), 1.5);
+  EXPECT_EQ(PositFormat::decode_pattern(0x7F, 8, 0), 64.0);  // maxpos
+  EXPECT_TRUE(std::isnan(PositFormat::decode_pattern(0x80, 8, 0)));
+  // negative: two's complement of 1.0 -> -1.0
+  EXPECT_EQ(PositFormat::decode_pattern(0xC0, 8, 0), -1.0);
+}
+
+TEST(Posit, KnownDecodings_P8es1) {
+  // useed = 4; maxpos = 4^6 = 4096
+  PositFormat f(8, 1);
+  EXPECT_EQ(f.useed(), 4.0);
+  EXPECT_EQ(f.abs_max(), 4096.0);
+  EXPECT_NEAR(f.abs_min(), 1.0 / 4096.0, 1e-12);
+  EXPECT_EQ(PositFormat::decode_pattern(0x40, 8, 1), 1.0);
+}
+
+TEST(Posit, MaxposMinposMatchFormula) {
+  for (int es = 0; es <= 2; ++es) {
+    for (int n : {6, 8, 12, 16}) {
+      PositFormat f(n, es);
+      const double useed = std::ldexp(1.0, 1 << es);
+      EXPECT_DOUBLE_EQ(f.abs_max(), std::pow(useed, n - 2))
+          << "n=" << n << " es=" << es;
+      EXPECT_NEAR(f.abs_min(), std::pow(useed, -(n - 2)), 1e-300);
+    }
+  }
+}
+
+TEST(Posit, SaturatesInsteadOfOverflowOrUnderflow) {
+  PositFormat f(8, 0);
+  EXPECT_EQ(f.quantize_value(1e10f), 64.0f);
+  EXPECT_EQ(f.quantize_value(-1e10f), -64.0f);
+  // posits never underflow to zero
+  EXPECT_EQ(f.quantize_value(1e-10f), static_cast<float>(1.0 / 64.0));
+  EXPECT_EQ(f.quantize_value(0.0f), 0.0f);
+}
+
+TEST(Posit, TaperedPrecisionIsFinestNearOne) {
+  // relative quantisation error near 1.0 must beat error near maxpos/8
+  PositFormat f(8, 1);
+  Rng rng(5);
+  double err_near_one = 0.0, err_far = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const float a = rng.uniform(1.0f, 2.0f);
+    err_near_one += std::fabs(f.quantize_value(a) - a) / a;
+    const float b = rng.uniform(256.0f, 512.0f);
+    err_far += std::fabs(f.quantize_value(b) - b) / b;
+  }
+  EXPECT_LT(err_near_one, err_far * 0.5);
+}
+
+TEST(Posit, EncodeDecodeRoundTrip) {
+  PositFormat f(8, 1);
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const float q = f.quantize_value(rng.normal(0.0f, 10.0f));
+    EXPECT_EQ(f.format_to_real(f.real_to_format(q)), q);
+  }
+}
+
+TEST(Posit, NegationIsTwosComplement) {
+  PositFormat f(8, 0);
+  const BitString pos = f.real_to_format(1.5f);
+  const BitString neg = f.real_to_format(-1.5f);
+  const uint32_t negated = (~static_cast<uint32_t>(pos.value()) + 1) & 0xFF;
+  EXPECT_EQ(neg.value(), negated);
+}
+
+TEST(Posit, NaRHandling) {
+  PositFormat f(8, 1);
+  const BitString nar = f.real_to_format(std::nanf(""));
+  EXPECT_EQ(nar.value(), 0x80u);
+  EXPECT_TRUE(std::isnan(f.format_to_real(nar)));
+}
+
+class PositGrid : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PositGrid, MonotoneIdempotentSymmetric) {
+  const auto [n, es] = GetParam();
+  PositFormat f(n, es);
+  Rng rng(7 + n + es);
+  std::vector<float> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.normal(0.0f, 8.0f));
+  std::sort(xs.begin(), xs.end());
+  float prev = -1e30f;
+  for (float x : xs) {
+    const float q = f.quantize_value(x);
+    EXPECT_GE(q, prev);
+    EXPECT_EQ(f.quantize_value(q), q);
+    EXPECT_EQ(f.quantize_value(-x), -q);
+    prev = q;
+  }
+}
+
+TEST_P(PositGrid, DecodedTableIsStrictlyIncreasing) {
+  const auto [n, es] = GetParam();
+  double prev = 0.0;
+  const uint32_t count = uint32_t{1} << (n - 1);
+  for (uint32_t p = 1; p < count; ++p) {
+    const double v = PositFormat::decode_pattern(p, n, es);
+    EXPECT_GT(v, prev) << "pattern " << p;
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PositGrid,
+                         ::testing::Values(std::pair{6, 0}, std::pair{8, 0},
+                                           std::pair{8, 1}, std::pair{8, 2},
+                                           std::pair{12, 1},
+                                           std::pair{16, 1}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.first) +
+                                  "es" + std::to_string(info.param.second);
+                         });
+
+TEST(Posit, RegistryIntegration) {
+  auto f = make_format("posit_8_1");
+  EXPECT_EQ(f->bit_width(), 8);
+  EXPECT_EQ(f->spec(), "posit_8_1");
+  EXPECT_FALSE(f->has_metadata());
+  EXPECT_THROW(make_format("posit_8"), std::invalid_argument);
+  EXPECT_THROW(make_format("posit_99_1"), std::invalid_argument);
+}
+
+TEST(Posit, WorksEndToEndWithEmulatorAndCampaign) {
+  // The future-format claim: posit was added without touching core/.
+  data::SyntheticVisionConfig cfg;
+  cfg.train_count = 16;
+  cfg.test_count = 32;
+  data::SyntheticVision data(cfg);
+  auto model = ge::models::make_model("mlp", cfg, 1);
+  model->eval();
+  const auto batch = data::take(data.test(), 0, 8);
+  const float acc = core::emulated_accuracy(*model, batch.images,
+                                            batch.labels, "posit_16_1");
+  EXPECT_GE(acc, 0.0f);
+  core::CampaignConfig cc;
+  cc.format_spec = "posit_8_1";
+  cc.injections_per_layer = 2;
+  const auto r = core::run_campaign(*model, batch, cc);
+  EXPECT_EQ(r.layers.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ge::fmt

@@ -1,0 +1,103 @@
+// RangeDetector: profiling, clamping, event counting.
+#include <gtest/gtest.h>
+
+#include "core/range_detector.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic.hpp"
+#include "models/model_factory.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace ge::core {
+namespace {
+
+TEST(RangeDetector, ProfilesPerLayerRanges) {
+  Rng rng(1);
+  nn::Sequential seq;
+  seq.emplace<nn::Linear>(4, 4, rng);
+  RangeDetector det(seq, {"Linear"});
+  det.profile(rng.normal_tensor({8, 4}));
+  ASSERT_EQ(det.ranges().size(), 1u);
+  const auto& [lo, hi] = det.ranges().begin()->second;
+  EXPECT_LT(lo, hi);
+}
+
+TEST(RangeDetector, ClampsOutOfRangeActivations) {
+  Rng rng(2);
+  nn::Sequential seq;
+  auto& lin = seq.emplace<nn::Linear>(2, 2, rng);
+  lin.weight().value = Tensor({2, 2}, {1, 0, 0, 1});  // identity
+  lin.bias()->value.fill(0.0f);
+  RangeDetector det(seq, {"Linear"});
+  det.profile(Tensor({1, 2}, {-1.0f, 1.0f}));  // range [-1, 1]
+  det.enable();
+  EXPECT_TRUE(det.enabled());
+  Tensor y = seq(Tensor({1, 2}, {100.0f, -100.0f}));
+  EXPECT_EQ(y[0], 1.0f);
+  EXPECT_EQ(y[1], -1.0f);
+  EXPECT_EQ(det.clamp_events(), 2);
+  det.reset_clamp_events();
+  EXPECT_EQ(det.clamp_events(), 0);
+}
+
+TEST(RangeDetector, DisableStopsClamping) {
+  Rng rng(3);
+  nn::Sequential seq;
+  auto& lin = seq.emplace<nn::Linear>(2, 2, rng);
+  lin.weight().value = Tensor({2, 2}, {1, 0, 0, 1});
+  lin.bias()->value.fill(0.0f);
+  RangeDetector det(seq, {"Linear"});
+  det.profile(Tensor({1, 2}, {-1.0f, 1.0f}));
+  det.enable();
+  det.disable();
+  Tensor y = seq(Tensor({1, 2}, {100.0f, -100.0f}));
+  EXPECT_EQ(y[0], 100.0f);
+  EXPECT_EQ(det.clamp_events(), 0);
+}
+
+TEST(RangeDetector, InRangeValuesUntouched) {
+  data::SyntheticVisionConfig cfg;
+  cfg.train_count = 8;
+  cfg.test_count = 32;
+  data::SyntheticVision data(cfg);
+  auto model = models::make_model("simple_cnn", cfg, 4);
+  model->eval();
+  const auto batch = data::take(data.test(), 0, 16);
+  const Tensor native = (*model)(batch.images);
+  RangeDetector det(*model);
+  det.profile(batch.images);
+  det.enable();
+  const Tensor guarded = (*model)(batch.images);
+  // profiling on the same data: nothing can be out of range
+  EXPECT_TRUE(guarded.equals(native));
+  EXPECT_EQ(det.clamp_events(), 0);
+}
+
+TEST(RangeDetector, EnableIsIdempotent) {
+  Rng rng(5);
+  nn::Sequential seq;
+  seq.emplace<nn::Linear>(2, 2, rng);
+  RangeDetector det(seq, {"Linear"});
+  det.profile(rng.normal_tensor({4, 2}));
+  det.enable();
+  det.enable();  // second enable must not double the hooks
+  int64_t hooks = 0;
+  for (auto& [p, m] : seq.named_modules()) hooks += m->hook_count();
+  EXPECT_EQ(hooks, 1);
+}
+
+TEST(RangeDetector, DestructorRemovesHooks) {
+  Rng rng(6);
+  nn::Sequential seq;
+  seq.emplace<nn::Linear>(2, 2, rng);
+  {
+    RangeDetector det(seq, {"Linear"});
+    det.profile(rng.normal_tensor({4, 2}));
+    det.enable();
+  }
+  for (auto& [p, m] : seq.named_modules()) EXPECT_EQ(m->hook_count(), 0);
+}
+
+}  // namespace
+}  // namespace ge::core

@@ -1,0 +1,93 @@
+// Seeded RNG: reproducibility is the backbone of every experiment here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/rng.hpp"
+
+namespace ge {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(), b.uniform());
+    EXPECT_EQ(a.randint(0, 1000), b.randint(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.randint(0, 1 << 30) == b.randint(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 5.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 5.0f);
+  }
+}
+
+TEST(Rng, RandintInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.randint(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalTensorStatistics) {
+  Rng rng(9);
+  Tensor t = rng.normal_tensor({10000}, 1.0f, 2.0f);
+  double mean = 0.0;
+  for (float v : t.flat()) mean += v;
+  mean /= t.numel();
+  double var = 0.0;
+  for (float v : t.flat()) var += (v - mean) * (v - mean);
+  var /= t.numel();
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, KaimingScalesWithFanIn) {
+  Rng rng(10);
+  Tensor t = rng.kaiming_normal({20000}, 50);
+  double var = 0.0;
+  for (float v : t.flat()) var += double(v) * v;
+  var /= t.numel();
+  EXPECT_NEAR(var, 2.0 / 50.0, 0.01);
+}
+
+TEST(Rng, XavierRespectsBound) {
+  Rng rng(11);
+  const float bound = std::sqrt(6.0f / (30 + 40));
+  Tensor t = rng.xavier_uniform({5000}, 30, 40);
+  for (float v : t.flat()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(Rng, ForkIsDeterministicAndDecoupled) {
+  Rng a(5), b(5);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  EXPECT_EQ(fa.uniform(), fb.uniform());  // same parent state -> same child
+  // child stream differs from the parent's continued stream
+  EXPECT_NE(fa.uniform(), a.uniform());
+}
+
+}  // namespace
+}  // namespace ge

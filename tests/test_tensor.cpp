@@ -1,0 +1,143 @@
+// Tensor substrate: construction, shape algebra, access, invariants.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/tensor.hpp"
+
+namespace ge {
+namespace {
+
+TEST(Shape, NumelOfEmptyShapeIsOne) { EXPECT_EQ(shape_numel({}), 1); }
+
+TEST(Shape, NumelMultipliesExtents) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({7}), 7);
+  EXPECT_EQ(shape_numel({5, 0, 3}), 0);
+}
+
+TEST(Shape, NegativeExtentThrows) {
+  EXPECT_THROW(shape_numel({2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, ToStringFormatsBrackets) {
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_to_string({}), "[]");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ShapeConstructorZeroFills) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.dim(), 2);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, DataConstructorChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, OfMakesRank1) {
+  Tensor t = Tensor::of({1.5f, -2.0f, 3.0f});
+  ASSERT_EQ(t.dim(), 1);
+  EXPECT_EQ(t.size(0), 3);
+  EXPECT_EQ(t[1], -2.0f);
+}
+
+TEST(Tensor, FullAndOnes) {
+  EXPECT_EQ(Tensor::ones({3})[2], 1.0f);
+  EXPECT_EQ(Tensor::full({2, 2}, -7.0f)[3], -7.0f);
+}
+
+TEST(Tensor, ArangeCounts) {
+  Tensor t = Tensor::arange(5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], static_cast<float>(i));
+}
+
+TEST(Tensor, SizeSupportsNegativeDims) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(-1), 4);
+  EXPECT_EQ(t.size(-3), 2);
+  EXPECT_THROW(t.size(3), std::out_of_range);
+  EXPECT_THROW(t.size(-4), std::out_of_range);
+}
+
+TEST(Tensor, AtUsesRowMajorOrder) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_EQ(t.at({0, 2}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+}
+
+TEST(Tensor, AtChecksRankAndBounds) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at({0}), std::invalid_argument);
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({0, 3}), std::out_of_range);
+}
+
+TEST(Tensor, AtIsWritable) {
+  Tensor t({2, 2});
+  t.at({1, 1}) = 9.0f;
+  EXPECT_EQ(t[3], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshape({3, 2});
+  EXPECT_EQ(r.at({2, 1}), 5.0f);
+  EXPECT_EQ(r.numel(), 6);
+}
+
+TEST(Tensor, ReshapeInfersMinusOne) {
+  Tensor t({2, 6});
+  EXPECT_EQ(t.reshape({4, -1}).size(1), 3);
+  EXPECT_EQ(t.reshape({-1}).size(0), 12);
+}
+
+TEST(Tensor, ReshapeRejectsBadShapes) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({-1, -1}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({5, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t({2}, {1, 2});
+  Tensor c = t.clone();
+  c[0] = 100.0f;
+  EXPECT_EQ(t[0], 1.0f);
+}
+
+TEST(Tensor, EqualsAndAllclose) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f, 2.0f});
+  Tensor c({2}, {1.0f, 2.0000005f});
+  Tensor d({1, 2}, {1.0f, 2.0f});
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+  EXPECT_TRUE(a.allclose(c, 1e-5f));
+  EXPECT_FALSE(a.allclose(d));  // shape differs
+}
+
+TEST(Tensor, FillOverwritesEverything) {
+  Tensor t({3, 3});
+  t.fill(2.5f);
+  for (float v : t.flat()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, OffsetOfMatchesAt) {
+  Tensor t({2, 3, 4});
+  const int64_t idx[] = {1, 2, 3};
+  EXPECT_EQ(t.offset_of(idx), 1 * 12 + 2 * 4 + 3);
+}
+
+}  // namespace
+}  // namespace ge

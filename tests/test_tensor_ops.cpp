@@ -1,0 +1,302 @@
+// Kernel correctness: matmul family vs brute-force reference, im2col /
+// col2im adjointness, pooling, softmax properties, reductions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace ge {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const int64_t M = a.size(0), K = a.size(1), N = b.size(1);
+  Tensor out({M, N});
+  for (int64_t i = 0; i < M; ++i) {
+    for (int64_t j = 0; j < N; ++j) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < K; ++k) acc += double(a[i * K + k]) * b[k * N + j];
+      out[i * N + j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+TEST(Elementwise, AddSubMulDiv) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  EXPECT_TRUE(ops::add(a, b).equals(Tensor({3}, {5, 7, 9})));
+  EXPECT_TRUE(ops::sub(a, b).equals(Tensor({3}, {-3, -3, -3})));
+  EXPECT_TRUE(ops::mul(a, b).equals(Tensor({3}, {4, 10, 18})));
+  EXPECT_TRUE(ops::div(b, a).allclose(Tensor({3}, {4, 2.5f, 2})));
+}
+
+TEST(Elementwise, ShapeMismatchThrows) {
+  EXPECT_THROW(ops::add(Tensor({2}), Tensor({3})), std::invalid_argument);
+  EXPECT_THROW(ops::mul(Tensor({2, 1}), Tensor({2})), std::invalid_argument);
+}
+
+TEST(Elementwise, InplaceVariants) {
+  Tensor a({2}, {1, 2});
+  ops::add_inplace(a, Tensor({2}, {10, 20}));
+  EXPECT_TRUE(a.equals(Tensor({2}, {11, 22})));
+  ops::mul_scalar_inplace(a, 0.5f);
+  EXPECT_TRUE(a.equals(Tensor({2}, {5.5f, 11})));
+}
+
+TEST(Elementwise, ScalarAndUnary) {
+  Tensor a({2}, {-1, 4});
+  EXPECT_TRUE(ops::add_scalar(a, 1).equals(Tensor({2}, {0, 5})));
+  EXPECT_TRUE(ops::mul_scalar(a, -2).equals(Tensor({2}, {2, -8})));
+  EXPECT_TRUE(ops::neg(a).equals(Tensor({2}, {1, -4})));
+  EXPECT_TRUE(ops::abs(a).equals(Tensor({2}, {1, 4})));
+  EXPECT_TRUE(ops::clamp(a, -0.5f, 2.0f).equals(Tensor({2}, {-0.5f, 2})));
+  EXPECT_NEAR(ops::sqrt(Tensor({1}, {9}))[0], 3.0f, 1e-6f);
+  EXPECT_NEAR(ops::exp(Tensor({1}, {0}))[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(ops::tanh(Tensor({1}, {0}))[0], 0.0f, 1e-6f);
+}
+
+TEST(Elementwise, MapAppliesFunction) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor r = ops::map(a, [](float x) { return x * x; });
+  EXPECT_TRUE(r.equals(Tensor({3}, {1, 4, 9})));
+  ops::map_inplace(a, [](float x) { return -x; });
+  EXPECT_TRUE(a.equals(Tensor({3}, {-1, -2, -3})));
+}
+
+TEST(Reductions, SumMeanMinMax) {
+  Tensor a({4}, {1, -2, 3, 6});
+  EXPECT_NEAR(ops::sum(a), 8.0f, 1e-6f);
+  EXPECT_NEAR(ops::mean(a), 2.0f, 1e-6f);
+  EXPECT_EQ(ops::min_value(a), -2.0f);
+  EXPECT_EQ(ops::max_value(a), 6.0f);
+  EXPECT_EQ(ops::max_abs(a), 6.0f);
+}
+
+TEST(Reductions, EmptyTensorThrows) {
+  Tensor empty({0});
+  EXPECT_THROW(ops::mean(empty), std::invalid_argument);
+  EXPECT_THROW(ops::min_value(empty), std::invalid_argument);
+}
+
+TEST(Reductions, ArgmaxRows) {
+  Tensor a({2, 3}, {1, 5, 2, 9, 0, 3});
+  const auto idx = ops::argmax_rows(a);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Matmul, MatchesNaiveReference) {
+  Rng rng(3);
+  Tensor a = rng.normal_tensor({7, 5});
+  Tensor b = rng.normal_tensor({5, 9});
+  EXPECT_TRUE(ops::matmul(a, b).allclose(naive_matmul(a, b), 1e-4f));
+}
+
+TEST(Matmul, BtVariantMatches) {
+  Rng rng(4);
+  Tensor a = rng.normal_tensor({6, 8});
+  Tensor bt = rng.normal_tensor({5, 8});  // b = bt^T : (8, 5)
+  Tensor b = ops::transpose2d(bt);
+  EXPECT_TRUE(ops::matmul_bt(a, bt).allclose(naive_matmul(a, b), 1e-4f));
+}
+
+TEST(Matmul, AtVariantMatches) {
+  Rng rng(5);
+  Tensor at = rng.normal_tensor({8, 6});  // a = at^T : (6, 8)
+  Tensor b = rng.normal_tensor({8, 5});
+  Tensor a = ops::transpose2d(at);
+  EXPECT_TRUE(ops::matmul_at(at, b).allclose(naive_matmul(a, b), 1e-4f));
+}
+
+TEST(Matmul, ShapeErrors) {
+  EXPECT_THROW(ops::matmul(Tensor({2, 3}), Tensor({4, 2})),
+               std::invalid_argument);
+  EXPECT_THROW(ops::matmul_bt(Tensor({2, 3}), Tensor({4, 2})),
+               std::invalid_argument);
+  EXPECT_THROW(ops::matmul_at(Tensor({2, 3}), Tensor({4, 2})),
+               std::invalid_argument);
+  EXPECT_THROW(ops::matmul(Tensor({2}), Tensor({2, 2})),
+               std::invalid_argument);
+}
+
+TEST(Transpose, RoundTripIsIdentity) {
+  Rng rng(6);
+  Tensor a = rng.normal_tensor({4, 7});
+  EXPECT_TRUE(ops::transpose2d(ops::transpose2d(a)).equals(a));
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(7);
+  Tensor a = rng.normal_tensor({5, 11}, 0.0f, 3.0f);
+  Tensor s = ops::softmax_lastdim(a);
+  for (int64_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 11; ++c) sum += s[r * 11 + c];
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeInputs) {
+  Tensor a({1, 3}, {1000.0f, 1001.0f, 999.0f});
+  Tensor s = ops::softmax_lastdim(a);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_TRUE(std::isfinite(s[i]));
+  EXPECT_GT(s[1], s[0]);
+}
+
+TEST(Softmax, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(8);
+  Tensor a = rng.normal_tensor({3, 6});
+  Tensor ls = ops::log_softmax_lastdim(a);
+  Tensor s = ops::softmax_lastdim(a);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(ls[i], std::log(s[i]), 1e-5f);
+  }
+}
+
+TEST(Conv, SpecOutputGeometry) {
+  ops::Conv2dSpec s;
+  s.kernel_h = s.kernel_w = 3;
+  s.stride_h = s.stride_w = 2;
+  s.pad_h = s.pad_w = 1;
+  EXPECT_EQ(s.out_h(16), 8);
+  EXPECT_EQ(s.out_w(7), 4);
+}
+
+TEST(Conv, Im2colIdentityKernel) {
+  // 1x1 kernel, stride 1: im2col is a reordering of the input itself.
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  ops::Conv2dSpec s;
+  s.kernel_h = s.kernel_w = 1;
+  Tensor cols = ops::im2col(x, s);
+  ASSERT_EQ(cols.size(0), 4);
+  ASSERT_EQ(cols.size(1), 2);
+  // row (oh=0, ow=0) holds channel values at that pixel: 1 and 5
+  EXPECT_EQ(cols.at({0, 0}), 1.0f);
+  EXPECT_EQ(cols.at({0, 1}), 5.0f);
+  EXPECT_EQ(cols.at({3, 0}), 4.0f);
+  EXPECT_EQ(cols.at({3, 1}), 8.0f);
+}
+
+TEST(Conv, Im2colZeroPadsBorders) {
+  Tensor x = Tensor::ones({1, 1, 2, 2});
+  ops::Conv2dSpec s;
+  s.kernel_h = s.kernel_w = 3;
+  s.pad_h = s.pad_w = 1;
+  Tensor cols = ops::im2col(x, s);
+  // top-left output: the 3x3 window has 5 zero (padded) and 4 one entries
+  float sum = 0.0f;
+  for (int64_t j = 0; j < 9; ++j) sum += cols.at({0, j});
+  EXPECT_EQ(sum, 4.0f);
+}
+
+TEST(Conv, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property that makes Conv2d::backward correct.
+  Rng rng(9);
+  Tensor x = rng.normal_tensor({2, 3, 6, 6});
+  ops::Conv2dSpec s;
+  s.kernel_h = s.kernel_w = 3;
+  s.stride_h = s.stride_w = 2;
+  s.pad_h = s.pad_w = 1;
+  Tensor cx = ops::im2col(x, s);
+  Tensor y = rng.normal_tensor(cx.shape());
+  Tensor cty = ops::col2im(y, x.shape(), s);
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < cx.numel(); ++i) lhs += double(cx[i]) * y[i];
+  for (int64_t i = 0; i < x.numel(); ++i) rhs += double(x[i]) * cty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Conv, Im2colRejectsBadInputs) {
+  ops::Conv2dSpec s;
+  EXPECT_THROW(ops::im2col(Tensor({2, 3}), s), std::invalid_argument);
+  s.kernel_h = s.kernel_w = 5;
+  EXPECT_THROW(ops::im2col(Tensor({1, 1, 3, 3}), s), std::invalid_argument);
+}
+
+TEST(Conv, Im2colIsLinear) {
+  // im2col(a x + b y) == a im2col(x) + b im2col(y): the property that
+  // makes conv-as-GEMM legal.
+  Rng rng(40);
+  Tensor x = rng.normal_tensor({1, 2, 5, 5});
+  Tensor y = rng.normal_tensor({1, 2, 5, 5});
+  ops::Conv2dSpec s;
+  s.kernel_h = s.kernel_w = 3;
+  s.pad_h = s.pad_w = 1;
+  Tensor lhs = ops::im2col(
+      ops::add(ops::mul_scalar(x, 2.0f), ops::mul_scalar(y, -3.0f)), s);
+  Tensor rhs = ops::add(ops::mul_scalar(ops::im2col(x, s), 2.0f),
+                        ops::mul_scalar(ops::im2col(y, s), -3.0f));
+  EXPECT_TRUE(lhs.allclose(rhs, 1e-4f));
+}
+
+TEST(Matmul, DistributesOverAddition) {
+  Rng rng(41);
+  Tensor a = rng.normal_tensor({4, 6});
+  Tensor b = rng.normal_tensor({6, 5});
+  Tensor c = rng.normal_tensor({6, 5});
+  Tensor lhs = ops::matmul(a, ops::add(b, c));
+  Tensor rhs = ops::add(ops::matmul(a, b), ops::matmul(a, c));
+  EXPECT_TRUE(lhs.allclose(rhs, 1e-3f));
+}
+
+TEST(Matmul, TransposeVariantsAgreeWithExplicitTranspose) {
+  Rng rng(42);
+  Tensor a = rng.normal_tensor({5, 7});
+  Tensor b = rng.normal_tensor({7, 4});
+  const Tensor ref = ops::matmul(a, b);
+  EXPECT_TRUE(ops::matmul_bt(a, ops::transpose2d(b)).allclose(ref, 1e-4f));
+  EXPECT_TRUE(ops::matmul_at(ops::transpose2d(a), b).allclose(ref, 1e-4f));
+}
+
+TEST(Softmax, InvariantToRowShift) {
+  Rng rng(43);
+  Tensor a = rng.normal_tensor({3, 8});
+  Tensor shifted = ops::add_scalar(a, 42.0f);
+  EXPECT_TRUE(ops::softmax_lastdim(a).allclose(
+      ops::softmax_lastdim(shifted), 1e-5f));
+}
+
+TEST(Pooling, MaxPoolPicksWindowMax) {
+  Tensor x({1, 1, 2, 4}, {1, 5, 2, 0, 3, 4, 8, 1});
+  ops::Conv2dSpec s;
+  s.kernel_h = s.kernel_w = 2;
+  s.stride_h = s.stride_w = 2;
+  Tensor y = ops::maxpool2d(x, s);
+  ASSERT_EQ(y.numel(), 2);
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(y[1], 8.0f);
+}
+
+TEST(Pooling, MaxPoolArgmaxIndexesInput) {
+  Tensor x({1, 1, 2, 2}, {1, 9, 3, 2});
+  ops::Conv2dSpec s;
+  s.kernel_h = s.kernel_w = 2;
+  s.stride_h = s.stride_w = 2;
+  std::vector<int64_t> argmax;
+  Tensor y = ops::maxpool2d(x, s, &argmax);
+  ASSERT_EQ(argmax.size(), 1u);
+  EXPECT_EQ(argmax[0], 1);
+}
+
+TEST(Pooling, AvgPoolAveragesWindow) {
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 6});
+  ops::Conv2dSpec s;
+  s.kernel_h = s.kernel_w = 2;
+  s.stride_h = s.stride_w = 2;
+  EXPECT_NEAR(ops::avgpool2d(x, s)[0], 3.0f, 1e-6f);
+}
+
+TEST(Pooling, GlobalAvgPoolPerChannel) {
+  Tensor x({1, 2, 2, 2}, {1, 1, 1, 1, 2, 2, 2, 10});
+  Tensor y = ops::global_avgpool(x);
+  ASSERT_EQ(y.numel(), 2);
+  EXPECT_NEAR(y[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(y[1], 4.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace ge

@@ -1,0 +1,11 @@
+// goldeneye_cli — thin wrapper over ge::core::run_cli (src/core/cli.hpp).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ge::core::run_cli(args, std::cout, std::cerr);
+}
