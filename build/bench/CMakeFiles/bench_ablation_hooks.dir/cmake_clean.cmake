@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hooks.dir/bench_ablation_hooks.cpp.o"
+  "CMakeFiles/bench_ablation_hooks.dir/bench_ablation_hooks.cpp.o.d"
+  "bench_ablation_hooks"
+  "bench_ablation_hooks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scalar_vs_tensor.dir/bench_ablation_scalar_vs_tensor.cpp.o"
+  "CMakeFiles/bench_ablation_scalar_vs_tensor.dir/bench_ablation_scalar_vs_tensor.cpp.o.d"
+  "bench_ablation_scalar_vs_tensor"
+  "bench_ablation_scalar_vs_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scalar_vs_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

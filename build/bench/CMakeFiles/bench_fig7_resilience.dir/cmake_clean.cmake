@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_resilience.dir/bench_fig7_resilience.cpp.o"
+  "CMakeFiles/bench_fig7_resilience.dir/bench_fig7_resilience.cpp.o.d"
+  "bench_fig7_resilience"
+  "bench_fig7_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_search.dir/dse_search.cpp.o"
+  "CMakeFiles/dse_search.dir/dse_search.cpp.o.d"
+  "dse_search"
+  "dse_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

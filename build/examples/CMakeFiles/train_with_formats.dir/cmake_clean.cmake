@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_with_formats.dir/train_with_formats.cpp.o"
+  "CMakeFiles/train_with_formats.dir/train_with_formats.cpp.o.d"
+  "train_with_formats"
+  "train_with_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_with_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/CMakeFiles/ge_core.dir/core/campaign.cpp.o" "gcc" "src/CMakeFiles/ge_core.dir/core/campaign.cpp.o.d"
+  "/root/repo/src/core/cli.cpp" "src/CMakeFiles/ge_core.dir/core/cli.cpp.o" "gcc" "src/CMakeFiles/ge_core.dir/core/cli.cpp.o.d"
+  "/root/repo/src/core/dse.cpp" "src/CMakeFiles/ge_core.dir/core/dse.cpp.o" "gcc" "src/CMakeFiles/ge_core.dir/core/dse.cpp.o.d"
+  "/root/repo/src/core/emulator.cpp" "src/CMakeFiles/ge_core.dir/core/emulator.cpp.o" "gcc" "src/CMakeFiles/ge_core.dir/core/emulator.cpp.o.d"
+  "/root/repo/src/core/goldeneye.cpp" "src/CMakeFiles/ge_core.dir/core/goldeneye.cpp.o" "gcc" "src/CMakeFiles/ge_core.dir/core/goldeneye.cpp.o.d"
+  "/root/repo/src/core/injector.cpp" "src/CMakeFiles/ge_core.dir/core/injector.cpp.o" "gcc" "src/CMakeFiles/ge_core.dir/core/injector.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/ge_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/ge_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/range_detector.cpp" "src/CMakeFiles/ge_core.dir/core/range_detector.cpp.o" "gcc" "src/CMakeFiles/ge_core.dir/core/range_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ge_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ge_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ge_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ge_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ge_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ge_core.dir/core/campaign.cpp.o"
+  "CMakeFiles/ge_core.dir/core/campaign.cpp.o.d"
+  "CMakeFiles/ge_core.dir/core/cli.cpp.o"
+  "CMakeFiles/ge_core.dir/core/cli.cpp.o.d"
+  "CMakeFiles/ge_core.dir/core/dse.cpp.o"
+  "CMakeFiles/ge_core.dir/core/dse.cpp.o.d"
+  "CMakeFiles/ge_core.dir/core/emulator.cpp.o"
+  "CMakeFiles/ge_core.dir/core/emulator.cpp.o.d"
+  "CMakeFiles/ge_core.dir/core/goldeneye.cpp.o"
+  "CMakeFiles/ge_core.dir/core/goldeneye.cpp.o.d"
+  "CMakeFiles/ge_core.dir/core/injector.cpp.o"
+  "CMakeFiles/ge_core.dir/core/injector.cpp.o.d"
+  "CMakeFiles/ge_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/ge_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/ge_core.dir/core/range_detector.cpp.o"
+  "CMakeFiles/ge_core.dir/core/range_detector.cpp.o.d"
+  "libge_core.a"
+  "libge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

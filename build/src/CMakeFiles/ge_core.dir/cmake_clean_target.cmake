@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libge_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ge_data.dir/data/dataloader.cpp.o"
+  "CMakeFiles/ge_data.dir/data/dataloader.cpp.o.d"
+  "CMakeFiles/ge_data.dir/data/synthetic.cpp.o"
+  "CMakeFiles/ge_data.dir/data/synthetic.cpp.o.d"
+  "libge_data.a"
+  "libge_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ge_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

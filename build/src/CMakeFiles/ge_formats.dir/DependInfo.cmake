@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/afp.cpp" "src/CMakeFiles/ge_formats.dir/formats/afp.cpp.o" "gcc" "src/CMakeFiles/ge_formats.dir/formats/afp.cpp.o.d"
+  "/root/repo/src/formats/bfp.cpp" "src/CMakeFiles/ge_formats.dir/formats/bfp.cpp.o" "gcc" "src/CMakeFiles/ge_formats.dir/formats/bfp.cpp.o.d"
+  "/root/repo/src/formats/format_registry.cpp" "src/CMakeFiles/ge_formats.dir/formats/format_registry.cpp.o" "gcc" "src/CMakeFiles/ge_formats.dir/formats/format_registry.cpp.o.d"
+  "/root/repo/src/formats/fp.cpp" "src/CMakeFiles/ge_formats.dir/formats/fp.cpp.o" "gcc" "src/CMakeFiles/ge_formats.dir/formats/fp.cpp.o.d"
+  "/root/repo/src/formats/fxp.cpp" "src/CMakeFiles/ge_formats.dir/formats/fxp.cpp.o" "gcc" "src/CMakeFiles/ge_formats.dir/formats/fxp.cpp.o.d"
+  "/root/repo/src/formats/intq.cpp" "src/CMakeFiles/ge_formats.dir/formats/intq.cpp.o" "gcc" "src/CMakeFiles/ge_formats.dir/formats/intq.cpp.o.d"
+  "/root/repo/src/formats/number_format.cpp" "src/CMakeFiles/ge_formats.dir/formats/number_format.cpp.o" "gcc" "src/CMakeFiles/ge_formats.dir/formats/number_format.cpp.o.d"
+  "/root/repo/src/formats/posit.cpp" "src/CMakeFiles/ge_formats.dir/formats/posit.cpp.o" "gcc" "src/CMakeFiles/ge_formats.dir/formats/posit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ge_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ge_formats.dir/formats/afp.cpp.o"
+  "CMakeFiles/ge_formats.dir/formats/afp.cpp.o.d"
+  "CMakeFiles/ge_formats.dir/formats/bfp.cpp.o"
+  "CMakeFiles/ge_formats.dir/formats/bfp.cpp.o.d"
+  "CMakeFiles/ge_formats.dir/formats/format_registry.cpp.o"
+  "CMakeFiles/ge_formats.dir/formats/format_registry.cpp.o.d"
+  "CMakeFiles/ge_formats.dir/formats/fp.cpp.o"
+  "CMakeFiles/ge_formats.dir/formats/fp.cpp.o.d"
+  "CMakeFiles/ge_formats.dir/formats/fxp.cpp.o"
+  "CMakeFiles/ge_formats.dir/formats/fxp.cpp.o.d"
+  "CMakeFiles/ge_formats.dir/formats/intq.cpp.o"
+  "CMakeFiles/ge_formats.dir/formats/intq.cpp.o.d"
+  "CMakeFiles/ge_formats.dir/formats/number_format.cpp.o"
+  "CMakeFiles/ge_formats.dir/formats/number_format.cpp.o.d"
+  "CMakeFiles/ge_formats.dir/formats/posit.cpp.o"
+  "CMakeFiles/ge_formats.dir/formats/posit.cpp.o.d"
+  "libge_formats.a"
+  "libge_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ge_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/mlp.cpp" "src/CMakeFiles/ge_models.dir/models/mlp.cpp.o" "gcc" "src/CMakeFiles/ge_models.dir/models/mlp.cpp.o.d"
+  "/root/repo/src/models/model_factory.cpp" "src/CMakeFiles/ge_models.dir/models/model_factory.cpp.o" "gcc" "src/CMakeFiles/ge_models.dir/models/model_factory.cpp.o.d"
+  "/root/repo/src/models/simple_cnn.cpp" "src/CMakeFiles/ge_models.dir/models/simple_cnn.cpp.o" "gcc" "src/CMakeFiles/ge_models.dir/models/simple_cnn.cpp.o.d"
+  "/root/repo/src/models/tiny_deit.cpp" "src/CMakeFiles/ge_models.dir/models/tiny_deit.cpp.o" "gcc" "src/CMakeFiles/ge_models.dir/models/tiny_deit.cpp.o.d"
+  "/root/repo/src/models/tiny_resnet.cpp" "src/CMakeFiles/ge_models.dir/models/tiny_resnet.cpp.o" "gcc" "src/CMakeFiles/ge_models.dir/models/tiny_resnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ge_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ge_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ge_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

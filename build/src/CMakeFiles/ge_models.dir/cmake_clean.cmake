@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ge_models.dir/models/mlp.cpp.o"
+  "CMakeFiles/ge_models.dir/models/mlp.cpp.o.d"
+  "CMakeFiles/ge_models.dir/models/model_factory.cpp.o"
+  "CMakeFiles/ge_models.dir/models/model_factory.cpp.o.d"
+  "CMakeFiles/ge_models.dir/models/simple_cnn.cpp.o"
+  "CMakeFiles/ge_models.dir/models/simple_cnn.cpp.o.d"
+  "CMakeFiles/ge_models.dir/models/tiny_deit.cpp.o"
+  "CMakeFiles/ge_models.dir/models/tiny_deit.cpp.o.d"
+  "CMakeFiles/ge_models.dir/models/tiny_resnet.cpp.o"
+  "CMakeFiles/ge_models.dir/models/tiny_resnet.cpp.o.d"
+  "libge_models.a"
+  "libge_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ge_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/ge_nn.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/ge_nn.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/ge_nn.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/CMakeFiles/ge_nn.dir/nn/embedding.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/embedding.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/ge_nn.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/ge_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/ge_nn.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/CMakeFiles/ge_nn.dir/nn/norm.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/norm.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/CMakeFiles/ge_nn.dir/nn/optim.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/optim.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/ge_nn.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/ge_nn.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/CMakeFiles/ge_nn.dir/nn/transformer.cpp.o" "gcc" "src/CMakeFiles/ge_nn.dir/nn/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ge_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

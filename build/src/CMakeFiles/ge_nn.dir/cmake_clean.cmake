@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ge_nn.dir/nn/activation.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/activation.cpp.o.d"
+  "CMakeFiles/ge_nn.dir/nn/attention.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/attention.cpp.o.d"
+  "CMakeFiles/ge_nn.dir/nn/conv.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/conv.cpp.o.d"
+  "CMakeFiles/ge_nn.dir/nn/embedding.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/embedding.cpp.o.d"
+  "CMakeFiles/ge_nn.dir/nn/linear.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/linear.cpp.o.d"
+  "CMakeFiles/ge_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/ge_nn.dir/nn/module.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/module.cpp.o.d"
+  "CMakeFiles/ge_nn.dir/nn/norm.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/norm.cpp.o.d"
+  "CMakeFiles/ge_nn.dir/nn/optim.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/optim.cpp.o.d"
+  "CMakeFiles/ge_nn.dir/nn/pooling.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/pooling.cpp.o.d"
+  "CMakeFiles/ge_nn.dir/nn/sequential.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/sequential.cpp.o.d"
+  "CMakeFiles/ge_nn.dir/nn/transformer.cpp.o"
+  "CMakeFiles/ge_nn.dir/nn/transformer.cpp.o.d"
+  "libge_nn.a"
+  "libge_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ge_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ge_tensor.dir/tensor/rng.cpp.o"
+  "CMakeFiles/ge_tensor.dir/tensor/rng.cpp.o.d"
+  "CMakeFiles/ge_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/ge_tensor.dir/tensor/tensor.cpp.o.d"
+  "CMakeFiles/ge_tensor.dir/tensor/tensor_ops.cpp.o"
+  "CMakeFiles/ge_tensor.dir/tensor/tensor_ops.cpp.o.d"
+  "libge_tensor.a"
+  "libge_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ge_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_afp.dir/test_afp.cpp.o"
+  "CMakeFiles/test_afp.dir/test_afp.cpp.o.d"
+  "test_afp"
+  "test_afp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_afp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

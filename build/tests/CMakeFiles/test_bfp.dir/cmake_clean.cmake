@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfp.dir/test_bfp.cpp.o"
+  "CMakeFiles/test_bfp.dir/test_bfp.cpp.o.d"
+  "test_bfp"
+  "test_bfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_campaign_metrics.dir/test_campaign_metrics.cpp.o"
+  "CMakeFiles/test_campaign_metrics.dir/test_campaign_metrics.cpp.o.d"
+  "test_campaign_metrics"
+  "test_campaign_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_campaign_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formats_cross.dir/test_formats_cross.cpp.o"
+  "CMakeFiles/test_formats_cross.dir/test_formats_cross.cpp.o.d"
+  "test_formats_cross"
+  "test_formats_cross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formats_cross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp_format.dir/test_fp_format.cpp.o"
+  "CMakeFiles/test_fp_format.dir/test_fp_format.cpp.o.d"
+  "test_fp_format"
+  "test_fp_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

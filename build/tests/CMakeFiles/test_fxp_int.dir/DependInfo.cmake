@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fxp_int.cpp" "tests/CMakeFiles/test_fxp_int.dir/test_fxp_int.cpp.o" "gcc" "tests/CMakeFiles/test_fxp_int.dir/test_fxp_int.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ge_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ge_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ge_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ge_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ge_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

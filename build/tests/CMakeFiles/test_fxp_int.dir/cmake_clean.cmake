@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fxp_int.dir/test_fxp_int.cpp.o"
+  "CMakeFiles/test_fxp_int.dir/test_fxp_int.cpp.o.d"
+  "test_fxp_int"
+  "test_fxp_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fxp_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

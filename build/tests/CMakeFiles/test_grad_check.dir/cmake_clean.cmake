@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grad_check.dir/test_grad_check.cpp.o"
+  "CMakeFiles/test_grad_check.dir/test_grad_check.cpp.o.d"
+  "test_grad_check"
+  "test_grad_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grad_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_structure.dir/test_model_structure.cpp.o"
+  "CMakeFiles/test_model_structure.dir/test_model_structure.cpp.o.d"
+  "test_model_structure"
+  "test_model_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_posit.dir/test_posit.cpp.o"
+  "CMakeFiles/test_posit.dir/test_posit.cpp.o.d"
+  "test_posit"
+  "test_posit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_posit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_detector.dir/test_range_detector.cpp.o"
+  "CMakeFiles/test_range_detector.dir/test_range_detector.cpp.o.d"
+  "test_range_detector"
+  "test_range_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goldeneye_cli.dir/goldeneye_cli.cpp.o"
+  "CMakeFiles/goldeneye_cli.dir/goldeneye_cli.cpp.o.d"
+  "goldeneye_cli"
+  "goldeneye_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goldeneye_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
