@@ -1,8 +1,10 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "nn/loss.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace ge::core {
 
@@ -13,22 +15,94 @@ double CampaignResult::network_mean_delta_loss() const {
   return s / static_cast<double>(layers.size());
 }
 
+namespace {
+
+/// One instrumented model a worker slot runs trials on. Slot 0 wraps the
+/// caller's model; other slots own a replica.
+struct WorkerCtx {
+  std::unique_ptr<nn::Module> owned;  ///< replicas only; null for slot 0
+  nn::Module* model = nullptr;
+  std::unique_ptr<Emulator> emu;
+  std::unique_ptr<Injector> inj;
+};
+
+/// Copy parameter and buffer values from `src` into `dst` positionally
+/// (both trees enumerate depth-first in registration order).
+void copy_state(nn::Module& src, nn::Module& dst) {
+  const auto sp = src.parameters();
+  const auto dp = dst.parameters();
+  const auto sb = src.buffers();
+  const auto db = dst.buffers();
+  if (sp.size() != dp.size() || sb.size() != db.size()) {
+    throw std::invalid_argument(
+        "run_campaign: make_replica produced a model with a different "
+        "parameter/buffer count than the primary");
+  }
+  for (size_t i = 0; i < sp.size(); ++i) {
+    if (sp[i]->value.shape() != dp[i]->value.shape()) {
+      throw std::invalid_argument(
+          "run_campaign: replica parameter shape mismatch at '" +
+          sp[i]->name + "'");
+    }
+    dp[i]->value = sp[i]->value;
+  }
+  for (size_t i = 0; i < sb.size(); ++i) {
+    db[i]->value = sb[i]->value;
+  }
+}
+
+}  // namespace
+
 CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
                             const CampaignConfig& cfg) {
   model.eval();
   EmulatorConfig ecfg;
   ecfg.format_spec = cfg.format_spec;
-  Emulator emu(model, ecfg);
-  Injector inj(emu, cfg.seed);
+
+  // Worker contexts. Replicas must be built and given the primary's weights
+  // BEFORE the primary is instrumented: quantisation is not idempotent (an
+  // int8 scale recomputed from already-quantised data differs), so copying
+  // after attach would double-quantise the replicas.
+  const int64_t nT = cfg.injections_per_layer;
+  int nctx = 1;
+  if (cfg.make_replica) {
+    nctx = std::clamp<int64_t>(
+        std::min<int64_t>(parallel::num_threads(), nT), 1, 64);
+  }
+  std::vector<WorkerCtx> ctxs(static_cast<size_t>(nctx));
+  ctxs[0].model = &model;
+  for (int w = 1; w < nctx; ++w) {
+    ctxs[static_cast<size_t>(w)].owned = cfg.make_replica();
+    ctxs[static_cast<size_t>(w)].model =
+        ctxs[static_cast<size_t>(w)].owned.get();
+    ctxs[static_cast<size_t>(w)].model->eval();
+    copy_state(model, *ctxs[static_cast<size_t>(w)].model);
+  }
+  for (auto& ctx : ctxs) {
+    ctx.emu = std::make_unique<Emulator>(*ctx.model, ecfg);
+    ctx.inj = std::make_unique<Injector>(*ctx.emu, cfg.seed);
+  }
+  Emulator& emu = *ctxs[0].emu;
 
   CampaignResult result;
 
   // Golden reference *under emulation* (fault-free but format-quantised):
-  // faults are measured against the format's own clean behaviour.
+  // faults are measured against the format's own clean behaviour. The
+  // replicas share it — identical weights and deterministic kernels make
+  // their fault-free logits bitwise equal to the primary's.
   const GoldenRun golden = run_golden(model, batch);
   result.golden_accuracy = nn::accuracy(golden.logits, batch.labels);
 
-  for (LayerSite& site : emu.sites()) {
+  // Every random choice of trial ti at site li draws from the child stream
+  // (seed, li * nT + ti): outcomes are a pure function of the trial id, so
+  // any worker may run any trial in any order and the aggregate matches
+  // the serial path bitwise. Skipped sites still advance li, keeping each
+  // layer's streams stable under cfg.layers filtering.
+  const Rng base(cfg.seed);
+  std::vector<FaultOutcome> outcomes(static_cast<size_t>(nT));
+
+  for (size_t li = 0; li < emu.sites().size(); ++li) {
+    LayerSite& site = emu.sites()[li];
     if (!cfg.layers.empty() &&
         std::find(cfg.layers.begin(), cfg.layers.end(), site.path) ==
             cfg.layers.end()) {
@@ -38,21 +112,33 @@ CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
         !site.act_format->has_metadata()) {
       continue;  // value-only formats have no metadata campaign
     }
+
+    parallel::parallel_for_workers(
+        0, nT, /*grain=*/1, nctx, [&](int slot, int64_t lo, int64_t hi) {
+          WorkerCtx& ctx = ctxs[static_cast<size_t>(slot)];
+          for (int64_t ti = lo; ti < hi; ++ti) {
+            InjectionSpec spec;
+            spec.layer_path = site.path;
+            spec.site = cfg.site;
+            spec.model = cfg.model;
+            spec.num_bits = cfg.num_bits;
+            ctx.inj->arm(spec, base.child(static_cast<uint64_t>(li) *
+                                              static_cast<uint64_t>(nT) +
+                                          static_cast<uint64_t>(ti)));
+            Tensor logits = (*ctx.model)(batch.images);
+            outcomes[static_cast<size_t>(ti)] =
+                compare_to_golden(golden, logits, batch.labels);
+            ctx.inj->disarm();
+          }
+        });
+
+    // Serial aggregation in trial order keeps the statistics (and their
+    // floating-point rounding) independent of the execution schedule.
     LayerCampaignResult lr;
     lr.layer = site.path;
     ConvergenceTracker tracker;
-    for (int64_t i = 0; i < cfg.injections_per_layer; ++i) {
-      InjectionSpec spec;
-      spec.layer_path = site.path;
-      spec.site = cfg.site;
-      spec.model = cfg.model;
-      spec.num_bits = cfg.num_bits;
-      inj.arm(spec);
-      Tensor logits = model(batch.images);
-      const FaultOutcome out =
-          compare_to_golden(golden, logits, batch.labels);
-      inj.disarm();
-
+    for (int64_t ti = 0; ti < nT; ++ti) {
+      const FaultOutcome& out = outcomes[static_cast<size_t>(ti)];
       ++lr.injections;
       if (out.sdc) ++lr.sdc_count;
       lr.mean_mismatch_rate += out.mismatch_rate;

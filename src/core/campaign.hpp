@@ -5,8 +5,15 @@
 // aggregate mismatch and ΔLoss statistics per layer. Weights are restored
 // and hooks removed between campaigns; a campaign never perturbs the
 // persistent model.
+// Trials parallelize across pool workers when CampaignConfig::make_replica
+// is set: each worker instruments its own replica model, and every trial
+// draws from a child RNG stream derived solely from (seed, layer index,
+// trial index). Results are therefore bitwise identical to the serial
+// path at any GE_NUM_THREADS.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +32,13 @@ struct CampaignConfig {
   uint64_t seed = 1234;
   /// Restrict to these layer paths (empty = all instrumented layers).
   std::vector<std::string> layers;
+  /// Optional factory for architecturally-identical fresh models. When set,
+  /// run_campaign builds one replica per pool worker (weights are copied
+  /// from the primary model before instrumentation, so the factory's own
+  /// init seed is irrelevant) and fans trials out across workers. When
+  /// null, trials run serially on the primary model. Either way the
+  /// results are bitwise identical — parallelism only changes wall-clock.
+  std::function<std::unique_ptr<nn::Module>()> make_replica;
 };
 
 struct LayerCampaignResult {

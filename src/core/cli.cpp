@@ -118,6 +118,12 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   auto tm = prepare_model(p, data);
   const auto batch =
       data::take(data.test(), 0, std::stoll(get(p, "samples", "16")));
+  // Replica factory lets trials fan out across pool workers; weights are
+  // copied from the trained primary, so the init seed here is irrelevant.
+  const std::string model_name = get(p, "model", "simple_cnn");
+  cfg.make_replica = [model_name]() {
+    return models::make_model(model_name, data::SyntheticVisionConfig{}, 0);
+  };
   const auto r = run_campaign(*tm.model, batch, cfg);
   out << "campaign: " << cfg.format_spec << " site=" << site
       << " error-model=" << em << " injections/layer="

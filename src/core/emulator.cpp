@@ -49,10 +49,12 @@ void Emulator::attach() {
       // Offline weight conversion: each parameter gets a fresh format
       // instance (its metadata belongs to that tensor).
       for (nn::Parameter* p : mod->local_parameters()) {
+        if (p->name == "weight") {
+          weight_saved_index_[path] = saved_weights_.size();
+        }
         saved_weights_.emplace_back(p, p->value);
         auto wfmt = fmt::make_format(spec_for(cfg_, path));
         p->value = wfmt->real_to_format_tensor(p->value);
-        if (p->name == "weight") weight_by_path_.emplace_back(path, p);
       }
     }
     if (cfg_.quantize_activations) {
@@ -66,6 +68,7 @@ void Emulator::attach() {
             if (post_quant_) post_quant_(s, y);
           });
     }
+    site_index_[path] = sites_.size();
     sites_.push_back(std::move(site));
   }
 }
@@ -79,39 +82,30 @@ void Emulator::detach() {
   }
   saved_weights_.clear();
   sites_.clear();
+  site_index_.clear();
+  weight_saved_index_.clear();
 }
 
 LayerSite* Emulator::site(const std::string& path) {
-  for (auto& s : sites_) {
-    if (s.path == path) return &s;
-  }
-  return nullptr;
+  const auto it = site_index_.find(path);
+  return it != site_index_.end() ? &sites_[it->second] : nullptr;
 }
 
 const Tensor* Emulator::original_weight(const std::string& path) const {
-  for (const auto& [p, param] : weight_by_path_) {
-    if (p == path) {
-      for (const auto& [saved_param, original] : saved_weights_) {
-        if (saved_param == param) return &original;
-      }
-    }
-  }
-  return nullptr;
+  const auto it = weight_saved_index_.find(path);
+  return it != weight_saved_index_.end() ? &saved_weights_[it->second].second
+                                         : nullptr;
 }
 
 void Emulator::restore_weights(const std::string& path) {
-  for (auto& [p, param] : weight_by_path_) {
-    if (p != path) continue;
-    for (auto& [saved_param, original] : saved_weights_) {
-      if (saved_param == param) {
-        auto wfmt = fmt::make_format(spec_for(cfg_, path));
-        param->value = wfmt->real_to_format_tensor(original);
-        return;
-      }
-    }
+  const auto it = weight_saved_index_.find(path);
+  if (it == weight_saved_index_.end()) {
+    throw std::invalid_argument("Emulator::restore_weights: no weight at '" +
+                                path + "'");
   }
-  throw std::invalid_argument("Emulator::restore_weights: no weight at '" +
-                              path + "'");
+  auto& [param, original] = saved_weights_[it->second];
+  auto wfmt = fmt::make_format(spec_for(cfg_, path));
+  param->value = wfmt->real_to_format_tensor(original);
 }
 
 float emulated_accuracy(nn::Module& model, const Tensor& images,

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "formats/number_format.hpp"
@@ -89,7 +90,11 @@ class Emulator {
   PostQuant post_quant_;
   // (parameter pointer, pristine FP32 copy) for exact restore on detach
   std::vector<std::pair<nn::Parameter*, Tensor>> saved_weights_;
-  std::vector<std::pair<std::string, nn::Parameter*>> weight_by_path_;
+  // O(1) path lookups (campaigns call site()/restore_weights() per trial):
+  // path -> index into sites_, and path -> index of the layer's "weight"
+  // entry in saved_weights_. Rebuilt by attach(), cleared by detach().
+  std::unordered_map<std::string, size_t> site_index_;
+  std::unordered_map<std::string, size_t> weight_saved_index_;
 };
 
 /// Convenience: top-1 accuracy of `model` on `batch` with `format_spec`

@@ -59,7 +59,7 @@ std::vector<int> Injector::choose_bits(int width, int requested_bit,
     --count;
   }
   while (count > 0) {
-    const int b = static_cast<int>(rng_.randint(0, width - 1));
+    const int b = static_cast<int>(draw_rng().randint(0, width - 1));
     if (std::find(bits.begin(), bits.end(), b) == bits.end()) {
       bits.push_back(b);
       --count;
@@ -87,6 +87,21 @@ void Injector::perturb(fmt::BitString& bits,
 
 void Injector::arm(const InjectionSpec& spec) {
   disarm();
+  arm_impl(spec);
+}
+
+void Injector::arm(const InjectionSpec& spec, const Rng& trial_rng) {
+  disarm();
+  trial_rng_ = trial_rng;  // after disarm(), which clears any old override
+  try {
+    arm_impl(spec);
+  } catch (...) {
+    trial_rng_.reset();
+    throw;
+  }
+}
+
+void Injector::arm_impl(const InjectionSpec& spec) {
   LayerSite* site = emulator_->site(spec.layer_path);
   if (site == nullptr) {
     throw std::invalid_argument("Injector: layer '" + spec.layer_path +
@@ -116,13 +131,14 @@ void Injector::disarm() {
   }
   armed_.reset();
   fired_ = false;
+  trial_rng_.reset();
 }
 
 void Injector::apply_activation(LayerSite& site, Tensor& y) {
   const InjectionSpec& spec = *armed_;
   fmt::NumberFormat& f = *site.act_format;
   const int64_t element =
-      spec.element >= 0 ? spec.element : rng_.randint(0, y.numel() - 1);
+      spec.element >= 0 ? spec.element : draw_rng().randint(0, y.numel() - 1);
   if (element >= y.numel()) {
     throw std::invalid_argument("Injector: element index out of range");
   }
@@ -163,7 +179,7 @@ void Injector::apply_metadata(LayerSite& site, Tensor& y) {
   }
   const int64_t index = spec.metadata_index >= 0
                             ? spec.metadata_index
-                            : rng_.randint(0, field->count - 1);
+                            : draw_rng().randint(0, field->count - 1);
 
   InjectionRecord rec;
   rec.layer_path = site.path;
@@ -199,9 +215,9 @@ void Injector::apply_weight(LayerSite& site) {
   auto wfmt = site.act_format->clone();
   (void)wfmt->real_to_format_tensor(weight->value);
 
-  const int64_t element = spec.element >= 0
-                              ? spec.element
-                              : rng_.randint(0, weight->value.numel() - 1);
+  const int64_t element =
+      spec.element >= 0 ? spec.element
+                        : draw_rng().randint(0, weight->value.numel() - 1);
   InjectionRecord rec;
   rec.layer_path = site.path;
   rec.site = InjectionSite::kWeightValue;

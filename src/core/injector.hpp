@@ -70,6 +70,14 @@ class Injector {
   /// inconsistent (e.g. metadata on a metadata-less format).
   void arm(const InjectionSpec& spec);
 
+  /// Like arm(), but every random choice this injection makes (element,
+  /// bit positions, register index) draws from `trial_rng` instead of the
+  /// injector's own stream. Campaigns pass Rng::child(trial_id) here so a
+  /// trial's outcome depends only on its id, not on how many trials ran
+  /// before it — the property that lets trials run on any thread in any
+  /// order and still reproduce the serial results bitwise.
+  void arm(const InjectionSpec& spec, const Rng& trial_rng);
+
   /// Cancel a pending injection and undo any weight corruption.
   void disarm();
 
@@ -82,15 +90,20 @@ class Injector {
   }
 
  private:
+  void arm_impl(const InjectionSpec& spec);
   void apply_activation(LayerSite& site, Tensor& y);
   void apply_metadata(LayerSite& site, Tensor& y);
   void apply_weight(LayerSite& site);
   std::vector<int> choose_bits(int width, int requested_bit, int count);
   /// Apply the armed error model to the chosen bits of `bits`.
   void perturb(fmt::BitString& bits, const std::vector<int>& chosen) const;
+  /// The stream random choices draw from: the per-trial override when one
+  /// was armed, the injector's own stream otherwise.
+  Rng& draw_rng() { return trial_rng_ ? *trial_rng_ : rng_; }
 
   Emulator* emulator_;
   Rng rng_;
+  std::optional<Rng> trial_rng_;
   std::optional<InjectionSpec> armed_;
   std::optional<InjectionRecord> record_;
   bool fired_ = false;

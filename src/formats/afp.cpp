@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace ge::fmt {
@@ -67,11 +68,14 @@ Tensor AfpFormat::real_to_format_tensor(const Tensor& t) {
   }
   last_input_ = t;  // kept for persistent-register fault replay
 
+  // Metadata (the bias offset) is fixed above in a serial pass; the element
+  // loop is then pure per-value work and chunks across threads.
   Tensor out(t.shape());
   const float* pin = t.data();
   float* po = out.data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = quantize_value(pin[i]);
+  parallel::parallel_for(0, t.numel(), 4096, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = quantize_value(pin[i]);
+  });
   return out;
 }
 

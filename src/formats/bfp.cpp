@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace ge::fmt {
 
 namespace {
@@ -57,33 +59,40 @@ Tensor BfpFormat::real_to_format_tensor(const Tensor& t) {
   const int se_max = ((1 << exp_bits_) - 1) - bias_;
   const auto max_mag = static_cast<float>((1 << man_bits_) - 1);
 
-  for (int64_t b = 0; b < nblocks; ++b) {
-    const int64_t lo = b * effective_block_;
-    const int64_t hi = std::min(n, lo + effective_block_);
-    // Pass 1: the block's maximum exponent -> shared-exponent register.
-    float block_max = 0.0f;
-    for (int64_t i = lo; i < hi; ++i) {
-      block_max = std::max(block_max, std::fabs(pin[i]));
-    }
-    int se = se_min;
-    if (block_max > 0.0f && !std::isnan(block_max)) {
-      se = std::clamp(floor_log2(block_max), se_min, se_max);
-    }
-    shared_exp_[static_cast<size_t>(b)] = se;
-    // Pass 2: quantise each element against the shared exponent. Scaling
-    // uses ldexp, not 1/step: for deeply negative shared exponents (an
-    // all-zero block under a wide-e format) 2^-(se+1-m) overflows float
-    // and 0 * inf would poison the block with NaNs.
-    const int shift = se + 1 - man_bits_;
-    for (int64_t i = lo; i < hi; ++i) {
-      const float x = pin[i];
-      float mag = std::nearbyintf(std::ldexp(std::fabs(x), -shift));
-      mag = std::min(mag, max_mag);
-      const float code = std::signbit(x) ? -mag : mag;
-      last_codes_[static_cast<size_t>(i)] = static_cast<int32_t>(code);
-      po[i] = std::ldexp(code, shift);
-    }
-  }
+  // Blocks are independent: each owns one shared-exponent register and a
+  // disjoint code/output slice, so the block loop is the parallel axis.
+  parallel::parallel_for(
+      0, nblocks, parallel::grain_for(2 * effective_block_),
+      [&](int64_t blo, int64_t bhi) {
+        for (int64_t b = blo; b < bhi; ++b) {
+          const int64_t lo = b * effective_block_;
+          const int64_t hi = std::min(n, lo + effective_block_);
+          // Pass 1: the block's maximum exponent -> shared-exponent register.
+          float block_max = 0.0f;
+          for (int64_t i = lo; i < hi; ++i) {
+            block_max = std::max(block_max, std::fabs(pin[i]));
+          }
+          int se = se_min;
+          if (block_max > 0.0f && !std::isnan(block_max)) {
+            se = std::clamp(floor_log2(block_max), se_min, se_max);
+          }
+          shared_exp_[static_cast<size_t>(b)] = se;
+          // Pass 2: quantise each element against the shared exponent.
+          // Scaling uses ldexp, not 1/step: for deeply negative shared
+          // exponents (an all-zero block under a wide-e format)
+          // 2^-(se+1-m) overflows float and 0 * inf would poison the
+          // block with NaNs.
+          const int shift = se + 1 - man_bits_;
+          for (int64_t i = lo; i < hi; ++i) {
+            const float x = pin[i];
+            float mag = std::nearbyintf(std::ldexp(std::fabs(x), -shift));
+            mag = std::min(mag, max_mag);
+            const float code = std::signbit(x) ? -mag : mag;
+            last_codes_[static_cast<size_t>(i)] = static_cast<int32_t>(code);
+            po[i] = std::ldexp(code, shift);
+          }
+        }
+      });
   return out;
 }
 

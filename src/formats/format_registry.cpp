@@ -1,7 +1,9 @@
 #include "formats/format_registry.hpp"
 
 #include <charconv>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "formats/afp.hpp"
 #include "formats/bfp.hpp"
@@ -117,12 +119,56 @@ std::unique_ptr<NumberFormat> parse(const std::string& full_spec) {
 }  // namespace
 
 std::unique_ptr<NumberFormat> make_format(const std::string& spec) {
+  // Per-spec prototype cache: campaigns construct one format per layer per
+  // replica from the same handful of spec strings, so parse once and clone.
+  // Prototypes are never used for conversion, so clones carry no tensor
+  // state. Thread-safe: replica setup may run from pool workers.
+  static std::mutex mu;
+  static std::unordered_map<std::string, std::unique_ptr<NumberFormat>> cache;
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    const auto it = cache.find(spec);
+    if (it != cache.end()) return it->second->clone();
+  }
   auto f = parse(spec);
   if (!f) {
     throw std::invalid_argument("make_format: unknown format spec '" + spec +
                                 "'");
   }
+  std::lock_guard<std::mutex> lk(mu);
+  auto& slot = cache[spec];
+  if (!slot) slot = f->clone();
   return f;
+}
+
+const std::vector<float>* dequant_codebook(const std::string& spec) {
+  static std::mutex mu;
+  static std::unordered_map<std::string, std::unique_ptr<std::vector<float>>>
+      cache;
+  std::lock_guard<std::mutex> lk(mu);
+  const auto it = cache.find(spec);
+  if (it != cache.end()) return it->second.get();
+
+  auto f = parse(spec);
+  if (!f) {
+    throw std::invalid_argument("dequant_codebook: unknown format spec '" +
+                                spec + "'");
+  }
+  auto& slot = cache[spec];
+  // Only value-only formats decode context-free: any format with hardware
+  // metadata registers (INT scale, BFP shared exponents, AFP bias offset)
+  // decodes differently per tensor, so a static codebook would be wrong.
+  if (f->bit_width() > 16 || !f->metadata_fields().empty()) {
+    return nullptr;  // slot stays null and future lookups short-circuit
+  }
+  const uint64_t count = uint64_t{1} << f->bit_width();
+  auto table = std::make_unique<std::vector<float>>();
+  table->reserve(static_cast<size_t>(count));
+  for (uint64_t p = 0; p < count; ++p) {
+    table->push_back(f->format_to_real(BitString(p, f->bit_width())));
+  }
+  slot = std::move(table);
+  return slot.get();
 }
 
 bool is_valid_spec(const std::string& spec) {

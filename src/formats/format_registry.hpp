@@ -28,6 +28,14 @@ std::unique_ptr<NumberFormat> make_format(const std::string& spec);
 /// True if `spec` parses (cheap validation for config front ends).
 bool is_valid_spec(const std::string& spec);
 
+/// Cached dequantization codebook for value-only formats of <= 16 bits:
+/// entry p is format_to_real(BitString(p, width)), so bulk decode becomes a
+/// table lookup. Returns nullptr for formats whose decode depends on
+/// per-tensor metadata (int, bfp, afp) or that are wider than 16 bits.
+/// Built once per spec and shared; the pointer stays valid for the
+/// lifetime of the process. Throws std::invalid_argument on a bad spec.
+const std::vector<float>* dequant_codebook(const std::string& spec);
+
 /// The named aliases this build knows about (for --help output).
 std::vector<std::string> known_aliases();
 

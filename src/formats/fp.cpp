@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace ge::fmt {
 
 namespace {
@@ -73,11 +75,14 @@ float FloatFormat::quantize_value(float x) const {
 
 Tensor FloatFormat::real_to_format_tensor(const Tensor& t) {
   // Fast tensorised path: one fused pass, no bitstring materialisation.
+  // Value-only format (no tensor-level metadata), so elements quantize
+  // independently and the loop chunks across threads.
   Tensor out(t.shape());
   const float* pin = t.data();
   float* po = out.data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = quantize_value(pin[i]);
+  parallel::parallel_for(0, t.numel(), 4096, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = quantize_value(pin[i]);
+  });
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace ge::fmt {
 
 FxpFormat::FxpFormat(int int_bits, int frac_bits)
@@ -30,11 +32,13 @@ float FxpFormat::quantize_value(float x) const {
 }
 
 Tensor FxpFormat::real_to_format_tensor(const Tensor& t) {
+  // Value-only format: elements quantize independently (see FloatFormat).
   Tensor out(t.shape());
   const float* pin = t.data();
   float* po = out.data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = quantize_value(pin[i]);
+  parallel::parallel_for(0, t.numel(), 4096, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = quantize_value(pin[i]);
+  });
   return out;
 }
 

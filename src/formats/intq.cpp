@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace ge::fmt {
@@ -37,15 +38,17 @@ Tensor IntFormat::real_to_format_tensor(const Tensor& t) {
   const float* pin = t.data();
   float* po = out.data();
   const float inv = 1.0f / scale_;
-  const auto lo = static_cast<float>(-max_code_);
-  const auto hi = static_cast<float>(max_code_);
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    const float code =
-        std::clamp(std::nearbyintf(pin[i] * inv), lo, hi);
-    last_codes_[static_cast<size_t>(i)] = static_cast<int32_t>(code);
-    po[i] = code * scale_;
-  }
+  const auto cmin = static_cast<float>(-max_code_);
+  const auto cmax = static_cast<float>(max_code_);
+  // The scale (tensor metadata) is fixed above; the element loop only does
+  // disjoint writes to `out` and `last_codes_`, so it parallelizes cleanly.
+  parallel::parallel_for(0, t.numel(), 4096, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float code = std::clamp(std::nearbyintf(pin[i] * inv), cmin, cmax);
+      last_codes_[static_cast<size_t>(i)] = static_cast<int32_t>(code);
+      po[i] = code * scale_;
+    }
+  });
   return out;
 }
 

@@ -3,9 +3,36 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace ge::fmt {
+
+std::shared_ptr<const PositFormat::Tables> PositFormat::tables_for(int n,
+                                                                   int es) {
+  static std::mutex mu;
+  static std::map<std::pair<int, int>, std::shared_ptr<const Tables>> cache;
+  std::lock_guard<std::mutex> lk(mu);
+  auto& slot = cache[{n, es}];
+  if (!slot) {
+    // Positive patterns are 0x0001 .. 0x7FFF... (sign bit clear, nonzero);
+    // their decoded values are strictly increasing with the pattern — a
+    // defining property of posits — so the table is sorted for free.
+    auto t = std::make_shared<Tables>();
+    const uint32_t count = uint32_t{1} << (n - 1);
+    t->values.reserve(count - 1);
+    t->patterns.reserve(count - 1);
+    for (uint32_t p = 1; p < count; ++p) {
+      t->values.push_back(decode_pattern(p, n, es));
+      t->patterns.push_back(p);
+    }
+    slot = std::move(t);
+  }
+  return slot;
+}
 
 PositFormat::PositFormat(int n, int es)
     : NumberFormat("posit_" + std::to_string(n) + "_" + std::to_string(es),
@@ -18,16 +45,7 @@ PositFormat::PositFormat(int n, int es)
   if (es < 0 || es > 3) {
     throw std::invalid_argument("PositFormat: es must be in [0, 3]");
   }
-  // Positive patterns are 0x0001 .. 0x7FFF... (sign bit clear, nonzero);
-  // their decoded values are strictly increasing with the pattern — a
-  // defining property of posits — so the table is sorted for free.
-  const uint32_t count = uint32_t{1} << (n - 1);
-  pos_values_.reserve(count - 1);
-  pos_patterns_.reserve(count - 1);
-  for (uint32_t p = 1; p < count; ++p) {
-    pos_values_.push_back(decode_pattern(p, n, es));
-    pos_patterns_.push_back(p);
-  }
+  tables_ = tables_for(n, es);
 }
 
 double PositFormat::decode_pattern(uint32_t pattern, int n, int es) {
@@ -77,21 +95,21 @@ double PositFormat::decode_pattern(uint32_t pattern, int n, int es) {
 float PositFormat::quantize_value(float x) const {
   if (std::isnan(x)) return x;
   if (x == 0.0f) return 0.0f;
+  const auto& vals = tables_->values;
   const double ax = std::fabs(x);
   const double sign = std::signbit(x) ? -1.0 : 1.0;
   // saturation: posits never round past maxpos / below minpos to zero
-  if (ax >= pos_values_.back()) {
-    return static_cast<float>(sign * pos_values_.back());
+  if (ax >= vals.back()) {
+    return static_cast<float>(sign * vals.back());
   }
-  if (ax <= pos_values_.front()) {
-    return static_cast<float>(sign * pos_values_.front());
+  if (ax <= vals.front()) {
+    return static_cast<float>(sign * vals.front());
   }
-  const auto it =
-      std::lower_bound(pos_values_.begin(), pos_values_.end(), ax);
-  const size_t hi = static_cast<size_t>(it - pos_values_.begin());
+  const auto it = std::lower_bound(vals.begin(), vals.end(), ax);
+  const size_t hi = static_cast<size_t>(it - vals.begin());
   const size_t lo = hi - 1;
-  const double dlo = ax - pos_values_[lo];
-  const double dhi = pos_values_[hi] - ax;
+  const double dlo = ax - vals[lo];
+  const double dhi = vals[hi] - ax;
   size_t pick;
   if (dlo < dhi) {
     pick = lo;
@@ -99,17 +117,20 @@ float PositFormat::quantize_value(float x) const {
     pick = hi;
   } else {
     // tie: round to the even pattern (posit standard)
-    pick = (pos_patterns_[lo] & 1) == 0 ? lo : hi;
+    pick = (tables_->patterns[lo] & 1) == 0 ? lo : hi;
   }
-  return static_cast<float>(sign * pos_values_[pick]);
+  return static_cast<float>(sign * vals[pick]);
 }
 
 Tensor PositFormat::real_to_format_tensor(const Tensor& t) {
+  // Value-only format: elements quantize independently (table lookups are
+  // read-only), so the loop chunks across threads.
   Tensor out(t.shape());
   const float* pin = t.data();
   float* po = out.data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = quantize_value(pin[i]);
+  parallel::parallel_for(0, t.numel(), 4096, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = quantize_value(pin[i]);
+  });
   return out;
 }
 
@@ -120,13 +141,12 @@ BitString PositFormat::real_to_format(float value) const {
   const float q = quantize_value(value);
   if (q == 0.0f) return BitString(0, n_);
   const double aq = std::fabs(q);
-  const auto it =
-      std::lower_bound(pos_values_.begin(), pos_values_.end(), aq);
-  if (it == pos_values_.end() || *it != aq) {
+  const auto& vals = tables_->values;
+  const auto it = std::lower_bound(vals.begin(), vals.end(), aq);
+  if (it == vals.end() || *it != aq) {
     throw std::logic_error("PositFormat: quantised value not in table");
   }
-  uint32_t pattern =
-      pos_patterns_[static_cast<size_t>(it - pos_values_.begin())];
+  uint32_t pattern = tables_->patterns[static_cast<size_t>(it - vals.begin())];
   if (q < 0.0f) {
     const uint32_t mask = (uint32_t{1} << n_) - 1;
     pattern = (~pattern + 1) & mask;
@@ -142,9 +162,9 @@ float PositFormat::format_to_real(const BitString& bits) const {
       decode_pattern(static_cast<uint32_t>(bits.value()), n_, es_));
 }
 
-double PositFormat::abs_max() const { return pos_values_.back(); }
+double PositFormat::abs_max() const { return tables_->values.back(); }
 
-double PositFormat::abs_min() const { return pos_values_.front(); }
+double PositFormat::abs_min() const { return tables_->values.front(); }
 
 double PositFormat::useed() const { return std::ldexp(1.0, 1 << es_); }
 

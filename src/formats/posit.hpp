@@ -15,7 +15,13 @@
 // into a sorted table; quantisation is a binary search with
 // round-to-nearest (ties to the even pattern, posit's standard rounding).
 // This is exact by construction and fast enough for tensor conversion.
+// The table is immutable after construction and shared across all
+// PositFormat instances with the same (n, es) — a campaign clones one
+// format per layer per replica, and rebuilding 2^(n-1) decoded entries
+// per clone dominated construction cost.
 #pragma once
+
+#include <memory>
 
 #include "formats/number_format.hpp"
 
@@ -46,11 +52,17 @@ class PositFormat : public NumberFormat {
   static double decode_pattern(uint32_t pattern, int n, int es);
 
  private:
+  /// Immutable decode tables for one (n, es): sorted strictly-positive
+  /// values with their (positive) patterns.
+  struct Tables {
+    std::vector<double> values;
+    std::vector<uint32_t> patterns;
+  };
+  static std::shared_ptr<const Tables> tables_for(int n, int es);
+
   int n_;
   int es_;
-  // sorted strictly-positive values with their (positive) patterns
-  std::vector<double> pos_values_;
-  std::vector<uint32_t> pos_patterns_;
+  std::shared_ptr<const Tables> tables_;
 };
 
 }  // namespace ge::fmt

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace ge::nn {
@@ -70,33 +71,43 @@ Tensor MultiheadSelfAttention::forward(const Tensor& input) {
   }
 
   Tensor merged({B, T, dim_});
-  Tensor qh({T, head_dim_}), kh({T, head_dim_}), vh({T, head_dim_});
-  for (int64_t b = 0; b < B; ++b) {
-    for (int64_t h = 0; h < heads_; ++h) {
-      gather_head(qkv, b, h, 0, T, dim_, head_dim_, qh);
-      gather_head(qkv, b, h, 1, T, dim_, head_dim_, kh);
-      gather_head(qkv, b, h, 2, T, dim_, head_dim_, vh);
-      Tensor scores = ops::matmul_bt(qh, kh);  // (T, T)
-      ops::mul_scalar_inplace(scores, scale_);
-      Tensor attn = ops::softmax_lastdim(scores);
-      Tensor out = ops::matmul(attn, vh);  // (T, head_dim)
-      // write head output into the merged (B, T, D) tensor
-      float* pm = merged.data();
-      const float* po = out.data();
-      for (int64_t t = 0; t < T; ++t) {
-        float* row = pm + (b * T + t) * dim_ + h * head_dim_;
-        for (int64_t i = 0; i < head_dim_; ++i) row[i] = po[t * head_dim_ + i];
-      }
-      if (cache) {
-        const int64_t base = ((b * heads_ + h) * T) * head_dim_;
-        std::copy(qh.data(), qh.data() + T * head_dim_, q_.data() + base);
-        std::copy(kh.data(), kh.data() + T * head_dim_, k_.data() + base);
-        std::copy(vh.data(), vh.data() + T * head_dim_, v_.data() + base);
-        std::copy(attn.data(), attn.data() + T * T,
-                  attn_.data() + (b * heads_ + h) * T * T);
-      }
-    }
-  }
+  // (b, h) pairs are independent: each writes its own head_dim_ column slice
+  // of `merged` and its own cache slices. Scratch tensors live inside the
+  // body so concurrent chunks never share them; the inner matmuls run serial
+  // inline because we're already in a parallel region.
+  parallel::parallel_for(
+      0, B * heads_, parallel::grain_for(2 * T * T * head_dim_),
+      [&](int64_t lo, int64_t hi) {
+        Tensor qh({T, head_dim_}), kh({T, head_dim_}), vh({T, head_dim_});
+        for (int64_t bh = lo; bh < hi; ++bh) {
+          const int64_t b = bh / heads_;
+          const int64_t h = bh % heads_;
+          gather_head(qkv, b, h, 0, T, dim_, head_dim_, qh);
+          gather_head(qkv, b, h, 1, T, dim_, head_dim_, kh);
+          gather_head(qkv, b, h, 2, T, dim_, head_dim_, vh);
+          Tensor scores = ops::matmul_bt(qh, kh);  // (T, T)
+          ops::mul_scalar_inplace(scores, scale_);
+          Tensor attn = ops::softmax_lastdim(scores);
+          Tensor out = ops::matmul(attn, vh);  // (T, head_dim)
+          // write head output into the merged (B, T, D) tensor
+          float* pm = merged.data();
+          const float* po = out.data();
+          for (int64_t t = 0; t < T; ++t) {
+            float* row = pm + (b * T + t) * dim_ + h * head_dim_;
+            for (int64_t i = 0; i < head_dim_; ++i) {
+              row[i] = po[t * head_dim_ + i];
+            }
+          }
+          if (cache) {
+            const int64_t base = bh * T * head_dim_;
+            std::copy(qh.data(), qh.data() + T * head_dim_, q_.data() + base);
+            std::copy(kh.data(), kh.data() + T * head_dim_, k_.data() + base);
+            std::copy(vh.data(), vh.data() + T * head_dim_, v_.data() + base);
+            std::copy(attn.data(), attn.data() + T * T,
+                      attn_.data() + bh * T * T);
+          }
+        }
+      });
   return (*proj_)(merged);
 }
 
@@ -109,56 +120,64 @@ Tensor MultiheadSelfAttention::backward(const Tensor& grad_out) {
   Tensor g_merged = proj_->backward(grad_out);  // (B, T, D)
   Tensor gqkv({B, T, 3 * dim_});
 
-  Tensor gout({T, head_dim_});
-  for (int64_t b = 0; b < B; ++b) {
-    for (int64_t h = 0; h < heads_; ++h) {
-      // slice caches for this (b, h)
-      const int64_t base = ((b * heads_ + h) * T) * head_dim_;
-      Tensor qh({T, head_dim_}), kh({T, head_dim_}), vh({T, head_dim_});
-      std::copy(q_.data() + base, q_.data() + base + T * head_dim_,
-                qh.data());
-      std::copy(k_.data() + base, k_.data() + base + T * head_dim_,
-                kh.data());
-      std::copy(v_.data() + base, v_.data() + base + T * head_dim_,
-                vh.data());
-      Tensor attn({T, T});
-      std::copy(attn_.data() + (b * heads_ + h) * T * T,
-                attn_.data() + (b * heads_ + h + 1) * T * T, attn.data());
-      // gradient of this head's output
-      const float* pm = g_merged.data();
-      float* pg = gout.data();
-      for (int64_t t = 0; t < T; ++t) {
-        const float* row = pm + (b * T + t) * dim_ + h * head_dim_;
-        for (int64_t i = 0; i < head_dim_; ++i) pg[t * head_dim_ + i] = row[i];
-      }
-      // out = attn @ v
-      Tensor d_attn = ops::matmul_bt(gout, vh);      // (T, T)
-      Tensor d_v = ops::matmul_at(attn, gout);       // (T, head_dim)
-      // softmax backward, row-wise: ds = a * (da - sum(da * a))
-      Tensor d_scores({T, T});
-      {
-        const float* pa = attn.data();
-        const float* pda = d_attn.data();
-        float* pds = d_scores.data();
-        for (int64_t r = 0; r < T; ++r) {
-          double dot = 0.0;
-          for (int64_t c = 0; c < T; ++c) {
-            dot += double(pda[r * T + c]) * pa[r * T + c];
+  // Same (b, h) independence as the forward pass: each pair scatter-adds
+  // into its own disjoint q/k/v slices of gqkv.
+  parallel::parallel_for(
+      0, B * heads_, parallel::grain_for(4 * T * T * head_dim_),
+      [&](int64_t lo, int64_t hi) {
+        Tensor gout({T, head_dim_});
+        for (int64_t bh = lo; bh < hi; ++bh) {
+          const int64_t b = bh / heads_;
+          const int64_t h = bh % heads_;
+          // slice caches for this (b, h)
+          const int64_t base = bh * T * head_dim_;
+          Tensor qh({T, head_dim_}), kh({T, head_dim_}), vh({T, head_dim_});
+          std::copy(q_.data() + base, q_.data() + base + T * head_dim_,
+                    qh.data());
+          std::copy(k_.data() + base, k_.data() + base + T * head_dim_,
+                    kh.data());
+          std::copy(v_.data() + base, v_.data() + base + T * head_dim_,
+                    vh.data());
+          Tensor attn({T, T});
+          std::copy(attn_.data() + bh * T * T, attn_.data() + (bh + 1) * T * T,
+                    attn.data());
+          // gradient of this head's output
+          const float* pm = g_merged.data();
+          float* pg = gout.data();
+          for (int64_t t = 0; t < T; ++t) {
+            const float* row = pm + (b * T + t) * dim_ + h * head_dim_;
+            for (int64_t i = 0; i < head_dim_; ++i) {
+              pg[t * head_dim_ + i] = row[i];
+            }
           }
-          for (int64_t c = 0; c < T; ++c) {
-            pds[r * T + c] = pa[r * T + c] *
-                             (pda[r * T + c] - static_cast<float>(dot));
+          // out = attn @ v
+          Tensor d_attn = ops::matmul_bt(gout, vh);  // (T, T)
+          Tensor d_v = ops::matmul_at(attn, gout);   // (T, head_dim)
+          // softmax backward, row-wise: ds = a * (da - sum(da * a))
+          Tensor d_scores({T, T});
+          {
+            const float* pa = attn.data();
+            const float* pda = d_attn.data();
+            float* pds = d_scores.data();
+            for (int64_t r = 0; r < T; ++r) {
+              double dot = 0.0;
+              for (int64_t c = 0; c < T; ++c) {
+                dot += double(pda[r * T + c]) * pa[r * T + c];
+              }
+              for (int64_t c = 0; c < T; ++c) {
+                pds[r * T + c] = pa[r * T + c] *
+                                 (pda[r * T + c] - static_cast<float>(dot));
+              }
+            }
           }
+          ops::mul_scalar_inplace(d_scores, scale_);
+          Tensor d_q = ops::matmul(d_scores, kh);     // (T, head_dim)
+          Tensor d_k = ops::matmul_at(d_scores, qh);  // (T, head_dim)
+          scatter_head(gqkv, b, h, 0, T, dim_, head_dim_, d_q);
+          scatter_head(gqkv, b, h, 1, T, dim_, head_dim_, d_k);
+          scatter_head(gqkv, b, h, 2, T, dim_, head_dim_, d_v);
         }
-      }
-      ops::mul_scalar_inplace(d_scores, scale_);
-      Tensor d_q = ops::matmul(d_scores, kh);     // (T, head_dim)
-      Tensor d_k = ops::matmul_at(d_scores, qh);  // (T, head_dim)
-      scatter_head(gqkv, b, h, 0, T, dim_, head_dim_, d_q);
-      scatter_head(gqkv, b, h, 1, T, dim_, head_dim_, d_k);
-      scatter_head(gqkv, b, h, 2, T, dim_, head_dim_, d_v);
-    }
-  }
+      });
   return qkv_->backward(gqkv);
 }
 

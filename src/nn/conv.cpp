@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace ge::nn {
 
 namespace {
@@ -50,17 +52,18 @@ Tensor Conv2d::forward(const Tensor& input) {
   const float* py = ymat.data();
   const float* pb = bias_.value.data();
   float* po = out.data();
-  for (int64_t n = 0; n < N; ++n) {
-    for (int64_t oh = 0; oh < OH; ++oh) {
-      for (int64_t ow = 0; ow < OW; ++ow) {
-        const float* row = py + ((n * OH + oh) * OW + ow) * out_c_;
-        for (int64_t oc = 0; oc < out_c_; ++oc) {
-          po[((n * out_c_ + oc) * OH + oh) * OW + ow] =
-              row[oc] + (with_bias_ ? pb[oc] : 0.0f);
+  // Parallel over (n, oc) planes: each writes a disjoint OH*OW slice.
+  parallel::parallel_for(
+      0, N * out_c_, parallel::grain_for(OH * OW), [&](int64_t lo, int64_t hi) {
+        for (int64_t noc = lo; noc < hi; ++noc) {
+          const int64_t n = noc / out_c_;
+          const int64_t oc = noc % out_c_;
+          const float b = with_bias_ ? pb[oc] : 0.0f;
+          float* dst = po + noc * OH * OW;
+          const float* src = py + n * OH * OW * out_c_ + oc;
+          for (int64_t i = 0; i < OH * OW; ++i) dst[i] = src[i * out_c_] + b;
         }
-      }
-    }
-  }
+      });
   if (is_training()) {
     cached_cols_ = std::move(cols);
     cached_input_shape_ = input.shape();
@@ -81,16 +84,16 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   Tensor gmat({N * OH * OW, out_c_});
   const float* pg = grad_out.data();
   float* pgm = gmat.data();
-  for (int64_t n = 0; n < N; ++n) {
-    for (int64_t oc = 0; oc < out_c_; ++oc) {
-      for (int64_t oh = 0; oh < OH; ++oh) {
-        for (int64_t ow = 0; ow < OW; ++ow) {
-          pgm[((n * OH + oh) * OW + ow) * out_c_ + oc] =
-              pg[((n * out_c_ + oc) * OH + oh) * OW + ow];
+  parallel::parallel_for(
+      0, N * out_c_, parallel::grain_for(OH * OW), [&](int64_t lo, int64_t hi) {
+        for (int64_t noc = lo; noc < hi; ++noc) {
+          const int64_t n = noc / out_c_;
+          const int64_t oc = noc % out_c_;
+          const float* src = pg + noc * OH * OW;
+          float* dst = pgm + n * OH * OW * out_c_ + oc;
+          for (int64_t i = 0; i < OH * OW; ++i) dst[i * out_c_] = src[i];
         }
-      }
-    }
-  }
+      });
 
   // dW = g^T cols ; db = column-sum(g) ; dcols = g Wmat ; dx = col2im(dcols)
   Tensor gw = ops::matmul_at(gmat, cached_cols_);  // (OC, patch)

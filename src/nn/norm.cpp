@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace ge::nn {
 
 BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
@@ -37,47 +39,56 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
     cached_inv_std_.assign(static_cast<size_t>(channels_), 0.0f);
     cached_shape_ = input.shape();
   }
-  for (int64_t c = 0; c < channels_; ++c) {
-    float mean_c, var_c;
-    if (use_batch_stats) {
-      double s = 0.0;
-      for (int64_t n = 0; n < N; ++n) {
-        const float* p = pin + (n * channels_ + c) * plane;
-        for (int64_t i = 0; i < plane; ++i) s += p[i];
-      }
-      mean_c = static_cast<float>(s / double(m));
-      double v = 0.0;
-      for (int64_t n = 0; n < N; ++n) {
-        const float* p = pin + (n * channels_ + c) * plane;
-        for (int64_t i = 0; i < plane; ++i) {
-          const double d = double(p[i]) - mean_c;
-          v += d * d;
+  // Channels are fully independent (stats, running buffers, cached state and
+  // output planes are all per-channel), so the channel loop is the parallel
+  // axis.
+  parallel::parallel_for(
+      0, channels_, parallel::grain_for(3 * m), [&](int64_t clo, int64_t chi) {
+        for (int64_t c = clo; c < chi; ++c) {
+          float mean_c, var_c;
+          if (use_batch_stats) {
+            double s = 0.0;
+            for (int64_t n = 0; n < N; ++n) {
+              const float* p = pin + (n * channels_ + c) * plane;
+              for (int64_t i = 0; i < plane; ++i) s += p[i];
+            }
+            mean_c = static_cast<float>(s / double(m));
+            double v = 0.0;
+            for (int64_t n = 0; n < N; ++n) {
+              const float* p = pin + (n * channels_ + c) * plane;
+              for (int64_t i = 0; i < plane; ++i) {
+                const double d = double(p[i]) - mean_c;
+                v += d * d;
+              }
+            }
+            var_c = static_cast<float>(v / double(m));  // biased, as PyTorch
+            running_mean_.value[c] =
+                (1.0f - momentum_) * running_mean_.value[c] +
+                momentum_ * mean_c;
+            running_var_.value[c] =
+                (1.0f - momentum_) * running_var_.value[c] + momentum_ * var_c;
+          } else {
+            mean_c = running_mean_.value[c];
+            var_c = running_var_.value[c];
+          }
+          const float inv_std = 1.0f / std::sqrt(var_c + eps_);
+          if (use_batch_stats) {
+            cached_inv_std_[static_cast<size_t>(c)] = inv_std;
+          }
+          for (int64_t n = 0; n < N; ++n) {
+            const float* p = pin + (n * channels_ + c) * plane;
+            float* q = po + (n * channels_ + c) * plane;
+            float* xh = use_batch_stats
+                            ? cached_xhat_.data() + (n * channels_ + c) * plane
+                            : nullptr;
+            for (int64_t i = 0; i < plane; ++i) {
+              const float xhat = (p[i] - mean_c) * inv_std;
+              if (xh) xh[i] = xhat;
+              q[i] = pgamma[c] * xhat + pbeta[c];
+            }
+          }
         }
-      }
-      var_c = static_cast<float>(v / double(m));  // biased, as PyTorch does
-      running_mean_.value[c] =
-          (1.0f - momentum_) * running_mean_.value[c] + momentum_ * mean_c;
-      running_var_.value[c] =
-          (1.0f - momentum_) * running_var_.value[c] + momentum_ * var_c;
-    } else {
-      mean_c = running_mean_.value[c];
-      var_c = running_var_.value[c];
-    }
-    const float inv_std = 1.0f / std::sqrt(var_c + eps_);
-    if (use_batch_stats) cached_inv_std_[static_cast<size_t>(c)] = inv_std;
-    for (int64_t n = 0; n < N; ++n) {
-      const float* p = pin + (n * channels_ + c) * plane;
-      float* q = po + (n * channels_ + c) * plane;
-      float* xh = use_batch_stats
-                      ? cached_xhat_.data() + (n * channels_ + c) * plane
-                      : nullptr;
-      for (int64_t i = 0; i < plane; ++i) {
-        const float xhat = (p[i] - mean_c) * inv_std;
-        if (xh) xh[i] = xhat;
-        q[i] = pgamma[c] * xhat + pbeta[c];
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -93,28 +104,34 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const float* pg = grad_out.data();
   const float* pxh = cached_xhat_.data();
   float* pgx = gx.data();
-  for (int64_t c = 0; c < channels_; ++c) {
-    double sum_g = 0.0, sum_gx = 0.0;
-    for (int64_t n = 0; n < N; ++n) {
-      const int64_t base = (n * channels_ + c) * plane;
-      for (int64_t i = 0; i < plane; ++i) {
-        sum_g += pg[base + i];
-        sum_gx += double(pg[base + i]) * pxh[base + i];
-      }
-    }
-    gamma_.grad[c] += static_cast<float>(sum_gx);
-    beta_.grad[c] += static_cast<float>(sum_g);
-    const float mean_g = static_cast<float>(sum_g / double(m));
-    const float mean_gx = static_cast<float>(sum_gx / double(m));
-    const float k = gamma_.value[c] * cached_inv_std_[static_cast<size_t>(c)];
-    for (int64_t n = 0; n < N; ++n) {
-      const int64_t base = (n * channels_ + c) * plane;
-      for (int64_t i = 0; i < plane; ++i) {
-        pgx[base + i] =
-            k * (pg[base + i] - mean_g - pxh[base + i] * mean_gx);
-      }
-    }
-  }
+  // Per-channel like the forward pass: gamma/beta grads are indexed by c,
+  // so channel-parallel writes stay disjoint.
+  parallel::parallel_for(
+      0, channels_, parallel::grain_for(3 * m), [&](int64_t clo, int64_t chi) {
+        for (int64_t c = clo; c < chi; ++c) {
+          double sum_g = 0.0, sum_gx = 0.0;
+          for (int64_t n = 0; n < N; ++n) {
+            const int64_t base = (n * channels_ + c) * plane;
+            for (int64_t i = 0; i < plane; ++i) {
+              sum_g += pg[base + i];
+              sum_gx += double(pg[base + i]) * pxh[base + i];
+            }
+          }
+          gamma_.grad[c] += static_cast<float>(sum_gx);
+          beta_.grad[c] += static_cast<float>(sum_g);
+          const float mean_g = static_cast<float>(sum_g / double(m));
+          const float mean_gx = static_cast<float>(sum_gx / double(m));
+          const float k =
+              gamma_.value[c] * cached_inv_std_[static_cast<size_t>(c)];
+          for (int64_t n = 0; n < N; ++n) {
+            const int64_t base = (n * channels_ + c) * plane;
+            for (int64_t i = 0; i < plane; ++i) {
+              pgx[base + i] =
+                  k * (pg[base + i] - mean_g - pxh[base + i] * mean_gx);
+            }
+          }
+        }
+      });
   return gx;
 }
 
@@ -152,27 +169,30 @@ Tensor LayerNorm::forward(const Tensor& input) {
   float* po = out.data();
   const float* pgamma = gamma_.value.data();
   const float* pbeta = beta_.value.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = pin + r * dim_;
-    float* y = po + r * dim_;
-    double s = 0.0;
-    for (int64_t i = 0; i < dim_; ++i) s += x[i];
-    const float mu = static_cast<float>(s / double(dim_));
-    double v = 0.0;
-    for (int64_t i = 0; i < dim_; ++i) {
-      const double d = double(x[i]) - mu;
-      v += d * d;
-    }
-    const float inv_std =
-        1.0f / std::sqrt(static_cast<float>(v / double(dim_)) + eps_);
-    if (cache) cached_inv_std_[static_cast<size_t>(r)] = inv_std;
-    float* xh = cache ? cached_xhat_.data() + r * dim_ : nullptr;
-    for (int64_t i = 0; i < dim_; ++i) {
-      const float xhat = (x[i] - mu) * inv_std;
-      if (xh) xh[i] = xhat;
-      y[i] = pgamma[i] * xhat + pbeta[i];
-    }
-  }
+  parallel::parallel_for(
+      0, rows, parallel::grain_for(4 * dim_), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* x = pin + r * dim_;
+          float* y = po + r * dim_;
+          double s = 0.0;
+          for (int64_t i = 0; i < dim_; ++i) s += x[i];
+          const float mu = static_cast<float>(s / double(dim_));
+          double v = 0.0;
+          for (int64_t i = 0; i < dim_; ++i) {
+            const double d = double(x[i]) - mu;
+            v += d * d;
+          }
+          const float inv_std =
+              1.0f / std::sqrt(static_cast<float>(v / double(dim_)) + eps_);
+          if (cache) cached_inv_std_[static_cast<size_t>(r)] = inv_std;
+          float* xh = cache ? cached_xhat_.data() + r * dim_ : nullptr;
+          for (int64_t i = 0; i < dim_; ++i) {
+            const float xhat = (x[i] - mu) * inv_std;
+            if (xh) xh[i] = xhat;
+            y[i] = pgamma[i] * xhat + pbeta[i];
+          }
+        }
+      });
   return out;
 }
 
@@ -186,6 +206,8 @@ Tensor LayerNorm::backward(const Tensor& grad_out) {
   const float* pxh = cached_xhat_.data();
   float* pgx = gx.data();
   const float* pgamma = gamma_.value.data();
+  // Serial on purpose: every row accumulates into gamma_.grad / beta_.grad,
+  // so a row-parallel version would race on the parameter gradients.
   for (int64_t r = 0; r < rows; ++r) {
     const float* g = pg + r * dim_;
     const float* xh = pxh + r * dim_;

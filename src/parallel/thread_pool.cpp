@@ -1,0 +1,218 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ge::parallel {
+
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+int env_default_threads() {
+  if (const char* e = std::getenv("GE_NUM_THREADS")) {
+    const int n = std::atoi(e);
+    if (n >= 1) return std::min(n, kMaxThreads);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(std::min<unsigned>(hc, kMaxThreads)) : 1;
+}
+
+thread_local bool tls_in_region = false;
+
+/// RAII guard marking the current thread as inside a parallel body.
+/// Saves and restores the previous value: a nested inline loop ends while
+/// its enclosing region is still active, and clearing the flag outright
+/// would let the *next* nested loop take the parallel path and deadlock
+/// on run_mutex_.
+struct RegionGuard {
+  bool prev = tls_in_region;
+  RegionGuard() { tls_in_region = true; }
+  ~RegionGuard() { tls_in_region = prev; }
+};
+
+/// One parallel loop, published to the workers. Worker slot w executes
+/// chunks w, w + nw, w + 2*nw, ... (static round-robin over chunks): the
+/// assignment spreads chunks evenly, while the chunk boundaries themselves
+/// are a function of (begin, grain) only.
+struct Job {
+  const std::function<void(int, int64_t, int64_t)>* fn = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t nchunks = 0;
+  int nw = 1;  ///< participating worker slots (main thread is slot 0)
+};
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool* pool = new ThreadPool();  // leaked: workers may
+    return *pool;  // outlive static destruction order, never torn down
+  }
+
+  int configured_threads() {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    return desired_;
+  }
+
+  void set_threads(int n) {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    desired_ = std::clamp(n, 1, kMaxThreads);
+  }
+
+  void run(int64_t begin, int64_t end, int64_t grain, int max_workers,
+           const std::function<void(int, int64_t, int64_t)>& fn) {
+    const int64_t n = end - begin;
+    if (n <= 0) return;
+    if (grain <= 0) grain = 1;
+    const int64_t nchunks = (n + grain - 1) / grain;
+
+    int nw = std::min(configured_threads(), std::max(1, max_workers));
+    nw = static_cast<int>(std::min<int64_t>(nw, nchunks));
+
+    if (nw <= 1 || tls_in_region) {
+      // Serial path — same chunk boundaries, slot 0 throughout.
+      RegionGuard guard;
+      for (int64_t c = 0; c < nchunks; ++c) {
+        const int64_t lo = begin + c * grain;
+        fn(0, lo, std::min(end, lo + grain));
+      }
+      return;
+    }
+
+    // One top-level loop at a time; nested calls never reach here.
+    std::lock_guard<std::mutex> run_lk(run_mutex_);
+    ensure_workers(nw - 1);
+    Job job;
+    {
+      std::lock_guard<std::mutex> lk(job_mutex_);
+      job_.fn = &fn;
+      job_.begin = begin;
+      job_.end = end;
+      job_.grain = grain;
+      job_.nchunks = nchunks;
+      job_.nw = nw;
+      pending_.store(nw - 1, std::memory_order_relaxed);
+      first_error_ = nullptr;
+      ++job_id_;
+      job = job_;
+    }
+    job_cv_.notify_all();
+
+    // The calling thread is worker slot 0. Even if it throws, we must wait
+    // for the other slots: they hold a reference to the caller's `fn`.
+    try {
+      run_slot(job, 0);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(job_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lk(job_mutex_);
+      done_cv_.wait(lk, [&] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+      if (first_error_) std::rethrow_exception(first_error_);
+    }
+  }
+
+ private:
+  ThreadPool() : desired_(env_default_threads()) {}
+
+  void ensure_workers(int count) {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    while (static_cast<int>(workers_.size()) < count) {
+      const int slot = static_cast<int>(workers_.size()) + 1;
+      uint64_t current_id;
+      {
+        // A new worker must start past the jobs already published, or it
+        // would pick up a completed job whose `fn` is long dead.
+        std::lock_guard<std::mutex> jlk(job_mutex_);
+        current_id = job_id_;
+      }
+      workers_.emplace_back(
+          [this, slot, current_id] { worker_loop(slot, current_id); });
+    }
+  }
+
+  void run_slot(const Job& job, int slot) {
+    RegionGuard guard;
+    for (int64_t c = slot; c < job.nchunks; c += job.nw) {
+      const int64_t lo = job.begin + c * job.grain;
+      (*job.fn)(slot, lo, std::min(job.end, lo + job.grain));
+    }
+  }
+
+  void worker_loop(int slot, uint64_t seen) {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lk(job_mutex_);
+        job_cv_.wait(lk, [&] { return job_id_ != seen; });
+        seen = job_id_;
+        job = job_;
+      }
+      if (slot < job.nw) {
+        try {
+          run_slot(job, slot);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(job_mutex_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lk(job_mutex_);
+          done_cv_.notify_one();
+        }
+      }
+    }
+  }
+
+  std::mutex config_mutex_;
+  int desired_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex run_mutex_;
+  std::mutex job_mutex_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  Job job_;
+  uint64_t job_id_ = 0;
+  std::atomic<int> pending_{0};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace
+
+int num_threads() { return ThreadPool::instance().configured_threads(); }
+
+void set_num_threads(int n) { ThreadPool::instance().set_threads(n); }
+
+bool in_parallel_region() { return tls_in_region; }
+
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::instance().run(
+      begin, end, grain, kMaxThreads,
+      [&fn](int, int64_t lo, int64_t hi) { fn(lo, hi); });
+}
+
+void parallel_for_workers(
+    int64_t begin, int64_t end, int64_t grain, int max_workers,
+    const std::function<void(int, int64_t, int64_t)>& fn) {
+  ThreadPool::instance().run(begin, end, grain, max_workers, fn);
+}
+
+int64_t grain_for(int64_t work_per_item, int64_t target_work) {
+  work_per_item = std::max<int64_t>(1, work_per_item);
+  target_work = std::max<int64_t>(1, target_work);
+  return std::max<int64_t>(1, target_work / work_per_item);
+}
+
+}  // namespace ge::parallel

@@ -1,0 +1,65 @@
+// ge::parallel — deterministic thread-pool parallelism for kernels,
+// format quantisation, and fault-injection campaigns.
+//
+// Design contract (the reason this file exists, see DESIGN.md §"Threading
+// model & determinism"): parallel_for splits [begin, end) into chunks
+// whose boundaries depend ONLY on `grain` — never on the thread count —
+// and every chunk computes exactly what the serial loop would compute for
+// those indices. Any loop whose chunks write disjoint outputs therefore
+// produces bitwise-identical results at 1, 4 or N threads, which keeps
+// every experiment in EXPERIMENTS.md reproducible bit-for-bit while
+// running as fast as the hardware allows.
+//
+// The pool is a lazily-initialised process-global: worker count comes from
+// the GE_NUM_THREADS environment variable (default: hardware_concurrency)
+// and can be overridden at runtime with set_num_threads() (used by the
+// determinism tests to compare thread counts inside one process). Nested
+// parallel_for calls (a kernel inside an already-parallel campaign trial)
+// execute inline on the calling thread, so parallelism never oversubscribes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ge::parallel {
+
+/// Effective worker count parallel_for may use (>= 1). First call reads
+/// GE_NUM_THREADS (default: hardware_concurrency).
+int num_threads();
+
+/// Override the worker count at runtime (clamped to [1, 256]). Threads are
+/// spawned lazily on the next parallel loop. Safe to call repeatedly;
+/// intended for tests and embedding applications.
+void set_num_threads(int n);
+
+/// True while the calling thread is inside a parallel_for body (nested
+/// loops run serially inline).
+bool in_parallel_region();
+
+/// Chunked parallel loop over the half-open range [begin, end).
+/// `fn(lo, hi)` is invoked once per chunk of at most `grain` consecutive
+/// indices; chunk boundaries depend only on `grain`. Chunks may run on any
+/// thread in any order, so `fn` must write disjoint outputs per index —
+/// under that contract results are bitwise identical at any thread count.
+/// Exceptions thrown by `fn` are rethrown on the calling thread.
+/// Degenerate inputs are safe: an empty range is a no-op, grain <= 0 is
+/// treated as 1, and a range smaller than one grain runs inline.
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn);
+
+/// As parallel_for, but `fn` additionally receives the zero-based slot of
+/// the worker executing the chunk (in [0, max_workers)), so callers can
+/// index per-worker state (replica models, scratch buffers). At most
+/// `max_workers` slots are used (clamped to [1, num_threads()]). Chunk
+/// boundaries are unchanged; whether the *slot* assignment matters for
+/// determinism is the caller's responsibility.
+void parallel_for_workers(int64_t begin, int64_t end, int64_t grain,
+                          int max_workers,
+                          const std::function<void(int, int64_t, int64_t)>& fn);
+
+/// Chunk grain targeting ~`target_work` scalar operations per chunk given
+/// `work_per_item` operations per loop index (both clamped to >= 1).
+/// Deterministic: depends only on its arguments, never on machine state.
+int64_t grain_for(int64_t work_per_item, int64_t target_work = 32768);
+
+}  // namespace ge::parallel

@@ -50,4 +50,13 @@ Rng Rng::fork() {
   return Rng(a ^ (b << 1));
 }
 
+Rng Rng::child(uint64_t stream) const {
+  // splitmix64 finalizer over (seed, stream): well-mixed, stateless, and
+  // cheap. Distinct streams give decorrelated mt19937_64 seeds.
+  uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
+
 }  // namespace ge

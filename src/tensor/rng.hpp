@@ -16,7 +16,7 @@ namespace ge {
 /// Thin wrapper around std::mt19937_64 with tensor-filling helpers.
 class Rng {
  public:
-  explicit Rng(uint64_t seed) : engine_(seed) {}
+  explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
 
   /// Uniform float in [lo, hi).
   float uniform(float lo = 0.0f, float hi = 1.0f);
@@ -35,12 +35,26 @@ class Rng {
   Tensor xavier_uniform(Shape shape, int64_t fan_in, int64_t fan_out);
 
   /// Derive an independent child generator (for per-component streams).
+  /// Mutates this generator; the child depends on how many draws preceded
+  /// the call. Prefer child() when the derivation must not depend on
+  /// execution order.
   Rng fork();
+
+  /// Derive an independent child stream from the *construction seed* and a
+  /// stream id only — const, so the result is identical no matter how many
+  /// values were drawn before, in what order, or from which thread. This
+  /// is what makes parallel campaigns bitwise-reproducible: trial t of
+  /// layer l always gets child(l * trials_per_layer + t).
+  Rng child(uint64_t stream) const;
+
+  /// The seed this generator was constructed with.
+  uint64_t seed() const noexcept { return seed_; }
 
   std::mt19937_64& engine() noexcept { return engine_; }
 
  private:
   std::mt19937_64 engine_;
+  uint64_t seed_;
 };
 
 }  // namespace ge

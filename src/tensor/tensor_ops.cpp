@@ -5,9 +5,16 @@
 #include <limits>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace ge::ops {
 
 namespace {
+
+/// Elementwise kernels fall back to one chunk below this size; above it
+/// they split into fixed 32k-element chunks (boundaries independent of the
+/// thread count, so results are bitwise identical at any GE_NUM_THREADS).
+constexpr int64_t kElementGrain = 32 * 1024;
 
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
   if (a.shape() != b.shape()) {
@@ -24,8 +31,12 @@ Tensor binary(const Tensor& a, const Tensor& b, const char* op, F f) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  parallel::parallel_for(0, a.numel(), kElementGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             po[i] = f(pa[i], pb[i]);
+                           }
+                         });
   return out;
 }
 
@@ -34,8 +45,10 @@ Tensor unary(const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  parallel::parallel_for(0, a.numel(), kElementGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+                         });
   return out;
 }
 
@@ -58,8 +71,10 @@ void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
   float* pa = a.data();
   const float* pb = b.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+  parallel::parallel_for(0, a.numel(), kElementGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) pa[i] += pb[i];
+                         });
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
@@ -136,16 +151,27 @@ std::vector<int64_t> argmax_rows(const Tensor& a) {
   const int64_t rows = a.numel() / cols;
   std::vector<int64_t> out(static_cast<size_t>(rows));
   const float* p = a.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = p + r * cols;
-    int64_t best = 0;
-    for (int64_t c = 1; c < cols; ++c) {
-      if (row[c] > row[best]) best = c;
-    }
-    out[static_cast<size_t>(r)] = best;
-  }
+  parallel::parallel_for(
+      0, rows, parallel::grain_for(cols), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* row = p + r * cols;
+          int64_t best = 0;
+          for (int64_t c = 1; c < cols; ++c) {
+            if (row[c] > row[best]) best = c;
+          }
+          out[static_cast<size_t>(r)] = best;
+        }
+      });
   return out;
 }
+
+// Accumulation policy (all matmul variants): float32 multiply-accumulate
+// in ascending-k order. This matches the emulated accelerator's native
+// FP32 MAC fabric (DESIGN.md §1: "native" = the hardware's own format) and
+// makes the three variants agree bitwise on the same logical product —
+// each output element sees the identical sequence of FP32 additions — so
+// layers are free to pick whichever operand layout is cache-friendly.
+// Rows of the output are independent, which is also the parallel axis.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   if (a.dim() != 2 || b.dim() != 2 || a.size(1) != b.size(0)) {
@@ -159,15 +185,18 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   // ikj loop order: unit-stride inner loops on both B and C.
-  for (int64_t i = 0; i < M; ++i) {
-    float* crow = po + i * N;
-    for (int64_t k = 0; k < K; ++k) {
-      const float aval = pa[i * K + k];
-      if (aval == 0.0f) continue;
-      const float* brow = pb + k * N;
-      for (int64_t j = 0; j < N; ++j) crow[j] += aval * brow[j];
-    }
-  }
+  parallel::parallel_for(
+      0, M, parallel::grain_for(K * N), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          float* crow = po + i * N;
+          for (int64_t k = 0; k < K; ++k) {
+            const float aval = pa[i * K + k];
+            if (aval == 0.0f) continue;
+            const float* brow = pb + k * N;
+            for (int64_t j = 0; j < N; ++j) crow[j] += aval * brow[j];
+          }
+        }
+      });
   return out;
 }
 
@@ -182,15 +211,18 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b_t) {
   const float* pa = a.data();
   const float* pb = b_t.data();
   float* po = out.data();
-  for (int64_t i = 0; i < M; ++i) {
-    const float* arow = pa + i * K;
-    for (int64_t j = 0; j < N; ++j) {
-      const float* brow = pb + j * K;
-      double acc = 0.0;
-      for (int64_t k = 0; k < K; ++k) acc += double(arow[k]) * brow[k];
-      po[i * N + j] = static_cast<float>(acc);
-    }
-  }
+  parallel::parallel_for(
+      0, M, parallel::grain_for(K * N), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float* arow = pa + i * K;
+          for (int64_t j = 0; j < N; ++j) {
+            const float* brow = pb + j * K;
+            float acc = 0.0f;  // FP32 MAC, ascending k (see policy above)
+            for (int64_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
+            po[i * N + j] = acc;
+          }
+        }
+      });
   return out;
 }
 
@@ -205,16 +237,21 @@ Tensor matmul_at(const Tensor& a_t, const Tensor& b) {
   const float* pa = a_t.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t k = 0; k < K; ++k) {
-    const float* arow = pa + k * M;
-    const float* brow = pb + k * N;
-    for (int64_t i = 0; i < M; ++i) {
-      const float aval = arow[i];
-      if (aval == 0.0f) continue;
-      float* crow = po + i * N;
-      for (int64_t j = 0; j < N; ++j) crow[j] += aval * brow[j];
-    }
-  }
+  // Row-parallel: each output row i accumulates over k independently (A
+  // reads are strided, but rows stay disjoint and the k-order is the same
+  // FP32 MAC sequence as the other variants).
+  parallel::parallel_for(
+      0, M, parallel::grain_for(K * N), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          float* crow = po + i * N;
+          for (int64_t k = 0; k < K; ++k) {
+            const float aval = pa[k * M + i];
+            if (aval == 0.0f) continue;
+            const float* brow = pb + k * N;
+            for (int64_t j = 0; j < N; ++j) crow[j] += aval * brow[j];
+          }
+        }
+      });
   return out;
 }
 
@@ -236,19 +273,22 @@ Tensor softmax_lastdim(const Tensor& a) {
   Tensor out(a.shape());
   const float* p = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = p + r * cols;
-    float* orow = po + r * cols;
-    float mx = row[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
-    double s = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      orow[c] = std::exp(row[c] - mx);
-      s += orow[c];
-    }
-    const float inv = static_cast<float>(1.0 / s);
-    for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
-  }
+  parallel::parallel_for(
+      0, rows, parallel::grain_for(4 * cols), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* row = p + r * cols;
+          float* orow = po + r * cols;
+          float mx = row[0];
+          for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+          double s = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            orow[c] = std::exp(row[c] - mx);
+            s += orow[c];
+          }
+          const float inv = static_cast<float>(1.0 / s);
+          for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
+        }
+      });
   return out;
 }
 
@@ -258,16 +298,21 @@ Tensor log_softmax_lastdim(const Tensor& a) {
   Tensor out(a.shape());
   const float* p = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = p + r * cols;
-    float* orow = po + r * cols;
-    float mx = row[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
-    double s = 0.0;
-    for (int64_t c = 0; c < cols; ++c) s += std::exp(double(row[c]) - mx);
-    const float lse = mx + static_cast<float>(std::log(s));
-    for (int64_t c = 0; c < cols; ++c) orow[c] = row[c] - lse;
-  }
+  parallel::parallel_for(
+      0, rows, parallel::grain_for(4 * cols), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* row = p + r * cols;
+          float* orow = po + r * cols;
+          float mx = row[0];
+          for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+          double s = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            s += std::exp(double(row[c]) - mx);
+          }
+          const float lse = mx + static_cast<float>(std::log(s));
+          for (int64_t c = 0; c < cols; ++c) orow[c] = row[c] - lse;
+        }
+      });
   return out;
 }
 
@@ -283,26 +328,30 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& s) {
   Tensor cols({N * OH * OW, patch});
   const float* pin = input.data();
   float* pc = cols.data();
-  for (int64_t n = 0; n < N; ++n) {
-    for (int64_t oh = 0; oh < OH; ++oh) {
-      for (int64_t ow = 0; ow < OW; ++ow) {
-        float* dst = pc + ((n * OH + oh) * OW + ow) * patch;
-        for (int64_t c = 0; c < C; ++c) {
-          for (int64_t kh = 0; kh < s.kernel_h; ++kh) {
-            const int64_t ih = oh * s.stride_h - s.pad_h + kh;
-            for (int64_t kw = 0; kw < s.kernel_w; ++kw) {
-              const int64_t iw = ow * s.stride_w - s.pad_w + kw;
-              float v = 0.0f;
-              if (ih >= 0 && ih < H && iw >= 0 && iw < W) {
-                v = pin[((n * C + c) * H + ih) * W + iw];
+  // Parallel over output rows r = (n*OH + oh)*OW + ow; each row writes a
+  // disjoint `patch`-sized slice of `cols`.
+  parallel::parallel_for(
+      0, N * OH * OW, parallel::grain_for(patch), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const int64_t ow = r % OW;
+          const int64_t oh = (r / OW) % OH;
+          const int64_t n = r / (OW * OH);
+          float* dst = pc + r * patch;
+          for (int64_t c = 0; c < C; ++c) {
+            for (int64_t kh = 0; kh < s.kernel_h; ++kh) {
+              const int64_t ih = oh * s.stride_h - s.pad_h + kh;
+              for (int64_t kw = 0; kw < s.kernel_w; ++kw) {
+                const int64_t iw = ow * s.stride_w - s.pad_w + kw;
+                float v = 0.0f;
+                if (ih >= 0 && ih < H && iw >= 0 && iw < W) {
+                  v = pin[((n * C + c) * H + ih) * W + iw];
+                }
+                *dst++ = v;
               }
-              *dst++ = v;
             }
           }
         }
-      }
-    }
-  }
+      });
   return cols;
 }
 
@@ -322,6 +371,9 @@ Tensor col2im(const Tensor& cols, const Shape& input_shape,
   Tensor out(input_shape);
   const float* pc = cols.data();
   float* pout = out.data();
+  // Serial on purpose: overlapping windows scatter-add into the same input
+  // cells, so a parallel version would race (or need per-thread partials
+  // whose merge order breaks bitwise determinism).
   for (int64_t n = 0; n < N; ++n) {
     for (int64_t oh = 0; oh < OH; ++oh) {
       for (int64_t ow = 0; ow < OW; ++ow) {
@@ -354,33 +406,42 @@ Tensor maxpool2d(const Tensor& input, const Conv2dSpec& s,
   if (argmax_out) argmax_out->assign(static_cast<size_t>(out.numel()), -1);
   const float* pin = input.data();
   float* po = out.data();
-  int64_t oidx = 0;
-  for (int64_t n = 0; n < N; ++n) {
-    for (int64_t c = 0; c < C; ++c) {
-      const float* plane = pin + (n * C + c) * H * W;
-      for (int64_t oh = 0; oh < OH; ++oh) {
-        for (int64_t ow = 0; ow < OW; ++ow, ++oidx) {
-          float best = -std::numeric_limits<float>::infinity();
-          int64_t best_idx = -1;
-          for (int64_t kh = 0; kh < s.kernel_h; ++kh) {
-            const int64_t ih = oh * s.stride_h - s.pad_h + kh;
-            if (ih < 0 || ih >= H) continue;
-            for (int64_t kw = 0; kw < s.kernel_w; ++kw) {
-              const int64_t iw = ow * s.stride_w - s.pad_w + kw;
-              if (iw < 0 || iw >= W) continue;
-              const float v = plane[ih * W + iw];
-              if (v > best) {
-                best = v;
-                best_idx = (n * C + c) * H * W + ih * W + iw;
+  // Parallel over (n, c) planes; each plane owns a disjoint OH*OW output
+  // slice, so `oidx` is computed from the plane index rather than carried
+  // as a running counter.
+  parallel::parallel_for(
+      0, N * C, parallel::grain_for(OH * OW * s.kernel_h * s.kernel_w),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t nc = lo; nc < hi; ++nc) {
+          const int64_t n = nc / C;
+          const int64_t c = nc % C;
+          const float* plane = pin + nc * H * W;
+          int64_t oidx = nc * OH * OW;
+          for (int64_t oh = 0; oh < OH; ++oh) {
+            for (int64_t ow = 0; ow < OW; ++ow, ++oidx) {
+              float best = -std::numeric_limits<float>::infinity();
+              int64_t best_idx = -1;
+              for (int64_t kh = 0; kh < s.kernel_h; ++kh) {
+                const int64_t ih = oh * s.stride_h - s.pad_h + kh;
+                if (ih < 0 || ih >= H) continue;
+                for (int64_t kw = 0; kw < s.kernel_w; ++kw) {
+                  const int64_t iw = ow * s.stride_w - s.pad_w + kw;
+                  if (iw < 0 || iw >= W) continue;
+                  const float v = plane[ih * W + iw];
+                  if (v > best) {
+                    best = v;
+                    best_idx = (n * C + c) * H * W + ih * W + iw;
+                  }
+                }
+              }
+              po[oidx] = best;
+              if (argmax_out) {
+                (*argmax_out)[static_cast<size_t>(oidx)] = best_idx;
               }
             }
           }
-          po[oidx] = best;
-          if (argmax_out) (*argmax_out)[static_cast<size_t>(oidx)] = best_idx;
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -393,27 +454,29 @@ Tensor avgpool2d(const Tensor& input, const Conv2dSpec& s) {
   const float window = static_cast<float>(s.kernel_h * s.kernel_w);
   const float* pin = input.data();
   float* po = out.data();
-  int64_t oidx = 0;
-  for (int64_t n = 0; n < N; ++n) {
-    for (int64_t c = 0; c < C; ++c) {
-      const float* plane = pin + (n * C + c) * H * W;
-      for (int64_t oh = 0; oh < OH; ++oh) {
-        for (int64_t ow = 0; ow < OW; ++ow, ++oidx) {
-          double acc = 0.0;
-          for (int64_t kh = 0; kh < s.kernel_h; ++kh) {
-            const int64_t ih = oh * s.stride_h - s.pad_h + kh;
-            if (ih < 0 || ih >= H) continue;
-            for (int64_t kw = 0; kw < s.kernel_w; ++kw) {
-              const int64_t iw = ow * s.stride_w - s.pad_w + kw;
-              if (iw < 0 || iw >= W) continue;
-              acc += plane[ih * W + iw];
+  parallel::parallel_for(
+      0, N * C, parallel::grain_for(OH * OW * s.kernel_h * s.kernel_w),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t nc = lo; nc < hi; ++nc) {
+          const float* plane = pin + nc * H * W;
+          int64_t oidx = nc * OH * OW;
+          for (int64_t oh = 0; oh < OH; ++oh) {
+            for (int64_t ow = 0; ow < OW; ++ow, ++oidx) {
+              double acc = 0.0;
+              for (int64_t kh = 0; kh < s.kernel_h; ++kh) {
+                const int64_t ih = oh * s.stride_h - s.pad_h + kh;
+                if (ih < 0 || ih >= H) continue;
+                for (int64_t kw = 0; kw < s.kernel_w; ++kw) {
+                  const int64_t iw = ow * s.stride_w - s.pad_w + kw;
+                  if (iw < 0 || iw >= W) continue;
+                  acc += plane[ih * W + iw];
+                }
+              }
+              po[oidx] = static_cast<float>(acc) / window;
             }
           }
-          po[oidx] = static_cast<float>(acc) / window;
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -426,14 +489,15 @@ Tensor global_avgpool(const Tensor& input) {
   Tensor out({N, C});
   const float* pin = input.data();
   float* po = out.data();
-  for (int64_t n = 0; n < N; ++n) {
-    for (int64_t c = 0; c < C; ++c) {
-      const float* plane = pin + (n * C + c) * HW;
-      double acc = 0.0;
-      for (int64_t i = 0; i < HW; ++i) acc += plane[i];
-      po[n * C + c] = static_cast<float>(acc / double(HW));
-    }
-  }
+  parallel::parallel_for(
+      0, N * C, parallel::grain_for(HW), [&](int64_t lo, int64_t hi) {
+        for (int64_t nc = lo; nc < hi; ++nc) {
+          const float* plane = pin + nc * HW;
+          double acc = 0.0;
+          for (int64_t i = 0; i < HW; ++i) acc += plane[i];
+          po[nc] = static_cast<float>(acc / double(HW));
+        }
+      });
   return out;
 }
 

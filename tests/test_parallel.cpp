@@ -1,0 +1,206 @@
+// The parallel_for contract: chunk boundaries depend only on (begin, end,
+// grain) — never on the thread count — so any loop whose chunks write
+// disjoint outputs produces bitwise-identical results at any
+// GE_NUM_THREADS. These tests pin the contract and its edge cases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "tensor/rng.hpp"
+
+namespace ge::parallel {
+namespace {
+
+/// Restores the configured thread count on scope exit so tests don't leak
+/// settings into each other.
+struct ThreadGuard {
+  int saved = num_threads();
+  ~ThreadGuard() { set_num_threads(saved); }
+};
+
+TEST(ParallelFor, EmptyRangeNeverInvokesBody) {
+  int calls = 0;
+  parallel_for(0, 0, 4, [&](int64_t, int64_t) { ++calls; });
+  parallel_for(5, 5, 4, [&](int64_t, int64_t) { ++calls; });
+  parallel_for(7, 3, 4, [&](int64_t, int64_t) { ++calls; });  // end < begin
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, RangeSmallerThanGrainIsOneChunk) {
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  parallel_for(2, 5, 100,
+               [&](int64_t lo, int64_t hi) { chunks.emplace_back(lo, hi); });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 2);
+  EXPECT_EQ(chunks[0].second, 5);
+}
+
+TEST(ParallelFor, GrainOneCoversEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  parallel_for(0, kN, 1, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(hi, lo + 1);  // grain 1: every chunk is a single index
+    for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, NonPositiveGrainIsTreatedAsOne) {
+  std::atomic<int64_t> total{0};
+  parallel_for(0, 10, 0, [&](int64_t lo, int64_t hi) { total += hi - lo; });
+  EXPECT_EQ(total.load(), 10);
+  total = 0;
+  parallel_for(0, 10, -3, [&](int64_t lo, int64_t hi) { total += hi - lo; });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ParallelFor, ChunkBoundariesIndependentOfThreadCount) {
+  ThreadGuard guard;
+  auto boundaries_at = [](int threads) {
+    set_num_threads(threads);
+    std::vector<std::pair<int64_t, int64_t>> chunks(8, {-1, -1});
+    parallel_for(3, 3 + 8 * 7, 7, [&](int64_t lo, int64_t hi) {
+      chunks[static_cast<size_t>((lo - 3) / 7)] = {lo, hi};
+    });
+    return chunks;
+  };
+  EXPECT_EQ(boundaries_at(1), boundaries_at(4));
+}
+
+TEST(ParallelFor, ResultsBitwiseIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  constexpr int64_t kN = 10000;
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    std::vector<double> out(kN);
+    parallel_for(0, kN, 64, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        out[static_cast<size_t>(i)] = std::sin(double(i)) * 1.000001;
+      }
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  const auto par = run(4);
+  EXPECT_EQ(serial, par);  // element-wise bitwise equality for doubles
+}
+
+TEST(ParallelFor, ExceptionsPropagateToCaller) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  EXPECT_THROW(
+      parallel_for(0, 100, 1,
+                   [&](int64_t lo, int64_t) {
+                     if (lo == 42) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int64_t> total{0};
+  parallel_for(0, 10, 1, [&](int64_t lo, int64_t hi) { total += hi - lo; });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  std::atomic<int> inner_regions{0};
+  // 16 chunks over 4 threads: every thread runs several chunks, and every
+  // chunk issues several nested loops back to back. The region flag must
+  // survive the end of each nested loop (restore, not clear), or the
+  // second nested call would take the parallel path and deadlock.
+  parallel_for(0, 16, 1, [&](int64_t, int64_t) {
+    EXPECT_TRUE(in_parallel_region());
+    for (int rep = 0; rep < 3; ++rep) {
+      parallel_for(0, 8, 1, [&](int64_t, int64_t) {
+        EXPECT_TRUE(in_parallel_region());
+        inner_regions++;
+      });
+      EXPECT_TRUE(in_parallel_region());  // still inside the outer chunk
+    }
+  });
+  EXPECT_EQ(inner_regions.load(), 16 * 3 * 8);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ParallelForWorkers, SlotsAreWithinBoundAndChunksCovered) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  constexpr int kMaxWorkers = 2;
+  std::vector<std::atomic<int>> hits(20);
+  for (auto& h : hits) h.store(0);
+  parallel_for_workers(0, 20, 1, kMaxWorkers,
+                       [&](int slot, int64_t lo, int64_t hi) {
+                         EXPECT_GE(slot, 0);
+                         EXPECT_LT(slot, kMaxWorkers);
+                         for (int64_t i = lo; i < hi; ++i) {
+                           hits[static_cast<size_t>(i)]++;
+                         }
+                       });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForWorkers, SingleWorkerRunsSerialOnSlotZero) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  parallel_for_workers(0, 10, 1, 1, [&](int slot, int64_t, int64_t) {
+    EXPECT_EQ(slot, 0);
+  });
+}
+
+TEST(GrainFor, ScalesInverselyWithWorkPerItem) {
+  EXPECT_EQ(grain_for(1, 1024), 1024);
+  EXPECT_EQ(grain_for(1024, 1024), 1);
+  EXPECT_EQ(grain_for(1 << 30, 1024), 1);  // never below 1
+  EXPECT_EQ(grain_for(0, 1024), 1024);     // degenerate work treated as 1
+}
+
+TEST(NumThreads, SetAndClampAndRestore) {
+  ThreadGuard guard;
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(0);  // clamped up to 1
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(-5);
+  EXPECT_EQ(num_threads(), 1);
+}
+
+TEST(RngChild, IndependentOfDrawHistoryAndConst) {
+  const Rng base(42);
+  Rng drawn(42);
+  (void)drawn.uniform();
+  (void)drawn.randint(0, 100);
+  // child() depends only on (seed, stream), not on draws made before.
+  Rng a = base.child(7);
+  Rng b = drawn.child(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.engine()(), b.engine()());
+  }
+}
+
+TEST(RngChild, DistinctStreamsDecorrelate) {
+  const Rng base(42);
+  Rng a = base.child(0);
+  Rng b = base.child(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.engine()() == b.engine()()) ++equal;
+  }
+  EXPECT_LT(equal, 4);  // distinct streams should almost never collide
+}
+
+TEST(RngChild, DifferentSeedsGiveDifferentChildren) {
+  const Rng s1(1), s2(2);
+  EXPECT_NE(s1.child(0).engine()(), s2.child(0).engine()());
+}
+
+}  // namespace
+}  // namespace ge::parallel

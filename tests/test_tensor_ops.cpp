@@ -111,6 +111,18 @@ TEST(Matmul, AtVariantMatches) {
   EXPECT_TRUE(ops::matmul_at(at, b).allclose(naive_matmul(a, b), 1e-4f));
 }
 
+TEST(Matmul, VariantsAgreeBitwise) {
+  // All three variants share one accumulation policy (FP32 MAC, ascending
+  // k), so expressing the same product through any of them must be exactly
+  // equal — not merely allclose.
+  Rng rng(7);
+  Tensor a = rng.normal_tensor({9, 13});
+  Tensor b = rng.normal_tensor({13, 11});
+  const Tensor ref = ops::matmul(a, b);
+  EXPECT_TRUE(ops::matmul_bt(a, ops::transpose2d(b)).equals(ref));
+  EXPECT_TRUE(ops::matmul_at(ops::transpose2d(a), b).equals(ref));
+}
+
 TEST(Matmul, ShapeErrors) {
   EXPECT_THROW(ops::matmul(Tensor({2, 3}), Tensor({4, 2})),
                std::invalid_argument);
