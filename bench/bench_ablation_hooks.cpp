@@ -73,4 +73,6 @@ BENCHMARK(BM_IdentityEmulation)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ge::bench::run_benchmarks(argc, argv, "ablation_hooks");
+}

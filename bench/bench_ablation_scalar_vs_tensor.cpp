@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "formats/format_registry.hpp"
+#include "harness.hpp"
 #include "tensor/rng.hpp"
 
 namespace {
@@ -62,8 +63,5 @@ int main(int argc, char** argv) {
         ->Unit(benchmark::kMillisecond)
         ->Iterations(3);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return ge::bench::run_benchmarks(argc, argv, "ablation_scalar_vs_tensor");
 }

@@ -44,6 +44,8 @@ double n_star(const Stats& s) {
 
 int main() {
   using namespace ge;
+  bench::BenchReport report("delta_loss_convergence");
+  bench::ScopedMs timer;
   const auto batch = data::take(bench::dataset().test(), 0, 16);
   auto tm = bench::trained("simple_cnn");
   tm.model->eval();
@@ -73,6 +75,14 @@ int main() {
     if (std::isfinite(nm)) ++mismatch_finite;
     std::printf("%-24s %12.5f %11.2f%% %14.0f %14.0f\n", l.layer.c_str(),
                 ds.mean, 100.0 * ms.mean, nd, nm);
+    obs::JsonObject jrow;
+    jrow.str("name", l.layer)
+        .num("mean_delta_loss", ds.mean)
+        .num("sdc_rate", ms.mean)
+        .num("n_star_dloss", nd)
+        .num("n_star_mismatch", nm)
+        .num("wall_ms", timer.elapsed_ms());
+    report.row(jrow);
   }
   std::printf("\nlayers measurable with dLoss: %lld/%zu;"
               " with mismatch: %lld/%zu\n",

@@ -14,6 +14,7 @@
 
 int main() {
   using namespace ge;
+  bench::BenchReport report("error_models");
   const auto batch = data::take(bench::dataset().test(), 0, 16);
   const int64_t n_inj = bench::injections_per_layer();
   auto tm = bench::trained("simple_cnn");
@@ -30,6 +31,7 @@ int main() {
          {std::pair{core::ErrorModel::kBitFlip, "flip"},
           std::pair{core::ErrorModel::kStuckAt0, "stuck-at-0"},
           std::pair{core::ErrorModel::kStuckAt1, "stuck-at-1"}}) {
+      bench::ScopedMs timer;
       core::CampaignConfig vcfg;
       vcfg.format_spec = spec;
       vcfg.model = em;
@@ -49,6 +51,14 @@ int main() {
       std::printf("%-12s %16.5f %16.5f %13.1f%%\n", label,
                   vr.network_mean_delta_loss(), meta_mean,
                   100.0 * double(sdc) / double(inj));
+      obs::JsonObject jrow;
+      jrow.str("name", std::string(spec) + "/" + label)
+          .num("delta_loss_value", vr.network_mean_delta_loss())
+          .num("delta_loss_metadata", meta_mean)
+          .num("sdc_rate", double(sdc) / double(inj))
+          .num("samples", batch.images.size(0))
+          .num("wall_ms", timer.elapsed_ms());
+      report.row(jrow);
     }
     std::printf("\n");
   }

@@ -123,8 +123,5 @@ void register_all(const std::string& model_name) {
 int main(int argc, char** argv) {
   register_all("simple_cnn");
   register_all("tiny_deit");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return ge::bench::run_benchmarks(argc, argv, "fig3_runtime");
 }

@@ -16,6 +16,8 @@
 int main() {
   using namespace ge;
   const auto batch = data::take(bench::dataset().test(), 0, 256);
+  bench::BenchReport report("fig4_accuracy");
+  const int64_t n_samples = batch.images.size(0);
 
   std::printf("=== Fig. 4: accuracy vs number format and bitwidth ===\n");
   std::printf("(%lld held-out samples; no fine-tuning)\n\n",
@@ -46,9 +48,16 @@ int main() {
           std::printf(" %12s", "-");
           continue;
         }
+        bench::ScopedMs timer;
         const float acc = core::emulated_accuracy(*tm.model, batch.images,
                                                   batch.labels, spec);
         std::printf(" %12.4f", acc);
+        obs::JsonObject jrow;
+        jrow.str("name", std::string(model_name) + "/" + spec)
+            .num("accuracy", static_cast<double>(acc))
+            .num("samples", n_samples)
+            .num("wall_ms", timer.elapsed_ms());
+        report.row(jrow);
       }
       std::printf("\n");
     }

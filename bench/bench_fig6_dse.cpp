@@ -16,6 +16,8 @@ int main() {
   using namespace ge;
   const auto batch = data::take(bench::dataset().test(), 0, 256);
 
+  bench::BenchReport report("fig6_dse");
+
   std::printf("=== Fig. 5/6: binary-tree DSE for number format selection ===\n");
   std::printf("(threshold: accuracy >= baseline - 1%%)\n\n");
 
@@ -27,6 +29,7 @@ int main() {
       core::DseConfig cfg;
       cfg.family = family;
       cfg.accuracy_drop_threshold = 0.01f;
+      bench::ScopedMs timer;
       const core::DseResult r = core::run_dse(*tm.model, batch, cfg);
       std::printf("family %-4s baseline=%.4f nodes=%zu passing=%lld\n",
                   family, r.baseline_accuracy, r.nodes.size(),
@@ -42,6 +45,16 @@ int main() {
       } else {
         std::printf("  => no configuration met the threshold\n");
       }
+      obs::JsonObject jrow;
+      jrow.str("name", std::string(model_name) + "/" + family)
+          .num("baseline_accuracy", static_cast<double>(r.baseline_accuracy))
+          .num("nodes", static_cast<int64_t>(r.nodes.size()))
+          .num("passing", r.passing_nodes())
+          .str("best_spec", r.best_spec)
+          .num("accuracy", static_cast<double>(r.best_accuracy))
+          .num("samples", batch.images.size(0))
+          .num("wall_ms", timer.elapsed_ms());
+      report.row(jrow);
     }
     std::printf("\n");
   }

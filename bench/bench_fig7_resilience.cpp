@@ -20,6 +20,8 @@ int main() {
   const auto batch = data::take(bench::dataset().test(), 0, 16);
   const int64_t n_inj = bench::injections_per_layer();
 
+  bench::BenchReport report("fig7_resilience");
+
   std::printf("=== Fig. 7: per-layer dLoss, value vs metadata injections ===\n");
   std::printf("(%lld injections/layer/site)\n\n", (long long)n_inj);
 
@@ -34,6 +36,7 @@ int main() {
       core::CampaignConfig meta_cfg = value_cfg;
       meta_cfg.site = core::InjectionSite::kMetadata;
 
+      bench::ScopedMs timer;
       const auto value_r = core::run_campaign(*tm.model, batch, value_cfg);
       const auto meta_r = core::run_campaign(*tm.model, batch, meta_cfg);
 
@@ -55,6 +58,14 @@ int main() {
                   meta_r.network_mean_delta_loss(),
                   meta_r.network_mean_delta_loss() /
                       std::max(1e-12, value_r.network_mean_delta_loss()));
+      obs::JsonObject jrow;
+      jrow.str("name", std::string(model_name) + "/" + spec)
+          .num("mean_delta_loss_value", value_r.network_mean_delta_loss())
+          .num("mean_delta_loss_metadata", meta_r.network_mean_delta_loss())
+          .num("samples", batch.images.size(0))
+          .num("injections_per_layer", n_inj)
+          .num("wall_ms", timer.elapsed_ms());
+      report.row(jrow);
     }
   }
   return 0;

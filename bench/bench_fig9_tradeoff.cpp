@@ -17,6 +17,7 @@ int main() {
   const auto inj_batch = data::take(bench::dataset().test(), 0, 16);
   const int64_t n_inj = std::max<int64_t>(30, bench::injections_per_layer() / 4);
 
+  bench::BenchReport report("fig9_tradeoff");
   auto tm = bench::trained("tiny_resnet");
   tm.model->eval();
   const float baseline = core::emulated_accuracy(
@@ -40,6 +41,7 @@ int main() {
               "accuracy", "dLoss(value)", "dLoss(meta)", "dLoss(avg)");
 
   for (const auto& p : points) {
+    bench::ScopedMs timer;
     const float acc = core::emulated_accuracy(*tm.model, acc_batch.images,
                                               acc_batch.labels, p.spec);
     core::CampaignConfig vcfg;
@@ -54,6 +56,15 @@ int main() {
         core::run_campaign(*tm.model, inj_batch, mcfg).network_mean_delta_loss();
     std::printf("%-16s %6d %10.4f %14.5f %14.5f %14.5f\n", p.spec, p.width,
                 acc, dv, dm, (dv + dm) / 2.0);
+    obs::JsonObject jrow;
+    jrow.str("name", p.spec)
+        .num("width", static_cast<int64_t>(p.width))
+        .num("accuracy", static_cast<double>(acc))
+        .num("delta_loss_value", dv)
+        .num("delta_loss_metadata", dm)
+        .num("samples", acc_batch.images.size(0))
+        .num("wall_ms", timer.elapsed_ms());
+    report.row(jrow);
   }
   std::printf("\n(top-left points = low width, high accuracy, low dLoss)\n");
   return 0;

@@ -7,14 +7,24 @@
 #include <cstdio>
 
 #include "core/goldeneye.hpp"
+#include "harness.hpp"
 
 int main() {
+  ge::bench::BenchReport report("table1_dynamic_range");
+  ge::bench::ScopedMs timer;
   std::printf("=== Table I: Dynamic Range of Data Types ===\n");
   std::printf("%-22s %14s %14s %12s\n", "Data Type", "Abs Max", "Abs Min",
               "Range (dB)");
   for (const auto& row : ge::core::table1_rows()) {
     std::printf("%-22s %14.4g %14.4g %12.2f\n", row.label.c_str(),
                 row.abs_max, row.abs_min, row.range_db);
+    ge::obs::JsonObject jrow;
+    jrow.str("name", row.label)
+        .num("abs_max", row.abs_max)
+        .num("abs_min", row.abs_min)
+        .num("range_db", row.range_db)
+        .num("wall_ms", timer.elapsed_ms());
+    report.row(jrow);
   }
   std::printf("\n(INT rows are in integer code units; min nonzero code = 1."
               "\n AFP rows sit at the standard bias; the range is movable.)\n");

@@ -8,6 +8,7 @@
 #include "core/campaign.hpp"
 #include "core/goldeneye.hpp"
 #include "formats/format_registry.hpp"
+#include "harness.hpp"
 #include "models/model_factory.hpp"
 
 namespace {
@@ -73,6 +74,8 @@ const char* mark(bool b) { return b ? "yes" : "-"; }
 }  // namespace
 
 int main() {
+  ge::bench::BenchReport report("table2_features");
+  ge::bench::ScopedMs timer;
   std::printf("=== Table II: Open-source tool comparison ===\n");
   std::printf("%-36s %-10s %-10s %-10s %-10s\n", "Feature", "GoldenEye",
               "(verified)", "PyTorchFI", "QPyTorch");
@@ -83,6 +86,12 @@ int main() {
     std::printf("%-36s %-10s %-10s %-10s %-10s\n", f.feature.c_str(),
                 mark(f.goldeneye), mark(live), mark(f.pytorchfi),
                 mark(f.qpytorch));
+    ge::obs::JsonObject jrow;
+    jrow.str("name", f.feature)
+        .boolean("claimed", f.goldeneye)
+        .boolean("verified", live)
+        .num("wall_ms", timer.elapsed_ms());
+    report.row(jrow);
   }
   std::printf("\nGoldenEye column live-verified against this build: %s\n",
               all_ok ? "OK" : "MISMATCH");

@@ -1,21 +1,31 @@
 // Shared setup for the paper-reproduction bench binaries: one canonical
-// dataset + a trained-model cache so every bench sees identical weights.
+// dataset + a trained-model cache so every bench sees identical weights,
+// plus a machine-readable result sink (BENCH_<name>.json) so CI can assert
+// on bench output instead of scraping stdout.
 //
 // Environment knobs:
-//   GE_CACHE_DIR    where trained weights are cached
-//                   (default /tmp/goldeneye_model_cache)
-//   GE_INJECTIONS   injections per layer for campaign benches
-//                   (default 200; the paper uses 1000 — raise it when you
-//                   have the patience, results converge well before 200)
+//   GE_CACHE_DIR       where trained weights are cached
+//                      (default /tmp/goldeneye_model_cache)
+//   GE_INJECTIONS      injections per layer for campaign benches
+//                      (default 200; the paper uses 1000 — raise it when you
+//                      have the patience, results converge well before 200)
+//   GE_BENCH_JSON_DIR  directory for BENCH_<name>.json result files
+//                      (default "."; set to the empty string to disable)
 #pragma once
 
+#include <benchmark/benchmark.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "data/dataloader.hpp"
 #include "data/synthetic.hpp"
 #include "models/model_factory.hpp"
+#include "obs/run_log.hpp"
 
 namespace ge::bench {
 
@@ -45,6 +55,121 @@ inline models::TrainedModel trained(const std::string& name) {
   std::fprintf(stderr, "[harness] %s test accuracy: %.4f\n", name.c_str(),
                tm.test_accuracy);
   return tm;
+}
+
+/// Wall-clock stopwatch for the printf-style benches: milliseconds since
+/// construction.
+class ScopedMs {
+ public:
+  ScopedMs() : t0_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Machine-readable result sink: each row() is one JSON object, and the
+/// destructor writes `BENCH_<bench>.json` — {"bench": ..., "rows": [...]} —
+/// into GE_BENCH_JSON_DIR (default cwd; empty disables). Human-readable
+/// stdout stays the primary output; this file is what CI asserts on.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() { write(); }
+
+  /// Record one result row; `fields` should carry at least "name" plus the
+  /// measurements (wall_ms, samples, accuracy, ... as applicable).
+  void row(const obs::JsonObject& fields) { rows_.push_back(fields.render()); }
+
+  static std::string output_dir() {
+    if (const char* env = std::getenv("GE_BENCH_JSON_DIR")) return env;
+    return ".";
+  }
+
+  std::string path() const {
+    const std::string dir = output_dir();
+    if (dir.empty()) return "";
+    return dir + "/BENCH_" + bench_ + ".json";
+  }
+
+  void write() {
+    const std::string p = path();
+    if (p.empty() || written_) return;
+    std::ofstream out(p, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "[harness] cannot write %s\n", p.c_str());
+      return;
+    }
+    out << "{\"bench\":\"" << bench_ << "\",\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i != 0) out << ",";
+      out << "\n" << rows_[i];
+    }
+    out << "\n]}\n";
+    written_ = true;
+    std::fprintf(stderr, "[harness] wrote %s (%zu rows)\n", p.c_str(),
+                 rows_.size());
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::string> rows_;
+  bool written_ = false;
+};
+
+namespace detail {
+
+/// ConsoleReporter tee: prints the usual table and mirrors every run into a
+/// BenchReport row (name, wall_ms per iteration, iterations, counters).
+class TeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TeeReporter(BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double per_iter_s =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      obs::JsonObject row;
+      row.str("name", run.benchmark_name())
+          .num("wall_ms", per_iter_s * 1e3)
+          .num("iterations", static_cast<int64_t>(run.iterations));
+      if (!run.report_label.empty()) row.str("label", run.report_label);
+      for (const auto& [key, counter] : run.counters) {
+        row.num(key.c_str(), static_cast<double>(counter.value));
+      }
+      report_->row(row);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
+}  // namespace detail
+
+/// Drop-in replacement for the Initialize/Run/Shutdown tail of a
+/// google-benchmark main(): runs the registered benchmarks with the normal
+/// console output AND writes BENCH_<bench>.json alongside.
+inline int run_benchmarks(int argc, char** argv, const std::string& bench) {
+  benchmark::Initialize(&argc, argv);
+  BenchReport report(bench);
+  detail::TeeReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.write();
+  return 0;
 }
 
 }  // namespace ge::bench

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/loss.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ge::core {
@@ -55,6 +56,7 @@ void copy_state(nn::Module& src, nn::Module& dst) {
 
 CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
                             const CampaignConfig& cfg) {
+  obs::Span campaign_span("campaign", "run_campaign", cfg.format_spec);
   model.eval();
   EmulatorConfig ecfg;
   ecfg.format_spec = cfg.format_spec;
@@ -90,7 +92,10 @@ CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
   // faults are measured against the format's own clean behaviour. The
   // replicas share it — identical weights and deterministic kernels make
   // their fault-free logits bitwise equal to the primary's.
-  const GoldenRun golden = run_golden(model, batch);
+  const GoldenRun golden = [&] {
+    obs::Span golden_span("campaign", "golden_run");
+    return run_golden(model, batch);
+  }();
   result.golden_accuracy = nn::accuracy(golden.logits, batch.labels);
 
   // Every random choice of trial ti at site li draws from the child stream
@@ -113,10 +118,14 @@ CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
       continue;  // value-only formats have no metadata campaign
     }
 
+    obs::Span layer_span("campaign", "layer", site.path);
+    const int64_t layer_t0 = obs::metrics_enabled() ? obs::now_ns() : 0;
+
     parallel::parallel_for_workers(
         0, nT, /*grain=*/1, nctx, [&](int slot, int64_t lo, int64_t hi) {
           WorkerCtx& ctx = ctxs[static_cast<size_t>(slot)];
           for (int64_t ti = lo; ti < hi; ++ti) {
+            obs::Span trial_span("campaign", "trial");
             InjectionSpec spec;
             spec.layer_path = site.path;
             spec.site = cfg.site;
@@ -131,6 +140,16 @@ CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
             ctx.inj->disarm();
           }
         });
+
+    obs::add(obs::Counter::kTrials, static_cast<uint64_t>(nT));
+    if (obs::metrics_enabled()) {
+      const double secs =
+          static_cast<double>(obs::now_ns() - layer_t0) / 1e9;
+      const double rate = secs > 0.0 ? static_cast<double>(nT) / secs : 0.0;
+      obs::set_gauge("campaign.trials_per_sec", rate);
+      obs::log(1, "campaign layer " + site.path + ": " + std::to_string(nT) +
+                      " trials, " + std::to_string(rate) + " trials/s");
+    }
 
     // Serial aggregation in trial order keeps the statistics (and their
     // floating-point rounding) independent of the execution schedule.

@@ -1,8 +1,12 @@
 #include "core/cli.hpp"
 
+#include <charconv>
+#include <cstdlib>
 #include <iomanip>
 #include <map>
+#include <memory>
 #include <optional>
+#include <stdexcept>
 
 #include "core/campaign.hpp"
 #include "core/dse.hpp"
@@ -10,10 +14,19 @@
 #include "data/dataloader.hpp"
 #include "formats/format_registry.hpp"
 #include "models/model_factory.hpp"
+#include "obs/run_log.hpp"
+#include "obs/telemetry.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace ge::core {
 
 namespace {
+
+/// Bad command-line input: message printed to stderr, exit code 2. Keeps
+/// user errors distinct from internal failures (exit 1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct ParsedArgs {
   std::string command;
@@ -41,48 +54,211 @@ std::string get(const ParsedArgs& p, const std::string& key,
   return it != p.options.end() ? it->second : fallback;
 }
 
+/// Integer option with full-string validation: "--samples abc" and
+/// "--samples 12x" are usage errors, not crashes or silent truncation.
+int64_t get_int(const ParsedArgs& p, const std::string& key,
+                int64_t fallback) {
+  const auto it = p.options.find(key);
+  if (it == p.options.end()) return fallback;
+  const std::string& s = it->second;
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw UsageError("invalid value '" + s + "' for --" + key +
+                     " (expected an integer)");
+  }
+  return value;
+}
+
+/// As get_int for real-valued options (e.g. --threshold).
+double get_num(const ParsedArgs& p, const std::string& key, double fallback) {
+  const auto it = p.options.find(key);
+  if (it == p.options.end()) return fallback;
+  const std::string& s = it->second;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw UsageError("invalid value '" + s + "' for --" + key +
+                     " (expected a number)");
+  }
+  return value;
+}
+
+// --- one table for dispatch, validation and usage() ------------------------
+// Every command, option and help line lives here; usage() renders it, and
+// option validation walks it, so the docs cannot drift from the code.
+
+struct OptionDesc {
+  const char* flag;   ///< option name without the leading "--"
+  const char* value;  ///< value placeholder for the usage line
+  const char* help;
+};
+
+struct CommandDesc {
+  const char* name;
+  const char* summary;
+  std::vector<OptionDesc> options;
+  bool model_command;  ///< accepts the common model/training options
+};
+
+const std::vector<OptionDesc>& common_options() {
+  static const std::vector<OptionDesc> kCommon = {
+      {"model", "M", "model name (mlp|simple_cnn|tiny_resnet|tiny_deit)"},
+      {"cache", "DIR", "trained-weight cache directory"},
+      {"epochs", "N", "training epochs when the cache is cold"},
+      {"samples", "N", "evaluation samples"},
+  };
+  return kCommon;
+}
+
+const std::vector<OptionDesc>& global_options() {
+  static const std::vector<OptionDesc> kGlobal = {
+      {"trace", "FILE", "write a Chrome trace_event JSON timeline"},
+      {"report", "FILE", "write a JSONL structured run report"},
+      {"log-level", "N", "stderr verbosity: 0 silent, 1 progress, 2 debug"},
+  };
+  return kGlobal;
+}
+
+const std::vector<CommandDesc>& command_table() {
+  static const std::vector<CommandDesc> kCommands = {
+      {"accuracy",
+       "baseline vs format-emulated accuracy",
+       {{"format", "F", "format spec or 'native'"}},
+       true},
+      {"campaign",
+       "per-layer fault-injection campaign",
+       {{"format", "F", "format spec (see 'formats')"},
+        {"site", "S", "injection site: value|weight|metadata"},
+        {"error-model", "E", "flip|sa0|sa1"},
+        {"injections", "N", "injections per layer"},
+        {"seed", "S", "campaign RNG seed"}},
+       true},
+      {"dse",
+       "binary-tree design-space exploration",
+       {{"family", "F", "format family: fp|fxp|int|bfp|afp|posit"},
+        {"threshold", "X", "allowed accuracy drop vs baseline"}},
+       true},
+      {"range",
+       "Table-I dynamic range of one format",
+       {{"format", "F", "format spec"}},
+       false},
+      {"features", "Table-II feature matrix", {}, false},
+      {"formats", "format spec grammar and aliases", {}, false},
+  };
+  return kCommands;
+}
+
+const CommandDesc* find_command(const std::string& name) {
+  for (const auto& c : command_table()) {
+    if (name == c.name) return &c;
+  }
+  return nullptr;
+}
+
+void render_option(std::ostream& err, const OptionDesc& o) {
+  std::string flag = "--" + std::string(o.flag) + " " + o.value;
+  err << "    " << std::left << std::setw(22) << flag << o.help << "\n";
+}
+
 int usage(std::ostream& err) {
-  err << "usage: goldeneye <command> [--key value ...]\n"
-         "  accuracy  --model M --format F [--samples N]\n"
-         "  campaign  --model M --format F [--site value|weight|metadata]\n"
-         "            [--error-model flip|sa0|sa1] [--injections N]"
-         " [--seed S]\n"
-         "  dse       --model M --family fp|fxp|int|bfp|afp"
-         " [--threshold X]\n"
-         "  range     --format F\n"
-         "  features\n"
-         "  formats\n"
-         "common: --cache DIR --epochs N --samples N\n";
+  err << "usage: goldeneye <command> [--key value ...]\n";
+  for (const auto& c : command_table()) {
+    err << "  " << std::left << std::setw(10) << c.name << c.summary << "\n";
+    for (const auto& o : c.options) render_option(err, o);
+  }
+  err << "common (model commands):\n";
+  for (const auto& o : common_options()) render_option(err, o);
+  err << "telemetry (all commands; GE_TRACE/GE_REPORT env fallbacks):\n";
+  for (const auto& o : global_options()) render_option(err, o);
   return 2;
+}
+
+/// Reject options the command table does not list — the same table that
+/// renders usage(), so an undocumented option cannot exist.
+void validate_options(const CommandDesc& cmd, const ParsedArgs& p) {
+  auto known = [&](const std::string& key) {
+    for (const auto& o : cmd.options) {
+      if (key == o.flag) return true;
+    }
+    if (cmd.model_command) {
+      for (const auto& o : common_options()) {
+        if (key == o.flag) return true;
+      }
+    }
+    for (const auto& o : global_options()) {
+      if (key == o.flag) return true;
+    }
+    return false;
+  };
+  for (const auto& [key, value] : p.options) {
+    if (!known(key)) {
+      throw UsageError("unknown option '--" + key + "' (see usage)");
+    }
+  }
+}
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? v : fallback;
 }
 
 models::TrainedModel prepare_model(const ParsedArgs& p,
                                    const data::SyntheticVision& data) {
   models::TrainConfig tc;
-  tc.epochs = std::stoll(get(p, "epochs", "6"));
+  tc.epochs = get_int(p, "epochs", 6);
   return models::ensure_trained(get(p, "model", "simple_cnn"), data,
                                 get(p, "cache", "/tmp/goldeneye_model_cache"),
                                 tc);
 }
 
-int cmd_accuracy(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+/// Standard first report row: what ran, with what inputs, on how many
+/// threads — enough to reproduce the run.
+void write_run_header(obs::RunLog* log, const ParsedArgs& p,
+                      const std::string& format_or_family, int64_t samples) {
+  if (log == nullptr) return;
+  obs::JsonObject row;
+  row.str("command", p.command)
+      .str("model", get(p, "model", "simple_cnn"))
+      .str("format", format_or_family)
+      .num("seed", get_int(p, "seed", 1234))
+      .num("threads", static_cast<int64_t>(parallel::num_threads()))
+      .num("samples", samples);
+  log->event("run_header", row);
+}
+
+int cmd_accuracy(const ParsedArgs& p, std::ostream& out, std::ostream& err,
+                 obs::RunLog* log) {
   const std::string spec = get(p, "format", "");
   if (spec != "native" && !fmt::is_valid_spec(spec)) {
     err << "accuracy: bad or missing --format '" << spec << "'\n";
     return 2;
   }
+  const int64_t samples = get_int(p, "samples", 256);
+  write_run_header(log, p, spec, samples);
   data::SyntheticVision data{data::SyntheticVisionConfig{}};
   auto tm = prepare_model(p, data);
   GoldenEye eye(*tm.model, data);
-  const int64_t samples = std::stoll(get(p, "samples", "256"));
+  const float baseline = eye.baseline_accuracy(samples);
+  const float accuracy = eye.format_accuracy(spec, samples);
   out << "model:    " << get(p, "model", "simple_cnn") << "\n"
-      << "baseline: " << eye.baseline_accuracy(samples) << "\n"
+      << "baseline: " << baseline << "\n"
       << "format:   " << spec << "\n"
-      << "accuracy: " << eye.format_accuracy(spec, samples) << "\n";
+      << "accuracy: " << accuracy << "\n";
+  if (log != nullptr) {
+    obs::JsonObject row;
+    row.str("format", spec)
+        .num("baseline", static_cast<double>(baseline))
+        .num("accuracy", static_cast<double>(accuracy))
+        .num("samples", samples);
+    log->event("accuracy_result", row);
+  }
   return 0;
 }
 
-int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err,
+                 obs::RunLog* log) {
   CampaignConfig cfg;
   cfg.format_spec = get(p, "format", "");
   if (!fmt::is_valid_spec(cfg.format_spec)) {
@@ -111,13 +287,14 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     err << "campaign: unknown --error-model '" << em << "'\n";
     return 2;
   }
-  cfg.injections_per_layer = std::stoll(get(p, "injections", "50"));
-  cfg.seed = std::stoull(get(p, "seed", "1234"));
+  cfg.injections_per_layer = get_int(p, "injections", 50);
+  cfg.seed = static_cast<uint64_t>(get_int(p, "seed", 1234));
+  const int64_t samples = get_int(p, "samples", 16);
+  write_run_header(log, p, cfg.format_spec, samples);
 
   data::SyntheticVision data{data::SyntheticVisionConfig{}};
   auto tm = prepare_model(p, data);
-  const auto batch =
-      data::take(data.test(), 0, std::stoll(get(p, "samples", "16")));
+  const auto batch = data::take(data.test(), 0, samples);
   // Replica factory lets trials fan out across pool workers; weights are
   // copied from the trained primary, so the init seed here is irrelevant.
   const std::string model_name = get(p, "model", "simple_cnn");
@@ -136,19 +313,42 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
         << std::setw(12) << std::fixed << std::setprecision(5)
         << l.mean_delta_loss << std::setw(9) << l.sdc_count << "/"
         << l.injections << "\n";
+    if (log != nullptr) {
+      obs::JsonObject row;
+      row.str("layer", l.layer)
+          .num("injections", l.injections)
+          .num("sdc", l.sdc_count)
+          .num("mean_delta_loss", l.mean_delta_loss)
+          .num("max_delta_loss", l.max_delta_loss)
+          .num("ci95_delta_loss", l.ci95_delta_loss)
+          .num("mean_mismatch_rate", l.mean_mismatch_rate);
+      log->event("campaign_layer", row);
+    }
   }
   out << "network mean dLoss: " << r.network_mean_delta_loss() << "\n";
+  if (log != nullptr) {
+    obs::JsonObject row;
+    row.str("format", cfg.format_spec)
+        .str("site", site)
+        .str("error_model", em)
+        .num("golden_accuracy", static_cast<double>(r.golden_accuracy))
+        .num("network_mean_delta_loss", r.network_mean_delta_loss());
+    log->event("campaign_summary", row);
+  }
   return 0;
 }
 
-int cmd_dse(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+int cmd_dse(const ParsedArgs& p, std::ostream& out, std::ostream& err,
+            obs::RunLog* log) {
   DseConfig cfg;
   cfg.family = get(p, "family", "fp");
-  cfg.accuracy_drop_threshold = std::stof(get(p, "threshold", "0.01"));
+  cfg.accuracy_drop_threshold =
+      static_cast<float>(get_num(p, "threshold", 0.01));
+  const int64_t samples = get_int(p, "samples", 256);
+  write_run_header(log, p, cfg.family, samples);
   data::SyntheticVision data{data::SyntheticVisionConfig{}};
   auto tm = prepare_model(p, data);
-  const auto batch =
-      data::take(data.test(), 0, std::stoll(get(p, "samples", "256")));
+  const auto batch = data::take(data.test(), 0, samples);
   DseResult r;
   try {
     r = run_dse(*tm.model, batch, cfg);
@@ -160,6 +360,16 @@ int cmd_dse(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   for (const auto& n : r.nodes) {
     out << "node " << n.id << " " << n.spec << " acc=" << n.accuracy << " "
         << (n.pass ? "PASS" : "fail") << "\n";
+    if (log != nullptr) {
+      obs::JsonObject row;
+      row.num("id", static_cast<int64_t>(n.id))
+          .str("spec", n.spec)
+          .num("bitwidth", static_cast<int64_t>(n.bitwidth))
+          .str("phase", n.phase)
+          .num("accuracy", static_cast<double>(n.accuracy))
+          .boolean("pass", n.pass);
+      log->event("dse_node", row);
+    }
   }
   if (r.best_spec.empty()) {
     out << "no configuration met the threshold\n";
@@ -167,10 +377,21 @@ int cmd_dse(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     out << "selected: " << r.best_spec << " (" << r.best_bitwidth
         << " bits, acc " << r.best_accuracy << ")\n";
   }
+  if (log != nullptr) {
+    obs::JsonObject row;
+    row.str("family", cfg.family)
+        .num("baseline_accuracy", static_cast<double>(r.baseline_accuracy))
+        .str("best_spec", r.best_spec)
+        .num("best_bitwidth", static_cast<int64_t>(r.best_bitwidth))
+        .num("best_accuracy", static_cast<double>(r.best_accuracy))
+        .num("nodes", static_cast<int64_t>(r.nodes.size()));
+    log->event("dse_summary", row);
+  }
   return 0;
 }
 
-int cmd_range(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+int cmd_range(const ParsedArgs& p, std::ostream& out, std::ostream& err,
+              obs::RunLog* log) {
   const std::string spec = get(p, "format", "");
   if (!fmt::is_valid_spec(spec)) {
     err << "range: bad or missing --format\n";
@@ -181,6 +402,14 @@ int cmd_range(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
       << "abs max: " << row.abs_max << "\n"
       << "abs min: " << row.abs_min << "\n"
       << "range:   " << row.range_db << " dB\n";
+  if (log != nullptr) {
+    obs::JsonObject jrow;
+    jrow.str("format", spec)
+        .num("abs_max", row.abs_max)
+        .num("abs_min", row.abs_min)
+        .num("range_db", row.range_db);
+    log->event("range_row", jrow);
+  }
   return 0;
 }
 
@@ -205,25 +434,80 @@ int cmd_formats(std::ostream& out) {
   return 0;
 }
 
+/// Restores the global log level when a CLI invocation ends (run_cli is
+/// re-entrant in tests; telemetry flags get the same treatment from
+/// obs::TelemetryScope).
+struct LogLevelGuard {
+  int saved = obs::log_level();
+  ~LogLevelGuard() { obs::set_log_level(saved); }
+};
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   const auto parsed = parse(args);
   if (!parsed) return usage(err);
+  const CommandDesc* cmd = find_command(parsed->command);
+  if (cmd == nullptr) {
+    err << "unknown command '" << parsed->command << "'\n";
+    return usage(err);
+  }
   try {
-    if (parsed->command == "accuracy") return cmd_accuracy(*parsed, out, err);
-    if (parsed->command == "campaign") return cmd_campaign(*parsed, out, err);
-    if (parsed->command == "dse") return cmd_dse(*parsed, out, err);
-    if (parsed->command == "range") return cmd_range(*parsed, out, err);
-    if (parsed->command == "features") return cmd_features(out);
-    if (parsed->command == "formats") return cmd_formats(out);
+    validate_options(*cmd, *parsed);
+
+    // Telemetry wiring: flags win, GE_TRACE/GE_REPORT env fall back, and
+    // everything is restored on return so embedding callers (and tests)
+    // see no global-state leakage.
+    const std::string trace_path = get(*parsed, "trace", env_or("GE_TRACE", ""));
+    const std::string report_path =
+        get(*parsed, "report", env_or("GE_REPORT", ""));
+    LogLevelGuard log_guard;
+    obs::set_log_level(static_cast<int>(get_int(*parsed, "log-level", 0)));
+    const bool tracing = !trace_path.empty();
+    const bool metrics = tracing || !report_path.empty();
+    obs::TelemetryScope scope(tracing, metrics);
+    if (metrics) obs::reset_all();
+
+    std::unique_ptr<obs::RunLog> log;
+    if (!report_path.empty()) {
+      log = std::make_unique<obs::RunLog>(report_path);
+      if (!log->ok()) {
+        err << parsed->command << ": cannot open --report file '"
+            << report_path << "'\n";
+        return 2;
+      }
+    }
+
+    int code = 0;
+    if (parsed->command == "accuracy") {
+      code = cmd_accuracy(*parsed, out, err, log.get());
+    } else if (parsed->command == "campaign") {
+      code = cmd_campaign(*parsed, out, err, log.get());
+    } else if (parsed->command == "dse") {
+      code = cmd_dse(*parsed, out, err, log.get());
+    } else if (parsed->command == "range") {
+      code = cmd_range(*parsed, out, err, log.get());
+    } else if (parsed->command == "features") {
+      code = cmd_features(out);
+    } else {
+      code = cmd_formats(out);
+    }
+
+    if (code == 0 && log) log->metrics_snapshot();
+    if (code == 0 && tracing && !obs::write_chrome_trace(trace_path)) {
+      err << parsed->command << ": cannot write --trace file '" << trace_path
+          << "'\n";
+      return 1;
+    }
+    return code;
+  } catch (const UsageError& e) {
+    err << parsed->command << ": " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     err << parsed->command << ": " << e.what() << "\n";
     return 1;
   }
-  err << "unknown command '" << parsed->command << "'\n";
-  return usage(err);
 }
 
 }  // namespace ge::core

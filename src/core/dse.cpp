@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/emulator.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ge::core {
 
@@ -99,14 +100,19 @@ std::vector<std::pair<std::string, int>> radix_ladder(
 
 DseResult run_dse(nn::Module& model, const data::Batch& batch,
                   const DseConfig& cfg) {
+  obs::Span dse_span("dse", "run_dse", cfg.family);
   DseResult result;
-  result.baseline_accuracy =
-      emulated_accuracy(model, batch.images, batch.labels, "native");
+  {
+    obs::Span baseline_span("dse", "baseline");
+    result.baseline_accuracy =
+        emulated_accuracy(model, batch.images, batch.labels, "native");
+  }
   const float floor = result.baseline_accuracy - cfg.accuracy_drop_threshold;
 
   int next_id = 1;
   auto probe = [&](const std::string& spec, int width,
                    const std::string& phase) -> bool {
+    obs::Span probe_span("dse", "probe", spec);
     DseNode node;
     node.id = next_id++;
     node.spec = spec;
@@ -116,6 +122,9 @@ DseResult run_dse(nn::Module& model, const data::Batch& batch,
         emulated_accuracy(model, batch.images, batch.labels, spec);
     node.pass = node.accuracy >= floor;
     result.nodes.push_back(node);
+    obs::log(1, "dse probe " + spec + " (" + phase +
+                    "): acc=" + std::to_string(node.accuracy) +
+                    (node.pass ? " PASS" : " fail"));
     return node.pass;
   };
   auto budget_left = [&] {

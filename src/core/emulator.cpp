@@ -5,6 +5,7 @@
 
 #include "formats/format_registry.hpp"
 #include "nn/loss.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ge::core {
 
@@ -34,6 +35,7 @@ const std::string& spec_for(const EmulatorConfig& cfg,
 Emulator::~Emulator() { detach(); }
 
 void Emulator::attach() {
+  obs::Span span("emulator", "attach", cfg_.format_spec);
   for (auto& [path, mod] : model_->named_modules()) {
     const bool selected =
         std::find(cfg_.layer_kinds.begin(), cfg_.layer_kinds.end(),
@@ -64,7 +66,20 @@ void Emulator::attach() {
       site.hook = mod->add_forward_hook(
           [this, site_index](nn::Module&, Tensor& y) {
             LayerSite& s = sites_[site_index];
-            y = s.act_format->real_to_format_tensor(y);
+            obs::Span hook_span("emulator", "site", s.path);
+            if (obs::metrics_enabled()) {
+              // Metrics path: keep the pre-quantisation activations so the
+              // per-layer error summary can compare. The copy exists only
+              // while metrics are on; values are never altered, so results
+              // match the plain path bitwise.
+              const Tensor before = y;
+              y = s.act_format->real_to_format_tensor(y);
+              obs::record_layer_quant_error(s.path, before.data(), y.data(),
+                                            y.numel(),
+                                            s.act_format->abs_max());
+            } else {
+              y = s.act_format->real_to_format_tensor(y);
+            }
             if (post_quant_) post_quant_(s, y);
           });
     }
@@ -74,6 +89,7 @@ void Emulator::attach() {
 }
 
 void Emulator::detach() {
+  obs::Span span("emulator", "detach", cfg_.format_spec);
   for (auto& s : sites_) {
     if (s.hook != 0 && s.module != nullptr) s.module->remove_hook(s.hook);
   }

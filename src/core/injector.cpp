@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
+
 namespace ge::core {
 
 const char* to_string(InjectionSite site) {
@@ -119,6 +121,7 @@ void Injector::arm_impl(const InjectionSpec& spec) {
   armed_ = spec;
   fired_ = false;
   record_.reset();
+  obs::add(obs::Counter::kInjections);
   if (spec.site == InjectionSite::kWeightValue) {
     apply_weight(*site);
   }

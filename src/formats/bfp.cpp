@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ge::fmt {
@@ -93,6 +94,10 @@ Tensor BfpFormat::real_to_format_tensor(const Tensor& t) {
           }
         }
       });
+  // Block-local saturation (a block's max-mantissa clamp) is below the
+  // format-wide abs_max, so this undercounts per-block clamping; the
+  // counter tracks format-range saturation only.
+  obs::record_quantization(pin, po, n, abs_max());
   return out;
 }
 

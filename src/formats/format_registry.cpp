@@ -11,6 +11,7 @@
 #include "formats/fxp.hpp"
 #include "formats/intq.hpp"
 #include "formats/posit.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ge::fmt {
 
@@ -128,8 +129,12 @@ std::unique_ptr<NumberFormat> make_format(const std::string& spec) {
   {
     std::lock_guard<std::mutex> lk(mu);
     const auto it = cache.find(spec);
-    if (it != cache.end()) return it->second->clone();
+    if (it != cache.end()) {
+      obs::add(obs::Counter::kFormatCacheHits);
+      return it->second->clone();
+    }
   }
+  obs::add(obs::Counter::kFormatCacheMisses);
   auto f = parse(spec);
   if (!f) {
     throw std::invalid_argument("make_format: unknown format spec '" + spec +

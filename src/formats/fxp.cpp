@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ge::fmt {
@@ -39,6 +40,7 @@ Tensor FxpFormat::real_to_format_tensor(const Tensor& t) {
   parallel::parallel_for(0, t.numel(), 4096, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) po[i] = quantize_value(pin[i]);
   });
+  obs::record_quantization(pin, po, t.numel(), abs_max());
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -49,6 +50,9 @@ Tensor IntFormat::real_to_format_tensor(const Tensor& t) {
       po[i] = code * scale_;
     }
   });
+  // abs_max() is in code units for INT; the real-domain edge is code*scale.
+  obs::record_quantization(pin, po, t.numel(),
+                           static_cast<double>(max_code_) * scale_);
   return out;
 }
 

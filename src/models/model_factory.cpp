@@ -11,6 +11,7 @@
 #include "models/tiny_resnet.hpp"
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ge::models {
 
@@ -49,6 +50,7 @@ std::vector<std::string> model_names() {
 
 TrainResult train_model(nn::Module& model, const data::SyntheticVision& data,
                         const TrainConfig& cfg) {
+  obs::Span train_span("train", "train_model");
   model.train(true);
   nn::Adam opt(model.parameters(), cfg.lr, 0.9f, 0.999f, 1e-8f,
                cfg.weight_decay);
@@ -57,6 +59,7 @@ TrainResult train_model(nn::Module& model, const data::SyntheticVision& data,
   nn::CrossEntropyLoss loss;
   TrainResult result;
   for (int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::Span epoch_span("train", "epoch");
     loader.reset();
     double epoch_loss = 0.0;
     for (int64_t b = 0; b < loader.batch_count(); ++b) {

@@ -1,0 +1,140 @@
+#include "obs/run_log.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/telemetry.hpp"
+
+namespace ge::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonObject::begin_field(const char* key) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+}
+
+JsonObject& JsonObject::str(const char* key, const std::string& value) {
+  begin_field(key);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::num(const char* key, double value) {
+  begin_field(key);
+  // JSON has no NaN/Inf: map them to null so every line stays parseable.
+  if (!std::isfinite(value)) {
+    body_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  body_ += buf;
+  return *this;
+}
+
+JsonObject& JsonObject::num(const char* key, int64_t value) {
+  begin_field(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::num(const char* key, uint64_t value) {
+  begin_field(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::boolean(const char* key, bool value) {
+  begin_field(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::raw(const char* key, const std::string& json) {
+  begin_field(key);
+  body_ += json;
+  return *this;
+}
+
+std::string JsonObject::render() const { return "{" + body_ + "}"; }
+
+RunLog::RunLog(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)) {
+  if (owned_->good()) out_ = owned_.get();
+}
+
+RunLog::RunLog(std::ostream& os) : out_(&os) {}
+
+RunLog::~RunLog() = default;
+
+void RunLog::event(const char* type, const JsonObject& fields) {
+  if (!ok()) return;
+  JsonObject head;
+  head.num("schema", static_cast<int64_t>(kSchemaVersion)).str("type", type);
+  const std::string head_json = head.render();
+  const std::string body_json = fields.render();
+  // Merge {head} + {fields} into one flat object.
+  std::string line = head_json.substr(0, head_json.size() - 1);
+  if (body_json.size() > 2) {
+    line += ',';
+    line += body_json.substr(1);
+  } else {
+    line += '}';
+  }
+  *out_ << line << '\n';
+  out_->flush();
+}
+
+void RunLog::metrics_snapshot() {
+  if (!ok()) return;
+  for (const auto& [layer, s] : layer_quant_summaries()) {
+    JsonObject row;
+    row.str("layer", layer)
+        .num("elements", s.elements)
+        .num("mean_abs_err", s.mean_abs_err())
+        .num("max_abs_err", s.max_abs_err)
+        .num("saturation_rate", s.saturation_rate());
+    event("layer_quant", row);
+  }
+  JsonObject counters;
+  for (int i = 0; i < static_cast<int>(Counter::kCount); ++i) {
+    const auto c = static_cast<Counter>(i);
+    counters.num(counter_name(c), counter_value(c));
+  }
+  JsonObject gauges_obj;
+  for (const auto& [name, value] : gauges()) {
+    gauges_obj.num(name.c_str(), value);
+  }
+  JsonObject row;
+  row.raw("counters", counters.render()).raw("gauges", gauges_obj.render());
+  event("metrics", row);
+}
+
+}  // namespace ge::obs

@@ -1,0 +1,83 @@
+// ge::obs::RunLog — schema-versioned structured run reports as JSONL.
+//
+// One JSON object per line; every record carries {"schema": N, "type": T}.
+// Record types the stack emits (see docs/observability.md for a jq tour):
+//   run_header       command, model, format, seed, threads, samples
+//   campaign_layer   one row per instrumented layer (matches stdout table)
+//   campaign_summary golden accuracy + network mean ΔLoss
+//   dse_node         one row per DSE probe, in visit order
+//   dse_summary      selected spec / bitwidth / accuracy
+//   accuracy_result  baseline + emulated accuracy
+//   layer_quant      per-layer quantization-error summary (metrics)
+//   metrics          final counter/gauge snapshot
+//   bench_case       one row per benchmark case (bench/harness.hpp)
+//
+// JSONL because campaign-scale runs are append-only streams: a crashed or
+// interrupted run still leaves every completed row parseable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+
+namespace ge::obs {
+
+/// Minimal JSON object builder: flat string/number/bool fields, rendered
+/// in insertion order. Numbers use shortest round-trip formatting.
+class JsonObject {
+ public:
+  JsonObject& str(const char* key, const std::string& value);
+  JsonObject& num(const char* key, double value);
+  JsonObject& num(const char* key, int64_t value);
+  JsonObject& num(const char* key, uint64_t value);
+  JsonObject& num(const char* key, int value) {
+    return num(key, static_cast<int64_t>(value));
+  }
+  JsonObject& boolean(const char* key, bool value);
+  /// Splice a pre-rendered JSON value (object/array) under `key`.
+  JsonObject& raw(const char* key, const std::string& json);
+
+  /// The rendered object, e.g. {"a":1,"b":"x"}.
+  std::string render() const;
+
+ private:
+  void begin_field(const char* key);
+  std::string body_;
+};
+
+std::string json_escape(const std::string& s);
+
+/// Append-mode JSONL sink. All writes go through event(); each event is
+/// one line, flushed immediately so partial runs stay readable.
+class RunLog {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  /// Opens `path` for writing (truncates). ok() reports failure; a failed
+  /// RunLog swallows writes instead of throwing mid-experiment.
+  explicit RunLog(const std::string& path);
+  /// Writes into a caller-owned stream (tests).
+  explicit RunLog(std::ostream& os);
+  ~RunLog();
+
+  RunLog(const RunLog&) = delete;
+  RunLog& operator=(const RunLog&) = delete;
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+  /// Write one record. The {"schema", "type"} fields are prepended; the
+  /// remaining fields come from `fields`.
+  void event(const char* type, const JsonObject& fields);
+
+  /// Write the standard final snapshot: one "layer_quant" row per
+  /// instrumented layer plus one "metrics" row with every counter and
+  /// gauge (values read from ge::obs telemetry).
+  void metrics_snapshot();
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_ = nullptr;
+};
+
+}  // namespace ge::obs

@@ -1,0 +1,330 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ge::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<uint64_t> g_counters[static_cast<int>(Counter::kCount)] = {};
+}  // namespace detail
+
+namespace {
+
+/// Cap per thread: a runaway tracing session degrades to dropped spans
+/// (counted in kSpansDropped) instead of unbounded memory growth.
+constexpr size_t kMaxEventsPerThread = size_t{1} << 20;
+
+/// Span buffer owned by one thread. Only the owning thread appends;
+/// the registry reads it during collect_trace(), which the contract
+/// restricts to quiescent moments (outside parallel regions).
+struct ThreadBuffer {
+  int tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct Registry {
+  std::mutex mu;  // guards the buffer list and gauges, never the fast path
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::map<std::string, double> gauge_map;
+  std::map<std::string, QuantErrorSummary> layer_quant;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: worker threads may record
+  return *r;                            // past static destruction order
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+ThreadBuffer& thread_buffer() {
+  if (tls_buffer == nullptr) {
+    auto buf = std::make_unique<ThreadBuffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    buf->tid = static_cast<int>(r.buffers.size());
+    tls_buffer = buf.get();
+    r.buffers.push_back(std::move(buf));
+  }
+  return *tls_buffer;
+}
+
+std::atomic<int> g_log_level{0};
+
+}  // namespace
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_tracing_enabled(bool on) {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+// --- spans -----------------------------------------------------------------
+
+void Span::begin(const char* category, const char* name, const char* detail) {
+  category_ = category;
+  name_ = name;
+  if (detail != nullptr) {
+    name_ += '(';
+    name_ += detail;
+    name_ += ')';
+  }
+  start_ns_ = now_ns();  // stamped last: excludes the setup above
+}
+
+void Span::end() {
+  const int64_t dur = now_ns() - start_ns_;
+  ThreadBuffer& buf = thread_buffer();
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    // The span cap is accounting, not control flow — always count drops so
+    // a truncated trace is detectable even when metrics are off.
+    detail::g_counters[static_cast<int>(Counter::kSpansDropped)].fetch_add(
+        1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(
+      TraceEvent{std::move(name_), category_, buf.tid, start_ns_, dur});
+}
+
+std::vector<TraceEvent> collect_trace() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::vector<TraceEvent> out;
+  for (const auto& buf : r.buffers) {
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+void clear_trace() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (auto& buf : r.buffers) buf->events.clear();
+}
+
+size_t trace_event_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  size_t n = 0;
+  for (const auto& buf : r.buffers) n += buf->events.size();
+  return n;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  const auto events = collect_trace();
+  std::string out = "{\"traceEvents\":[";
+  char num[64];
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, e.category);
+    // Complete event ("X"): timestamps in microseconds, duration likewise.
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    std::snprintf(num, sizeof(num), "%d", e.tid);
+    out += num;
+    std::snprintf(num, sizeof(num), ",\"ts\":%.3f",
+                  static_cast<double>(e.start_ns) / 1000.0);
+    out += num;
+    std::snprintf(num, sizeof(num), ",\"dur\":%.3f}",
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    out += num;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << chrome_trace_json() << '\n';
+  return static_cast<bool>(f);
+}
+
+// --- counters --------------------------------------------------------------
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kElementsQuantized: return "elements_quantized";
+    case Counter::kSaturations: return "saturations";
+    case Counter::kNanInputs: return "nan_inputs";
+    case Counter::kInfInputs: return "inf_inputs";
+    case Counter::kInjections: return "injections";
+    case Counter::kTrials: return "trials";
+    case Counter::kFormatCacheHits: return "format_cache_hits";
+    case Counter::kFormatCacheMisses: return "format_cache_misses";
+    case Counter::kPoolJobs: return "pool_jobs";
+    case Counter::kPoolChunks: return "pool_chunks";
+    case Counter::kSpansDropped: return "spans_dropped";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+uint64_t counter_value(Counter c) {
+  return detail::g_counters[static_cast<int>(c)].load(
+      std::memory_order_relaxed);
+}
+
+void reset_counters() {
+  for (auto& c : detail::g_counters) c.store(0, std::memory_order_relaxed);
+}
+
+// --- gauges ----------------------------------------------------------------
+
+void set_gauge(const std::string& name, double value) {
+  if (!metrics_enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.gauge_map[name] = value;
+}
+
+std::vector<std::pair<std::string, double>> gauges() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return {r.gauge_map.begin(), r.gauge_map.end()};
+}
+
+void reset_gauges() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.gauge_map.clear();
+}
+
+// --- quantization statistics -----------------------------------------------
+
+void record_quantization(const float* before, const float* after, int64_t n,
+                         double abs_max) {
+  if (!metrics_enabled() || n <= 0) return;
+  const float mx = static_cast<float>(abs_max);
+  uint64_t sat = 0, nan = 0, inf = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float in = before[i];
+    const float out = after[i];
+    if (std::isnan(in)) {
+      ++nan;
+      continue;
+    }
+    if (std::isinf(in)) {
+      ++inf;
+      continue;
+    }
+    // Saturation: the output clamped at the representable edge, or a finite
+    // input overflowed to Inf (non-saturating FP overflow).
+    if (std::isinf(out) || (std::fabs(out) >= mx && std::fabs(in) > mx)) {
+      ++sat;
+    }
+  }
+  add(Counter::kElementsQuantized, static_cast<uint64_t>(n));
+  if (sat) add(Counter::kSaturations, sat);
+  if (nan) add(Counter::kNanInputs, nan);
+  if (inf) add(Counter::kInfInputs, inf);
+}
+
+void record_layer_quant_error(const std::string& layer, const float* before,
+                              const float* after, int64_t n, double abs_max) {
+  if (!metrics_enabled() || n <= 0) return;
+  const float mx = static_cast<float>(abs_max);
+  QuantErrorSummary local;
+  local.elements = static_cast<uint64_t>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float in = before[i];
+    const float out = after[i];
+    if (!std::isfinite(in) || !std::isfinite(out)) {
+      if (std::isinf(out) && std::isfinite(in)) ++local.saturated;
+      continue;
+    }
+    const double err = std::fabs(static_cast<double>(in) - out);
+    local.sum_abs_err += err;
+    local.max_abs_err = std::max(local.max_abs_err, err);
+    if (std::fabs(out) >= mx && std::fabs(in) > mx) ++local.saturated;
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  QuantErrorSummary& s = r.layer_quant[layer];
+  s.elements += local.elements;
+  s.saturated += local.saturated;
+  s.sum_abs_err += local.sum_abs_err;
+  s.max_abs_err = std::max(s.max_abs_err, local.max_abs_err);
+}
+
+std::vector<std::pair<std::string, QuantErrorSummary>> layer_quant_summaries() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return {r.layer_quant.begin(), r.layer_quant.end()};
+}
+
+void reset_layer_quant_summaries() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.layer_quant.clear();
+}
+
+void reset_all() {
+  reset_counters();
+  reset_gauges();
+  reset_layer_quant_summaries();
+  clear_trace();
+}
+
+// --- logging ---------------------------------------------------------------
+
+void set_log_level(int level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+int log_level() { return g_log_level.load(std::memory_order_relaxed); }
+
+void log(int level, const std::string& msg) {
+  if (level > log_level()) return;
+  std::fprintf(stderr, "[ge] %s\n", msg.c_str());
+}
+
+}  // namespace ge::obs

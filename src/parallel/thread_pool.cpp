@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace ge::parallel {
 
 namespace {
@@ -77,8 +79,17 @@ class ThreadPool {
     int nw = std::min(configured_threads(), std::max(1, max_workers));
     nw = static_cast<int>(std::min<int64_t>(nw, nchunks));
 
+    // Only top-level loops are traced: nested loops run inline inside an
+    // already-traced chunk/trial, and a span per nested kernel loop would
+    // drown the trace. Telemetry never influences chunking (see the
+    // determinism contract above).
+    const bool top_level = !tls_in_region;
+    if (top_level) obs::add(obs::Counter::kPoolJobs);
+
     if (nw <= 1 || tls_in_region) {
       // Serial path — same chunk boundaries, slot 0 throughout.
+      obs::Span job_span("pool",
+                         top_level ? "parallel_for[serial]" : nullptr);
       RegionGuard guard;
       for (int64_t c = 0; c < nchunks; ++c) {
         const int64_t lo = begin + c * grain;
@@ -88,6 +99,7 @@ class ThreadPool {
     }
 
     // One top-level loop at a time; nested calls never reach here.
+    obs::Span job_span("pool", "parallel_for");
     std::lock_guard<std::mutex> run_lk(run_mutex_);
     ensure_workers(nw - 1);
     Job job;
@@ -146,6 +158,10 @@ class ThreadPool {
     RegionGuard guard;
     for (int64_t c = slot; c < job.nchunks; c += job.nw) {
       const int64_t lo = job.begin + c * job.grain;
+      // Chunk spans make pool utilization visible per worker thread in the
+      // exported trace; the disabled path costs one branch per chunk.
+      obs::Span chunk_span("pool", "chunk");
+      obs::add(obs::Counter::kPoolChunks);
       (*job.fn)(slot, lo, std::min(job.end, lo + job.grain));
     }
   }

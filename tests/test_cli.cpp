@@ -3,6 +3,8 @@
 // plus one real accuracy invocation against a cached model.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/cli.hpp"
@@ -115,6 +117,81 @@ TEST(Cli, CampaignStuckAtErrorModelEndToEnd) {
                       "--samples", "8"});
   EXPECT_EQ(r.code, 0) << r.err;
   EXPECT_NE(r.out.find("error-model=sa1"), std::string::npos);
+}
+
+TEST(Cli, BadNumericOptionIsUsageErrorNotCrash) {
+  // used to throw std::invalid_argument straight out of std::stoll
+  const auto r = run({"campaign", "--format", "int8", "--samples", "abc"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--samples"), std::string::npos);
+  EXPECT_NE(r.err.find("abc"), std::string::npos);
+
+  // trailing junk must not silently truncate either
+  EXPECT_EQ(run({"campaign", "--format", "int8", "--injections", "12x"}).code,
+            2);
+  EXPECT_EQ(run({"dse", "--threshold", "lots"}).code, 2);
+}
+
+TEST(Cli, UnknownOptionRejected) {
+  const auto r = run({"range", "--format", "fp16", "--frobnicate", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--frobnicate"), std::string::npos);
+}
+
+TEST(Cli, BadLogLevelIsUsageError) {
+  const auto r = run({"formats", "--log-level", "loud"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--log-level"), std::string::npos);
+}
+
+TEST(Cli, UsageListsEveryCommandAndTelemetryFlags) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  for (const char* token : {"accuracy", "campaign", "dse", "range",
+                            "features", "formats", "--trace", "--report",
+                            "--log-level", "--seed", "--threshold"}) {
+    EXPECT_NE(r.err.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(Cli, ReportAndTraceFilesWritten) {
+  const std::string report = "/tmp/ge_cli_report.jsonl";
+  const std::string trace = "/tmp/ge_cli_trace.json";
+  std::remove(report.c_str());
+  std::remove(trace.c_str());
+  const auto r = run({"campaign", "--model", "mlp", "--format", "int8",
+                      "--injections", "2", "--epochs", "1", "--cache",
+                      "/tmp/ge_cli_cache", "--samples", "8", "--report",
+                      report, "--trace", trace});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  std::ifstream rf(report);
+  ASSERT_TRUE(rf.good());
+  std::string all((std::istreambuf_iterator<char>(rf)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"type\":\"run_header\""), std::string::npos);
+  EXPECT_NE(all.find("\"type\":\"campaign_layer\""), std::string::npos);
+  EXPECT_NE(all.find("\"type\":\"campaign_summary\""), std::string::npos);
+  EXPECT_NE(all.find("\"type\":\"metrics\""), std::string::npos);
+  EXPECT_NE(all.find("\"schema\":1"), std::string::npos);
+
+  std::ifstream tf(trace);
+  ASSERT_TRUE(tf.good());
+  std::string tj((std::istreambuf_iterator<char>(tf)),
+                 std::istreambuf_iterator<char>());
+  EXPECT_NE(tj.find("\"traceEvents\""), std::string::npos);
+  // spans from at least three subsystems
+  EXPECT_NE(tj.find("\"cat\":\"campaign\""), std::string::npos);
+  EXPECT_NE(tj.find("\"cat\":\"emulator\""), std::string::npos);
+  EXPECT_NE(tj.find("\"cat\":\"pool\""), std::string::npos);
+  std::remove(report.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, ReportPathUnwritableIsUsageError) {
+  const auto r = run({"formats", "--report", "/nonexistent-dir/x.jsonl"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--report"), std::string::npos);
 }
 
 }  // namespace

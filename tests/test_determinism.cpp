@@ -9,6 +9,7 @@
 #include "core/campaign.hpp"
 #include "data/synthetic.hpp"
 #include "models/model_factory.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ge::core {
@@ -105,6 +106,32 @@ TEST(Determinism, ReplicaPathMatchesSerialPrimaryPath) {
   const CampaignResult replicated =
       run_campaign(*f.model, f.batch, campaign_cfg(/*with_replicas=*/true));
   expect_same_result(primary_only, replicated);
+}
+
+TEST(Determinism, TelemetryDoesNotPerturbCampaignResults) {
+  // The observability contract: tracing + metrics read state but never feed
+  // back into RNG streams, chunking, or arithmetic, so a fully-instrumented
+  // run is bitwise identical to a dark one.
+  ThreadGuard guard;
+  Fixture f;
+  parallel::set_num_threads(4);
+  const CampaignConfig cfg = campaign_cfg(/*with_replicas=*/true);
+
+  CampaignResult dark, lit;
+  {
+    obs::TelemetryScope scope(/*tracing=*/false, /*metrics=*/false);
+    dark = run_campaign(*f.model, f.batch, cfg);
+  }
+  {
+    obs::TelemetryScope scope(/*tracing=*/true, /*metrics=*/true);
+    obs::reset_all();
+    lit = run_campaign(*f.model, f.batch, cfg);
+    // sanity: instrumentation actually fired during the lit run
+    EXPECT_GT(obs::trace_event_count(), 0u);
+    EXPECT_GT(obs::counter_value(obs::Counter::kTrials), 0u);
+    obs::reset_all();
+  }
+  expect_same_result(dark, lit);
 }
 
 TEST(Determinism, RepeatedCampaignOnSameModelIsStable) {

@@ -1,0 +1,394 @@
+// ge::obs telemetry: span recording/nesting, counter atomicity under the
+// thread pool, quantization-error summaries, JSONL schema, and Chrome
+// trace validity (checked with a minimal JSON parser, below). Also pins
+// the zero-cost-when-disabled contract: a dark run records nothing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "obs/run_log.hpp"
+#include "obs/telemetry.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace ge::obs {
+namespace {
+
+// --- minimal JSON syntax checker -------------------------------------------
+// Recursive-descent validator: accepts objects/arrays/strings/numbers/
+// true/false/null. Good enough to prove the exporters emit parseable JSON
+// without pulling in a JSON library.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+struct ThreadGuard {
+  int saved = parallel::num_threads();
+  ~ThreadGuard() { parallel::set_num_threads(saved); }
+};
+
+// --- tracing ---------------------------------------------------------------
+
+TEST(ObsTrace, SpansNestAndRecordDurations) {
+  TelemetryScope scope(/*tracing=*/true, /*metrics=*/false);
+  clear_trace();
+  {
+    Span outer("test", "outer");
+    { Span inner("test", "inner", "detail"); }
+  }
+  const auto events = collect_trace();
+  ASSERT_EQ(events.size(), 2u);
+  // sorted by start time: outer starts first, closes last
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner(detail)");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_GE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+  clear_trace();
+}
+
+TEST(ObsTrace, DisabledTracingRecordsNothing) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/false);
+  clear_trace();
+  {
+    Span s("test", "invisible");
+    Span d("test", "also-invisible", "x");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST(ObsTrace, InertSpanWithNullName) {
+  TelemetryScope scope(/*tracing=*/true, /*metrics=*/false);
+  clear_trace();
+  { Span s("test", nullptr); }
+  EXPECT_EQ(trace_event_count(), 0u);
+  clear_trace();
+}
+
+TEST(ObsTrace, SpanEnabledMidScopeDoesNotRecordHalfEvent) {
+  // A span constructed while tracing is off must stay inert even if
+  // tracing turns on before its destructor runs.
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/false);
+  clear_trace();
+  {
+    Span s("test", "born-dark");
+    set_tracing_enabled(true);
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+  set_tracing_enabled(false);
+  clear_trace();
+}
+
+TEST(ObsTrace, ChromeTraceJsonIsValidAndCarriesEvents) {
+  TelemetryScope scope(/*tracing=*/true, /*metrics=*/false);
+  clear_trace();
+  {
+    Span a("alpha", "one");
+    Span b("beta", "two", "p");
+  }
+  const std::string json = chrome_trace_json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"two(p)\""), std::string::npos);
+  clear_trace();
+}
+
+TEST(ObsTrace, PoolSpansAppearUnderParallelFor) {
+  ThreadGuard tg;
+  parallel::set_num_threads(4);
+  TelemetryScope scope(/*tracing=*/true, /*metrics=*/false);
+  clear_trace();
+  std::atomic<int64_t> sink{0};
+  parallel::parallel_for(0, 1024, 64, [&](int64_t lo, int64_t hi) {
+    sink.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  const auto events = collect_trace();
+  EXPECT_EQ(sink.load(), 1024);
+  bool saw_job = false, saw_chunk = false;
+  for (const auto& e : events) {
+    if (e.name == "parallel_for" || e.name == "parallel_for[serial]") {
+      saw_job = true;
+    }
+    if (e.name == "chunk") saw_chunk = true;
+  }
+  EXPECT_TRUE(saw_job);
+  EXPECT_TRUE(saw_chunk);
+  clear_trace();
+}
+
+// --- counters --------------------------------------------------------------
+
+TEST(ObsCounters, AtomicUnderParallelFor) {
+  ThreadGuard tg;
+  parallel::set_num_threads(4);
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_counters();
+  const uint64_t before = counter_value(Counter::kInjections);
+  parallel::parallel_for(0, 10000, 16, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) add(Counter::kInjections);
+  });
+  EXPECT_EQ(counter_value(Counter::kInjections), before + 10000);
+  reset_counters();
+}
+
+TEST(ObsCounters, DisabledMetricsCountNothing) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/false);
+  reset_counters();
+  add(Counter::kTrials, 42);
+  EXPECT_EQ(counter_value(Counter::kTrials), 0u);
+}
+
+TEST(ObsCounters, NamesAreStableSnakeCase) {
+  EXPECT_STREQ(counter_name(Counter::kElementsQuantized),
+               "elements_quantized");
+  EXPECT_STREQ(counter_name(Counter::kSpansDropped), "spans_dropped");
+}
+
+TEST(ObsGauges, LastWriteWins) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_gauges();
+  set_gauge("x.rate", 1.0);
+  set_gauge("x.rate", 2.5);
+  const auto gs = gauges();
+  ASSERT_EQ(gs.size(), 1u);
+  EXPECT_EQ(gs[0].first, "x.rate");
+  EXPECT_EQ(gs[0].second, 2.5);
+  reset_gauges();
+}
+
+// --- quantization statistics -----------------------------------------------
+
+TEST(ObsQuant, RecordQuantizationCountsSaturationNanInf) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_counters();
+  const float kInf = std::numeric_limits<float>::infinity();
+  const float kNan = std::numeric_limits<float>::quiet_NaN();
+  // format with abs_max 4: in 8.0 clamps to 4.0; in 1.0 passes through
+  const float before[] = {1.0f, 8.0f, -16.0f, kNan, kInf};
+  const float after[] = {1.0f, 4.0f, -4.0f, kNan, 4.0f};
+  record_quantization(before, after, 5, 4.0);
+  EXPECT_EQ(counter_value(Counter::kElementsQuantized), 5u);
+  // NaN/Inf inputs are classified as such, not as saturations
+  EXPECT_EQ(counter_value(Counter::kSaturations), 2u);
+  EXPECT_EQ(counter_value(Counter::kNanInputs), 1u);
+  EXPECT_EQ(counter_value(Counter::kInfInputs), 1u);
+  reset_counters();
+}
+
+TEST(ObsQuant, LayerSummaryMathAndMerge) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_layer_quant_summaries();
+  const float b1[] = {1.0f, 2.0f};
+  const float a1[] = {0.5f, 2.0f};  // errors 0.5, 0
+  const float b2[] = {10.0f};
+  const float a2[] = {4.0f};  // clamped at abs_max=4; error 6
+  record_layer_quant_error("net.fc1", b1, a1, 2, 4.0);
+  record_layer_quant_error("net.fc1", b2, a2, 1, 4.0);
+  const auto sums = layer_quant_summaries();
+  ASSERT_EQ(sums.size(), 1u);
+  EXPECT_EQ(sums[0].first, "net.fc1");
+  const QuantErrorSummary& s = sums[0].second;
+  EXPECT_EQ(s.elements, 3u);
+  EXPECT_EQ(s.saturated, 1u);
+  EXPECT_DOUBLE_EQ(s.sum_abs_err, 6.5);
+  EXPECT_DOUBLE_EQ(s.max_abs_err, 6.0);
+  EXPECT_DOUBLE_EQ(s.mean_abs_err(), 6.5 / 3.0);
+  EXPECT_DOUBLE_EQ(s.saturation_rate(), 1.0 / 3.0);
+  reset_layer_quant_summaries();
+}
+
+// --- JSONL run log ---------------------------------------------------------
+
+TEST(ObsRunLog, JsonObjectRendersTypedFields) {
+  JsonObject o;
+  o.str("s", "a\"b\\c\n")
+      .num("d", 1.5)
+      .num("i", int64_t{-7})
+      .num("u", uint64_t{9})
+      .boolean("t", true)
+      .raw("nested", "{\"x\":1}");
+  const std::string j = o.render();
+  JsonChecker checker(j);
+  EXPECT_TRUE(checker.valid()) << j;
+  EXPECT_NE(j.find("\"s\":\"a\\\"b\\\\c\\n\""), std::string::npos);
+  EXPECT_NE(j.find("\"i\":-7"), std::string::npos);
+  EXPECT_NE(j.find("\"nested\":{\"x\":1}"), std::string::npos);
+}
+
+TEST(ObsRunLog, NonFiniteNumbersBecomeNull) {
+  JsonObject o;
+  o.num("inf", std::numeric_limits<double>::infinity())
+      .num("nan", std::numeric_limits<double>::quiet_NaN());
+  const std::string j = o.render();
+  JsonChecker checker(j);
+  EXPECT_TRUE(checker.valid()) << j;
+  EXPECT_NE(j.find("\"inf\":null"), std::string::npos);
+  EXPECT_NE(j.find("\"nan\":null"), std::string::npos);
+}
+
+TEST(ObsRunLog, EventLinesCarrySchemaAndType) {
+  std::ostringstream os;
+  RunLog log(os);
+  ASSERT_TRUE(log.ok());
+  JsonObject row;
+  row.str("layer", "conv1").num("sdc", int64_t{3});
+  log.event("campaign_layer", row);
+  log.event("campaign_layer", JsonObject().str("layer", "conv2"));
+  // two lines, each independently valid JSON with the schema head
+  std::istringstream lines(os.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    JsonChecker checker(line);
+    EXPECT_TRUE(checker.valid()) << line;
+    EXPECT_EQ(line.find("{\"schema\":1,\"type\":\"campaign_layer\""), 0u)
+        << line;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(ObsRunLog, MetricsSnapshotEmitsLayerQuantAndCounters) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_all();
+  add(Counter::kTrials, 5);
+  set_gauge("campaign.trials_per_sec", 123.0);
+  const float b[] = {2.0f};
+  const float a[] = {1.0f};
+  record_layer_quant_error("net.conv1", b, a, 1, 8.0);
+
+  std::ostringstream os;
+  RunLog log(os);
+  log.metrics_snapshot();
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"type\":\"layer_quant\""), std::string::npos);
+  EXPECT_NE(text.find("\"net.conv1\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"metrics\""), std::string::npos);
+  EXPECT_NE(text.find("\"trials\":5"), std::string::npos);
+  EXPECT_NE(text.find("\"campaign.trials_per_sec\":123"), std::string::npos);
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    JsonChecker checker(line);
+    EXPECT_TRUE(checker.valid()) << line;
+  }
+  reset_all();
+}
+
+TEST(ObsRunLog, BadPathReportsNotOk) {
+  RunLog log("/nonexistent-dir/deep/report.jsonl");
+  EXPECT_FALSE(log.ok());
+  log.event("run_header", JsonObject().str("x", "y"));  // must not throw
+}
+
+}  // namespace
+}  // namespace ge::obs
