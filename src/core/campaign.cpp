@@ -80,9 +80,20 @@ CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
     ctxs[static_cast<size_t>(w)].model->eval();
     copy_state(model, *ctxs[static_cast<size_t>(w)].model);
   }
-  for (auto& ctx : ctxs) {
-    ctx.emu = std::make_unique<Emulator>(*ctx.model, ecfg);
-    ctx.inj = std::make_unique<Injector>(*ctx.emu, cfg.seed);
+  ctxs[0].emu = std::make_unique<Emulator>(*ctxs[0].model, ecfg);
+  ctxs[0].inj = std::make_unique<Injector>(*ctxs[0].emu, cfg.seed);
+  // Replicas share the primary's post-quantisation weight tensors instead
+  // of re-quantising their own copies: attach becomes O(1) per parameter
+  // and the quantised weights exist once, however many workers run. A
+  // trial that corrupts a weight detaches a private copy via COW.
+  EmulatorConfig rcfg = ecfg;
+  rcfg.weight_source = &model;
+  for (int w = 1; w < nctx; ++w) {
+    ctxs[static_cast<size_t>(w)].emu =
+        std::make_unique<Emulator>(*ctxs[static_cast<size_t>(w)].model, rcfg);
+    ctxs[static_cast<size_t>(w)].inj =
+        std::make_unique<Injector>(*ctxs[static_cast<size_t>(w)].emu,
+                                   cfg.seed);
   }
   Emulator& emu = *ctxs[0].emu;
 

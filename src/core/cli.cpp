@@ -117,6 +117,7 @@ const std::vector<OptionDesc>& global_options() {
       {"trace", "FILE", "write a Chrome trace_event JSON timeline"},
       {"report", "FILE", "write a JSONL structured run report"},
       {"log-level", "N", "stderr verbosity: 0 silent, 1 progress, 2 debug"},
+      {"threads", "N", "worker threads (overrides GE_NUM_THREADS)"},
   };
   return kGlobal;
 }
@@ -442,6 +443,13 @@ struct LogLevelGuard {
   ~LogLevelGuard() { obs::set_log_level(saved); }
 };
 
+/// Restores the pool worker count likewise: --threads is per-invocation
+/// state, not a process-wide setting an embedding caller has to undo.
+struct ThreadCountGuard {
+  int saved = parallel::num_threads();
+  ~ThreadCountGuard() { parallel::set_num_threads(saved); }
+};
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -464,6 +472,15 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         get(*parsed, "report", env_or("GE_REPORT", ""));
     LogLevelGuard log_guard;
     obs::set_log_level(static_cast<int>(get_int(*parsed, "log-level", 0)));
+    ThreadCountGuard thread_guard;
+    if (parsed->options.count("threads") != 0) {
+      const int64_t threads = get_int(*parsed, "threads", 0);
+      if (threads < 1 || threads > 256) {
+        throw UsageError("invalid value '" + parsed->options.at("threads") +
+                         "' for --threads (expected an integer in [1, 256])");
+      }
+      parallel::set_num_threads(static_cast<int>(threads));
+    }
     const bool tracing = !trace_path.empty();
     const bool metrics = tracing || !report_path.empty();
     obs::TelemetryScope scope(tracing, metrics);

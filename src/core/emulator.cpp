@@ -49,14 +49,36 @@ void Emulator::attach() {
 
     if (cfg_.quantize_weights) {
       // Offline weight conversion: each parameter gets a fresh format
-      // instance (its metadata belongs to that tensor).
+      // instance (its metadata belongs to that tensor). With a
+      // weight_source, the source model's already-quantised tensors are
+      // shared instead (O(1) — all replicas then reference one frozen
+      // copy of the quantised weights).
+      nn::Module* src_mod = cfg_.weight_source != nullptr
+                                ? cfg_.weight_source->find_module(path)
+                                : nullptr;
       for (nn::Parameter* p : mod->local_parameters()) {
         if (p->name == "weight") {
           weight_saved_index_[path] = saved_weights_.size();
         }
         saved_weights_.emplace_back(p, p->value);
-        auto wfmt = fmt::make_format(spec_for(cfg_, path));
-        p->value = wfmt->real_to_format_tensor(p->value);
+        if (src_mod != nullptr) {
+          nn::Parameter* src = nullptr;
+          for (nn::Parameter* q : src_mod->local_parameters()) {
+            if (q->name == p->name) src = q;
+          }
+          if (src == nullptr || src->value.shape() != p->value.shape()) {
+            throw std::invalid_argument(
+                "Emulator: weight_source has no matching parameter '" +
+                p->name + "' at '" + path + "'");
+          }
+          p->value = src->value;
+        } else {
+          // The saved FP32 share above forces the in-place quantiser to
+          // detach onto a fresh buffer, so the original stays pristine.
+          auto wfmt = fmt::make_format(spec_for(cfg_, path));
+          wfmt->quantize_tensor_inplace(p->value);
+        }
+        frozen_quantized_.push_back(p->value);
       }
     }
     if (cfg_.quantize_activations) {
@@ -68,17 +90,18 @@ void Emulator::attach() {
             LayerSite& s = sites_[site_index];
             obs::Span hook_span("emulator", "site", s.path);
             if (obs::metrics_enabled()) {
-              // Metrics path: keep the pre-quantisation activations so the
-              // per-layer error summary can compare. The copy exists only
-              // while metrics are on; values are never altered, so results
-              // match the plain path bitwise.
+              // Metrics path: an O(1) shared snapshot keeps the
+              // pre-quantisation activations (the in-place write detaches
+              // via copy-on-write) so the per-layer error summary can
+              // compare. The copy exists only while metrics are on; values
+              // are never altered, so results match the plain path bitwise.
               const Tensor before = y;
-              y = s.act_format->real_to_format_tensor(y);
-              obs::record_layer_quant_error(s.path, before.data(), y.data(),
-                                            y.numel(),
+              s.act_format->quantize_tensor_inplace(y);
+              obs::record_layer_quant_error(s.path, before.cdata(),
+                                            y.cdata(), y.numel(),
                                             s.act_format->abs_max());
             } else {
-              y = s.act_format->real_to_format_tensor(y);
+              s.act_format->quantize_tensor_inplace(y);
             }
             if (post_quant_) post_quant_(s, y);
           });
@@ -97,6 +120,7 @@ void Emulator::detach() {
     param->value = original;
   }
   saved_weights_.clear();
+  frozen_quantized_.clear();
   sites_.clear();
   site_index_.clear();
   weight_saved_index_.clear();
@@ -119,9 +143,10 @@ void Emulator::restore_weights(const std::string& path) {
     throw std::invalid_argument("Emulator::restore_weights: no weight at '" +
                                 path + "'");
   }
-  auto& [param, original] = saved_weights_[it->second];
-  auto wfmt = fmt::make_format(spec_for(cfg_, path));
-  param->value = wfmt->real_to_format_tensor(original);
+  // Re-share the frozen post-quantisation snapshot taken at attach time:
+  // O(1), and bitwise identical to re-quantising the FP32 original (the
+  // corrupting write detached onto a private copy, leaving it pristine).
+  saved_weights_[it->second].first->value = frozen_quantized_[it->second];
 }
 
 float emulated_accuracy(nn::Module& model, const Tensor& images,

@@ -38,6 +38,13 @@ struct EmulatorConfig {
   /// Layer kinds to instrument; CONV and LINEAR are the paper's defaults
   /// (the computationally intensive layers).
   std::vector<std::string> layer_kinds = {"Conv2d", "Linear"};
+  /// When set, attach() does not quantise this model's weights itself:
+  /// it shares the already-quantised parameter tensors of the source
+  /// model (which must be structurally identical and already
+  /// instrumented). Campaign replicas use this so all workers reference
+  /// one frozen copy of the quantised weights — a trial that corrupts a
+  /// weight materialises a private copy via copy-on-write.
+  nn::Module* weight_source = nullptr;
 };
 
 /// One instrumented layer: its path, module, and the per-layer format
@@ -90,6 +97,10 @@ class Emulator {
   PostQuant post_quant_;
   // (parameter pointer, pristine FP32 copy) for exact restore on detach
   std::vector<std::pair<nn::Parameter*, Tensor>> saved_weights_;
+  // Post-quantisation snapshot of each saved parameter (O(1) storage
+  // shares, aligned with saved_weights_): restore_weights re-shares the
+  // frozen tensor instead of re-quantising the FP32 original per trial.
+  std::vector<Tensor> frozen_quantized_;
   // O(1) path lookups (campaigns call site()/restore_weights() per trial):
   // path -> index into sites_, and path -> index of the layer's "weight"
   // entry in saved_weights_. Rebuilt by attach(), cleared by detach().

@@ -214,9 +214,12 @@ void Injector::apply_weight(LayerSite& site) {
                                 "' has no weight parameter");
   }
   // A cloned format instance re-captures this weight tensor's metadata so
-  // the scalar encode/decode is faithful to the quantised weights.
+  // the scalar encode/decode is faithful to the quantised weights. The
+  // capture runs on a COW scratch share: the parameter tensor (possibly
+  // referenced by every campaign replica) is never written through.
   auto wfmt = site.act_format->clone();
-  (void)wfmt->real_to_format_tensor(weight->value);
+  Tensor scratch = weight->value;
+  wfmt->quantize_tensor_inplace(scratch);
 
   const int64_t element =
       spec.element >= 0 ? spec.element

@@ -58,6 +58,12 @@ float AfpFormat::quantize_value(float x) const {
 }
 
 Tensor AfpFormat::real_to_format_tensor(const Tensor& t) {
+  Tensor out = t;  // O(1) share; the in-place kernel detaches on write
+  quantize_tensor_inplace(out);
+  return out;
+}
+
+void AfpFormat::quantize_tensor_inplace(Tensor& t) {
   // Adaptive step: move the representable range onto the data, as far as
   // the offset register allows.
   const float data_max = ops::max_abs(t);
@@ -67,18 +73,21 @@ Tensor AfpFormat::real_to_format_tensor(const Tensor& t) {
     bias_offset_ = std::clamp(desired_bias - standard_bias_,
                               kOffsetMin, kOffsetMax);
   }
-  last_input_ = t;  // kept for persistent-register fault replay
+  // Persistent-register fault replay needs the pre-quantisation values, so
+  // AFP always captures them (capacity reused across captures); the same
+  // buffer doubles as the `before` image for record_quantization.
+  const int64_t n = t.numel();
+  last_shape_ = t.shape();
+  const float* cp = t.cdata();
+  last_vals_.assign(cp, cp + n);
 
   // Metadata (the bias offset) is fixed above in a serial pass; the element
   // loop is then pure per-value work and chunks across threads.
-  Tensor out(t.shape());
-  const float* pin = t.data();
-  float* po = out.data();
-  parallel::parallel_for(0, t.numel(), 4096, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = quantize_value(pin[i]);
+  float* p = t.data();
+  parallel::parallel_for(0, n, 4096, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) p[i] = quantize_value(p[i]);
   });
-  obs::record_quantization(pin, po, t.numel(), abs_max());
-  return out;
+  obs::record_quantization(last_vals_.data(), p, n, abs_max());
 }
 
 BitString AfpFormat::real_to_format(float value) const {
@@ -157,15 +166,15 @@ void AfpFormat::write_metadata(const std::string& field, int64_t index,
 }
 
 Tensor AfpFormat::decode_last_tensor() const {
-  if (last_input_.empty()) {
+  if (last_vals_.empty()) {
     throw std::logic_error("AfpFormat: no tensor converted yet");
   }
   // Persistent-register fault: the corrupted bias governs both ends of the
   // value lifetime, so the tensor re-materialises as a *re-quantisation*
   // of the original values under the moved representable range (clipping
   // at the new max, flushing below the new min) — see header.
-  Tensor out(last_input_.shape());
-  const float* pin = last_input_.data();
+  Tensor out(last_shape_);
+  const float* pin = last_vals_.data();
   float* po = out.data();
   const int64_t n = out.numel();
   for (int64_t i = 0; i < n; ++i) po[i] = quantize_value(pin[i]);

@@ -43,6 +43,7 @@ class AfpFormat : public NumberFormat {
       : AfpFormat(exp_bits, man_bits, Options{}) {}
 
   Tensor real_to_format_tensor(const Tensor& t) override;
+  void quantize_tensor_inplace(Tensor& t) override;
   BitString real_to_format(float value) const override;
   float format_to_real(const BitString& bits) const override;
 
@@ -89,7 +90,10 @@ class AfpFormat : public NumberFormat {
   Options opt_;
   int standard_bias_;  // 2^(e-1) - 1
   int bias_offset_;    // the metadata register content
-  Tensor last_input_;  // pre-quantisation values (persistent-fault replay)
+  // Pre-quantisation values for persistent-fault replay. A plain vector
+  // (not a Tensor) so repeated captures at one site reuse the allocation.
+  std::vector<float> last_vals_;
+  Shape last_shape_;
 };
 
 }  // namespace ge::fmt

@@ -46,6 +46,12 @@ float BfpFormat::decode_code(int32_t signed_mag, int se) const {
 }
 
 Tensor BfpFormat::real_to_format_tensor(const Tensor& t) {
+  Tensor out = t;  // O(1) share; the in-place kernel detaches on write
+  quantize_tensor_inplace(out);
+  return out;
+}
+
+void BfpFormat::quantize_tensor_inplace(Tensor& t) {
   const int64_t n = t.numel();
   effective_block_ = (block_size_ == 0) ? n : block_size_;
   const int64_t nblocks = (n + effective_block_ - 1) / effective_block_;
@@ -53,15 +59,16 @@ Tensor BfpFormat::real_to_format_tensor(const Tensor& t) {
   last_codes_.assign(static_cast<size_t>(n), 0);
   last_shape_ = t.shape();
 
-  Tensor out(t.shape());
-  const float* pin = t.data();
-  float* po = out.data();
+  Tensor before;
+  if (obs::metrics_enabled()) before = t;  // O(1) pre-quant snapshot via COW
+  float* p = t.data();
   const int se_min = -bias_;
   const int se_max = ((1 << exp_bits_) - 1) - bias_;
   const auto max_mag = static_cast<float>((1 << man_bits_) - 1);
 
   // Blocks are independent: each owns one shared-exponent register and a
   // disjoint code/output slice, so the block loop is the parallel axis.
+  // In-place is safe: pass 1 reads the whole block before pass 2 writes it.
   parallel::parallel_for(
       0, nblocks, parallel::grain_for(2 * effective_block_),
       [&](int64_t blo, int64_t bhi) {
@@ -71,7 +78,7 @@ Tensor BfpFormat::real_to_format_tensor(const Tensor& t) {
           // Pass 1: the block's maximum exponent -> shared-exponent register.
           float block_max = 0.0f;
           for (int64_t i = lo; i < hi; ++i) {
-            block_max = std::max(block_max, std::fabs(pin[i]));
+            block_max = std::max(block_max, std::fabs(p[i]));
           }
           int se = se_min;
           if (block_max > 0.0f && !std::isnan(block_max)) {
@@ -85,20 +92,21 @@ Tensor BfpFormat::real_to_format_tensor(const Tensor& t) {
           // block with NaNs.
           const int shift = se + 1 - man_bits_;
           for (int64_t i = lo; i < hi; ++i) {
-            const float x = pin[i];
+            const float x = p[i];
             float mag = std::nearbyintf(std::ldexp(std::fabs(x), -shift));
             mag = std::min(mag, max_mag);
             const float code = std::signbit(x) ? -mag : mag;
             last_codes_[static_cast<size_t>(i)] = static_cast<int32_t>(code);
-            po[i] = std::ldexp(code, shift);
+            p[i] = std::ldexp(code, shift);
           }
         }
       });
-  // Block-local saturation (a block's max-mantissa clamp) is below the
-  // format-wide abs_max, so this undercounts per-block clamping; the
-  // counter tracks format-range saturation only.
-  obs::record_quantization(pin, po, n, abs_max());
-  return out;
+  if (obs::metrics_enabled()) {
+    // Block-local saturation (a block's max-mantissa clamp) is below the
+    // format-wide abs_max, so this undercounts per-block clamping; the
+    // counter tracks format-range saturation only.
+    obs::record_quantization(before.cdata(), p, n, abs_max());
+  }
 }
 
 BitString BfpFormat::real_to_format(float value) const {

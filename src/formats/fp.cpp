@@ -75,17 +75,16 @@ float FloatFormat::quantize_value(float x) const {
 }
 
 Tensor FloatFormat::real_to_format_tensor(const Tensor& t) {
-  // Fast tensorised path: one fused pass, no bitstring materialisation.
-  // Value-only format (no tensor-level metadata), so elements quantize
-  // independently and the loop chunks across threads.
-  Tensor out(t.shape());
-  const float* pin = t.data();
-  float* po = out.data();
-  parallel::parallel_for(0, t.numel(), 4096, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = quantize_value(pin[i]);
-  });
-  obs::record_quantization(pin, po, t.numel(), abs_max());
+  Tensor out = t;  // O(1) share; the in-place kernel detaches on write
+  quantize_tensor_inplace(out);
   return out;
+}
+
+void FloatFormat::quantize_tensor_inplace(Tensor& t) {
+  // Fast tensorised path: one fused in-place pass, no bitstring
+  // materialisation. Value-only format (no tensor-level metadata), so
+  // elements quantize independently and the loop chunks across threads.
+  elementwise_inplace(t, [this](float x) { return quantize_value(x); });
 }
 
 BitString FloatFormat::real_to_format(float value) const {

@@ -33,15 +33,14 @@ float FxpFormat::quantize_value(float x) const {
 }
 
 Tensor FxpFormat::real_to_format_tensor(const Tensor& t) {
-  // Value-only format: elements quantize independently (see FloatFormat).
-  Tensor out(t.shape());
-  const float* pin = t.data();
-  float* po = out.data();
-  parallel::parallel_for(0, t.numel(), 4096, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = quantize_value(pin[i]);
-  });
-  obs::record_quantization(pin, po, t.numel(), abs_max());
+  Tensor out = t;  // O(1) share; the in-place kernel detaches on write
+  quantize_tensor_inplace(out);
   return out;
+}
+
+void FxpFormat::quantize_tensor_inplace(Tensor& t) {
+  // Value-only format: elements quantize independently (see FloatFormat).
+  elementwise_inplace(t, [this](float x) { return quantize_value(x); });
 }
 
 BitString FxpFormat::real_to_format(float value) const {

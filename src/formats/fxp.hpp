@@ -13,6 +13,7 @@ class FxpFormat : public NumberFormat {
   FxpFormat(int int_bits, int frac_bits);
 
   Tensor real_to_format_tensor(const Tensor& t) override;
+  void quantize_tensor_inplace(Tensor& t) override;
   BitString real_to_format(float value) const override;
   float format_to_real(const BitString& bits) const override;
 

@@ -29,31 +29,39 @@ void IntFormat::set_range(float max_abs_value) {
 }
 
 Tensor IntFormat::real_to_format_tensor(const Tensor& t) {
+  Tensor out = t;  // O(1) share; the in-place kernel detaches on write
+  quantize_tensor_inplace(out);
+  return out;
+}
+
+void IntFormat::quantize_tensor_inplace(Tensor& t) {
   if (!fixed_range_) {
     const float mx = ops::max_abs(t);
     scale_ = (mx > 0.0f) ? mx / static_cast<float>(max_code_) : 1.0f;
   }
+  const int64_t n = t.numel();
   last_shape_ = t.shape();
-  last_codes_.assign(static_cast<size_t>(t.numel()), 0);
-  Tensor out(t.shape());
-  const float* pin = t.data();
-  float* po = out.data();
+  last_codes_.assign(static_cast<size_t>(n), 0);
+  Tensor before;
+  if (obs::metrics_enabled()) before = t;  // O(1) pre-quant snapshot via COW
+  float* p = t.data();
   const float inv = 1.0f / scale_;
   const auto cmin = static_cast<float>(-max_code_);
   const auto cmax = static_cast<float>(max_code_);
   // The scale (tensor metadata) is fixed above; the element loop only does
-  // disjoint writes to `out` and `last_codes_`, so it parallelizes cleanly.
-  parallel::parallel_for(0, t.numel(), 4096, [&](int64_t lo, int64_t hi) {
+  // disjoint writes to `t` and `last_codes_`, so it parallelizes cleanly.
+  parallel::parallel_for(0, n, 4096, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      const float code = std::clamp(std::nearbyintf(pin[i] * inv), cmin, cmax);
+      const float code = std::clamp(std::nearbyintf(p[i] * inv), cmin, cmax);
       last_codes_[static_cast<size_t>(i)] = static_cast<int32_t>(code);
-      po[i] = code * scale_;
+      p[i] = code * scale_;
     }
   });
-  // abs_max() is in code units for INT; the real-domain edge is code*scale.
-  obs::record_quantization(pin, po, t.numel(),
-                           static_cast<double>(max_code_) * scale_);
-  return out;
+  if (obs::metrics_enabled()) {
+    // abs_max() is in code units for INT; the real-domain edge is code*scale.
+    obs::record_quantization(before.cdata(), p, n,
+                             static_cast<double>(max_code_) * scale_);
+  }
 }
 
 BitString IntFormat::real_to_format(float value) const {

@@ -57,6 +57,10 @@ Tensor NumberFormat::format_to_real_tensor(const Tensor& t) const {
   return t;  // values are already held as float32 reals on the fabric
 }
 
+void NumberFormat::quantize_tensor_inplace(Tensor& t) {
+  t = real_to_format_tensor(t);
+}
+
 BitString NumberFormat::real_to_format_at(float value,
                                           int64_t /*flat_index*/) const {
   return real_to_format(value);

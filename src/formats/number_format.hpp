@@ -8,6 +8,8 @@
 //
 // Methods 1/2 are the tensorised fast path used during emulated inference;
 // methods 3/4 are the scalar bit-exact path used by the fault injector.
+// The emulator's hot path is quantize_tensor_inplace — method 1 expressed
+// as an in-place mutation so per-forward quantisation allocates nothing.
 //
 // Formats additionally expose their *hardware metadata* — state that is
 // abstracted away in software but lives in real registers in an
@@ -21,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+#include "parallel/thread_pool.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ge::fmt {
@@ -73,6 +77,16 @@ class NumberFormat {
   /// the compute fabric's native type). May capture metadata.
   virtual Tensor real_to_format_tensor(const Tensor& t) = 0;
 
+  /// Method 1, in place — overwrite `t` with its quantised image, with the
+  /// same metadata-capture semantics as real_to_format_tensor. This is the
+  /// emulator's per-forward hot path: the built-in formats override it to
+  /// write through the tensor's own storage with zero allocation. The
+  /// default bridges to real_to_format_tensor so third-party formats only
+  /// have to implement the classic method; a format that instead writes
+  /// real_to_format_tensor as a copy + in-place bridge MUST override this
+  /// method too, or the pair recurses.
+  virtual void quantize_tensor_inplace(Tensor& t);
+
   /// Method 2 — decode a format-domain tensor back to real values. The
   /// default is the identity, since method 1 already returns values on the
   /// real axis (the paper's default implementation is a cast to float32).
@@ -121,6 +135,26 @@ class NumberFormat {
   virtual std::unique_ptr<NumberFormat> clone() const = 0;
 
  protected:
+  /// Shared in-place kernel for value-only formats (no tensor-level
+  /// metadata): overwrite every element of `t` with `quant(element)`,
+  /// chunked across threads. When metrics are on, an O(1) shared snapshot
+  /// of `t` is taken first (the mutable access then detaches via
+  /// copy-on-write) so record_quantization sees the pre-quantisation
+  /// values; with metrics off the path allocates nothing.
+  template <typename F>
+  void elementwise_inplace(Tensor& t, F&& quant) {
+    const int64_t n = t.numel();
+    Tensor before;
+    if (obs::metrics_enabled()) before = t;
+    float* p = t.data();  // any COW detach happens here, single-threaded
+    parallel::parallel_for(0, n, 4096, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) p[i] = quant(p[i]);
+    });
+    if (obs::metrics_enabled()) {
+      obs::record_quantization(before.cdata(), p, n, abs_max());
+    }
+  }
+
   std::string name_;
   int bit_width_;
 };

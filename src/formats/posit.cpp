@@ -124,16 +124,15 @@ float PositFormat::quantize_value(float x) const {
 }
 
 Tensor PositFormat::real_to_format_tensor(const Tensor& t) {
+  Tensor out = t;  // O(1) share; the in-place kernel detaches on write
+  quantize_tensor_inplace(out);
+  return out;
+}
+
+void PositFormat::quantize_tensor_inplace(Tensor& t) {
   // Value-only format: elements quantize independently (table lookups are
   // read-only), so the loop chunks across threads.
-  Tensor out(t.shape());
-  const float* pin = t.data();
-  float* po = out.data();
-  parallel::parallel_for(0, t.numel(), 4096, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = quantize_value(pin[i]);
-  });
-  obs::record_quantization(pin, po, t.numel(), abs_max());
-  return out;
+  elementwise_inplace(t, [this](float x) { return quantize_value(x); });
 }
 
 BitString PositFormat::real_to_format(float value) const {

@@ -65,7 +65,7 @@ Tensor GELU::backward(const Tensor& grad_out) {
   }
   Tensor gx(grad_out.shape());
   const float* pg = grad_out.data();
-  const float* px = cached_input_.data();
+  const float* px = cached_input_.cdata();
   float* po = gx.data();
   for (int64_t i = 0; i < grad_out.numel(); ++i) {
     po[i] = pg[i] * gelu_grad(px[i]);
@@ -90,7 +90,7 @@ Tensor Sigmoid::backward(const Tensor& grad_out) {
   }
   Tensor gx(grad_out.shape());
   const float* pg = grad_out.data();
-  const float* py = cached_output_.data();
+  const float* py = cached_output_.cdata();
   float* po = gx.data();
   for (int64_t i = 0; i < grad_out.numel(); ++i) {
     po[i] = pg[i] * py[i] * (1.0f - py[i]);
@@ -113,7 +113,7 @@ Tensor Tanh::backward(const Tensor& grad_out) {
   }
   Tensor gx(grad_out.shape());
   const float* pg = grad_out.data();
-  const float* py = cached_output_.data();
+  const float* py = cached_output_.cdata();
   float* po = gx.data();
   for (int64_t i = 0; i < grad_out.numel(); ++i) {
     po[i] = pg[i] * (1.0f - py[i] * py[i]);

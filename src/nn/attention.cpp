@@ -39,11 +39,12 @@ void gather_head(const Tensor& qkv, int64_t b, int64_t h, int which,
   }
 }
 
-/// Scatter-add one (T, head_dim) gradient back into a (B, T, 3D) tensor.
-void scatter_head(Tensor& gqkv, int64_t b, int64_t h, int which, int64_t T,
+/// Scatter-add one (T, head_dim) gradient back into a (B, T, 3D) buffer.
+/// Takes the raw pointer (resolved once, outside the parallel region) so no
+/// worker thread touches the shared Tensor handle.
+void scatter_head(float* p, int64_t b, int64_t h, int which, int64_t T,
                   int64_t D, int64_t hd, const Tensor& src) {
-  float* p = gqkv.data();
-  const float* ps = src.data();
+  const float* ps = src.cdata();
   for (int64_t t = 0; t < T; ++t) {
     float* row = p + (b * T + t) * 3 * D + which * D + h * hd;
     for (int64_t i = 0; i < hd; ++i) row[i] += ps[t * hd + i];
@@ -71,6 +72,14 @@ Tensor MultiheadSelfAttention::forward(const Tensor& input) {
   }
 
   Tensor merged({B, T, dim_});
+  // Resolve mutable pointers once, before the parallel region: COW (if any)
+  // fires here on one thread, and workers below only use raw pointers into
+  // buffers that are unique by construction.
+  float* const pm = merged.data();
+  float* const pq = cache ? q_.data() : nullptr;
+  float* const pk = cache ? k_.data() : nullptr;
+  float* const pv = cache ? v_.data() : nullptr;
+  float* const pattn = cache ? attn_.data() : nullptr;
   // (b, h) pairs are independent: each writes its own head_dim_ column slice
   // of `merged` and its own cache slices. Scratch tensors live inside the
   // body so concurrent chunks never share them; the inner matmuls run serial
@@ -90,8 +99,7 @@ Tensor MultiheadSelfAttention::forward(const Tensor& input) {
           Tensor attn = ops::softmax_lastdim(scores);
           Tensor out = ops::matmul(attn, vh);  // (T, head_dim)
           // write head output into the merged (B, T, D) tensor
-          float* pm = merged.data();
-          const float* po = out.data();
+          const float* po = out.cdata();
           for (int64_t t = 0; t < T; ++t) {
             float* row = pm + (b * T + t) * dim_ + h * head_dim_;
             for (int64_t i = 0; i < head_dim_; ++i) {
@@ -100,11 +108,10 @@ Tensor MultiheadSelfAttention::forward(const Tensor& input) {
           }
           if (cache) {
             const int64_t base = bh * T * head_dim_;
-            std::copy(qh.data(), qh.data() + T * head_dim_, q_.data() + base);
-            std::copy(kh.data(), kh.data() + T * head_dim_, k_.data() + base);
-            std::copy(vh.data(), vh.data() + T * head_dim_, v_.data() + base);
-            std::copy(attn.data(), attn.data() + T * T,
-                      attn_.data() + bh * T * T);
+            std::copy(qh.cdata(), qh.cdata() + T * head_dim_, pq + base);
+            std::copy(kh.cdata(), kh.cdata() + T * head_dim_, pk + base);
+            std::copy(vh.cdata(), vh.cdata() + T * head_dim_, pv + base);
+            std::copy(attn.cdata(), attn.cdata() + T * T, pattn + bh * T * T);
           }
         }
       });
@@ -120,6 +127,15 @@ Tensor MultiheadSelfAttention::backward(const Tensor& grad_out) {
   Tensor g_merged = proj_->backward(grad_out);  // (B, T, D)
   Tensor gqkv({B, T, 3 * dim_});
 
+  // Pointers resolved on this thread, before the region (same rationale as
+  // in forward()).
+  float* const pgq = gqkv.data();
+  const float* const pq = q_.cdata();
+  const float* const pk = k_.cdata();
+  const float* const pv = v_.cdata();
+  const float* const pattn_all = attn_.cdata();
+  const float* const pm = g_merged.cdata();
+
   // Same (b, h) independence as the forward pass: each pair scatter-adds
   // into its own disjoint q/k/v slices of gqkv.
   parallel::parallel_for(
@@ -132,17 +148,13 @@ Tensor MultiheadSelfAttention::backward(const Tensor& grad_out) {
           // slice caches for this (b, h)
           const int64_t base = bh * T * head_dim_;
           Tensor qh({T, head_dim_}), kh({T, head_dim_}), vh({T, head_dim_});
-          std::copy(q_.data() + base, q_.data() + base + T * head_dim_,
-                    qh.data());
-          std::copy(k_.data() + base, k_.data() + base + T * head_dim_,
-                    kh.data());
-          std::copy(v_.data() + base, v_.data() + base + T * head_dim_,
-                    vh.data());
+          std::copy(pq + base, pq + base + T * head_dim_, qh.data());
+          std::copy(pk + base, pk + base + T * head_dim_, kh.data());
+          std::copy(pv + base, pv + base + T * head_dim_, vh.data());
           Tensor attn({T, T});
-          std::copy(attn_.data() + bh * T * T, attn_.data() + (bh + 1) * T * T,
+          std::copy(pattn_all + bh * T * T, pattn_all + (bh + 1) * T * T,
                     attn.data());
           // gradient of this head's output
-          const float* pm = g_merged.data();
           float* pg = gout.data();
           for (int64_t t = 0; t < T; ++t) {
             const float* row = pm + (b * T + t) * dim_ + h * head_dim_;
@@ -173,9 +185,9 @@ Tensor MultiheadSelfAttention::backward(const Tensor& grad_out) {
           ops::mul_scalar_inplace(d_scores, scale_);
           Tensor d_q = ops::matmul(d_scores, kh);     // (T, head_dim)
           Tensor d_k = ops::matmul_at(d_scores, qh);  // (T, head_dim)
-          scatter_head(gqkv, b, h, 0, T, dim_, head_dim_, d_q);
-          scatter_head(gqkv, b, h, 1, T, dim_, head_dim_, d_k);
-          scatter_head(gqkv, b, h, 2, T, dim_, head_dim_, d_v);
+          scatter_head(pgq, b, h, 0, T, dim_, head_dim_, d_q);
+          scatter_head(pgq, b, h, 1, T, dim_, head_dim_, d_k);
+          scatter_head(pgq, b, h, 2, T, dim_, head_dim_, d_v);
         }
       });
   return qkv_->backward(gqkv);

@@ -49,8 +49,8 @@ Tensor Conv2d::forward(const Tensor& input) {
 
   // Reorder (n, oh, ow, oc) -> NCHW.
   Tensor out({N, out_c_, OH, OW});
-  const float* py = ymat.data();
-  const float* pb = bias_.value.data();
+  const float* py = ymat.cdata();
+  const float* pb = bias_.value.cdata();
   float* po = out.data();
   // Parallel over (n, oc) planes: each writes a disjoint OH*OW slice.
   parallel::parallel_for(

@@ -19,7 +19,7 @@ Tensor PatchEmbed::forward(const Tensor& input) {
   const int64_t B = y.size(0), D = y.size(1), G = y.size(2) * y.size(3);
   // (B, D, G) -> (B, G, D) token layout
   Tensor out({B, G, D});
-  const float* py = y.data();
+  const float* py = y.cdata();
   float* po = out.data();
   for (int64_t b = 0; b < B; ++b) {
     for (int64_t d = 0; d < D; ++d) {
@@ -69,8 +69,8 @@ Tensor ClassTokenPosEmbed::forward(const Tensor& input) {
   const int64_t B = input.size(0), T = num_patches_ + 1;
   Tensor out({B, T, dim_});
   const float* pin = input.data();
-  const float* pcls = cls_.value.data();
-  const float* ppos = pos_.value.data();
+  const float* pcls = cls_.value.cdata();
+  const float* ppos = pos_.value.cdata();
   float* po = out.data();
   for (int64_t b = 0; b < B; ++b) {
     for (int64_t d = 0; d < dim_; ++d) {
@@ -91,13 +91,15 @@ Tensor ClassTokenPosEmbed::backward(const Tensor& grad_out) {
   Tensor gx({B, num_patches_, dim_});
   const float* pg = grad_out.data();
   float* pgx = gx.data();
+  float* const pclsg = cls_.grad.data();
+  float* const pposg = pos_.grad.data();
   for (int64_t b = 0; b < B; ++b) {
     for (int64_t d = 0; d < dim_; ++d) {
-      cls_.grad[d] += pg[(b * T + 0) * dim_ + d];
+      pclsg[d] += pg[(b * T + 0) * dim_ + d];
     }
     for (int64_t t = 0; t < T; ++t) {
       for (int64_t d = 0; d < dim_; ++d) {
-        pos_.grad[t * dim_ + d] += pg[(b * T + t) * dim_ + d];
+        pposg[t * dim_ + d] += pg[(b * T + t) * dim_ + d];
       }
     }
     for (int64_t t = 1; t < T; ++t) {

@@ -32,7 +32,7 @@ Tensor Linear::forward(const Tensor& input) {
   Tensor y = ops::matmul_bt(x2d, weight_.value);
   if (with_bias_) {
     float* py = y.data();
-    const float* pb = bias_.value.data();
+    const float* pb = bias_.value.cdata();
     for (int64_t r = 0; r < rows; ++r) {
       for (int64_t c = 0; c < out_; ++c) py[r * out_ + c] += pb[c];
     }
@@ -53,7 +53,7 @@ Tensor Linear::backward(const Tensor& grad_out) {
   ops::add_inplace(weight_.grad, ops::matmul_at(g2d, cached_input_));
   if (with_bias_) {
     float* pgb = bias_.grad.data();
-    const float* pg = g2d.data();
+    const float* pg = g2d.cdata();
     for (int64_t r = 0; r < rows; ++r) {
       for (int64_t c = 0; c < out_; ++c) pgb[c] += pg[r * out_ + c];
     }

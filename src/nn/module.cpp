@@ -128,7 +128,7 @@ void Module::save_weights(const std::string& path) {
   for (Parameter* p : params) {
     const auto n = static_cast<uint64_t>(p->value.numel());
     f.write(reinterpret_cast<const char*>(&n), sizeof(uint64_t));
-    f.write(reinterpret_cast<const char*>(p->value.data()),
+    f.write(reinterpret_cast<const char*>(p->value.cdata()),
             static_cast<std::streamsize>(n * sizeof(float)));
   }
   if (!f) throw std::runtime_error("save_weights: write failed for " + path);

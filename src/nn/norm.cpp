@@ -30,8 +30,8 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
   Tensor out(input.shape());
   const float* pin = input.data();
   float* po = out.data();
-  const float* pgamma = gamma_.value.data();
-  const float* pbeta = beta_.value.data();
+  const float* pgamma = gamma_.value.cdata();
+  const float* pbeta = beta_.value.cdata();
 
   const bool use_batch_stats = is_training();
   if (use_batch_stats) {
@@ -39,6 +39,14 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
     cached_inv_std_.assign(static_cast<size_t>(channels_), 0.0f);
     cached_shape_ = input.shape();
   }
+  // Mutable pointers resolved before the parallel region: a COW detach (if
+  // the buffers are shared) must happen once, on this thread — never from
+  // concurrent worker chunks.
+  float* const pxh_all = use_batch_stats ? cached_xhat_.data() : nullptr;
+  float* const prmean = use_batch_stats ? running_mean_.value.data() : nullptr;
+  float* const prvar = use_batch_stats ? running_var_.value.data() : nullptr;
+  const float* const crmean = running_mean_.value.cdata();
+  const float* const crvar = running_var_.value.cdata();
   // Channels are fully independent (stats, running buffers, cached state and
   // output planes are all per-channel), so the channel loop is the parallel
   // axis.
@@ -62,14 +70,11 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
               }
             }
             var_c = static_cast<float>(v / double(m));  // biased, as PyTorch
-            running_mean_.value[c] =
-                (1.0f - momentum_) * running_mean_.value[c] +
-                momentum_ * mean_c;
-            running_var_.value[c] =
-                (1.0f - momentum_) * running_var_.value[c] + momentum_ * var_c;
+            prmean[c] = (1.0f - momentum_) * prmean[c] + momentum_ * mean_c;
+            prvar[c] = (1.0f - momentum_) * prvar[c] + momentum_ * var_c;
           } else {
-            mean_c = running_mean_.value[c];
-            var_c = running_var_.value[c];
+            mean_c = crmean[c];
+            var_c = crvar[c];
           }
           const float inv_std = 1.0f / std::sqrt(var_c + eps_);
           if (use_batch_stats) {
@@ -79,7 +84,7 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
             const float* p = pin + (n * channels_ + c) * plane;
             float* q = po + (n * channels_ + c) * plane;
             float* xh = use_batch_stats
-                            ? cached_xhat_.data() + (n * channels_ + c) * plane
+                            ? pxh_all + (n * channels_ + c) * plane
                             : nullptr;
             for (int64_t i = 0; i < plane; ++i) {
               const float xhat = (p[i] - mean_c) * inv_std;
@@ -102,8 +107,11 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const int64_t m = N * plane;
   Tensor gx(cached_shape_);
   const float* pg = grad_out.data();
-  const float* pxh = cached_xhat_.data();
+  const float* pxh = cached_xhat_.cdata();
   float* pgx = gx.data();
+  const float* const pgam = gamma_.value.cdata();
+  float* const pggrad = gamma_.grad.data();
+  float* const pbgrad = beta_.grad.data();
   // Per-channel like the forward pass: gamma/beta grads are indexed by c,
   // so channel-parallel writes stay disjoint.
   parallel::parallel_for(
@@ -117,12 +125,11 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
               sum_gx += double(pg[base + i]) * pxh[base + i];
             }
           }
-          gamma_.grad[c] += static_cast<float>(sum_gx);
-          beta_.grad[c] += static_cast<float>(sum_g);
+          pggrad[c] += static_cast<float>(sum_gx);
+          pbgrad[c] += static_cast<float>(sum_g);
           const float mean_g = static_cast<float>(sum_g / double(m));
           const float mean_gx = static_cast<float>(sum_gx / double(m));
-          const float k =
-              gamma_.value[c] * cached_inv_std_[static_cast<size_t>(c)];
+          const float k = pgam[c] * cached_inv_std_[static_cast<size_t>(c)];
           for (int64_t n = 0; n < N; ++n) {
             const int64_t base = (n * channels_ + c) * plane;
             for (int64_t i = 0; i < plane; ++i) {
@@ -167,8 +174,9 @@ Tensor LayerNorm::forward(const Tensor& input) {
   }
   const float* pin = input.data();
   float* po = out.data();
-  const float* pgamma = gamma_.value.data();
-  const float* pbeta = beta_.value.data();
+  const float* pgamma = gamma_.value.cdata();
+  const float* pbeta = beta_.value.cdata();
+  float* const pxh_all = cache ? cached_xhat_.data() : nullptr;
   parallel::parallel_for(
       0, rows, parallel::grain_for(4 * dim_), [&](int64_t lo, int64_t hi) {
         for (int64_t r = lo; r < hi; ++r) {
@@ -185,7 +193,7 @@ Tensor LayerNorm::forward(const Tensor& input) {
           const float inv_std =
               1.0f / std::sqrt(static_cast<float>(v / double(dim_)) + eps_);
           if (cache) cached_inv_std_[static_cast<size_t>(r)] = inv_std;
-          float* xh = cache ? cached_xhat_.data() + r * dim_ : nullptr;
+          float* xh = cache ? pxh_all + r * dim_ : nullptr;
           for (int64_t i = 0; i < dim_; ++i) {
             const float xhat = (x[i] - mu) * inv_std;
             if (xh) xh[i] = xhat;
@@ -203,9 +211,11 @@ Tensor LayerNorm::backward(const Tensor& grad_out) {
   const int64_t rows = cached_xhat_.numel() / dim_;
   Tensor gx(cached_shape_);
   const float* pg = grad_out.data();
-  const float* pxh = cached_xhat_.data();
+  const float* pxh = cached_xhat_.cdata();
   float* pgx = gx.data();
-  const float* pgamma = gamma_.value.data();
+  const float* pgamma = gamma_.value.cdata();
+  float* const pggrad = gamma_.grad.data();
+  float* const pbgrad = beta_.grad.data();
   // Serial on purpose: every row accumulates into gamma_.grad / beta_.grad,
   // so a row-parallel version would race on the parameter gradients.
   for (int64_t r = 0; r < rows; ++r) {
@@ -217,8 +227,8 @@ Tensor LayerNorm::backward(const Tensor& grad_out) {
       const double gg = double(pgamma[i]) * g[i];
       sum_gg += gg;
       sum_ggx += gg * xh[i];
-      gamma_.grad[i] += g[i] * xh[i];
-      beta_.grad[i] += g[i];
+      pggrad[i] += g[i] * xh[i];
+      pbgrad[i] += g[i];
     }
     const float mean_gg = static_cast<float>(sum_gg / double(dim_));
     const float mean_ggx = static_cast<float>(sum_ggx / double(dim_));

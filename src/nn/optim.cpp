@@ -19,7 +19,7 @@ void SGD::step() {
     Parameter& p = *params_[i];
     float* v = velocity_[i].data();
     float* w = p.value.data();
-    const float* g = p.grad.data();
+    const float* g = p.grad.cdata();
     const int64_t n = p.value.numel();
     for (int64_t j = 0; j < n; ++j) {
       const float grad = g[j] + weight_decay_ * w[j];
@@ -58,7 +58,7 @@ void Adam::step() {
     float* m = m_[i].data();
     float* v = v_[i].data();
     float* w = p.value.data();
-    const float* g = p.grad.data();
+    const float* g = p.grad.cdata();
     const int64_t n = p.value.numel();
     for (int64_t j = 0; j < n; ++j) {
       const float grad = g[j] + weight_decay_ * w[j];

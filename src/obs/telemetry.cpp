@@ -203,6 +203,9 @@ const char* counter_name(Counter c) {
     case Counter::kPoolJobs: return "pool_jobs";
     case Counter::kPoolChunks: return "pool_chunks";
     case Counter::kSpansDropped: return "spans_dropped";
+    case Counter::kAllocationsAvoided: return "allocations_avoided";
+    case Counter::kCowCopies: return "cow_copies";
+    case Counter::kArenaReuses: return "arena_reuses";
     case Counter::kCount: break;
   }
   return "unknown";

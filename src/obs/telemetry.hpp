@@ -146,6 +146,9 @@ enum class Counter : int {
   kPoolJobs,               ///< top-level parallel_for invocations
   kPoolChunks,             ///< chunks executed on pool workers
   kSpansDropped,           ///< spans discarded by the per-thread cap
+  kAllocationsAvoided,     ///< tensor copies satisfied by storage sharing
+  kCowCopies,              ///< shared storage detached by a mutable access
+  kArenaReuses,            ///< storage blocks recycled from a thread arena
   kCount
 };
 

@@ -1,0 +1,105 @@
+#include "tensor/arena.hpp"
+
+#include <utility>
+
+#include "obs/telemetry.hpp"
+
+namespace ge::arena {
+namespace {
+
+constexpr size_t kMaxCachedBlocks = 32;
+constexpr size_t kMaxCachedElems = size_t{1} << 24;  // 64 MiB of floats
+
+struct Cache;
+
+// Raw pointer, not the Cache itself: a trivially-destructible thread_local
+// stays readable during thread teardown, after the Cache destructor has
+// already nulled it. Deleters that fire later fall back to delete.
+thread_local Cache* tl_cache = nullptr;
+
+struct Cache {
+  std::vector<Block*> free;
+
+  Cache() { tl_cache = this; }
+  ~Cache() {
+    tl_cache = nullptr;
+    for (Block* b : free) delete b;
+  }
+
+  Block* take(size_t n) {
+    // Prefer a block that already has room for n; otherwise any block
+    // (assign will grow it, still saving the control-block allocation).
+    for (size_t i = 0; i < free.size(); ++i) {
+      if (free[i]->capacity() >= n) {
+        Block* b = free[i];
+        free[i] = free.back();
+        free.pop_back();
+        return b;
+      }
+    }
+    if (free.empty()) return nullptr;
+    Block* b = free.back();
+    free.pop_back();
+    return b;
+  }
+
+  void put(Block* b) {
+    if (free.size() >= kMaxCachedBlocks || b->capacity() > kMaxCachedElems) {
+      delete b;
+      return;
+    }
+    free.push_back(b);
+  }
+};
+
+Cache& cache() {
+  thread_local Cache c;
+  return c;
+}
+
+struct Recycle {
+  void operator()(Block* b) const noexcept {
+    if (tl_cache != nullptr) {
+      tl_cache->put(b);
+    } else {
+      delete b;
+    }
+  }
+};
+
+Block* take_or_new(size_t n) {
+  Block* b = cache().take(n);
+  if (b != nullptr) {
+    obs::add(obs::Counter::kArenaReuses);
+    return b;
+  }
+  return new Block();
+}
+
+}  // namespace
+
+std::shared_ptr<Block> alloc(size_t n, float fill) {
+  Block* b = take_or_new(n);
+  b->assign(n, fill);
+  return std::shared_ptr<Block>(b, Recycle{});
+}
+
+std::shared_ptr<Block> alloc_copy(const float* src, size_t n) {
+  Block* b = take_or_new(n);
+  b->assign(src, src + n);
+  return std::shared_ptr<Block>(b, Recycle{});
+}
+
+std::shared_ptr<Block> adopt(Block&& v) {
+  return std::shared_ptr<Block>(new Block(std::move(v)), Recycle{});
+}
+
+void clear_thread_cache() {
+  Cache& c = cache();
+  for (Block* b : c.free) delete b;
+  c.free.clear();
+}
+
+size_t thread_cache_blocks() { return cache().free.size(); }
+
+}  // namespace ge::arena

@@ -1,0 +1,47 @@
+// ge::arena — per-thread recycling allocator for tensor storage blocks.
+//
+// Every Tensor storage block is a std::vector<float> owned by a
+// shared_ptr whose deleter returns the block to the *releasing* thread's
+// freelist instead of freeing it. The next allocation on that thread
+// reuses the block's capacity (std::vector::assign never shrinks), so a
+// steady-state forward pass — where each layer frees its input while
+// allocating its output of a similar size — runs with zero heap traffic.
+//
+// Contract (see DESIGN.md §"Memory model"):
+//  - Blocks are plain vectors; recycling only preserves *capacity*. Every
+//    alloc() re-assigns contents, so a recycled block is indistinguishable
+//    from a fresh one — determinism cannot depend on reuse.
+//  - The freelist is thread-local and unbounded work never accumulates:
+//    at most kMaxCachedBlocks blocks are kept, and oversized blocks
+//    (> kMaxCachedElems floats) are always freed eagerly.
+//  - Thread teardown is safe: the cache registers itself through a raw
+//    thread_local pointer that its destructor nulls, so a deleter running
+//    after teardown (a block outliving its allocating thread) falls back
+//    to operator delete.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace ge::arena {
+
+using Block = std::vector<float>;
+
+/// A recycled (or fresh) block of exactly `n` elements, all set to `fill`.
+std::shared_ptr<Block> alloc(size_t n, float fill = 0.0f);
+
+/// A recycled (or fresh) block holding a copy of [src, src + n).
+std::shared_ptr<Block> alloc_copy(const float* src, size_t n);
+
+/// Wrap an existing vector (no copy) so its storage joins the recycling
+/// pool when released.
+std::shared_ptr<Block> adopt(Block&& v);
+
+/// Free every block cached by the calling thread (tests; memory pressure).
+void clear_thread_cache();
+
+/// Number of blocks currently cached by the calling thread (tests).
+size_t thread_cache_blocks();
+
+}  // namespace ge::arena

@@ -1,9 +1,13 @@
 #include "tensor/tensor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+
+#include "obs/telemetry.hpp"
+#include "tensor/arena.hpp"
 
 namespace ge {
 
@@ -27,17 +31,37 @@ std::string shape_to_string(const Shape& shape) {
   return os.str();
 }
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<size_t>(shape_numel(shape_)), 0.0f) {}
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  const int64_t n = shape_numel(shape_);
+  if (n > 0) data_ = arena::alloc(static_cast<size_t>(n));
+}
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  if (shape_numel(shape_) != static_cast<int64_t>(data_.size())) {
+Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)) {
+  if (shape_numel(shape_) != static_cast<int64_t>(data.size())) {
     throw std::invalid_argument("Tensor: shape " + shape_to_string(shape_) +
                                 " does not match data size " +
-                                std::to_string(data_.size()));
+                                std::to_string(data.size()));
   }
+  if (!data.empty()) data_ = arena::adopt(std::move(data));
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(other.data_) {
+  if (data_) obs::add(obs::Counter::kAllocationsAvoided);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    shape_ = other.shape_;
+    data_ = other.data_;
+    if (data_) obs::add(obs::Counter::kAllocationsAvoided);
+  }
+  return *this;
+}
+
+void Tensor::detach_storage() {
+  obs::add(obs::Counter::kCowCopies);
+  data_ = arena::alloc_copy(data_->data(), data_->size());
 }
 
 Tensor Tensor::of(std::initializer_list<float> values) {
@@ -57,7 +81,8 @@ Tensor Tensor::full(Shape shape, float value) {
 
 Tensor Tensor::arange(int64_t n) {
   Tensor t({n});
-  for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
   return t;
 }
 
@@ -88,12 +113,14 @@ int64_t Tensor::offset_of(std::span<const int64_t> idx) const {
 }
 
 float& Tensor::at(std::initializer_list<int64_t> idx) {
-  return data_[static_cast<size_t>(
-      offset_of(std::span<const int64_t>(idx.begin(), idx.size())))];
+  const int64_t off =
+      offset_of(std::span<const int64_t>(idx.begin(), idx.size()));
+  ensure_unique();
+  return (*data_)[static_cast<size_t>(off)];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
-  return data_[static_cast<size_t>(
+  return (*data_)[static_cast<size_t>(
       offset_of(std::span<const int64_t>(idx.begin(), idx.size())))];
 }
 
@@ -121,21 +148,39 @@ Tensor Tensor::reshape(Shape new_shape) const {
                                 shape_to_string(shape_) + " -> " +
                                 shape_to_string(new_shape) + ")");
   }
-  return Tensor(std::move(new_shape), data_);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  if (out.data_) obs::add(obs::Counter::kAllocationsAvoided);
+  return out;
 }
 
 void Tensor::fill(float value) {
-  for (float& v : data_) v = value;
+  if (!data_) return;
+  if (data_.use_count() > 1) {
+    // The old contents are about to be overwritten entirely: allocate a
+    // fresh block instead of COW-copying data we would immediately clobber.
+    data_ = arena::alloc(data_->size(), value);
+    return;
+  }
+  std::fill(data_->begin(), data_->end(), value);
 }
 
 bool Tensor::equals(const Tensor& other) const {
-  return shape_ == other.shape_ && data_ == other.data_;
+  if (shape_ != other.shape_) return false;
+  if (data_ == other.data_) return true;  // shared storage, trivially equal
+  const auto a = cflat();
+  const auto b = other.cflat();
+  if (a.size() != b.size()) return false;
+  return std::equal(a.begin(), a.end(), b.begin());
 }
 
 bool Tensor::allclose(const Tensor& other, float atol) const {
   if (shape_ != other.shape_) return false;
-  for (size_t i = 0; i < data_.size(); ++i) {
-    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  const auto a = cflat();
+  const auto b = other.cflat();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > atol) return false;
   }
   return true;
 }

@@ -28,8 +28,8 @@ template <typename F>
 Tensor binary(const Tensor& a, const Tensor& b, const char* op, F f) {
   check_same_shape(a, b, op);
   Tensor out(a.shape());
-  const float* pa = a.data();
-  const float* pb = b.data();
+  const float* pa = a.cdata();
+  const float* pb = b.cdata();
   float* po = out.data();
   parallel::parallel_for(0, a.numel(), kElementGrain,
                          [&](int64_t lo, int64_t hi) {
@@ -43,7 +43,7 @@ Tensor binary(const Tensor& a, const Tensor& b, const char* op, F f) {
 template <typename F>
 Tensor unary(const Tensor& a, F f) {
   Tensor out(a.shape());
-  const float* pa = a.data();
+  const float* pa = a.cdata();
   float* po = out.data();
   parallel::parallel_for(0, a.numel(), kElementGrain,
                          [&](int64_t lo, int64_t hi) {
@@ -70,7 +70,7 @@ Tensor div(const Tensor& a, const Tensor& b) {
 void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
   float* pa = a.data();
-  const float* pb = b.data();
+  const float* pb = b.cdata();
   parallel::parallel_for(0, a.numel(), kElementGrain,
                          [&](int64_t lo, int64_t hi) {
                            for (int64_t i = lo; i < hi; ++i) pa[i] += pb[i];
@@ -150,7 +150,7 @@ std::vector<int64_t> argmax_rows(const Tensor& a) {
   if (cols == 0) throw std::invalid_argument("argmax_rows: empty rows");
   const int64_t rows = a.numel() / cols;
   std::vector<int64_t> out(static_cast<size_t>(rows));
-  const float* p = a.data();
+  const float* p = a.cdata();
   parallel::parallel_for(
       0, rows, parallel::grain_for(cols), [&](int64_t lo, int64_t hi) {
         for (int64_t r = lo; r < hi; ++r) {
@@ -181,8 +181,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   const int64_t M = a.size(0), K = a.size(1), N = b.size(1);
   Tensor out({M, N});
-  const float* pa = a.data();
-  const float* pb = b.data();
+  const float* pa = a.cdata();
+  const float* pb = b.cdata();
   float* po = out.data();
   // ikj loop order: unit-stride inner loops on both B and C.
   parallel::parallel_for(
@@ -208,8 +208,8 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b_t) {
   }
   const int64_t M = a.size(0), K = a.size(1), N = b_t.size(0);
   Tensor out({M, N});
-  const float* pa = a.data();
-  const float* pb = b_t.data();
+  const float* pa = a.cdata();
+  const float* pb = b_t.cdata();
   float* po = out.data();
   parallel::parallel_for(
       0, M, parallel::grain_for(K * N), [&](int64_t lo, int64_t hi) {
@@ -234,8 +234,8 @@ Tensor matmul_at(const Tensor& a_t, const Tensor& b) {
   }
   const int64_t K = a_t.size(0), M = a_t.size(1), N = b.size(1);
   Tensor out({M, N});
-  const float* pa = a_t.data();
-  const float* pb = b.data();
+  const float* pa = a_t.cdata();
+  const float* pb = b.cdata();
   float* po = out.data();
   // Row-parallel: each output row i accumulates over k independently (A
   // reads are strided, but rows stay disjoint and the k-order is the same
@@ -259,7 +259,7 @@ Tensor transpose2d(const Tensor& a) {
   if (a.dim() != 2) throw std::invalid_argument("transpose2d: need rank 2");
   const int64_t M = a.size(0), N = a.size(1);
   Tensor out({N, M});
-  const float* pa = a.data();
+  const float* pa = a.cdata();
   float* po = out.data();
   for (int64_t i = 0; i < M; ++i) {
     for (int64_t j = 0; j < N; ++j) po[j * M + i] = pa[i * N + j];
@@ -271,7 +271,7 @@ Tensor softmax_lastdim(const Tensor& a) {
   const int64_t cols = a.size(-1);
   const int64_t rows = a.numel() / cols;
   Tensor out(a.shape());
-  const float* p = a.data();
+  const float* p = a.cdata();
   float* po = out.data();
   parallel::parallel_for(
       0, rows, parallel::grain_for(4 * cols), [&](int64_t lo, int64_t hi) {
@@ -296,7 +296,7 @@ Tensor log_softmax_lastdim(const Tensor& a) {
   const int64_t cols = a.size(-1);
   const int64_t rows = a.numel() / cols;
   Tensor out(a.shape());
-  const float* p = a.data();
+  const float* p = a.cdata();
   float* po = out.data();
   parallel::parallel_for(
       0, rows, parallel::grain_for(4 * cols), [&](int64_t lo, int64_t hi) {
@@ -326,7 +326,7 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& s) {
   }
   const int64_t patch = C * s.kernel_h * s.kernel_w;
   Tensor cols({N * OH * OW, patch});
-  const float* pin = input.data();
+  const float* pin = input.cdata();
   float* pc = cols.data();
   // Parallel over output rows r = (n*OH + oh)*OW + ow; each row writes a
   // disjoint `patch`-sized slice of `cols`.
@@ -369,7 +369,7 @@ Tensor col2im(const Tensor& cols, const Shape& input_shape,
     throw std::invalid_argument("col2im: cols shape mismatch");
   }
   Tensor out(input_shape);
-  const float* pc = cols.data();
+  const float* pc = cols.cdata();
   float* pout = out.data();
   // Serial on purpose: overlapping windows scatter-add into the same input
   // cells, so a parallel version would race (or need per-thread partials
@@ -404,7 +404,7 @@ Tensor maxpool2d(const Tensor& input, const Conv2dSpec& s,
   const int64_t OH = s.out_h(H), OW = s.out_w(W);
   Tensor out({N, C, OH, OW});
   if (argmax_out) argmax_out->assign(static_cast<size_t>(out.numel()), -1);
-  const float* pin = input.data();
+  const float* pin = input.cdata();
   float* po = out.data();
   // Parallel over (n, c) planes; each plane owns a disjoint OH*OW output
   // slice, so `oidx` is computed from the plane index rather than carried
@@ -452,7 +452,7 @@ Tensor avgpool2d(const Tensor& input, const Conv2dSpec& s) {
   const int64_t OH = s.out_h(H), OW = s.out_w(W);
   Tensor out({N, C, OH, OW});
   const float window = static_cast<float>(s.kernel_h * s.kernel_w);
-  const float* pin = input.data();
+  const float* pin = input.cdata();
   float* po = out.data();
   parallel::parallel_for(
       0, N * C, parallel::grain_for(OH * OW * s.kernel_h * s.kernel_w),
@@ -487,7 +487,7 @@ Tensor global_avgpool(const Tensor& input) {
   const int64_t N = input.size(0), C = input.size(1),
                 HW = input.size(2) * input.size(3);
   Tensor out({N, C});
-  const float* pin = input.data();
+  const float* pin = input.cdata();
   float* po = out.data();
   parallel::parallel_for(
       0, N * C, parallel::grain_for(HW), [&](int64_t lo, int64_t hi) {

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "core/cli.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace ge::core {
 namespace {
@@ -186,6 +187,32 @@ TEST(Cli, ReportAndTraceFilesWritten) {
   EXPECT_NE(tj.find("\"cat\":\"pool\""), std::string::npos);
   std::remove(report.c_str());
   std::remove(trace.c_str());
+}
+
+TEST(Cli, ThreadsFlagAcceptedOnAnyCommand) {
+  const auto r = run({"range", "--format", "fp16", "--threads", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("abs max"), std::string::npos);
+}
+
+TEST(Cli, ThreadsFlagRestoredAfterRun) {
+  const int before = parallel::num_threads();
+  EXPECT_EQ(run({"range", "--format", "fp16", "--threads", "3"}).code, 0);
+  EXPECT_EQ(parallel::num_threads(), before);
+}
+
+TEST(Cli, ThreadsFlagRejectsBadValues) {
+  for (const char* bad : {"0", "-2", "257", "abc", "2x", ""}) {
+    const auto r = run({"range", "--format", "fp16", "--threads", bad});
+    EXPECT_EQ(r.code, 2) << "--threads " << bad;
+    EXPECT_NE(r.err.find("--threads"), std::string::npos) << bad;
+  }
+}
+
+TEST(Cli, UsageListsThreadsFlag) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--threads"), std::string::npos);
 }
 
 TEST(Cli, ReportPathUnwritableIsUsageError) {

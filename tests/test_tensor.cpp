@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
 
 #include "tensor/tensor.hpp"
 
@@ -138,6 +139,119 @@ TEST(Tensor, OffsetOfMatchesAt) {
   const int64_t idx[] = {1, 2, 3};
   EXPECT_EQ(t.offset_of(idx), 1 * 12 + 2 * 4 + 3);
 }
+
+// --- copy-on-write semantics ----------------------------------------------
+// A copy is an O(1) storage share; the buffer is duplicated only by the
+// first mutable access while shared. Observable behaviour stays pure value
+// semantics — these tests pin the sharing/detach protocol itself.
+
+TEST(TensorCow, CopySharesStorage) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor c = t;
+  EXPECT_TRUE(c.shares_storage_with(t));
+  Tensor cl = t.clone();
+  EXPECT_TRUE(cl.shares_storage_with(t));
+}
+
+TEST(TensorCow, ConstReadsNeverDetach) {
+  Tensor t({4}, {1, 2, 3, 4});
+  Tensor c = t;
+  // cdata()/cflat()/const operator[] are the read paths hot loops use; a
+  // read must never pay for a copy.
+  EXPECT_EQ(c.cdata()[2], 3.0f);
+  EXPECT_EQ(c.cflat()[0], 1.0f);
+  EXPECT_EQ(std::as_const(c)[3], 4.0f);
+  EXPECT_TRUE(c.equals(t));
+  EXPECT_TRUE(c.shares_storage_with(t));
+}
+
+TEST(TensorCow, MutableAccessDetachesSharedStorage) {
+  Tensor t({3}, {1, 2, 3});
+  Tensor c = t;
+  float* p = c.data();  // first mutable access while shared: detach
+  EXPECT_FALSE(c.shares_storage_with(t));
+  p[0] = 50.0f;
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(c[0], 50.0f);
+}
+
+TEST(TensorCow, MutableAccessWhileUniqueKeepsStorage) {
+  Tensor t({3}, {1, 2, 3});
+  const float* before = t.cdata();
+  t[1] = 9.0f;            // unique owner: no detach
+  t.flat()[2] = 10.0f;    // still unique
+  EXPECT_EQ(t.cdata(), before);
+  EXPECT_EQ(t[1], 9.0f);
+  EXPECT_EQ(t[2], 10.0f);
+}
+
+TEST(TensorCow, ReshapeSharesStorage) {
+  Tensor t({2, 6});
+  Tensor r = t.reshape({3, 4});
+  EXPECT_TRUE(r.shares_storage_with(t));
+  r[0] = 1.0f;  // writing the view must not leak into the source
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_FALSE(r.shares_storage_with(t));
+}
+
+TEST(TensorCow, FillDetachesSharedStorage) {
+  Tensor t({4});
+  Tensor c = t;
+  c.fill(3.0f);
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(c[0], 3.0f);
+  EXPECT_FALSE(c.shares_storage_with(t));
+}
+
+TEST(TensorCow, AssignmentReplacesAndShares) {
+  Tensor a({2}, {1, 2});
+  Tensor b({3}, {7, 8, 9});
+  a = b;
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_EQ(a.numel(), 3);
+  EXPECT_EQ(a[2], 9.0f);
+}
+
+TEST(TensorCow, ChainOfCopiesDetachIndependently) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a;
+  Tensor c = b;
+  b[0] = 10.0f;  // detaches b; a and c still share
+  EXPECT_TRUE(c.shares_storage_with(a));
+  EXPECT_FALSE(b.shares_storage_with(a));
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 10.0f);
+  EXPECT_EQ(c[0], 1.0f);
+}
+
+// --- reshape edge cases ----------------------------------------------------
+
+TEST(Tensor, ReshapeMinusOneWithZeroSizedDimThrows) {
+  // 0 elements / 0-sized known extent: the inferred extent is ambiguous
+  // (any value satisfies the product), so reshape must reject it.
+  Tensor t({0, 3});
+  EXPECT_THROW(t.reshape({0, -1}), std::invalid_argument);
+  EXPECT_NO_THROW(t.reshape({3, 0}));  // fully explicit zero shape is fine
+}
+
+TEST(Tensor, ReshapeEmptyTensorExplicitShapes) {
+  Tensor t({0});
+  Tensor r = t.reshape({2, 0});
+  EXPECT_EQ(r.numel(), 0);
+  EXPECT_EQ(r.dim(), 2);
+}
+
+// --- debug bounds assert ---------------------------------------------------
+
+#ifndef NDEBUG
+TEST(TensorDeathTest, FlatIndexOutOfRangeAssertsInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Tensor t({2}, {1, 2});
+  EXPECT_DEATH((void)t[2], "out of range");
+  EXPECT_DEATH((void)t[-1], "out of range");
+  EXPECT_DEATH((void)std::as_const(t)[2], "out of range");
+}
+#endif
 
 }  // namespace
 }  // namespace ge
