@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "io/campaign_state.hpp"
 #include "nn/loss.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
@@ -14,6 +15,20 @@ double CampaignResult::network_mean_delta_loss() const {
   double s = 0.0;
   for (const auto& l : layers) s += l.mean_delta_loss;
   return s / static_cast<double>(layers.size());
+}
+
+int64_t CampaignProgress::completed_trials() const {
+  int64_t n = 0;
+  for (const auto& l : layers) {
+    for (uint8_t d : l.done) n += d;
+  }
+  return n;
+}
+
+int64_t CampaignProgress::total_trials() const {
+  int64_t n = 0;
+  for (const auto& l : layers) n += static_cast<int64_t>(l.done.size());
+  return n;
 }
 
 namespace {
@@ -52,11 +67,80 @@ void copy_state(nn::Module& src, nn::Module& dst) {
   }
 }
 
+bool shard_owns(int64_t ti, int shards, int shard_index) {
+  return shards <= 1 || ti % shards == shard_index;
+}
+
+/// Validate a loaded checkpoint against the state a fresh run of this
+/// campaign would produce, then splice its completed trials into `fresh`.
+/// Any disagreement means the file belongs to a different campaign (or a
+/// different model/batch) and resuming would silently mix statistics, so
+/// it is a hard IoError.
+void apply_resume(CampaignProgress& fresh, const CampaignProgress& saved) {
+  const auto fail = [](const std::string& what) {
+    throw io::IoError(
+        "resume: checkpoint does not match this campaign (different " +
+        what + ")");
+  };
+  if (saved.format_spec != fresh.format_spec) fail("format");
+  if (saved.site != fresh.site) fail("injection site");
+  if (saved.model != fresh.model) fail("error model");
+  if (saved.injections_per_layer != fresh.injections_per_layer) {
+    fail("injections per layer");
+  }
+  if (saved.num_bits != fresh.num_bits) fail("bits per injection");
+  if (saved.seed != fresh.seed) fail("seed");
+  if (saved.shards != fresh.shards || saved.shard_index != fresh.shard_index) {
+    fail("shard partition");
+  }
+  if (saved.model_name != fresh.model_name) fail("model");
+  if (saved.eval_samples != fresh.eval_samples) fail("sample count");
+  // Bitwise: any change to weights, batch, or kernels shows up here. The
+  // logit digest is the real tripwire — accuracy over a small batch is
+  // quantised coarsely enough for two different models to tie.
+  if (!(saved.golden_accuracy == fresh.golden_accuracy) ||
+      saved.golden_digest != fresh.golden_digest) {
+    fail("golden reference — model weights or evaluation batch changed");
+  }
+  if (saved.layers.size() != fresh.layers.size()) fail("layer set");
+  for (size_t i = 0; i < fresh.layers.size(); ++i) {
+    const LayerProgress& sl = saved.layers[i];
+    LayerProgress& fl = fresh.layers[i];
+    if (sl.site_index != fl.site_index || sl.path != fl.path ||
+        sl.done.size() != fl.done.size() ||
+        sl.outcomes.size() != sl.done.size()) {
+      fail("layer '" + fl.path + "'");
+    }
+    fl.done = sl.done;
+    fl.outcomes = sl.outcomes;
+  }
+  obs::add(obs::Counter::kCampaignResumes);
+  obs::log(1, "campaign: resumed from checkpoint with " +
+                  std::to_string(fresh.completed_trials()) + "/" +
+                  std::to_string(fresh.total_trials()) + " trials done");
+}
+
 }  // namespace
 
-CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
-                            const CampaignConfig& cfg) {
+CampaignProgress run_campaign_trials(nn::Module& model,
+                                     const data::Batch& batch,
+                                     const CampaignConfig& cfg,
+                                     const CampaignRunOptions& opts) {
   obs::Span campaign_span("campaign", "run_campaign", cfg.format_spec);
+  if (opts.shards < 1 || opts.shard_index < 0 ||
+      opts.shard_index >= opts.shards) {
+    throw std::invalid_argument(
+        "run_campaign_trials: shard_index must be in [0, shards)");
+  }
+  if (opts.checkpoint_every < 0 || opts.abort_after < 0) {
+    throw std::invalid_argument(
+        "run_campaign_trials: checkpoint_every/abort_after must be >= 0");
+  }
+  if ((opts.checkpoint_every > 0 || opts.abort_after > 0) &&
+      opts.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "run_campaign_trials: checkpointing requires a checkpoint_path");
+  }
   model.eval();
   EmulatorConfig ecfg;
   ecfg.format_spec = cfg.format_spec;
@@ -97,8 +181,6 @@ CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
   }
   Emulator& emu = *ctxs[0].emu;
 
-  CampaignResult result;
-
   // Golden reference *under emulation* (fault-free but format-quantised):
   // faults are measured against the format's own clean behaviour. The
   // replicas share it — identical weights and deterministic kernels make
@@ -107,18 +189,29 @@ CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
     obs::Span golden_span("campaign", "golden_run");
     return run_golden(model, batch);
   }();
-  result.golden_accuracy = nn::accuracy(golden.logits, batch.labels);
 
-  // Every random choice of trial ti at site li draws from the child stream
-  // (seed, li * nT + ti): outcomes are a pure function of the trial id, so
-  // any worker may run any trial in any order and the aggregate matches
-  // the serial path bitwise. Skipped sites still advance li, keeping each
-  // layer's streams stable under cfg.layers filtering.
-  const Rng base(cfg.seed);
-  std::vector<FaultOutcome> outcomes(static_cast<size_t>(nT));
+  CampaignProgress prog;
+  prog.format_spec = cfg.format_spec;
+  prog.site = cfg.site;
+  prog.model = cfg.model;
+  prog.injections_per_layer = nT;
+  prog.num_bits = cfg.num_bits;
+  prog.seed = cfg.seed;
+  prog.shards = opts.shards;
+  prog.shard_index = opts.shard_index;
+  prog.model_name = opts.model_name;
+  prog.eval_samples = opts.eval_samples;
+  prog.golden_accuracy = nn::accuracy(golden.logits, batch.labels);
+  prog.golden_digest =
+      fnv1a(kFnv1aBasis, golden.logits.cdata(),
+            static_cast<size_t>(golden.logits.numel()) * sizeof(float));
 
+  // Enumerate the campaigned sites. Skipped sites still advance the site
+  // index, keeping each layer's RNG streams stable under cfg.layers
+  // filtering — and stable across save/resume/shard boundaries, since the
+  // index is persisted per layer.
   for (size_t li = 0; li < emu.sites().size(); ++li) {
-    LayerSite& site = emu.sites()[li];
+    const LayerSite& site = emu.sites()[li];
     if (!cfg.layers.empty() &&
         std::find(cfg.layers.begin(), cfg.layers.end(), site.path) ==
             cfg.layers.end()) {
@@ -128,47 +221,134 @@ CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
         !site.act_format->has_metadata()) {
       continue;  // value-only formats have no metadata campaign
     }
+    LayerProgress lp;
+    lp.site_index = li;
+    lp.path = site.path;
+    lp.done.assign(static_cast<size_t>(nT), 0);
+    lp.outcomes.assign(static_cast<size_t>(nT), FaultOutcome{});
+    prog.layers.push_back(std::move(lp));
+  }
+
+  if (opts.resume_from != nullptr) apply_resume(prog, *opts.resume_from);
+
+  // Every random choice of trial ti at site li draws from the child stream
+  // (seed, li * nT + ti): outcomes are a pure function of the trial id, so
+  // any worker may run any trial in any order — across threads, process
+  // restarts, and shards — and the aggregate matches the serial path
+  // bitwise.
+  const Rng base(cfg.seed);
+  int64_t executed = 0;
+  bool aborted = false;
+
+  for (LayerProgress& lp : prog.layers) {
+    LayerSite& site = emu.sites()[static_cast<size_t>(lp.site_index)];
+    std::vector<int64_t> pending;
+    for (int64_t ti = 0; ti < nT; ++ti) {
+      if (shard_owns(ti, opts.shards, opts.shard_index) && !lp.done[ti]) {
+        pending.push_back(ti);
+      }
+    }
+    if (pending.empty()) continue;
 
     obs::Span layer_span("campaign", "layer", site.path);
     const int64_t layer_t0 = obs::metrics_enabled() ? obs::now_ns() : 0;
+    int64_t layer_done = 0;
 
-    parallel::parallel_for_workers(
-        0, nT, /*grain=*/1, nctx, [&](int slot, int64_t lo, int64_t hi) {
-          WorkerCtx& ctx = ctxs[static_cast<size_t>(slot)];
-          for (int64_t ti = lo; ti < hi; ++ti) {
-            obs::Span trial_span("campaign", "trial");
-            InjectionSpec spec;
-            spec.layer_path = site.path;
-            spec.site = cfg.site;
-            spec.model = cfg.model;
-            spec.num_bits = cfg.num_bits;
-            ctx.inj->arm(spec, base.child(static_cast<uint64_t>(li) *
-                                              static_cast<uint64_t>(nT) +
-                                          static_cast<uint64_t>(ti)));
-            Tensor logits = (*ctx.model)(batch.images);
-            outcomes[static_cast<size_t>(ti)] =
-                compare_to_golden(golden, logits, batch.labels);
-            ctx.inj->disarm();
-          }
-        });
+    const int64_t block = opts.checkpoint_every > 0
+                              ? opts.checkpoint_every
+                              : static_cast<int64_t>(pending.size());
+    for (size_t start = 0; start < pending.size() && !aborted;
+         start += static_cast<size_t>(block)) {
+      const int64_t cnt = std::min<int64_t>(
+          block, static_cast<int64_t>(pending.size() - start));
+      parallel::parallel_for_workers(
+          0, cnt, /*grain=*/1, nctx, [&](int slot, int64_t lo, int64_t hi) {
+            WorkerCtx& ctx = ctxs[static_cast<size_t>(slot)];
+            for (int64_t k = lo; k < hi; ++k) {
+              const int64_t ti = pending[start + static_cast<size_t>(k)];
+              obs::Span trial_span("campaign", "trial");
+              InjectionSpec spec;
+              spec.layer_path = site.path;
+              spec.site = cfg.site;
+              spec.model = cfg.model;
+              spec.num_bits = cfg.num_bits;
+              ctx.inj->arm(spec,
+                           base.child(lp.site_index *
+                                          static_cast<uint64_t>(nT) +
+                                      static_cast<uint64_t>(ti)));
+              Tensor logits = (*ctx.model)(batch.images);
+              lp.outcomes[static_cast<size_t>(ti)] =
+                  compare_to_golden(golden, logits, batch.labels);
+              ctx.inj->disarm();
+            }
+          });
+      for (int64_t k = 0; k < cnt; ++k) {
+        lp.done[static_cast<size_t>(pending[start + static_cast<size_t>(k)])] =
+            1;
+      }
+      executed += cnt;
+      layer_done += cnt;
+      obs::add(obs::Counter::kTrials, static_cast<uint64_t>(cnt));
+      if (opts.checkpoint_every > 0) {
+        io::save_campaign_progress(opts.checkpoint_path, prog);
+      }
+      if (opts.abort_after > 0 && executed >= opts.abort_after) {
+        aborted = true;
+      }
+    }
 
-    obs::add(obs::Counter::kTrials, static_cast<uint64_t>(nT));
     if (obs::metrics_enabled()) {
       const double secs =
           static_cast<double>(obs::now_ns() - layer_t0) / 1e9;
-      const double rate = secs > 0.0 ? static_cast<double>(nT) / secs : 0.0;
+      const double rate =
+          secs > 0.0 ? static_cast<double>(layer_done) / secs : 0.0;
       obs::set_gauge("campaign.trials_per_sec", rate);
-      obs::log(1, "campaign layer " + site.path + ": " + std::to_string(nT) +
-                      " trials, " + std::to_string(rate) + " trials/s");
+      obs::log(1, "campaign layer " + site.path + ": " +
+                      std::to_string(layer_done) + " trials, " +
+                      std::to_string(rate) + " trials/s");
     }
+    if (aborted) break;
+  }
 
-    // Serial aggregation in trial order keeps the statistics (and their
-    // floating-point rounding) independent of the execution schedule.
+  if (aborted && !opts.checkpoint_path.empty()) {
+    // Final checkpoint at the abort point, so the drill behaves exactly
+    // like a kill right after the last periodic write.
+    io::save_campaign_progress(opts.checkpoint_path, prog);
+  }
+  return prog;
+}
+
+int64_t owned_trials_remaining(const CampaignProgress& progress) {
+  int64_t n = 0;
+  for (const LayerProgress& l : progress.layers) {
+    for (size_t ti = 0; ti < l.done.size(); ++ti) {
+      if (shard_owns(static_cast<int64_t>(ti), progress.shards,
+                     progress.shard_index) &&
+          !l.done[ti]) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+CampaignResult finalize_campaign(const CampaignProgress& progress) {
+  if (!progress.complete()) {
+    throw std::invalid_argument(
+        "finalize_campaign: campaign progress is incomplete (" +
+        std::to_string(progress.completed_trials()) + "/" +
+        std::to_string(progress.total_trials()) + " trials done)");
+  }
+  CampaignResult result;
+  result.golden_accuracy = progress.golden_accuracy;
+  // Serial aggregation in trial order keeps the statistics (and their
+  // floating-point rounding) independent of how the trials were scheduled,
+  // sharded, or resumed.
+  for (const LayerProgress& lp : progress.layers) {
     LayerCampaignResult lr;
-    lr.layer = site.path;
+    lr.layer = lp.path;
     ConvergenceTracker tracker;
-    for (int64_t ti = 0; ti < nT; ++ti) {
-      const FaultOutcome& out = outcomes[static_cast<size_t>(ti)];
+    for (const FaultOutcome& out : lp.outcomes) {
       ++lr.injections;
       if (out.sdc) ++lr.sdc_count;
       lr.mean_mismatch_rate += out.mismatch_rate;
@@ -186,6 +366,93 @@ CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
     result.layers.push_back(std::move(lr));
   }
   return result;
+}
+
+CampaignProgress merge_campaign_progress(
+    const std::vector<CampaignProgress>& parts) {
+  if (parts.empty()) {
+    throw std::invalid_argument("merge_campaign_progress: no inputs");
+  }
+  CampaignProgress merged = parts[0];
+  std::vector<int> seen{parts[0].shard_index};
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const CampaignProgress& p = parts[i];
+    const auto fail = [i](const std::string& what) {
+      throw io::IoError("merge: input " + std::to_string(i) +
+                        " does not match input 0 (different " + what + ")");
+    };
+    if (p.format_spec != merged.format_spec) fail("format");
+    if (p.site != merged.site) fail("injection site");
+    if (p.model != merged.model) fail("error model");
+    if (p.injections_per_layer != merged.injections_per_layer) {
+      fail("injections per layer");
+    }
+    if (p.num_bits != merged.num_bits) fail("bits per injection");
+    if (p.seed != merged.seed) fail("seed");
+    if (p.shards != parts[0].shards) fail("shard count");
+    if (p.model_name != merged.model_name) fail("model");
+    if (p.eval_samples != merged.eval_samples) fail("sample count");
+    if (!(p.golden_accuracy == merged.golden_accuracy) ||
+        p.golden_digest != merged.golden_digest) {
+      fail("golden reference — shards ran different models or batches");
+    }
+    if (p.layers.size() != merged.layers.size()) fail("layer set");
+    if (std::find(seen.begin(), seen.end(), p.shard_index) != seen.end()) {
+      throw io::IoError("merge: duplicate shard index " +
+                        std::to_string(p.shard_index));
+    }
+    seen.push_back(p.shard_index);
+    for (size_t j = 0; j < merged.layers.size(); ++j) {
+      const LayerProgress& pl = p.layers[j];
+      LayerProgress& ml = merged.layers[j];
+      if (pl.site_index != ml.site_index || pl.path != ml.path ||
+          pl.done.size() != ml.done.size()) {
+        fail("layer '" + ml.path + "'");
+      }
+      for (size_t ti = 0; ti < pl.done.size(); ++ti) {
+        if (!pl.done[ti]) continue;
+        if (ml.done[ti]) {
+          throw io::IoError("merge: trial " + std::to_string(ti) +
+                            " of layer '" + ml.path +
+                            "' appears in more than one input");
+        }
+        ml.done[ti] = 1;
+        ml.outcomes[ti] = pl.outcomes[ti];
+      }
+    }
+  }
+  // The merged state represents the whole campaign again: re-label it
+  // unsharded so it can be finalized — or resumed, if shards are missing.
+  merged.shards = 1;
+  merged.shard_index = 0;
+  return merged;
+}
+
+uint64_t campaign_digest(const CampaignResult& r) {
+  uint64_t h = kFnv1aBasis;
+  h = fnv1a(h, &r.golden_accuracy, sizeof(r.golden_accuracy));
+  for (const auto& l : r.layers) {
+    h = fnv1a(h, l.layer.data(), l.layer.size());
+    h = fnv1a(h, &l.injections, sizeof(l.injections));
+    h = fnv1a(h, &l.sdc_count, sizeof(l.sdc_count));
+    h = fnv1a(h, &l.mean_mismatch_rate, sizeof(l.mean_mismatch_rate));
+    h = fnv1a(h, &l.mean_delta_loss, sizeof(l.mean_delta_loss));
+    h = fnv1a(h, &l.max_delta_loss, sizeof(l.max_delta_loss));
+    h = fnv1a(h, &l.ci95_delta_loss, sizeof(l.ci95_delta_loss));
+    if (!l.delta_losses.empty()) {
+      h = fnv1a(h, l.delta_losses.data(),
+                l.delta_losses.size() * sizeof(float));
+    }
+    if (!l.sdc_flags.empty()) {
+      h = fnv1a(h, l.sdc_flags.data(), l.sdc_flags.size());
+    }
+  }
+  return h;
+}
+
+CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
+                            const CampaignConfig& cfg) {
+  return finalize_campaign(run_campaign_trials(model, batch, cfg, {}));
 }
 
 }  // namespace ge::core

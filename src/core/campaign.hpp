@@ -65,4 +65,103 @@ struct CampaignResult {
 CampaignResult run_campaign(nn::Module& model, const data::Batch& batch,
                             const CampaignConfig& cfg);
 
+// --- persistent / sharded campaigns (ge::io, DESIGN.md §9) -----------------
+//
+// Every trial outcome is a pure function of (seed, site index, trial
+// index), so the trial index space can be cut up arbitrarily — across
+// checkpoint/resume boundaries, shards, or both — and the reassembled
+// outcome set aggregates to statistics bitwise identical to one
+// uninterrupted single-process run.
+
+/// Per-trial outcomes of one campaigned layer, resumable mid-layer.
+struct LayerProgress {
+  uint64_t site_index = 0;  ///< index into Emulator::sites() — the RNG
+                            ///< stream base, stable under layer filtering
+  std::string path;
+  std::vector<uint8_t> done;        ///< 1 = outcome computed, per trial
+  std::vector<FaultOutcome> outcomes;  ///< size = injections; valid if done
+};
+
+/// The campaign's full persistent state: a config echo (validated on
+/// resume and merge), the golden accuracy, and per-layer partial outcome
+/// accumulators. ge::io serialises this into "CAMP" container sections.
+struct CampaignProgress {
+  std::string format_spec;
+  InjectionSite site = InjectionSite::kActivationValue;
+  ErrorModel model = ErrorModel::kBitFlip;
+  int64_t injections_per_layer = 0;
+  int num_bits = 1;
+  uint64_t seed = 0;
+  int shards = 1;       ///< trial-space partition this state was run under
+  int shard_index = 0;  ///< which partition slice (0 when unsharded)
+  std::string model_name;    ///< CLI echo (empty for library callers)
+  int64_t eval_samples = 0;  ///< CLI echo of the evaluation batch size
+  float golden_accuracy = 0.0f;
+  /// FNV-1a over the golden (fault-free emulated) logit bytes: the bitwise
+  /// tripwire that resume/merge see the same model, batch, and kernels.
+  /// Accuracy alone is too coarse — two different models can tie on a
+  /// small batch.
+  uint64_t golden_digest = 0;
+  std::vector<LayerProgress> layers;
+
+  int64_t completed_trials() const;
+  int64_t total_trials() const;
+  /// True when every trial of every layer is done (merge of all shards,
+  /// or an unsharded run that ran to the end).
+  bool complete() const { return completed_trials() == total_trials(); }
+};
+
+/// Execution options for run_campaign_trials.
+struct CampaignRunOptions {
+  /// Write a checkpoint to `checkpoint_path` after every this-many newly
+  /// executed trials (0 = never checkpoint).
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Continue from previously saved progress (validated against the
+  /// config; a mismatch throws io::IoError). Borrowed, may be null.
+  const CampaignProgress* resume_from = nullptr;
+  /// Deterministic trial-space partition: this run executes only trials
+  /// with trial_index % shards == shard_index.
+  int shards = 1;
+  int shard_index = 0;
+  /// Echoed into CampaignProgress (and so into the checkpoint's config
+  /// block) for resume/merge validation. Empty/0 for library callers.
+  std::string model_name;
+  int64_t eval_samples = 0;
+  /// Fault-tolerance drill: stop (after writing a final checkpoint) once
+  /// this many trials were executed in this run (0 = run to completion).
+  /// The returned progress is simply incomplete, exactly as if the
+  /// process had been killed after the last checkpoint.
+  int64_t abort_after = 0;
+};
+
+/// Run (part of) a campaign and return its persistent state. Covers the
+/// whole checkpoint/resume/shard space; run_campaign is the simple
+/// wrapper `finalize_campaign(run_campaign_trials(m, b, cfg, {}))`.
+CampaignProgress run_campaign_trials(nn::Module& model,
+                                     const data::Batch& batch,
+                                     const CampaignConfig& cfg,
+                                     const CampaignRunOptions& opts);
+
+/// Trials owned by (progress.shards, progress.shard_index) not yet done.
+int64_t owned_trials_remaining(const CampaignProgress& progress);
+
+/// Aggregate a complete progress into per-layer statistics. The
+/// aggregation order is trial order, so the result is bitwise identical
+/// no matter how the trials were scheduled, sharded, or resumed. Throws
+/// std::invalid_argument when progress is incomplete.
+CampaignResult finalize_campaign(const CampaignProgress& progress);
+
+/// Fold shard partial results into one progress. All parts must carry the
+/// same config echo and layer structure, distinct shard indices, and
+/// disjoint done sets (io::IoError otherwise). The merged progress is
+/// re-labelled shards=1 so it can be finalized or even resumed.
+CampaignProgress merge_campaign_progress(
+    const std::vector<CampaignProgress>& parts);
+
+/// FNV-1a digest over the full campaign statistics — the cross-process
+/// bitwise-equality check pinned in tests/test_determinism.cpp and
+/// printed by the CLI. Do not change the field order.
+uint64_t campaign_digest(const CampaignResult& result);
+
 }  // namespace ge::core

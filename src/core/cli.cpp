@@ -13,7 +13,10 @@
 #include "core/goldeneye.hpp"
 #include "data/dataloader.hpp"
 #include "formats/format_registry.hpp"
+#include "io/campaign_state.hpp"
+#include "io/model_io.hpp"
 #include "models/model_factory.hpp"
+#include "nn/loss.hpp"
 #include "obs/run_log.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
@@ -134,8 +137,24 @@ const std::vector<CommandDesc>& command_table() {
         {"site", "S", "injection site: value|weight|metadata"},
         {"error-model", "E", "flip|sa0|sa1"},
         {"injections", "N", "injections per layer"},
-        {"seed", "S", "campaign RNG seed"}},
+        {"seed", "S", "campaign RNG seed"},
+        {"checkpoint", "FILE", "progress .gec file (written atomically)"},
+        {"checkpoint-every", "N", "checkpoint after every N trials (N >= 1)"},
+        {"resume", "FILE", "continue from a progress .gec file"},
+        {"shards", "N", "partition the trial space into N shards"},
+        {"shard-index", "I", "which shard this process runs (0-based)"},
+        {"abort-after", "N", "stop after N trials (fault-tolerance drill)"}},
        true},
+      {"train",
+       "train (or load) a model; save/restore .gec checkpoints",
+       {{"save", "FILE", "write the weights to a .gec model checkpoint"},
+        {"load", "FILE", "load weights from a .gec instead of training"}},
+       true},
+      {"merge",
+       "fold sharded campaign .gec files into one result",
+       {{"inputs", "A,B,..", "comma-separated campaign .gec files"},
+        {"output", "FILE", "write the merged progress as a .gec file"}},
+       false},
       {"dse",
        "binary-tree design-space exploration",
        {{"family", "F", "format family: fp|fxp|int|bfp|afp|posit"},
@@ -291,6 +310,40 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err,
   cfg.injections_per_layer = get_int(p, "injections", 50);
   cfg.seed = static_cast<uint64_t>(get_int(p, "seed", 1234));
   const int64_t samples = get_int(p, "samples", 16);
+
+  // Persistence / sharding options (DESIGN.md §9). All misuse is a
+  // UsageError so scripts can rely on exit 2 for their own mistakes.
+  CampaignRunOptions ropts;
+  ropts.shards = static_cast<int>(get_int(p, "shards", 1));
+  ropts.shard_index = static_cast<int>(get_int(p, "shard-index", 0));
+  if (ropts.shards < 1) {
+    throw UsageError("--shards must be >= 1");
+  }
+  if (ropts.shard_index < 0 || ropts.shard_index >= ropts.shards) {
+    throw UsageError("--shard-index must be in [0, --shards)");
+  }
+  ropts.checkpoint_path = get(p, "checkpoint", "");
+  if (p.options.count("checkpoint-every") != 0) {
+    ropts.checkpoint_every = get_int(p, "checkpoint-every", 0);
+    if (ropts.checkpoint_every < 1) {
+      throw UsageError("--checkpoint-every must be >= 1");
+    }
+    if (ropts.checkpoint_path.empty()) {
+      throw UsageError("--checkpoint-every requires --checkpoint FILE");
+    }
+  }
+  ropts.abort_after = get_int(p, "abort-after", 0);
+  if (ropts.abort_after < 0) {
+    throw UsageError("--abort-after must be >= 0");
+  }
+  if (ropts.abort_after > 0 && ropts.checkpoint_path.empty()) {
+    throw UsageError("--abort-after requires --checkpoint FILE");
+  }
+  if (ropts.shards > 1 && ropts.checkpoint_path.empty()) {
+    throw UsageError(
+        "--shards > 1 requires --checkpoint FILE (shard results are "
+        "merged from their .gec files)");
+  }
   write_run_header(log, p, cfg.format_spec, samples);
 
   data::SyntheticVision data{data::SyntheticVisionConfig{}};
@@ -302,7 +355,43 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err,
   cfg.make_replica = [model_name]() {
     return models::make_model(model_name, data::SyntheticVisionConfig{}, 0);
   };
-  const auto r = run_campaign(*tm.model, batch, cfg);
+  ropts.model_name = model_name;
+  ropts.eval_samples = samples;
+  // Loading the resume file can throw io::IoError (missing, corrupt,
+  // wrong campaign) — run_cli maps that to exit 2.
+  std::optional<CampaignProgress> resumed;
+  const std::string resume_path = get(p, "resume", "");
+  if (!resume_path.empty()) {
+    resumed = io::load_campaign_progress(resume_path);
+    ropts.resume_from = &*resumed;
+  }
+
+  const CampaignProgress prog = run_campaign_trials(*tm.model, batch, cfg, ropts);
+  if (!ropts.checkpoint_path.empty()) {
+    io::save_campaign_progress(ropts.checkpoint_path, prog);
+  }
+  if (!prog.complete()) {
+    // A shard (or an aborted drill): no statistics yet — they only exist
+    // once every shard's trials are merged.
+    out << "campaign progress: " << prog.completed_trials() << "/"
+        << prog.total_trials() << " trials";
+    if (ropts.shards > 1) {
+      out << " (shard " << ropts.shard_index << " of " << ropts.shards << ")";
+    }
+    out << "\n";
+    out << "progress saved: " << ropts.checkpoint_path << "\n";
+    if (log != nullptr) {
+      obs::JsonObject row;
+      row.str("format", cfg.format_spec)
+          .num("completed_trials", prog.completed_trials())
+          .num("total_trials", prog.total_trials())
+          .num("shards", static_cast<int64_t>(ropts.shards))
+          .num("shard_index", static_cast<int64_t>(ropts.shard_index));
+      log->event("campaign_progress", row);
+    }
+    return 0;
+  }
+  const auto r = finalize_campaign(prog);
   out << "campaign: " << cfg.format_spec << " site=" << site
       << " error-model=" << em << " injections/layer="
       << cfg.injections_per_layer << "\n";
@@ -327,6 +416,8 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err,
     }
   }
   out << "network mean dLoss: " << r.network_mean_delta_loss() << "\n";
+  out << "campaign digest: 0x" << std::hex << campaign_digest(r) << std::dec
+      << "\n";
   if (log != nullptr) {
     obs::JsonObject row;
     row.str("format", cfg.format_spec)
@@ -335,6 +426,122 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err,
         .num("golden_accuracy", static_cast<double>(r.golden_accuracy))
         .num("network_mean_delta_loss", r.network_mean_delta_loss());
     log->event("campaign_summary", row);
+  }
+  return 0;
+}
+
+/// FNV-1a over raw logit bytes: the cross-process witness that a loaded
+/// model evaluates bitwise-identically to the one that was saved.
+uint64_t eval_digest(const Tensor& logits) {
+  return fnv1a(kFnv1aBasis, logits.data(),
+               static_cast<size_t>(logits.numel()) * sizeof(float));
+}
+
+int cmd_train(const ParsedArgs& p, std::ostream& out, std::ostream& err,
+              obs::RunLog* log) {
+  const std::string save_path = get(p, "save", "");
+  const std::string load_path = get(p, "load", "");
+  const int64_t samples = get_int(p, "samples", 256);
+  std::string model_name = get(p, "model", "simple_cnn");
+  write_run_header(log, p, "native", samples);
+  data::SyntheticVision data{data::SyntheticVisionConfig{}};
+
+  std::unique_ptr<nn::Module> model;
+  if (!load_path.empty()) {
+    // The checkpoint names its own architecture; an explicit --model must
+    // agree (load_model would reject the graft anyway, but say it plainly).
+    const io::ModelMeta meta = io::read_model_meta(load_path);
+    if (p.options.count("model") != 0 && model_name != meta.model_name) {
+      err << "train: checkpoint '" << load_path << "' holds a '"
+          << meta.model_name << "', not a '" << model_name << "'\n";
+      return 2;
+    }
+    model_name = meta.model_name;
+    model = models::make_model(model_name, data::SyntheticVisionConfig{}, 0);
+    io::load_model(load_path, *model);
+    out << "loaded: " << load_path << " (" << model_name << ", "
+        << meta.parameter_count << " parameters)\n";
+  } else {
+    models::TrainConfig tc;
+    tc.epochs = get_int(p, "epochs", 6);
+    auto tm = models::ensure_trained(
+        model_name, data, get(p, "cache", "/tmp/goldeneye_model_cache"), tc);
+    model = std::move(tm.model);
+    out << "trained: " << model_name << " (test accuracy "
+        << tm.test_accuracy << ")\n";
+  }
+
+  model->eval();
+  const auto batch = data::take(data.test(), 0, samples);
+  const Tensor logits = (*model)(batch.images);
+  const float acc = nn::accuracy(logits, batch.labels);
+  const uint64_t digest = eval_digest(logits);
+  out << "eval accuracy: " << acc << "\n";
+  out << "eval digest: 0x" << std::hex << digest << std::dec << "\n";
+  if (!save_path.empty()) {
+    io::save_model(save_path, *model, model_name);
+    out << "saved: " << save_path << "\n";
+  }
+  if (log != nullptr) {
+    obs::JsonObject row;
+    row.str("model", model_name)
+        .num("eval_accuracy", static_cast<double>(acc))
+        .num("samples", samples)
+        .boolean("loaded", !load_path.empty())
+        .boolean("saved", !save_path.empty());
+    log->event("train_result", row);
+  }
+  return 0;
+}
+
+int cmd_merge(const ParsedArgs& p, std::ostream& out, std::ostream& err,
+              obs::RunLog* log) {
+  const std::string inputs = get(p, "inputs", "");
+  if (inputs.empty()) {
+    throw UsageError("--inputs A.gec,B.gec,... is required");
+  }
+  std::vector<std::string> paths;
+  for (size_t pos = 0; pos <= inputs.size();) {
+    const size_t comma = std::min(inputs.find(',', pos), inputs.size());
+    if (comma > pos) paths.push_back(inputs.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  if (paths.empty()) {
+    throw UsageError("--inputs names no files");
+  }
+  std::vector<CampaignProgress> parts;
+  parts.reserve(paths.size());
+  for (const std::string& path : paths) {
+    parts.push_back(io::load_campaign_progress(path));
+  }
+  const CampaignProgress merged = merge_campaign_progress(parts);
+  const std::string output = get(p, "output", "");
+  if (!output.empty()) {
+    io::save_campaign_progress(output, merged);
+    out << "merged " << parts.size() << " file(s) -> " << output << "\n";
+  }
+  if (!merged.complete()) {
+    err << "merge: merged progress is incomplete ("
+        << merged.completed_trials() << "/" << merged.total_trials()
+        << " trials; a shard file is missing)\n";
+    // Written --output (if any) is still a valid partial state others can
+    // resume or re-merge; the missing statistics make this a failure.
+    return output.empty() ? 2 : 0;
+  }
+  const CampaignResult r = finalize_campaign(merged);
+  out << "campaign: " << merged.format_spec
+      << " injections/layer=" << merged.injections_per_layer << "\n";
+  out << "clean emulated accuracy: " << r.golden_accuracy << "\n";
+  out << "network mean dLoss: " << r.network_mean_delta_loss() << "\n";
+  out << "campaign digest: 0x" << std::hex << campaign_digest(r) << std::dec
+      << "\n";
+  if (log != nullptr) {
+    obs::JsonObject row;
+    row.str("format", merged.format_spec)
+        .num("inputs", static_cast<int64_t>(parts.size()))
+        .num("golden_accuracy", static_cast<double>(r.golden_accuracy))
+        .num("network_mean_delta_loss", r.network_mean_delta_loss());
+    log->event("merge_summary", row);
   }
   return 0;
 }
@@ -501,6 +708,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       code = cmd_accuracy(*parsed, out, err, log.get());
     } else if (parsed->command == "campaign") {
       code = cmd_campaign(*parsed, out, err, log.get());
+    } else if (parsed->command == "train") {
+      code = cmd_train(*parsed, out, err, log.get());
+    } else if (parsed->command == "merge") {
+      code = cmd_merge(*parsed, out, err, log.get());
     } else if (parsed->command == "dse") {
       code = cmd_dse(*parsed, out, err, log.get());
     } else if (parsed->command == "range") {
@@ -519,6 +730,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
     return code;
   } catch (const UsageError& e) {
+    err << parsed->command << ": " << e.what() << "\n";
+    return 2;
+  } catch (const io::IoError& e) {
+    // Missing/corrupt/mismatched .gec files are bad *input*, same class
+    // as a bad flag value — never an internal failure.
     err << parsed->command << ": " << e.what() << "\n";
     return 2;
   } catch (const std::exception& e) {

@@ -61,4 +61,13 @@ double ConvergenceTracker::ci95_halfwidth() const {
   return 1.96 * std::sqrt(variance() / static_cast<double>(n_));
 }
 
+uint64_t fnv1a(uint64_t h, const void* data, size_t n) {
+  const auto* b = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace ge::core

@@ -38,6 +38,14 @@ struct FaultOutcome {
 FaultOutcome compare_to_golden(const GoldenRun& golden, const Tensor& logits,
                                const std::vector<int64_t>& labels);
 
+/// FNV-1a 64-bit running hash over `n` bytes, continuing from `h`. Seed
+/// with kFnv1aBasis. Used for the pinned campaign digests
+/// (campaign_digest, tests/test_determinism.cpp) and the CLI's cross-
+/// process bitwise-equality checks — it is part of the persistence
+/// contract, so the constants must never change.
+inline constexpr uint64_t kFnv1aBasis = 14695981039346656037ULL;
+uint64_t fnv1a(uint64_t h, const void* data, size_t n);
+
 /// Running mean/variance tracker, used to show ΔLoss's faster convergence
 /// (the paper's argument for preferring it over mismatch counting).
 class ConvergenceTracker {

@@ -176,6 +176,32 @@ const std::vector<float>* dequant_codebook(const std::string& spec) {
   return slot.get();
 }
 
+bool dequantize_codes_inplace(const std::string& spec, Tensor& t) {
+  const std::vector<float>* table = dequant_codebook(spec);
+  if (table == nullptr) return false;
+  const auto size = static_cast<int64_t>(table->size());
+  const int64_t n = t.numel();
+  // Validate before mutating: a throw must leave `t` untouched, and the
+  // read-only pass keeps the failure path out of the parallel region.
+  const float* in = t.cdata();
+  for (int64_t i = 0; i < n; ++i) {
+    const auto code = static_cast<int64_t>(in[i]);
+    if (in[i] != static_cast<float>(code) || code < 0 || code >= size) {
+      throw std::invalid_argument(
+          "dequantize_codes_inplace: element " + std::to_string(i) + " (" +
+          std::to_string(in[i]) + ") is not a code point of '" + spec + "'");
+    }
+  }
+  const float* lut = table->data();
+  float* p = t.data();  // any COW detach happens here, single-threaded
+  parallel::parallel_for(0, n, 4096, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      p[i] = lut[static_cast<size_t>(p[i])];
+    }
+  });
+  return true;
+}
+
 bool is_valid_spec(const std::string& spec) {
   try {
     return parse(spec) != nullptr;

@@ -1,0 +1,214 @@
+#include "io/container.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace ge::io {
+
+namespace {
+
+const std::array<uint32_t, 256>& crc_table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = crc_table()[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// --- ByteWriter ------------------------------------------------------------
+
+void ByteWriter::u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(uint8_t(v >> (8 * i)));
+}
+
+void ByteWriter::u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(uint8_t(v >> (8 * i)));
+}
+
+void ByteWriter::f32(float v) {
+  uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void ByteWriter::raw(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + n);
+}
+
+// --- ByteReader ------------------------------------------------------------
+
+void ByteReader::require(size_t n) const {
+  if (remaining() < n) {
+    throw IoError(context_ + ": truncated data (need " + std::to_string(n) +
+                  " bytes, " + std::to_string(remaining()) + " remain)");
+  }
+}
+
+uint8_t ByteReader::u8() {
+  require(1);
+  return bytes_[pos_++];
+}
+
+uint32_t ByteReader::u32() {
+  require(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(bytes_[pos_++]) << (8 * i);
+  return v;
+}
+
+uint64_t ByteReader::u64() {
+  require(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(bytes_[pos_++]) << (8 * i);
+  return v;
+}
+
+float ByteReader::f32() {
+  const uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const uint64_t n = u64();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                static_cast<size_t>(n));
+  pos_ += static_cast<size_t>(n);
+  return s;
+}
+
+void ByteReader::raw(void* out, size_t n) {
+  require(n);
+  std::memcpy(out, bytes_.data() + pos_, n);
+  pos_ += n;
+}
+
+// --- Container -------------------------------------------------------------
+
+void Container::add(const std::string& tag, std::vector<uint8_t> payload) {
+  if (tag.size() != 4) {
+    throw IoError("section tag '" + tag + "' must be 4 characters");
+  }
+  sections_.push_back(Section{tag, std::move(payload)});
+}
+
+const Section* Container::find(const std::string& tag) const {
+  for (const Section& s : sections_) {
+    if (s.tag == tag) return &s;
+  }
+  return nullptr;
+}
+
+const Section& Container::require(const std::string& tag,
+                                  const std::string& context) const {
+  const Section* s = find(tag);
+  if (s == nullptr) {
+    throw IoError(context + ": missing '" + tag + "' section");
+  }
+  return *s;
+}
+
+void save_file(const std::string& path, const Container& c) {
+  ByteWriter w;
+  w.raw(kMagic, sizeof(kMagic));
+  w.u32(kSchemaVersion);
+  w.u32(static_cast<uint32_t>(c.sections().size()));
+  for (const Section& s : c.sections()) {
+    w.raw(s.tag.data(), 4);
+    w.u64(s.payload.size());
+    w.u32(crc32(s.payload.data(), s.payload.size()));
+    w.raw(s.payload.data(), s.payload.size());
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw IoError(path + ": cannot open for writing");
+    f.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.bytes().size()));
+    if (!f) {
+      std::remove(tmp.c_str());
+      throw IoError(path + ": write failed");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw IoError(path + ": rename failed (" + ec.message() + ")");
+  }
+}
+
+Container load_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IoError(path + ": cannot open");
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                             std::istreambuf_iterator<char>());
+  if (!f.good() && !f.eof()) throw IoError(path + ": read failed");
+
+  ByteReader r(bytes, path);
+  char magic[4];
+  r.raw(magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw IoError(path + ": not a GoldenEye container (bad magic)");
+  }
+  const uint32_t version = r.u32();
+  if (version != kSchemaVersion) {
+    throw IoError(path + ": unsupported schema version " +
+                  std::to_string(version) + " (this build reads " +
+                  std::to_string(kSchemaVersion) + ")");
+  }
+  const uint32_t count = r.u32();
+  Container c;
+  for (uint32_t i = 0; i < count; ++i) {
+    char tag[4];
+    r.raw(tag, 4);
+    const uint64_t size = r.u64();
+    const uint32_t want_crc = r.u32();
+    r.require(size);
+    std::vector<uint8_t> payload(static_cast<size_t>(size));
+    r.raw(payload.data(), payload.size());
+    const uint32_t got_crc = crc32(payload.data(), payload.size());
+    if (got_crc != want_crc) {
+      throw IoError(path + ": CRC mismatch in section '" +
+                    std::string(tag, 4) + "' (file is corrupt)");
+    }
+    c.add(std::string(tag, 4), std::move(payload));
+  }
+  if (!r.at_end()) {
+    throw IoError(path + ": trailing bytes after last section");
+  }
+  return c;
+}
+
+}  // namespace ge::io

@@ -1,0 +1,131 @@
+// ge::io — the .gec binary container underpinning all GoldenEye
+// persistence: model checkpoints, campaign checkpoints/shards, and any
+// future worker hand-off state.
+//
+// File layout (every multi-byte integer little-endian, regardless of host
+// endianness — encoding is shift-based, never memcpy-of-struct):
+//
+//   offset 0   4 bytes   magic "GEC1"
+//          4   u32       schema version (kSchemaVersion)
+//          8   u32       section count
+//         12   sections, back to back:
+//                4 bytes  tag (ASCII, e.g. "TENS", "SDIC", "CAMP")
+//                u64      payload byte length
+//                u32      CRC32 (IEEE) of the payload bytes
+//                payload
+//
+// Every read path is paranoid: magic/version/section bounds/CRC are all
+// checked, and any violation throws IoError with a path-qualified message
+// — a corrupt or truncated file is always a diagnosed error (the CLI maps
+// IoError to exit 2), never UB. Writers go through save_file(), which
+// writes "<path>.tmp" and renames it into place so a killed process never
+// leaves a half-written file under the final name.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ge::io {
+
+/// Persistence failure (unreadable, corrupt, or mismatched file). The CLI
+/// treats these as diagnosed user-input errors: message to stderr, exit 2.
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr uint32_t kSchemaVersion = 1;
+/// "GEC1" as on-disk bytes.
+inline constexpr char kMagic[4] = {'G', 'E', 'C', '1'};
+
+/// CRC32 (IEEE 802.3, reflected) of `n` bytes. crc32("123456789") is the
+/// standard check value 0xCBF43926.
+uint32_t crc32(const void* data, size_t n);
+
+// --- byte-level encoding ---------------------------------------------------
+
+/// Append-only little-endian byte sink for section payloads.
+class ByteWriter {
+ public:
+  void u8(uint8_t v) { bytes_.push_back(v); }
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+  void f32(float v);
+  /// u64 length prefix + raw bytes.
+  void str(const std::string& s);
+  void raw(const void* data, size_t n);
+
+  const std::vector<uint8_t>& bytes() const noexcept { return bytes_; }
+  std::vector<uint8_t> take() noexcept { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian reader over one section payload. Every
+/// overrun throws IoError("truncated ..."), so a short or lying length
+/// field can never read out of bounds.
+class ByteReader {
+ public:
+  /// `context` prefixes error messages (typically the file path).
+  ByteReader(std::span<const uint8_t> bytes, std::string context)
+      : bytes_(bytes), context_(std::move(context)) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  float f32();
+  std::string str();
+  /// Copy `n` raw bytes into `out`.
+  void raw(void* out, size_t n);
+
+  size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == bytes_.size(); }
+  const std::string& context() const noexcept { return context_; }
+
+  /// Throw IoError unless at least `n` bytes remain — used before bulk
+  /// resizes so a corrupt count cannot trigger a huge allocation.
+  void require(size_t n) const;
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+  std::string context_;
+};
+
+// --- container -------------------------------------------------------------
+
+struct Section {
+  std::string tag;  ///< exactly 4 ASCII characters
+  std::vector<uint8_t> payload;
+};
+
+/// In-memory .gec file being assembled; save_file() serialises it.
+class Container {
+ public:
+  void add(const std::string& tag, std::vector<uint8_t> payload);
+
+  const std::vector<Section>& sections() const noexcept { return sections_; }
+  /// First section with `tag`; nullptr when absent.
+  const Section* find(const std::string& tag) const;
+  /// As find(), but a missing section is an IoError mentioning `context`.
+  const Section& require(const std::string& tag,
+                         const std::string& context) const;
+
+ private:
+  std::vector<Section> sections_;
+};
+
+/// Serialise to `path` atomically: write "<path>.tmp", fsync-free rename
+/// into place. Throws IoError on any I/O failure.
+void save_file(const std::string& path, const Container& c);
+
+/// Parse `path`, validating magic, version, section bounds and every
+/// section's CRC32. Throws IoError describing the first violation.
+Container load_file(const std::string& path);
+
+}  // namespace ge::io

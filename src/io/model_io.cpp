@@ -1,0 +1,103 @@
+#include "io/model_io.hpp"
+
+#include "io/serialize.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ge::io {
+
+namespace {
+
+constexpr const char* kMetaTag = "META";
+constexpr const char* kParamsTag = "SDIC";
+constexpr const char* kBuffersTag = "BUFS";
+
+std::vector<uint8_t> encode_entries(
+    const std::vector<std::pair<std::string, nn::Parameter*>>& entries) {
+  ByteWriter w;
+  StateDict dict;
+  dict.reserve(entries.size());
+  for (const auto& [name, param] : entries) {
+    dict.emplace_back(name, param->value);  // O(1) storage share
+  }
+  encode_state_dict(w, dict);
+  return w.take();
+}
+
+/// Assign `dict` onto `entries` by name, strict in both directions.
+void apply_entries(
+    const StateDict& dict,
+    const std::vector<std::pair<std::string, nn::Parameter*>>& entries,
+    const std::string& path, const char* what) {
+  if (dict.size() != entries.size()) {
+    throw IoError(path + ": " + what + " count mismatch (file has " +
+                  std::to_string(dict.size()) + ", model has " +
+                  std::to_string(entries.size()) + ")");
+  }
+  // Enumeration order is deterministic (depth-first registration), so a
+  // matching architecture yields the same name sequence; comparing in
+  // order also catches reordered/renamed layers.
+  for (size_t i = 0; i < dict.size(); ++i) {
+    const auto& [name, tensor] = dict[i];
+    const auto& [want_name, param] = entries[i];
+    if (name != want_name) {
+      throw IoError(path + ": " + what + " name mismatch at index " +
+                    std::to_string(i) + " ('" + name + "' in file, '" +
+                    want_name + "' in model)");
+    }
+    if (tensor.shape() != param->value.shape()) {
+      throw IoError(path + ": shape mismatch for '" + name + "' (" +
+                    shape_to_string(tensor.shape()) + " in file, " +
+                    shape_to_string(param->value.shape()) + " in model)");
+    }
+    param->value = tensor;  // O(1) share of the decoded storage
+  }
+}
+
+}  // namespace
+
+void save_model(const std::string& path, nn::Module& model,
+                const std::string& model_name) {
+  obs::Span span("io", "model_save", path);
+  Container c;
+  ByteWriter meta;
+  meta.str(model_name);
+  meta.i64(model.parameter_count());
+  c.add(kMetaTag, meta.take());
+  c.add(kParamsTag, encode_entries(model.named_parameters()));
+  c.add(kBuffersTag, encode_entries(model.named_buffers()));
+  save_file(path, c);
+}
+
+ModelMeta read_model_meta(const std::string& path) {
+  const Container c = load_file(path);
+  const Section& meta = c.require(kMetaTag, path);
+  ByteReader r(meta.payload, path);
+  ModelMeta out;
+  out.model_name = r.str();
+  out.parameter_count = r.i64();
+  return out;
+}
+
+ModelMeta load_model(const std::string& path, nn::Module& model) {
+  obs::Span span("io", "model_load", path);
+  const Container c = load_file(path);
+  const Section& meta = c.require(kMetaTag, path);
+  ByteReader mr(meta.payload, path);
+  ModelMeta out;
+  out.model_name = mr.str();
+  out.parameter_count = mr.i64();
+  if (out.parameter_count != model.parameter_count()) {
+    throw IoError(path + ": parameter count mismatch (file has " +
+                  std::to_string(out.parameter_count) + " scalars, model has " +
+                  std::to_string(model.parameter_count()) + ")");
+  }
+
+  ByteReader pr(c.require(kParamsTag, path).payload, path);
+  apply_entries(decode_state_dict(pr), model.named_parameters(), path,
+                "parameter");
+  ByteReader br(c.require(kBuffersTag, path).payload, path);
+  apply_entries(decode_state_dict(br), model.named_buffers(), path, "buffer");
+  return out;
+}
+
+}  // namespace ge::io

@@ -1,0 +1,37 @@
+// Model checkpoints (.gec): a "META" section naming the architecture plus
+// name-keyed state-dict sections for parameters ("SDIC") and buffers
+// ("BUFS"), round-tripped through Module::named_parameters /
+// named_buffers. Loading is strict — the on-disk name set and every shape
+// must match the target model exactly — so a checkpoint can never be
+// silently grafted onto the wrong architecture, and a loaded model
+// evaluates bitwise-identically to the one that was saved.
+#pragma once
+
+#include <string>
+
+#include "io/container.hpp"
+#include "nn/module.hpp"
+
+namespace ge::io {
+
+/// Architecture echo stored next to the weights.
+struct ModelMeta {
+  std::string model_name;      ///< factory name, e.g. "tiny_resnet"
+  int64_t parameter_count = 0; ///< total scalars, a cheap sanity check
+};
+
+/// Write `model`'s full state (parameters + buffers) to `path`.
+void save_model(const std::string& path, nn::Module& model,
+                const std::string& model_name);
+
+/// Read only the META section of a model checkpoint (cheap validation
+/// before constructing the architecture). Throws IoError on a non-model
+/// container.
+ModelMeta read_model_meta(const std::string& path);
+
+/// Load `path` into `model`. Every named parameter and buffer must match
+/// by name and shape, in both directions; throws IoError otherwise (with
+/// the first offending name in the message). Returns the stored meta.
+ModelMeta load_model(const std::string& path, nn::Module& model);
+
+}  // namespace ge::io

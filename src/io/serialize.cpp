@@ -1,0 +1,92 @@
+#include "io/serialize.hpp"
+
+#include <sstream>
+
+namespace ge::io {
+
+namespace {
+
+// A believable rank bound: anything larger is a corrupt count, not a
+// tensor this codebase could have produced.
+constexpr uint32_t kMaxRank = 64;
+
+}  // namespace
+
+void encode_tensor(ByteWriter& w, const Tensor& t) {
+  w.u8(kDtypeF32);
+  w.u32(static_cast<uint32_t>(t.dim()));
+  for (int64_t e : t.shape()) w.i64(e);
+  if (t.numel() > 0) {
+    w.raw(t.cdata(), static_cast<size_t>(t.numel()) * sizeof(float));
+  }
+}
+
+Tensor decode_tensor(ByteReader& r) {
+  const uint8_t dtype = r.u8();
+  if (dtype != kDtypeF32) {
+    throw IoError(r.context() + ": unknown tensor dtype " +
+                  std::to_string(dtype));
+  }
+  const uint32_t rank = r.u32();
+  if (rank > kMaxRank) {
+    throw IoError(r.context() + ": implausible tensor rank " +
+                  std::to_string(rank));
+  }
+  Shape shape(rank);
+  int64_t n = 1;
+  for (uint32_t d = 0; d < rank; ++d) {
+    shape[d] = r.i64();
+    // Reject negative extents and element-count overflow here, with
+    // checked arithmetic: shape_numel's plain multiply would be UB on a
+    // corrupt file's absurd extents.
+    if (shape[d] < 0 || __builtin_mul_overflow(n, shape[d], &n)) {
+      throw IoError(r.context() + ": corrupt tensor shape");
+    }
+  }
+  r.require(static_cast<size_t>(n) * sizeof(float));
+  Tensor t(std::move(shape));
+  if (n > 0) r.raw(t.data(), static_cast<size_t>(n) * sizeof(float));
+  return t;
+}
+
+void encode_state_dict(ByteWriter& w, const StateDict& dict) {
+  w.u64(dict.size());
+  for (const auto& [name, tensor] : dict) {
+    w.str(name);
+    encode_tensor(w, tensor);
+  }
+}
+
+StateDict decode_state_dict(ByteReader& r) {
+  const uint64_t count = r.u64();
+  // Each entry consumes at least its name length field plus the tensor
+  // header, so a lying count fails fast instead of reserving memory.
+  StateDict dict;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name = r.str();
+    Tensor t = decode_tensor(r);
+    dict.emplace_back(std::move(name), std::move(t));
+  }
+  return dict;
+}
+
+void encode_rng(ByteWriter& w, const Rng& rng) {
+  w.u64(rng.seed());
+  std::ostringstream os;
+  os << rng.engine();
+  w.str(os.str());
+}
+
+Rng decode_rng(ByteReader& r) {
+  const uint64_t seed = r.u64();
+  const std::string state = r.str();
+  Rng rng(seed);
+  std::istringstream is(state);
+  is >> rng.engine();
+  if (!is) {
+    throw IoError(r.context() + ": corrupt rng engine state");
+  }
+  return rng;
+}
+
+}  // namespace ge::io

@@ -1,0 +1,47 @@
+// ge::io typed payload codecs: tensors, name-keyed state dicts, and Rng
+// stream state. These are the building blocks model_io and campaign_state
+// assemble into .gec sections; each encode_x/decode_x pair is a strict
+// round trip (decode(encode(x)) reproduces x bitwise).
+//
+// Wire formats (all little-endian, see container.hpp):
+//   tensor     u8 dtype (1 = f32), u32 rank, i64 dim..., f32 payload
+//   state dict u64 count, then per entry: str name, tensor
+//   rng        u64 construction seed, str mt19937_64 engine state
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/container.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ge::io {
+
+/// One dtype so far; the tag exists so future formats (f16 payloads,
+/// quantised code streams) can extend the container without a version bump.
+inline constexpr uint8_t kDtypeF32 = 1;
+
+/// Append `t` (shape + raw FP32 payload) to `w`. Handles every shape the
+/// Tensor class can hold: 0-d scalars, empty dims, reshape-shared storage.
+void encode_tensor(ByteWriter& w, const Tensor& t);
+
+/// Decode one tensor; throws IoError on a bad dtype, negative extent,
+/// or truncated payload.
+Tensor decode_tensor(ByteReader& r);
+
+/// Name -> tensor pairs, in order (Module::named_parameters order for
+/// model state; decode preserves it).
+using StateDict = std::vector<std::pair<std::string, Tensor>>;
+
+void encode_state_dict(ByteWriter& w, const StateDict& dict);
+StateDict decode_state_dict(ByteReader& r);
+
+/// Full Rng stream state: the construction seed (which child() streams
+/// derive from) plus the exact mt19937_64 engine position, so a restored
+/// generator continues the draw sequence where the saved one stopped.
+void encode_rng(ByteWriter& w, const Rng& rng);
+Rng decode_rng(ByteReader& r);
+
+}  // namespace ge::io

@@ -62,6 +62,16 @@ std::vector<std::pair<std::string, Parameter*>> Module::named_parameters() {
   return out;
 }
 
+std::vector<std::pair<std::string, Parameter*>> Module::named_buffers() {
+  std::vector<std::pair<std::string, Parameter*>> out;
+  for (auto& [path, mod] : named_modules()) {
+    for (Parameter* p : mod->local_buffers()) {
+      out.emplace_back(path.empty() ? p->name : path + "." + p->name, p);
+    }
+  }
+  return out;
+}
+
 std::vector<Parameter*> Module::buffers() {
   std::vector<Parameter*> out;
   for (Parameter* p : local_buffers()) out.push_back(p);

@@ -89,6 +89,9 @@ class Module {
   std::vector<Parameter*> parameters();
   /// Subtree parameters with dotted names ("stage1.0.conv1.weight").
   std::vector<std::pair<std::string, Parameter*>> named_parameters();
+  /// Subtree buffers with dotted names ("bn1.running_mean"); the name-keyed
+  /// counterpart ge::io state dicts round-trip through.
+  std::vector<std::pair<std::string, Parameter*>> named_buffers();
   void zero_grad();
   /// Total scalar parameter count of the subtree.
   int64_t parameter_count();

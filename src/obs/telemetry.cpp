@@ -206,6 +206,9 @@ const char* counter_name(Counter c) {
     case Counter::kAllocationsAvoided: return "allocations_avoided";
     case Counter::kCowCopies: return "cow_copies";
     case Counter::kArenaReuses: return "arena_reuses";
+    case Counter::kArenaEvictions: return "arena_evictions";
+    case Counter::kCheckpointWrites: return "checkpoint_writes";
+    case Counter::kCampaignResumes: return "campaign_resumes";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -149,6 +149,9 @@ enum class Counter : int {
   kAllocationsAvoided,     ///< tensor copies satisfied by storage sharing
   kCowCopies,              ///< shared storage detached by a mutable access
   kArenaReuses,            ///< storage blocks recycled from a thread arena
+  kArenaEvictions,         ///< cached blocks dropped by the freelist cap
+  kCheckpointWrites,       ///< campaign checkpoint files written (ge::io)
+  kCampaignResumes,        ///< campaigns continued from a checkpoint
   kCount
 };
 

@@ -1,5 +1,6 @@
 #include "tensor/arena.hpp"
 
+#include <bit>
 #include <utility>
 
 #include "obs/telemetry.hpp"
@@ -7,8 +8,23 @@
 namespace ge::arena {
 namespace {
 
+// Freelist sizing policy. Blocks are grouped into power-of-two size
+// classes so a long DSE sweep over many distinct shapes cannot pin one
+// cached block per shape ever seen: each class keeps at most
+// kMaxBlocksPerBucket blocks (LRU-evicted within the class) and the whole
+// freelist at most kMaxCachedBlocks (globally-LRU-evicted), so per-thread
+// cache memory is bounded by ~kMaxCachedBlocks * largest-class capacity
+// regardless of how many shapes a sweep touches.
+constexpr size_t kMaxBlocksPerBucket = 6;
 constexpr size_t kMaxCachedBlocks = 32;
 constexpr size_t kMaxCachedElems = size_t{1} << 24;  // 64 MiB of floats
+// capacity <= 2^kBucketCount-1 always classifies; oversize is freed eagerly
+constexpr size_t kBucketCount = 25;  // 2^24 == kMaxCachedElems
+
+/// Size class of a capacity: smallest c with n <= 2^c (0 for n <= 1).
+size_t size_class(size_t n) {
+  return n <= 1 ? 0 : static_cast<size_t>(std::bit_width(n - 1));
+}
 
 struct Cache;
 
@@ -18,37 +34,74 @@ struct Cache;
 thread_local Cache* tl_cache = nullptr;
 
 struct Cache {
-  std::vector<Block*> free;
+  struct Entry {
+    uint64_t stamp = 0;  ///< insertion order, for LRU decisions
+    Block* block = nullptr;
+  };
+  // One LRU list per size class, oldest first (put() appends).
+  std::vector<Entry> buckets[kBucketCount];
+  size_t total = 0;
+  uint64_t clock = 0;
 
   Cache() { tl_cache = this; }
   ~Cache() {
     tl_cache = nullptr;
-    for (Block* b : free) delete b;
+    for (auto& bucket : buckets) {
+      for (const Entry& e : bucket) delete e.block;
+    }
   }
 
-  Block* take(size_t n) {
-    // Prefer a block that already has room for n; otherwise any block
-    // (assign will grow it, still saving the control-block allocation).
-    for (size_t i = 0; i < free.size(); ++i) {
-      if (free[i]->capacity() >= n) {
-        Block* b = free[i];
-        free[i] = free.back();
-        free.pop_back();
-        return b;
-      }
-    }
-    if (free.empty()) return nullptr;
-    Block* b = free.back();
-    free.pop_back();
+  Block* pop_back(std::vector<Entry>& bucket) {
+    Block* b = bucket.back().block;
+    bucket.pop_back();
+    --total;
     return b;
   }
 
+  Block* take(size_t n) {
+    // Prefer the most-recently-used block whose class already fits n (warm
+    // and large enough); otherwise any cached block — assign() grows it,
+    // still saving the control-block allocation.
+    const size_t c = size_class(n);
+    for (size_t i = c; i < kBucketCount; ++i) {
+      if (!buckets[i].empty()) return pop_back(buckets[i]);
+    }
+    for (size_t i = c; i-- > 0;) {
+      if (!buckets[i].empty()) return pop_back(buckets[i]);
+    }
+    return nullptr;
+  }
+
+  void evict_oldest() {
+    std::vector<Entry>* oldest = nullptr;
+    for (auto& bucket : buckets) {
+      if (bucket.empty()) continue;
+      if (oldest == nullptr || bucket.front().stamp < oldest->front().stamp) {
+        oldest = &bucket;
+      }
+    }
+    if (oldest == nullptr) return;
+    delete oldest->front().block;
+    oldest->erase(oldest->begin());
+    --total;
+    obs::add(obs::Counter::kArenaEvictions);
+  }
+
   void put(Block* b) {
-    if (free.size() >= kMaxCachedBlocks || b->capacity() > kMaxCachedElems) {
-      delete b;
+    if (b->capacity() > kMaxCachedElems) {
+      delete b;  // oversize: never cached, so not an eviction
       return;
     }
-    free.push_back(b);
+    auto& bucket = buckets[size_class(b->capacity())];
+    if (bucket.size() >= kMaxBlocksPerBucket) {
+      delete bucket.front().block;  // LRU within the class
+      bucket.erase(bucket.begin());
+      --total;
+      obs::add(obs::Counter::kArenaEvictions);
+    }
+    bucket.push_back(Entry{clock++, b});
+    ++total;
+    if (total > kMaxCachedBlocks) evict_oldest();
   }
 };
 
@@ -96,10 +149,13 @@ std::shared_ptr<Block> adopt(Block&& v) {
 
 void clear_thread_cache() {
   Cache& c = cache();
-  for (Block* b : c.free) delete b;
-  c.free.clear();
+  for (auto& bucket : c.buckets) {
+    for (const Cache::Entry& e : bucket) delete e.block;
+    bucket.clear();
+  }
+  c.total = 0;
 }
 
-size_t thread_cache_blocks() { return cache().free.size(); }
+size_t thread_cache_blocks() { return cache().total; }
 
 }  // namespace ge::arena

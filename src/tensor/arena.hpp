@@ -11,9 +11,13 @@
 //  - Blocks are plain vectors; recycling only preserves *capacity*. Every
 //    alloc() re-assigns contents, so a recycled block is indistinguishable
 //    from a fresh one — determinism cannot depend on reuse.
-//  - The freelist is thread-local and unbounded work never accumulates:
-//    at most kMaxCachedBlocks blocks are kept, and oversized blocks
-//    (> kMaxCachedElems floats) are always freed eagerly.
+//  - The freelist is thread-local and bounded: blocks are grouped into
+//    power-of-two size classes, each class keeps at most a handful of
+//    blocks (LRU within the class), the whole freelist holds at most
+//    kMaxCachedBlocks blocks (globally LRU), and oversized blocks
+//    (> kMaxCachedElems floats) are always freed eagerly. Long DSE sweeps
+//    over many shapes therefore cannot grow a thread's cache without
+//    bound; cap-driven frees are counted as `arena_evictions` in ge::obs.
 //  - Thread teardown is safe: the cache registers itself through a raw
 //    thread_local pointer that its destructor nulls, so a deleter running
 //    after teardown (a block outliving its allocating thread) falls back

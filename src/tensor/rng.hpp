@@ -51,6 +51,8 @@ class Rng {
   uint64_t seed() const noexcept { return seed_; }
 
   std::mt19937_64& engine() noexcept { return engine_; }
+  /// Read-only engine access (ge::io serialises the stream position).
+  const std::mt19937_64& engine() const noexcept { return engine_; }
 
  private:
   std::mt19937_64 engine_;

@@ -1,0 +1,326 @@
+// Checkpointed / sharded campaigns (DESIGN.md §9): any partition of the
+// trial index space — across checkpoint/resume boundaries, shards, or
+// both — must reassemble into statistics bitwise identical to one
+// uninterrupted run. These tests exercise the library surface;
+// test_determinism.cpp pins the digests and test_cli.cpp drives the same
+// machinery through the command line.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "data/synthetic.hpp"
+#include "io/campaign_state.hpp"
+#include "models/model_factory.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace ge::core {
+namespace {
+
+struct ThreadGuard {
+  int saved = parallel::num_threads();
+  ~ThreadGuard() { parallel::set_num_threads(saved); }
+};
+
+data::SyntheticVisionConfig small_cfg() {
+  data::SyntheticVisionConfig cfg;
+  cfg.train_count = 16;
+  cfg.test_count = 64;
+  return cfg;
+}
+
+struct Fixture {
+  data::SyntheticVision data;
+  std::unique_ptr<nn::Module> model;
+  data::Batch batch;
+
+  Fixture()
+      : data(small_cfg()),
+        model(models::make_model("simple_cnn", data.config(), 3)),
+        batch(data::take(data.test(), 0, 8)) {
+    model->eval();
+  }
+};
+
+CampaignConfig campaign_cfg() {
+  CampaignConfig cfg;
+  cfg.format_spec = "fp_e5m10";
+  cfg.injections_per_layer = 6;
+  cfg.seed = 77;
+  cfg.make_replica = [] {
+    return models::make_model("simple_cnn", small_cfg(), 0);
+  };
+  return cfg;
+}
+
+std::string tmp_path(const std::string& name) {
+  return "/tmp/ge_test_campaign_io_" + name + ".gec";
+}
+
+// --- progress bookkeeping --------------------------------------------------
+
+TEST(CampaignProgressTest, TrialCountsAndCompleteness) {
+  CampaignProgress p;
+  p.layers.resize(2);
+  p.layers[0].done = {1, 0, 1};
+  p.layers[0].outcomes.resize(3);
+  p.layers[1].done = {0, 0, 0};
+  p.layers[1].outcomes.resize(3);
+  EXPECT_EQ(p.completed_trials(), 2);
+  EXPECT_EQ(p.total_trials(), 6);
+  EXPECT_FALSE(p.complete());
+  EXPECT_EQ(owned_trials_remaining(p), 4);
+  p.shards = 3;
+  p.shard_index = 1;  // owns trial index 1 of each layer
+  EXPECT_EQ(owned_trials_remaining(p), 2);
+}
+
+TEST(CampaignProgressTest, FinalizeRejectsIncompleteProgress) {
+  CampaignProgress p;
+  p.layers.resize(1);
+  p.layers[0].done = {1, 0};
+  p.layers[0].outcomes.resize(2);
+  EXPECT_THROW(finalize_campaign(p), std::invalid_argument);
+}
+
+// --- serialization ---------------------------------------------------------
+
+TEST(CampaignStateIo, ProgressFileRoundTripsBitwise) {
+  ThreadGuard guard;
+  parallel::set_num_threads(2);
+  Fixture f;
+  const std::string path = tmp_path("roundtrip");
+  CampaignRunOptions opts;
+  opts.shards = 2;
+  opts.shard_index = 1;
+  opts.model_name = "simple_cnn";
+  opts.eval_samples = 8;
+  const CampaignProgress prog =
+      run_campaign_trials(*f.model, f.batch, campaign_cfg(), opts);
+  io::save_campaign_progress(path, prog);
+  const CampaignProgress back = io::load_campaign_progress(path);
+  // Bitwise equality via the canonical byte encoding.
+  EXPECT_EQ(io::encode_campaign_progress(back),
+            io::encode_campaign_progress(prog));
+  std::remove(path.c_str());
+}
+
+TEST(CampaignStateIo, CorruptProgressFileIsDiagnosed) {
+  const std::string path = tmp_path("corrupt");
+  CampaignProgress p;
+  p.format_spec = "int8";
+  p.layers.resize(1);
+  p.layers[0].path = "l";
+  p.layers[0].done = {1};
+  p.layers[0].outcomes.resize(1);
+  io::save_campaign_progress(path, p);
+  // Flip a payload byte: the CRC must reject the file.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-3, std::ios::end);
+  f.put('\xFF');
+  f.close();
+  EXPECT_THROW(io::load_campaign_progress(path), io::IoError);
+  std::remove(path.c_str());
+}
+
+// --- shard / resume / merge bitwise identity -------------------------------
+
+TEST(CampaignShards, MergedShardsMatchSingleProcessBitwise) {
+  ThreadGuard guard;
+  const CampaignConfig cfg = campaign_cfg();
+  for (int threads : {1, 4}) {
+    parallel::set_num_threads(threads);
+    Fixture single;
+    const CampaignResult want = run_campaign(*single.model, single.batch, cfg);
+
+    std::vector<CampaignProgress> parts;
+    for (int i = 0; i < 3; ++i) {
+      Fixture f;  // fresh model per "process"
+      CampaignRunOptions opts;
+      opts.shards = 3;
+      opts.shard_index = i;
+      parts.push_back(run_campaign_trials(*f.model, f.batch, cfg, opts));
+      EXPECT_FALSE(parts.back().complete());
+      EXPECT_EQ(owned_trials_remaining(parts.back()), 0);
+    }
+    const CampaignProgress merged = merge_campaign_progress(parts);
+    EXPECT_TRUE(merged.complete());
+    const CampaignResult got = finalize_campaign(merged);
+    EXPECT_EQ(campaign_digest(got), campaign_digest(want))
+        << "threads=" << threads;
+  }
+}
+
+TEST(CampaignResume, InterruptedRunResumesBitwise) {
+  ThreadGuard guard;
+  const CampaignConfig cfg = campaign_cfg();
+  const std::string path = tmp_path("resume");
+  for (int threads : {1, 4}) {
+    parallel::set_num_threads(threads);
+    Fixture single;
+    const CampaignResult want = run_campaign(*single.model, single.batch, cfg);
+
+    // First process: checkpoint every 2 trials, die mid-campaign.
+    Fixture first;
+    CampaignRunOptions opts;
+    opts.checkpoint_every = 2;
+    opts.checkpoint_path = path;
+    opts.abort_after = 7;  // mid-layer, mid-block
+    const CampaignProgress partial =
+        run_campaign_trials(*first.model, first.batch, cfg, opts);
+    EXPECT_FALSE(partial.complete());
+
+    // Second process: load the file the first one left behind.
+    Fixture second;
+    const CampaignProgress saved = io::load_campaign_progress(path);
+    EXPECT_EQ(saved.completed_trials(), partial.completed_trials());
+    CampaignRunOptions ropts;
+    ropts.checkpoint_every = 2;
+    ropts.checkpoint_path = path;
+    ropts.resume_from = &saved;
+    const CampaignProgress full =
+        run_campaign_trials(*second.model, second.batch, cfg, ropts);
+    EXPECT_TRUE(full.complete());
+    EXPECT_EQ(campaign_digest(finalize_campaign(full)), campaign_digest(want))
+        << "threads=" << threads;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CampaignResume, ResumingACompleteRunIsANoOp) {
+  ThreadGuard guard;
+  parallel::set_num_threads(2);
+  const CampaignConfig cfg = campaign_cfg();
+  Fixture f;
+  const CampaignProgress done =
+      run_campaign_trials(*f.model, f.batch, cfg, {});
+  CampaignRunOptions opts;
+  opts.resume_from = &done;
+  const CampaignProgress again =
+      run_campaign_trials(*f.model, f.batch, cfg, opts);
+  EXPECT_EQ(campaign_digest(finalize_campaign(again)),
+            campaign_digest(finalize_campaign(done)));
+}
+
+TEST(CampaignResume, MismatchedCheckpointIsRejected) {
+  ThreadGuard guard;
+  parallel::set_num_threads(2);
+  Fixture f;
+  const CampaignProgress done =
+      run_campaign_trials(*f.model, f.batch, campaign_cfg(), {});
+
+  {
+    CampaignConfig other = campaign_cfg();
+    other.seed = 78;  // different trial streams
+    CampaignRunOptions opts;
+    opts.resume_from = &done;
+    EXPECT_THROW(run_campaign_trials(*f.model, f.batch, other, opts),
+                 io::IoError);
+  }
+  {
+    CampaignConfig other = campaign_cfg();
+    other.format_spec = "int8";
+    CampaignRunOptions opts;
+    opts.resume_from = &done;
+    EXPECT_THROW(run_campaign_trials(*f.model, f.batch, other, opts),
+                 io::IoError);
+  }
+  {
+    // Same config, different model weights: the golden logit digest is the
+    // tripwire (accuracy alone can tie on a small batch).
+    auto other_model = models::make_model("simple_cnn", small_cfg(), 123);
+    other_model->eval();
+    CampaignRunOptions opts;
+    opts.resume_from = &done;
+    EXPECT_THROW(
+        run_campaign_trials(*other_model, f.batch, campaign_cfg(), opts),
+        io::IoError);
+  }
+}
+
+TEST(CampaignMerge, RejectsDuplicateAndOverlappingShards) {
+  ThreadGuard guard;
+  parallel::set_num_threads(2);
+  const CampaignConfig cfg = campaign_cfg();
+  Fixture f;
+  CampaignRunOptions opts;
+  opts.shards = 2;
+  opts.shard_index = 0;
+  const CampaignProgress shard0 =
+      run_campaign_trials(*f.model, f.batch, cfg, opts);
+
+  // Same shard twice: duplicate index.
+  EXPECT_THROW(merge_campaign_progress({shard0, shard0}), io::IoError);
+
+  // Disguised duplicate: different claimed index, overlapping done set.
+  CampaignProgress forged = shard0;
+  forged.shard_index = 1;
+  EXPECT_THROW(merge_campaign_progress({shard0, forged}), io::IoError);
+
+  // Mismatched config echo.
+  CampaignProgress other = shard0;
+  other.shard_index = 1;
+  other.seed = 99;
+  EXPECT_THROW(merge_campaign_progress({shard0, other}), io::IoError);
+
+  EXPECT_THROW(merge_campaign_progress({}), std::invalid_argument);
+}
+
+TEST(CampaignMerge, PartialMergeCanBeResumedToCompletion) {
+  // Merge shard 0 of 2 only, then finish the remaining trials by resuming
+  // the merged (re-labelled unsharded) progress — the escape hatch for a
+  // shard that never came back.
+  ThreadGuard guard;
+  parallel::set_num_threads(2);
+  const CampaignConfig cfg = campaign_cfg();
+  Fixture single;
+  const CampaignResult want = run_campaign(*single.model, single.batch, cfg);
+
+  Fixture f;
+  CampaignRunOptions opts;
+  opts.shards = 2;
+  opts.shard_index = 0;
+  const CampaignProgress shard0 =
+      run_campaign_trials(*f.model, f.batch, cfg, opts);
+  const CampaignProgress merged = merge_campaign_progress({shard0});
+  EXPECT_FALSE(merged.complete());
+  EXPECT_EQ(merged.shards, 1);  // re-labelled: now owns every trial
+
+  Fixture g;
+  CampaignRunOptions ropts;
+  ropts.resume_from = &merged;
+  const CampaignProgress full =
+      run_campaign_trials(*g.model, g.batch, cfg, ropts);
+  EXPECT_TRUE(full.complete());
+  EXPECT_EQ(campaign_digest(finalize_campaign(full)), campaign_digest(want));
+}
+
+TEST(CampaignRunOptionsTest, InvalidOptionsAreRejected) {
+  Fixture f;
+  const CampaignConfig cfg = campaign_cfg();
+  {
+    CampaignRunOptions opts;
+    opts.shards = 2;
+    opts.shard_index = 2;
+    EXPECT_THROW(run_campaign_trials(*f.model, f.batch, cfg, opts),
+                 std::invalid_argument);
+  }
+  {
+    CampaignRunOptions opts;
+    opts.checkpoint_every = 2;  // no checkpoint_path
+    EXPECT_THROW(run_campaign_trials(*f.model, f.batch, cfg, opts),
+                 std::invalid_argument);
+  }
+  {
+    CampaignRunOptions opts;
+    opts.abort_after = 1;  // no checkpoint_path
+    EXPECT_THROW(run_campaign_trials(*f.model, f.batch, cfg, opts),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace ge::core

@@ -221,5 +221,197 @@ TEST(Cli, ReportPathUnwritableIsUsageError) {
   EXPECT_NE(r.err.find("--report"), std::string::npos);
 }
 
+// --- ge::io persistence commands -------------------------------------------
+
+std::string grab_line(const std::string& text, const std::string& prefix) {
+  const size_t at = text.find(prefix);
+  if (at == std::string::npos) return "";
+  const size_t end = text.find('\n', at);
+  return text.substr(at, end - at);
+}
+
+TEST(Cli, TrainSaveLoadEvaluatesBitwiseIdentically) {
+  const std::string path = "/tmp/ge_cli_model.gec";
+  std::remove(path.c_str());
+  const auto saved = run({"train", "--model", "mlp", "--epochs", "1",
+                          "--cache", "/tmp/ge_cli_cache", "--samples", "32",
+                          "--save", path});
+  ASSERT_EQ(saved.code, 0) << saved.err;
+  const std::string want = grab_line(saved.out, "eval digest:");
+  ASSERT_FALSE(want.empty()) << saved.out;
+
+  const auto loaded = run({"train", "--load", path, "--samples", "32"});
+  ASSERT_EQ(loaded.code, 0) << loaded.err;
+  EXPECT_EQ(grab_line(loaded.out, "eval digest:"), want);
+  EXPECT_NE(loaded.out.find("loaded:"), std::string::npos);
+
+  // --model disagreeing with the checkpoint's architecture is diagnosed
+  const auto graft = run({"train", "--load", path, "--model", "simple_cnn"});
+  EXPECT_EQ(graft.code, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, TrainLoadMissingFileExitsTwo) {
+  const auto r = run({"train", "--load", "/tmp/ge_cli_no_such.gec"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, CampaignShardsMergeToSingleProcessDigest) {
+  const std::vector<std::string> base = {
+      "campaign",  "--model",  "mlp",          "--format", "int8",
+      "--epochs",  "1",        "--cache",      "/tmp/ge_cli_cache",
+      "--samples", "8",        "--injections", "4",
+      "--seed",    "5"};
+  auto single = base;
+  const auto want = run(single);
+  ASSERT_EQ(want.code, 0) << want.err;
+  const std::string digest = grab_line(want.out, "campaign digest:");
+  ASSERT_FALSE(digest.empty()) << want.out;
+
+  std::vector<std::string> shard_files;
+  for (int i = 0; i < 3; ++i) {
+    const std::string file = "/tmp/ge_cli_shard" + std::to_string(i) + ".gec";
+    std::remove(file.c_str());
+    auto shard = base;
+    shard.insert(shard.end(), {"--shards", "3", "--shard-index",
+                               std::to_string(i), "--checkpoint", file});
+    const auto r = run(shard);
+    ASSERT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("campaign progress:"), std::string::npos);
+    shard_files.push_back(file);
+  }
+  const auto merged = run({"merge", "--inputs",
+                           shard_files[0] + "," + shard_files[1] + "," +
+                               shard_files[2]});
+  ASSERT_EQ(merged.code, 0) << merged.err;
+  EXPECT_EQ(grab_line(merged.out, "campaign digest:"), digest);
+
+  // A missing shard is a diagnosed failure, not silent wrong statistics.
+  const auto partial =
+      run({"merge", "--inputs", shard_files[0] + "," + shard_files[1]});
+  EXPECT_EQ(partial.code, 2);
+  EXPECT_NE(partial.err.find("incomplete"), std::string::npos);
+  for (const auto& f : shard_files) std::remove(f.c_str());
+}
+
+TEST(Cli, CampaignAbortThenResumeReproducesDigest) {
+  const std::string ck = "/tmp/ge_cli_resume.gec";
+  std::remove(ck.c_str());
+  const std::vector<std::string> base = {
+      "campaign",  "--model",  "mlp",          "--format", "int8",
+      "--epochs",  "1",        "--cache",      "/tmp/ge_cli_cache",
+      "--samples", "8",        "--injections", "4",
+      "--seed",    "5"};
+  const auto want = run(base);
+  ASSERT_EQ(want.code, 0) << want.err;
+  const std::string digest = grab_line(want.out, "campaign digest:");
+
+  auto aborted = base;
+  aborted.insert(aborted.end(), {"--checkpoint", ck, "--checkpoint-every",
+                                 "2", "--abort-after", "5"});
+  const auto a = run(aborted);
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_NE(a.out.find("campaign progress:"), std::string::npos);
+
+  auto resumed = base;
+  resumed.insert(resumed.end(), {"--checkpoint", ck, "--resume", ck});
+  const auto r = run(resumed);
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(grab_line(r.out, "campaign digest:"), digest);
+  std::remove(ck.c_str());
+}
+
+TEST(Cli, CampaignPersistenceFlagHardening) {
+  const std::vector<std::string> base = {"campaign", "--format", "int8"};
+  auto with = [&](std::vector<std::string> extra) {
+    auto args = base;
+    args.insert(args.end(), extra.begin(), extra.end());
+    return run(args);
+  };
+  // Each of these must be exit 2 with the offending flag named, and must
+  // fail fast — before any model training starts.
+  {
+    const auto r = with({"--checkpoint-every", "0", "--checkpoint", "/tmp/x.gec"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--checkpoint-every"), std::string::npos);
+  }
+  {
+    const auto r = with({"--checkpoint-every", "2"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--checkpoint"), std::string::npos);
+  }
+  {
+    const auto r = with({"--shards", "3", "--shard-index", "3",
+                         "--checkpoint", "/tmp/x.gec"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--shard-index"), std::string::npos);
+  }
+  {
+    const auto r = with({"--shards", "0", "--checkpoint", "/tmp/x.gec"});
+    EXPECT_EQ(r.code, 2);
+  }
+  {
+    const auto r = with({"--shards", "2", "--shard-index", "1"});
+    EXPECT_EQ(r.code, 2);  // sharding without a checkpoint file
+    EXPECT_NE(r.err.find("--checkpoint"), std::string::npos);
+  }
+  {
+    const auto r = with({"--abort-after", "3"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--abort-after"), std::string::npos);
+  }
+}
+
+TEST(Cli, CampaignResumeMissingOrCorruptFileExitsTwo) {
+  const std::vector<std::string> base = {
+      "campaign",  "--model", "mlp",     "--format",          "int8",
+      "--epochs",  "1",       "--cache", "/tmp/ge_cli_cache", "--samples",
+      "8",         "--injections", "2"};
+  auto with = [&](std::vector<std::string> extra) {
+    auto args = base;
+    args.insert(args.end(), extra.begin(), extra.end());
+    return run(args);
+  };
+  {
+    const auto r = with({"--resume", "/tmp/ge_cli_no_such.gec"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+  }
+  {
+    // A .gec with a flipped payload byte: CRC rejects it, exit 2.
+    const std::string bad = "/tmp/ge_cli_corrupt.gec";
+    {
+      const auto ok = with({"--checkpoint", bad, "--abort-after", "2",
+                            "--checkpoint-every", "1"});
+      ASSERT_EQ(ok.code, 0) << ok.err;
+      std::fstream f(bad, std::ios::in | std::ios::out | std::ios::binary);
+      ASSERT_TRUE(f.good());
+      f.seekp(-2, std::ios::end);
+      f.put('\x5A');
+    }
+    const auto r = with({"--resume", bad});
+    EXPECT_EQ(r.code, 2);
+    std::remove(bad.c_str());
+  }
+}
+
+TEST(Cli, MergeUsageErrors) {
+  EXPECT_EQ(run({"merge"}).code, 2);                      // no --inputs
+  EXPECT_EQ(run({"merge", "--inputs", ","}).code, 2);     // empty list
+  EXPECT_EQ(run({"merge", "--inputs", "/tmp/ge_cli_no_such.gec"}).code, 2);
+}
+
+TEST(Cli, UsageListsPersistenceCommandsAndFlags) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  for (const char* token :
+       {"train", "merge", "--save", "--load", "--checkpoint",
+        "--checkpoint-every", "--resume", "--shards", "--shard-index",
+        "--inputs", "--output"}) {
+    EXPECT_NE(r.err.find(token), std::string::npos) << token;
+  }
+}
+
 }  // namespace
 }  // namespace ge::core

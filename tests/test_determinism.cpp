@@ -4,10 +4,14 @@
 // subsystem's design contract (DESIGN.md §"Threading model & determinism").
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/campaign.hpp"
 #include "data/synthetic.hpp"
+#include "io/campaign_state.hpp"
 #include "models/model_factory.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
@@ -141,37 +145,9 @@ TEST(Determinism, TelemetryDoesNotPerturbCampaignResults) {
 // the shared-storage memory model that alters one bit of one trial shows up
 // here. Regenerate only for an intentional numerics change (see
 // DESIGN.md §"Memory model") and say so in the commit message.
-
-uint64_t fnv1a(uint64_t h, const void* p, size_t n) {
-  const unsigned char* b = static_cast<const unsigned char*>(p);
-  for (size_t i = 0; i < n; ++i) {
-    h ^= b[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-uint64_t digest_campaign(const CampaignResult& r) {
-  uint64_t h = 14695981039346656037ULL;
-  h = fnv1a(h, &r.golden_accuracy, sizeof(r.golden_accuracy));
-  for (const auto& l : r.layers) {
-    h = fnv1a(h, l.layer.data(), l.layer.size());
-    h = fnv1a(h, &l.injections, sizeof(l.injections));
-    h = fnv1a(h, &l.sdc_count, sizeof(l.sdc_count));
-    h = fnv1a(h, &l.mean_mismatch_rate, sizeof(l.mean_mismatch_rate));
-    h = fnv1a(h, &l.mean_delta_loss, sizeof(l.mean_delta_loss));
-    h = fnv1a(h, &l.max_delta_loss, sizeof(l.max_delta_loss));
-    h = fnv1a(h, &l.ci95_delta_loss, sizeof(l.ci95_delta_loss));
-    if (!l.delta_losses.empty()) {
-      h = fnv1a(h, l.delta_losses.data(),
-                l.delta_losses.size() * sizeof(float));
-    }
-    if (!l.sdc_flags.empty()) {
-      h = fnv1a(h, l.sdc_flags.data(), l.sdc_flags.size());
-    }
-  }
-  return h;
-}
+//
+// The digest function itself now lives in the library (campaign_digest,
+// core/campaign.cpp) so the CLI prints the exact value pinned here.
 
 void expect_pinned_digest(CampaignConfig cfg, uint64_t want) {
   ThreadGuard guard;
@@ -179,7 +155,7 @@ void expect_pinned_digest(CampaignConfig cfg, uint64_t want) {
     Fixture f;
     parallel::set_num_threads(threads);
     const CampaignResult r = run_campaign(*f.model, f.batch, cfg);
-    EXPECT_EQ(digest_campaign(r), want) << "threads=" << threads;
+    EXPECT_EQ(campaign_digest(r), want) << "threads=" << threads;
   }
 }
 
@@ -200,6 +176,58 @@ TEST(Determinism, PinnedDigestWeightCampaign) {
   cfg.format_spec = "int8";
   cfg.site = InjectionSite::kWeightValue;
   expect_pinned_digest(cfg, 0x05ebde590ffab9b7ULL);
+}
+
+TEST(Determinism, PinnedDigestSurvivesSharding) {
+  // 3 shards run as separate "processes" (fresh fixtures), merged, and
+  // finalized: the exact digest pinned for the single-process run, at
+  // both thread counts (DESIGN.md §9).
+  const uint64_t want = 0x347820fff760869bULL;
+  const CampaignConfig cfg = campaign_cfg(/*with_replicas=*/true);
+  ThreadGuard guard;
+  for (int threads : {1, 4}) {
+    parallel::set_num_threads(threads);
+    std::vector<CampaignProgress> parts;
+    for (int i = 0; i < 3; ++i) {
+      Fixture f;
+      CampaignRunOptions opts;
+      opts.shards = 3;
+      opts.shard_index = i;
+      parts.push_back(run_campaign_trials(*f.model, f.batch, cfg, opts));
+    }
+    const CampaignResult r =
+        finalize_campaign(merge_campaign_progress(parts));
+    EXPECT_EQ(campaign_digest(r), want) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, PinnedDigestSurvivesResume) {
+  // Kill after 8 trials, resume in a fresh fixture: same pinned digest.
+  const uint64_t want = 0x347820fff760869bULL;
+  const CampaignConfig cfg = campaign_cfg(/*with_replicas=*/true);
+  ThreadGuard guard;
+  for (int threads : {1, 4}) {
+    parallel::set_num_threads(threads);
+    const std::string path = "/tmp/ge_test_determinism_resume.gec";
+    {
+      Fixture f;
+      CampaignRunOptions opts;
+      opts.checkpoint_every = 3;
+      opts.checkpoint_path = path;
+      opts.abort_after = 8;
+      run_campaign_trials(*f.model, f.batch, cfg, opts);
+    }
+    Fixture f;
+    const CampaignProgress saved = io::load_campaign_progress(path);
+    EXPECT_GT(saved.completed_trials(), 0);
+    EXPECT_LT(saved.completed_trials(), saved.total_trials());
+    CampaignRunOptions opts;
+    opts.resume_from = &saved;
+    const CampaignResult r =
+        finalize_campaign(run_campaign_trials(*f.model, f.batch, cfg, opts));
+    EXPECT_EQ(campaign_digest(r), want) << "threads=" << threads;
+    std::remove(path.c_str());
+  }
 }
 
 TEST(Determinism, RepeatedCampaignOnSameModelIsStable) {

@@ -1,0 +1,405 @@
+// ge::io contract tests: the .gec container (framing, CRC, endianness),
+// the typed codecs (tensor / state dict / rng round trips), and model
+// checkpoints (save -> load -> bitwise-identical evaluation). Corruption
+// is half the point: every truncation, bit flip, and header lie must land
+// in IoError — never UB, never a silent wrong answer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataloader.hpp"
+#include "data/synthetic.hpp"
+#include "formats/format_registry.hpp"
+#include "io/container.hpp"
+#include "io/model_io.hpp"
+#include "io/serialize.hpp"
+#include "models/model_factory.hpp"
+#include "nn/module.hpp"
+#include "tensor/rng.hpp"
+
+namespace ge::io {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return "/tmp/ge_test_io_" + name + ".gec";
+}
+
+std::vector<uint8_t> slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- container framing -----------------------------------------------------
+
+TEST(Container, Crc32MatchesIeeeCheckValue) {
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(Container, FileRoundTripPreservesSections) {
+  const std::string path = tmp_path("roundtrip");
+  Container c;
+  c.add("AAAA", {1, 2, 3});
+  c.add("BBBB", {});  // empty payloads are legal
+  c.add("AAAA", {9});  // duplicate tags too; find() returns the first
+  save_file(path, c);
+  const Container back = load_file(path);
+  ASSERT_EQ(back.sections().size(), 3u);
+  EXPECT_EQ(back.sections()[0].tag, "AAAA");
+  EXPECT_EQ(back.sections()[0].payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(back.sections()[1].tag, "BBBB");
+  EXPECT_TRUE(back.sections()[1].payload.empty());
+  EXPECT_EQ(back.find("BBBB"), &back.sections()[1]);
+  EXPECT_EQ(back.find("CCCC"), nullptr);
+  EXPECT_THROW(back.require("CCCC", path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Container, HeaderIsLittleEndianOnDisk) {
+  // The format is defined in bytes, not in host integers: magic at offset
+  // 0, then version and section count as little-endian u32 regardless of
+  // the machine that wrote the file.
+  const std::string path = tmp_path("header");
+  Container c;
+  c.add("TENS", {0xAB});
+  save_file(path, c);
+  const std::vector<uint8_t> bytes = slurp(path);
+  ASSERT_GE(bytes.size(), 12u);
+  EXPECT_EQ(bytes[0], 'G');
+  EXPECT_EQ(bytes[1], 'E');
+  EXPECT_EQ(bytes[2], 'C');
+  EXPECT_EQ(bytes[3], '1');
+  EXPECT_EQ(bytes[4], kSchemaVersion & 0xFF);  // LSB first
+  EXPECT_EQ(bytes[5], 0u);
+  EXPECT_EQ(bytes[6], 0u);
+  EXPECT_EQ(bytes[7], 0u);
+  EXPECT_EQ(bytes[8], 1u);  // section count
+  EXPECT_EQ(bytes[9], 0u);
+  // section header: 4-char tag, u64 length LSB-first
+  EXPECT_EQ(bytes[12], 'T');
+  EXPECT_EQ(bytes[16], 1u);  // payload length
+  std::remove(path.c_str());
+}
+
+TEST(Container, MissingFileIsDiagnosed) {
+  EXPECT_THROW(load_file("/tmp/ge_test_io_does_not_exist.gec"), IoError);
+}
+
+TEST(Container, BadMagicIsDiagnosed) {
+  const std::string path = tmp_path("magic");
+  Container c;
+  c.add("TENS", {1, 2, 3, 4});
+  save_file(path, c);
+  auto bytes = slurp(path);
+  bytes[0] = 'X';
+  spit(path, bytes);
+  EXPECT_THROW(load_file(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Container, UnsupportedVersionIsDiagnosed) {
+  const std::string path = tmp_path("version");
+  Container c;
+  c.add("TENS", {1});
+  save_file(path, c);
+  auto bytes = slurp(path);
+  bytes[4] = static_cast<uint8_t>(kSchemaVersion + 1);
+  spit(path, bytes);
+  EXPECT_THROW(load_file(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Container, EveryPayloadBitFlipIsCaughtByCrc) {
+  const std::string path = tmp_path("crc");
+  Container c;
+  c.add("TENS", {0x10, 0x20, 0x30, 0x40, 0x50});
+  save_file(path, c);
+  const auto pristine = slurp(path);
+  // Flip one bit in every payload byte position in turn; the CRC must
+  // catch each one.
+  const size_t payload_start = pristine.size() - 5;
+  for (size_t i = payload_start; i < pristine.size(); ++i) {
+    auto bytes = pristine;
+    bytes[i] ^= 0x01;
+    spit(path, bytes);
+    EXPECT_THROW(load_file(path), IoError) << "flipped byte " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Container, EveryTruncationLengthIsDiagnosed) {
+  const std::string path = tmp_path("trunc");
+  Container c;
+  c.add("TENS", {1, 2, 3, 4, 5, 6, 7, 8});
+  save_file(path, c);
+  const auto pristine = slurp(path);
+  for (size_t keep = 0; keep < pristine.size(); ++keep) {
+    spit(path, {pristine.begin(), pristine.begin() + keep});
+    EXPECT_THROW(load_file(path), IoError) << "truncated to " << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Container, TrailingGarbageIsDiagnosed) {
+  const std::string path = tmp_path("trailing");
+  Container c;
+  c.add("TENS", {1});
+  save_file(path, c);
+  auto bytes = slurp(path);
+  bytes.push_back(0xEE);
+  spit(path, bytes);
+  EXPECT_THROW(load_file(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Container, SaveIsAtomicNoTmpFileLeftBehind) {
+  const std::string path = tmp_path("atomic");
+  Container c;
+  c.add("TENS", {1});
+  save_file(path, c);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "tmp file survived the rename";
+  std::remove(path.c_str());
+}
+
+// --- byte-level reader -----------------------------------------------------
+
+TEST(ByteReader, OverrunThrowsInsteadOfReadingOutOfBounds) {
+  ByteWriter w;
+  w.u32(7);
+  const auto bytes = w.take();
+  ByteReader r(bytes, "test");
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_THROW(r.u8(), IoError);
+  ByteReader r2(bytes, "test");
+  EXPECT_THROW(r2.u64(), IoError);  // 4 bytes can't satisfy a u64
+}
+
+TEST(ByteReader, LyingStringLengthIsDiagnosed) {
+  ByteWriter w;
+  w.u64(uint64_t{1} << 40);  // claims a terabyte of string
+  const auto bytes = w.take();
+  ByteReader r(bytes, "test");
+  EXPECT_THROW(r.str(), IoError);
+}
+
+// --- tensor codec ----------------------------------------------------------
+
+std::vector<Tensor> odd_shapes() {
+  std::vector<Tensor> ts;
+  ts.emplace_back(Shape{});  // 0-d scalar
+  ts.back().data()[0] = -3.25f;
+  ts.emplace_back(Shape{0});  // empty
+  ts.emplace_back(Shape{3, 0, 2});  // empty dim mid-shape
+  Tensor big(Shape{2, 3, 4});
+  for (int64_t i = 0; i < big.numel(); ++i) {
+    big.data()[i] = static_cast<float>(i) * 0.5f - 6.0f;
+  }
+  ts.push_back(big.reshape({4, 6}));  // reshape-shared storage
+  ts.push_back(std::move(big));
+  return ts;
+}
+
+TEST(TensorCodec, RoundTripsOddShapesBitwise) {
+  for (const Tensor& t : odd_shapes()) {
+    ByteWriter w;
+    encode_tensor(w, t);
+    const auto bytes = w.take();
+    ByteReader r(bytes, "test");
+    const Tensor back = decode_tensor(r);
+    EXPECT_TRUE(r.at_end());
+    EXPECT_EQ(back.shape(), t.shape());
+    EXPECT_TRUE(back.equals(t));
+  }
+}
+
+TEST(TensorCodec, QuantizedSnapshotsRoundTripAcrossAllSixFormats) {
+  // Property test: whatever bit patterns a format writes (subnormals,
+  // saturated values, posit tapered precision), serialization must carry
+  // them through unchanged.
+  const std::vector<std::string> specs = {
+      "fp_e4m3", "fxp_1_4_3", "int8", "bfp_e5m5_b16", "afp_e4m3", "posit_8_1",
+  };
+  Tensor input({4, 8});
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    input.data()[i] = 0.37f * static_cast<float>((i % 13) - 6);
+  }
+  for (const auto& spec : specs) {
+    auto f = fmt::make_format(spec);
+    const Tensor q = f->real_to_format_tensor(input);
+    ByteWriter w;
+    encode_tensor(w, q);
+    const auto bytes = w.take();
+    ByteReader r(bytes, spec);
+    const Tensor back = decode_tensor(r);
+    EXPECT_TRUE(back.equals(q)) << spec;
+  }
+}
+
+TEST(TensorCodec, CorruptRankAndDimsAreDiagnosed) {
+  {
+    ByteWriter w;  // unknown dtype
+    w.u8(99);
+    const auto b = w.take();
+    ByteReader r(b, "t");
+    EXPECT_THROW(decode_tensor(r), IoError);
+  }
+  {
+    ByteWriter w;  // negative extent
+    w.u8(kDtypeF32);
+    w.u32(1);
+    w.i64(-4);
+    const auto b = w.take();
+    ByteReader r(b, "t");
+    EXPECT_THROW(decode_tensor(r), IoError);
+  }
+  {
+    ByteWriter w;  // extent product overflows int64 — must not wrap into UB
+    w.u8(kDtypeF32);
+    w.u32(3);
+    w.i64(int64_t{1} << 31);
+    w.i64(int64_t{1} << 31);
+    w.i64(int64_t{1} << 31);
+    const auto b = w.take();
+    ByteReader r(b, "t");
+    EXPECT_THROW(decode_tensor(r), IoError);
+  }
+  {
+    ByteWriter w;  // plausible shape, missing payload
+    w.u8(kDtypeF32);
+    w.u32(1);
+    w.i64(16);
+    const auto b = w.take();
+    ByteReader r(b, "t");
+    EXPECT_THROW(decode_tensor(r), IoError);
+  }
+}
+
+// --- state dict & rng codecs -----------------------------------------------
+
+TEST(StateDictCodec, PreservesOrderNamesAndValues) {
+  StateDict dict;
+  Tensor a({2, 2});
+  a.data()[3] = 4.0f;
+  dict.emplace_back("z.weight", a);
+  dict.emplace_back("a.bias", Tensor(Shape{3}));
+  ByteWriter w;
+  encode_state_dict(w, dict);
+  const auto bytes = w.take();
+  ByteReader r(bytes, "test");
+  const StateDict back = decode_state_dict(r);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].first, "z.weight");  // insertion order, not sorted
+  EXPECT_TRUE(back[0].second.equals(a));
+  EXPECT_EQ(back[1].first, "a.bias");
+}
+
+TEST(RngCodec, RestoredStreamContinuesTheDrawSequence) {
+  Rng rng(1234);
+  for (int i = 0; i < 17; ++i) rng.uniform();  // advance mid-stream
+  ByteWriter w;
+  encode_rng(w, rng);
+  const auto bytes = w.take();
+  ByteReader r(bytes, "test");
+  Rng back = decode_rng(r);
+  EXPECT_EQ(back.seed(), rng.seed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(back.uniform(), rng.uniform()) << "draw " << i;
+  }
+  // child() derives from the construction seed — must survive the trip too
+  EXPECT_EQ(back.child(42).uniform(), rng.child(42).uniform());
+}
+
+// --- model checkpoints -----------------------------------------------------
+
+data::SyntheticVisionConfig tiny_cfg() {
+  data::SyntheticVisionConfig cfg;
+  cfg.train_count = 8;
+  cfg.test_count = 16;
+  return cfg;
+}
+
+void expect_model_round_trip(const std::string& name) {
+  const std::string path = tmp_path("model_" + name);
+  data::SyntheticVision data(tiny_cfg());
+  const auto batch = data::take(data.test(), 0, 4);
+
+  auto saved = models::make_model(name, data.config(), 11);
+  saved->eval();
+  const Tensor want = (*saved)(batch.images);
+  save_model(path, *saved, name);
+
+  const ModelMeta meta = read_model_meta(path);
+  EXPECT_EQ(meta.model_name, name);
+  EXPECT_GT(meta.parameter_count, 0);
+
+  // A *differently initialised* instance must become bitwise identical.
+  auto loaded = models::make_model(name, data.config(), 99);
+  load_model(path, *loaded);
+  loaded->eval();
+  const Tensor got = (*loaded)(batch.images);
+  EXPECT_TRUE(got.equals(want)) << name;
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, TinyResnetEvaluatesBitwiseIdenticallyAfterLoad) {
+  expect_model_round_trip("tiny_resnet");
+}
+
+TEST(ModelIo, TinyDeitEvaluatesBitwiseIdenticallyAfterLoad) {
+  expect_model_round_trip("tiny_deit");
+}
+
+TEST(ModelIo, BuffersRoundTripWithParameters) {
+  // tiny_resnet carries BatchNorm running stats in buffers; perturb them
+  // and confirm the perturbation survives the trip (named_buffers path).
+  const std::string path = tmp_path("buffers");
+  data::SyntheticVision data(tiny_cfg());
+  auto m = models::make_model("tiny_resnet", data.config(), 5);
+  auto bufs = m->named_buffers();
+  ASSERT_FALSE(bufs.empty());
+  bufs[0].second->value.data()[0] = 123.5f;
+  save_model(path, *m, "tiny_resnet");
+
+  auto fresh = models::make_model("tiny_resnet", data.config(), 5);
+  load_model(path, *fresh);
+  EXPECT_EQ(fresh->named_buffers()[0].second->value.cdata()[0], 123.5f);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, LoadIntoWrongArchitectureIsDiagnosed) {
+  const std::string path = tmp_path("graft");
+  data::SyntheticVision data(tiny_cfg());
+  auto mlp = models::make_model("mlp", data.config(), 1);
+  save_model(path, *mlp, "mlp");
+  auto cnn = models::make_model("simple_cnn", data.config(), 1);
+  EXPECT_THROW(load_model(path, *cnn), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, CampaignFileIsNotAModelCheckpoint) {
+  const std::string path = tmp_path("wrongkind");
+  Container c;
+  c.add("CAMP", {1, 2, 3});
+  save_file(path, c);
+  EXPECT_THROW(read_model_meta(path), IoError);
+  data::SyntheticVision data(tiny_cfg());
+  auto m = models::make_model("mlp", data.config(), 1);
+  EXPECT_THROW(load_model(path, *m), IoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ge::io

@@ -8,6 +8,7 @@
 #include "models/mlp.hpp"
 #include "nn/activation.hpp"
 #include "nn/linear.hpp"
+#include "nn/norm.hpp"
 #include "nn/sequential.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -191,6 +192,25 @@ TEST(Persistence, LoadRejectsGarbageFile) {
   models::Mlp a(8, {4}, 2, rng);
   EXPECT_THROW(a.load_weights(path), std::runtime_error);
   std::filesystem::remove(path);
+}
+
+TEST(Buffers, NamedBuffersMirrorsNamedParameters) {
+  // The name-keyed buffer enumeration ge::io state dicts round-trip
+  // through: local buffer names, depth-first, disjoint from parameters.
+  BatchNorm2d bn(3);
+  const auto bufs = bn.named_buffers();
+  ASSERT_EQ(bufs.size(), 2u);
+  EXPECT_EQ(bufs[0].first, "running_mean");
+  EXPECT_EQ(bufs[1].first, "running_var");
+  for (const auto& [name, param] : bn.named_parameters()) {
+    EXPECT_NE(name, "running_mean");
+    EXPECT_NE(name, "running_var");
+    (void)param;
+  }
+  // Buffer-free modules enumerate empty, not throwing.
+  Rng rng(16);
+  models::Mlp mlp(8, {4}, 2, rng);
+  EXPECT_TRUE(mlp.named_buffers().empty());
 }
 
 }  // namespace

@@ -1,9 +1,14 @@
-// Tensor substrate: construction, shape algebra, access, invariants.
+// Tensor substrate: construction, shape algebra, access, invariants —
+// plus the arena freelist's sizing policy (bounded, bucketed, LRU).
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "obs/telemetry.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ge {
@@ -252,6 +257,79 @@ TEST(TensorDeathTest, FlatIndexOutOfRangeAssertsInDebug) {
   EXPECT_DEATH((void)std::as_const(t)[2], "out of range");
 }
 #endif
+
+// --- arena freelist sizing policy ------------------------------------------
+// A long DSE sweep over many distinct shapes must not grow a thread's
+// cache without bound: per-class and global caps evict LRU-first, and
+// every cap-driven free is visible as the arena_evictions counter.
+
+TEST(Arena, SameSizeClassIsCappedPerBucket) {
+  arena::clear_thread_cache();
+  {
+    std::vector<std::shared_ptr<arena::Block>> held;
+    for (int i = 0; i < 20; ++i) held.push_back(arena::alloc(100));
+  }  // all 20 released into one size class
+  EXPECT_LE(arena::thread_cache_blocks(), 6u);
+  EXPECT_GE(arena::thread_cache_blocks(), 1u);
+  arena::clear_thread_cache();
+}
+
+TEST(Arena, ManyDistinctSizesHitTheGlobalCap) {
+  arena::clear_thread_cache();
+  {
+    std::vector<std::shared_ptr<arena::Block>> held;
+    for (size_t c = 0; c < 20; ++c) {
+      for (int i = 0; i < 4; ++i) {
+        held.push_back(arena::alloc(size_t{1} << c));
+      }
+    }
+  }  // 80 blocks over 20 size classes released
+  EXPECT_LE(arena::thread_cache_blocks(), 32u);
+  EXPECT_GT(arena::thread_cache_blocks(), 0u);
+  arena::clear_thread_cache();
+}
+
+TEST(Arena, CapDrivenFreesBumpTheEvictionsCounter) {
+  obs::TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  obs::reset_all();
+  arena::clear_thread_cache();
+  {
+    std::vector<std::shared_ptr<arena::Block>> held;
+    for (int i = 0; i < 40; ++i) held.push_back(arena::alloc(64));
+  }
+  EXPECT_GT(obs::counter_value(obs::Counter::kArenaEvictions), 0u);
+  arena::clear_thread_cache();
+  obs::reset_all();
+}
+
+TEST(Arena, OversizeBlocksAreNeitherCachedNorCountedAsEvictions) {
+  obs::TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  obs::reset_all();
+  arena::clear_thread_cache();
+  { auto big = arena::alloc((size_t{1} << 24) + 1); }
+  EXPECT_EQ(arena::thread_cache_blocks(), 0u);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kArenaEvictions), 0u);
+  obs::reset_all();
+}
+
+TEST(Arena, RecycledBlocksComeBackMostRecentlyUsedFirst) {
+  // LRU within a class: the block released last is the one handed back
+  // first (it is the warmest in cache terms).
+  arena::clear_thread_cache();
+  float* first_data = nullptr;
+  float* second_data = nullptr;
+  {
+    auto a = arena::alloc(256);
+    first_data = a->data();
+  }
+  {
+    auto b = arena::alloc(256);  // reuses the block just released
+    EXPECT_EQ(b->data(), first_data);
+    second_data = b->data();
+  }
+  EXPECT_EQ(second_data, first_data);
+  arena::clear_thread_cache();
+}
 
 }  // namespace
 }  // namespace ge
