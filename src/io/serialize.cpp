@@ -43,7 +43,12 @@ Tensor decode_tensor(ByteReader& r) {
       throw IoError(r.context() + ": corrupt tensor shape");
     }
   }
-  r.require(static_cast<size_t>(n) * sizeof(float));
+  // Bound n by the payload actually present before allocating: dividing
+  // remaining() (instead of multiplying n) cannot wrap, so a crafted
+  // extent like 2^62 is rejected here rather than reaching the allocator.
+  if (static_cast<uint64_t>(n) > r.remaining() / sizeof(float)) {
+    throw IoError(r.context() + ": truncated or corrupt tensor payload");
+  }
   Tensor t(std::move(shape));
   if (n > 0) r.raw(t.data(), static_cast<size_t>(n) * sizeof(float));
   return t;

@@ -1,5 +1,6 @@
 #include "tensor/arena.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 
@@ -61,8 +62,9 @@ struct Cache {
   Block* take(size_t n) {
     // Prefer the most-recently-used block whose class already fits n (warm
     // and large enough); otherwise any cached block — assign() grows it,
-    // still saving the control-block allocation.
-    const size_t c = size_class(n);
+    // still saving the control-block allocation. Oversize requests clamp to
+    // kBucketCount: no bucket can fit them, so only the grow path applies.
+    const size_t c = std::min(size_class(n), kBucketCount);
     for (size_t i = c; i < kBucketCount; ++i) {
       if (!buckets[i].empty()) return pop_back(buckets[i]);
     }

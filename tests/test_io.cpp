@@ -285,6 +285,18 @@ TEST(TensorCodec, CorruptRankAndDimsAreDiagnosed) {
     ByteReader r(b, "t");
     EXPECT_THROW(decode_tensor(r), IoError);
   }
+  {
+    // Extent fits int64 but n * sizeof(float) wraps size_t to 0 — the
+    // payload bound must be computed by division, not multiplication, or
+    // this reaches the allocator with a 2^62-element request.
+    ByteWriter w;
+    w.u8(kDtypeF32);
+    w.u32(1);
+    w.i64(int64_t{1} << 62);
+    const auto b = w.take();
+    ByteReader r(b, "t");
+    EXPECT_THROW(decode_tensor(r), IoError);
+  }
 }
 
 // --- state dict & rng codecs -----------------------------------------------

@@ -312,6 +312,23 @@ TEST(Arena, OversizeBlocksAreNeitherCachedNorCountedAsEvictions) {
   obs::reset_all();
 }
 
+TEST(Arena, OversizeRequestWithWarmCacheReusesABlockSafely) {
+  // Regression: a request beyond the largest size class used to start the
+  // fallback scan past the end of the bucket array (OOB read under ASan).
+  // It must instead reuse any cached block, growing it to fit.
+  arena::clear_thread_cache();
+  { auto small = arena::alloc(64, 7.0f); }
+  ASSERT_GE(arena::thread_cache_blocks(), 1u);
+  {
+    auto big = arena::alloc((size_t{1} << 25) + 1, 3.0f);
+    EXPECT_EQ(big->size(), (size_t{1} << 25) + 1);
+    EXPECT_EQ((*big)[size_t{1} << 25], 3.0f);
+  }
+  // Oversize blocks are freed on release, never cached.
+  EXPECT_EQ(arena::thread_cache_blocks(), 0u);
+  arena::clear_thread_cache();
+}
+
 TEST(Arena, RecycledBlocksComeBackMostRecentlyUsedFirst) {
   // LRU within a class: the block released last is the one handed back
   // first (it is the warmest in cache terms).
