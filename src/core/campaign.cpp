@@ -1,10 +1,13 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "io/campaign_state.hpp"
 #include "nn/loss.hpp"
+#include "obs/histogram.hpp"
+#include "obs/run_log.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -69,6 +72,37 @@ void copy_state(nn::Module& src, nn::Module& dst) {
 
 bool shard_owns(int64_t ti, int shards, int shard_index) {
   return shards <= 1 || ti % shards == shard_index;
+}
+
+/// Per-trial observations captured by the worker that ran the trial.
+/// Workers write disjoint slots; the sequential post-block section turns
+/// them into "trial" records and histogram samples in ascending trial
+/// order, so the analytics stream is deterministic at any thread count.
+struct TrialMeta {
+  int64_t element = -1;
+  int bit = -1;  ///< first perturbed bit position (LSB = 0)
+  std::string metadata_field;
+  int64_t metadata_index = -1;
+  float value_before = 0.0f;
+  float value_after = 0.0f;
+  int64_t golden_top1 = -1;
+  int64_t faulty_top1 = -1;
+  int64_t latency_ns = 0;  ///< arm -> disarm, one full faulty inference
+  bool fired = false;
+};
+
+/// Top-1 class of sample 0 in a [batch, classes] logits tensor. First
+/// maximum wins, matching ops::argmax_rows.
+int64_t sample0_top1(const Tensor& logits, size_t n_samples) {
+  if (n_samples == 0) return -1;
+  const int64_t classes =
+      logits.numel() / static_cast<int64_t>(n_samples);
+  const float* row = logits.cdata();
+  int64_t best = 0;
+  for (int64_t c = 1; c < classes; ++c) {
+    if (row[c] > row[best]) best = c;
+  }
+  return best;
 }
 
 /// Validate a loaded checkpoint against the state a fresh run of this
@@ -231,6 +265,27 @@ CampaignProgress run_campaign_trials(nn::Module& model,
 
   if (opts.resume_from != nullptr) apply_resume(prog, *opts.resume_from);
 
+  // Analytics are capture-gated: with no report stream and metrics off the
+  // trial loop does no clock reads, no meta copies, and no histogram
+  // lookups. When on, workers record into disjoint TrialMeta slots and the
+  // sequential post-block section emits everything in ascending trial
+  // order — observation only, never an input to any trial.
+  const bool capture = opts.run_log != nullptr || obs::metrics_enabled();
+  const bool heartbeat_on =
+      opts.run_log != nullptr || obs::metrics_enabled() || obs::log_level() >= 1;
+  const int64_t hb_total = owned_trials_remaining(prog);
+  const int64_t run_t0 = heartbeat_on ? obs::now_ns() : 0;
+  obs::Histogram* h_latency = nullptr;
+  obs::Histogram* h_delta = nullptr;
+  obs::Histogram* h_bits = nullptr;
+  obs::Histogram* h_bit_sdc = nullptr;
+  if (capture) {
+    h_latency = &obs::histogram("campaign.trial_latency_us");
+    h_delta = &obs::histogram("campaign.trial_delta_loss");
+    h_bits = &obs::histogram("campaign.bit_flips");
+    h_bit_sdc = &obs::histogram("campaign.bit_sdc");
+  }
+
   // Every random choice of trial ti at site li draws from the child stream
   // (seed, li * nT + ti): outcomes are a pure function of the trial id, so
   // any worker may run any trial in any order — across threads, process
@@ -261,12 +316,15 @@ CampaignProgress run_campaign_trials(nn::Module& model,
          start += static_cast<size_t>(block)) {
       const int64_t cnt = std::min<int64_t>(
           block, static_cast<int64_t>(pending.size() - start));
+      std::vector<TrialMeta> metas;
+      if (capture) metas.assign(static_cast<size_t>(cnt), TrialMeta{});
       parallel::parallel_for_workers(
           0, cnt, /*grain=*/1, nctx, [&](int slot, int64_t lo, int64_t hi) {
             WorkerCtx& ctx = ctxs[static_cast<size_t>(slot)];
             for (int64_t k = lo; k < hi; ++k) {
               const int64_t ti = pending[start + static_cast<size_t>(k)];
               obs::Span trial_span("campaign", "trial");
+              const int64_t trial_t0 = capture ? obs::now_ns() : 0;
               InjectionSpec spec;
               spec.layer_path = site.path;
               spec.site = cfg.site;
@@ -280,6 +338,25 @@ CampaignProgress run_campaign_trials(nn::Module& model,
               lp.outcomes[static_cast<size_t>(ti)] =
                   compare_to_golden(golden, logits, batch.labels);
               ctx.inj->disarm();
+              if (capture) {
+                // disarm() keeps last_record(): read the resolved random
+                // choices after timing the full arm -> disarm trial.
+                TrialMeta& m = metas[static_cast<size_t>(k)];
+                m.latency_ns = obs::now_ns() - trial_t0;
+                if (const auto& rec = ctx.inj->last_record()) {
+                  m.fired = true;
+                  m.element = rec->element;
+                  m.bit = rec->bits.empty() ? -1 : rec->bits.front();
+                  m.metadata_field = rec->metadata_field;
+                  m.metadata_index = rec->metadata_index;
+                  m.value_before = rec->value_before;
+                  m.value_after = rec->value_after;
+                }
+                m.golden_top1 = golden.predictions.empty()
+                                    ? -1
+                                    : golden.predictions.front();
+                m.faulty_top1 = sample0_top1(logits, batch.labels.size());
+              }
             }
           });
       for (int64_t k = 0; k < cnt; ++k) {
@@ -289,6 +366,72 @@ CampaignProgress run_campaign_trials(nn::Module& model,
       executed += cnt;
       layer_done += cnt;
       obs::add(obs::Counter::kTrials, static_cast<uint64_t>(cnt));
+      if (capture) {
+        for (int64_t k = 0; k < cnt; ++k) {
+          const int64_t ti = pending[start + static_cast<size_t>(k)];
+          const FaultOutcome& o = lp.outcomes[static_cast<size_t>(ti)];
+          const TrialMeta& m = metas[static_cast<size_t>(k)];
+          h_latency->record(static_cast<double>(m.latency_ns) / 1000.0);
+          h_delta->record(static_cast<double>(o.delta_loss));
+          if (m.bit >= 0) {
+            h_bits->record(static_cast<double>(m.bit));
+            if (o.sdc) h_bit_sdc->record(static_cast<double>(m.bit));
+          }
+          if (opts.run_log != nullptr) {
+            obs::JsonObject row;
+            row.str("layer", lp.path)
+                .num("site_index", lp.site_index)
+                .num("trial", ti)
+                .str("site", to_string(cfg.site))
+                .str("error_model", to_string(cfg.model))
+                .num("element", m.element)
+                .num("bit", static_cast<int64_t>(m.bit));
+            if (!m.metadata_field.empty()) {
+              row.str("metadata_field", m.metadata_field)
+                  .num("metadata_index", m.metadata_index);
+            }
+            row.num("value_before", static_cast<double>(m.value_before))
+                .num("value_after", static_cast<double>(m.value_after))
+                .num("golden_top1", m.golden_top1)
+                .num("faulty_top1", m.faulty_top1)
+                .num("mismatched", o.mismatched_samples)
+                .num("mismatch_rate", static_cast<double>(o.mismatch_rate))
+                .num("delta_loss", static_cast<double>(o.delta_loss))
+                .num("max_delta_loss",
+                     static_cast<double>(o.max_delta_loss))
+                .str("class", outcome_class(o));
+            opts.run_log->event("trial", row);
+          }
+        }
+      }
+      if (heartbeat_on) {
+        const double secs =
+            static_cast<double>(obs::now_ns() - run_t0) / 1e9;
+        const double rate =
+            secs > 0.0 ? static_cast<double>(executed) / secs : 0.0;
+        const double eta =
+            rate > 0.0 ? static_cast<double>(hb_total - executed) / rate
+                       : 0.0;
+        obs::set_gauge("campaign.trials_done",
+                       static_cast<double>(executed));
+        obs::set_gauge("campaign.trials_total",
+                       static_cast<double>(hb_total));
+        obs::set_gauge("campaign.eta_seconds", eta);
+        char hb[160];
+        std::snprintf(hb, sizeof(hb),
+                      "campaign: %lld/%lld trials, %.1f trials/s, eta %.1fs",
+                      static_cast<long long>(executed),
+                      static_cast<long long>(hb_total), rate, eta);
+        obs::log(1, hb);
+        if (opts.run_log != nullptr) {
+          obs::JsonObject row;
+          row.num("done", executed)
+              .num("total", hb_total)
+              .num("trials_per_sec", rate)
+              .num("eta_seconds", eta);
+          opts.run_log->event("heartbeat", row);
+        }
+      }
       if (opts.checkpoint_every > 0) {
         io::save_campaign_progress(opts.checkpoint_path, prog);
       }

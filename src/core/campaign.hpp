@@ -21,6 +21,10 @@
 #include "core/injector.hpp"
 #include "core/metrics.hpp"
 
+namespace ge::obs {
+class RunLog;
+}  // namespace ge::obs
+
 namespace ge::core {
 
 struct CampaignConfig {
@@ -133,6 +137,12 @@ struct CampaignRunOptions {
   /// The returned progress is simply incomplete, exactly as if the
   /// process had been killed after the last checkpoint.
   int64_t abort_after = 0;
+  /// Stream a schema-v2 "trial" record per executed trial (plus periodic
+  /// "heartbeat" records) into this report. Borrowed, may be null. Records
+  /// are emitted from the sequential post-block section in ascending trial
+  /// order, so the stream is deterministic at any thread count; telemetry
+  /// only reads outcomes and never perturbs them (DESIGN.md §8).
+  obs::RunLog* run_log = nullptr;
 };
 
 /// Run (part of) a campaign and return its persistent state. Covers the

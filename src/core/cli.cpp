@@ -11,12 +11,14 @@
 #include "core/campaign.hpp"
 #include "core/dse.hpp"
 #include "core/goldeneye.hpp"
+#include "core/report.hpp"
 #include "data/dataloader.hpp"
 #include "formats/format_registry.hpp"
 #include "io/campaign_state.hpp"
 #include "io/model_io.hpp"
 #include "models/model_factory.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics_server.hpp"
 #include "obs/run_log.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
@@ -119,6 +121,8 @@ const std::vector<OptionDesc>& global_options() {
   static const std::vector<OptionDesc> kGlobal = {
       {"trace", "FILE", "write a Chrome trace_event JSON timeline"},
       {"report", "FILE", "write a JSONL structured run report"},
+      {"metrics-port", "N", "serve Prometheus /metrics on 127.0.0.1:N "
+                            "(0 = ephemeral port, printed to stderr)"},
       {"log-level", "N", "stderr verbosity: 0 silent, 1 progress, 2 debug"},
       {"threads", "N", "worker threads (overrides GE_NUM_THREADS)"},
   };
@@ -154,6 +158,11 @@ const std::vector<CommandDesc>& command_table() {
        "fold sharded campaign .gec files into one result",
        {{"inputs", "A,B,..", "comma-separated campaign .gec files"},
         {"output", "FILE", "write the merged progress as a .gec file"}},
+       false},
+      {"report",
+       "render analytics tables from JSONL run reports",
+       {{"inputs", "A,B,..", "comma-separated --report JSONL files "
+                             "(shards of one campaign merge)"}},
        false},
       {"dse",
        "binary-tree design-space exploration",
@@ -224,6 +233,17 @@ std::string env_or(const char* name, const std::string& fallback) {
   return v != nullptr ? v : fallback;
 }
 
+/// "A,B,C" -> {"A","B","C"}; empty segments are dropped.
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  for (size_t pos = 0; pos <= s.size();) {
+    const size_t comma = std::min(s.find(',', pos), s.size());
+    if (comma > pos) out.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 models::TrainedModel prepare_model(const ParsedArgs& p,
                                    const data::SyntheticVision& data) {
   models::TrainConfig tc;
@@ -236,7 +256,8 @@ models::TrainedModel prepare_model(const ParsedArgs& p,
 /// Standard first report row: what ran, with what inputs, on how many
 /// threads — enough to reproduce the run.
 void write_run_header(obs::RunLog* log, const ParsedArgs& p,
-                      const std::string& format_or_family, int64_t samples) {
+                      const std::string& format_or_family, int64_t samples,
+                      bool resumed = false) {
   if (log == nullptr) return;
   obs::JsonObject row;
   row.str("command", p.command)
@@ -245,6 +266,9 @@ void write_run_header(obs::RunLog* log, const ParsedArgs& p,
       .num("seed", get_int(p, "seed", 1234))
       .num("threads", static_cast<int64_t>(parallel::num_threads()))
       .num("samples", samples);
+  // Only resumed runs carry the marker, so pre-v2 report consumers (and
+  // fresh-run byte layouts) are unchanged.
+  if (resumed) row.boolean("resumed", true);
   log->event("run_header", row);
 }
 
@@ -344,7 +368,8 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err,
         "--shards > 1 requires --checkpoint FILE (shard results are "
         "merged from their .gec files)");
   }
-  write_run_header(log, p, cfg.format_spec, samples);
+  write_run_header(log, p, cfg.format_spec, samples,
+                   p.options.count("resume") != 0);
 
   data::SyntheticVision data{data::SyntheticVisionConfig{}};
   auto tm = prepare_model(p, data);
@@ -357,6 +382,7 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err,
   };
   ropts.model_name = model_name;
   ropts.eval_samples = samples;
+  ropts.run_log = log;  // per-trial "trial" + "heartbeat" records
   // Loading the resume file can throw io::IoError (missing, corrupt,
   // wrong campaign) — run_cli maps that to exit 2.
   std::optional<CampaignProgress> resumed;
@@ -500,12 +526,7 @@ int cmd_merge(const ParsedArgs& p, std::ostream& out, std::ostream& err,
   if (inputs.empty()) {
     throw UsageError("--inputs A.gec,B.gec,... is required");
   }
-  std::vector<std::string> paths;
-  for (size_t pos = 0; pos <= inputs.size();) {
-    const size_t comma = std::min(inputs.find(',', pos), inputs.size());
-    if (comma > pos) paths.push_back(inputs.substr(pos, comma - pos));
-    pos = comma + 1;
-  }
+  const std::vector<std::string> paths = split_csv(inputs);
   if (paths.empty()) {
     throw UsageError("--inputs names no files");
   }
@@ -543,6 +564,21 @@ int cmd_merge(const ParsedArgs& p, std::ostream& out, std::ostream& err,
         .num("network_mean_delta_loss", r.network_mean_delta_loss());
     log->event("merge_summary", row);
   }
+  return 0;
+}
+
+int cmd_report(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  const std::string inputs = get(p, "inputs", "");
+  if (inputs.empty()) {
+    throw UsageError("--inputs A.jsonl,B.jsonl,... is required");
+  }
+  const std::vector<std::string> paths = split_csv(inputs);
+  if (paths.empty()) {
+    throw UsageError("--inputs names no files");
+  }
+  // Unreadable files / mismatched headers / no trial rows are io::IoError
+  // — bad input, exit 2 via run_cli, same class as a bad .gec file.
+  render_campaign_report(paths, out, err);
   return 0;
 }
 
@@ -688,14 +724,45 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       }
       parallel::set_num_threads(static_cast<int>(threads));
     }
+    int64_t metrics_port = -1;
+    if (parsed->options.count("metrics-port") != 0) {
+      metrics_port = get_int(*parsed, "metrics-port", 0);
+      if (metrics_port < 0 || metrics_port > 65535) {
+        throw UsageError("--metrics-port must be in [0, 65535] (0 = "
+                         "ephemeral)");
+      }
+    }
     const bool tracing = !trace_path.empty();
-    const bool metrics = tracing || !report_path.empty();
+    const bool metrics =
+        tracing || !report_path.empty() || metrics_port >= 0;
     obs::TelemetryScope scope(tracing, metrics);
     if (metrics) obs::reset_all();
 
+    // The /metrics endpoint lives for the whole invocation: it reads the
+    // same counters/gauges/histograms the report snapshot does, so a
+    // long campaign can be watched live with curl or Prometheus.
+    std::unique_ptr<obs::MetricsServer> server;
+    if (metrics_port >= 0) {
+      server =
+          std::make_unique<obs::MetricsServer>(static_cast<int>(metrics_port));
+      if (!server->ok()) {
+        err << parsed->command << ": cannot serve --metrics-port "
+            << metrics_port << ": " << server->last_error() << "\n";
+        return 2;
+      }
+      err << "[ge] metrics: http://127.0.0.1:" << server->port()
+          << "/metrics\n";
+    }
+
     std::unique_ptr<obs::RunLog> log;
     if (!report_path.empty()) {
-      log = std::make_unique<obs::RunLog>(report_path);
+      // A resumed campaign continues its report stream instead of
+      // clobbering the rows the interrupted run already paid for.
+      const bool append = parsed->command == "campaign" &&
+                          parsed->options.count("resume") != 0;
+      log = std::make_unique<obs::RunLog>(
+          report_path, append ? obs::RunLog::OpenMode::kAppend
+                              : obs::RunLog::OpenMode::kTruncate);
       if (!log->ok()) {
         err << parsed->command << ": cannot open --report file '"
             << report_path << "'\n";
@@ -712,6 +779,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       code = cmd_train(*parsed, out, err, log.get());
     } else if (parsed->command == "merge") {
       code = cmd_merge(*parsed, out, err, log.get());
+    } else if (parsed->command == "report") {
+      code = cmd_report(*parsed, out, err);
     } else if (parsed->command == "dse") {
       code = cmd_dse(*parsed, out, err, log.get());
     } else if (parsed->command == "range") {

@@ -45,6 +45,14 @@ FaultOutcome compare_to_golden(const GoldenRun& golden, const Tensor& logits,
   return out;
 }
 
+const char* outcome_class(const FaultOutcome& outcome) {
+  if (outcome.sdc) return "sdc";
+  if (outcome.delta_loss > 0.0f || outcome.max_delta_loss > 0.0f) {
+    return "benign";
+  }
+  return "masked";
+}
+
 void ConvergenceTracker::add(double x) {
   ++n_;
   const double d = x - mean_;

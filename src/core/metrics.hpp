@@ -38,6 +38,13 @@ struct FaultOutcome {
 FaultOutcome compare_to_golden(const GoldenRun& golden, const Tensor& logits,
                                const std::vector<int64_t>& labels);
 
+/// Triage class of one outcome, the fault-injection taxonomy used by the
+/// trial event stream and `goldeneye report`:
+///   "sdc"    — a top-1 prediction changed (silent data corruption)
+///   "benign" — outputs moved (ΔLoss > 0) but every top-1 held
+///   "masked" — the fault had no observable effect at all
+const char* outcome_class(const FaultOutcome& outcome);
+
 /// FNV-1a 64-bit running hash over `n` bytes, continuing from `h`. Seed
 /// with kFnv1aBasis. Used for the pinned campaign digests
 /// (campaign_digest, tests/test_determinism.cpp) and the CLI's cross-

@@ -1,0 +1,396 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <utility>
+
+#include "io/container.hpp"
+
+namespace ge::core {
+
+namespace {
+
+// --- a minimal JSONL record scanner ----------------------------------------
+// RunLog lines are flat objects apart from the "metrics" row's nested
+// counters/gauges; the scanner keeps every top-level field as its raw
+// token text (strings unescaped) and skips nested values structurally, so
+// unknown trailing fields from future schema versions parse fine.
+
+void skip_ws(const std::string& s, size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+/// Parse the JSON string starting at s[i] == '"'. Returns the unescaped
+/// text and leaves i one past the closing quote; nullopt on malformed
+/// input. Escaped codepoints above 0x7f degrade to '?' — the writer only
+/// escapes control characters, so nothing of ours is lost.
+std::optional<std::string> parse_string(const std::string& s, size_t& i) {
+  if (i >= s.size() || s[i] != '"') return std::nullopt;
+  std::string out;
+  for (++i; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '"') {
+      ++i;
+      return out;
+    }
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i >= s.size()) return std::nullopt;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (i + 4 >= s.size()) return std::nullopt;
+        const unsigned cp =
+            static_cast<unsigned>(std::strtoul(s.substr(i + 1, 4).c_str(),
+                                               nullptr, 16));
+        out += cp < 0x80 ? static_cast<char>(cp) : '?';
+        i += 4;
+        break;
+      }
+      default: return std::nullopt;
+    }
+  }
+  return std::nullopt;  // unterminated
+}
+
+/// Skip one JSON value (scalar, or nested object/array by depth counting,
+/// strings quote-aware). Leaves i at the first character after the value.
+bool skip_value(const std::string& s, size_t& i) {
+  skip_ws(s, i);
+  if (i >= s.size()) return false;
+  if (s[i] == '"') return parse_string(s, i).has_value();
+  if (s[i] == '{' || s[i] == '[') {
+    int depth = 0;
+    for (; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '"') {
+        if (!parse_string(s, i)) return false;
+        --i;  // the for-loop re-advances
+        continue;
+      }
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') {
+        if (--depth == 0) {
+          ++i;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+  // Scalar: number / true / false / null.
+  const size_t start = i;
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
+         s[i] != ' ' && s[i] != '\t') {
+    ++i;
+  }
+  return i > start;
+}
+
+using Record = std::map<std::string, std::string>;
+
+/// One JSONL line -> top-level fields. String values are unescaped; every
+/// other value (numbers, bools, nested objects) keeps its raw token text.
+/// Returns nullopt for lines that are not a JSON object.
+std::optional<Record> parse_record(const std::string& line) {
+  size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') return std::nullopt;
+  ++i;
+  Record rec;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') return rec;  // empty object
+  while (true) {
+    skip_ws(line, i);
+    auto key = parse_string(line, i);
+    if (!key) return std::nullopt;
+    skip_ws(line, i);
+    if (i >= line.size() || line[i] != ':') return std::nullopt;
+    ++i;
+    skip_ws(line, i);
+    const size_t vstart = i;
+    if (i < line.size() && line[i] == '"') {
+      auto v = parse_string(line, i);
+      if (!v) return std::nullopt;
+      rec[*key] = *v;
+    } else {
+      if (!skip_value(line, i)) return std::nullopt;
+      rec[*key] = line.substr(vstart, i - vstart);
+    }
+    skip_ws(line, i);
+    if (i >= line.size()) return std::nullopt;
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') return rec;
+    return std::nullopt;
+  }
+}
+
+std::optional<double> get_num(const Record& r, const char* key) {
+  const auto it = r.find(key);
+  if (it == r.end() || it->second == "null") return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) return std::nullopt;
+  return v;
+}
+
+std::string get_str(const Record& r, const char* key) {
+  const auto it = r.find(key);
+  return it != r.end() ? it->second : std::string();
+}
+
+// --- the merged trial set --------------------------------------------------
+
+struct TrialRow {
+  std::string layer;
+  int64_t bit = -1;
+  double delta_loss = 0.0;
+  double max_delta_loss = 0.0;
+  bool sdc = false;
+};
+
+/// Config echo from run_header rows: shards of one campaign must agree on
+/// these (threads / resumed / command deliberately excluded — they vary
+/// between equivalent runs and must not affect the rendered bytes).
+struct HeaderEcho {
+  std::string format;
+  std::string model;
+  std::string seed;
+  std::string samples;
+  bool set = false;
+};
+
+/// Nearest-rank percentile of an ascending-sorted vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  rank = std::clamp<size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+void render_campaign_report(const std::vector<std::string>& paths,
+                            std::ostream& out, std::ostream& err) {
+  // (site_index, trial) -> row. std::map gives last-wins dedupe AND a
+  // deterministic ascending aggregation order, the two properties that
+  // make sharded and single-process reports render byte-identically.
+  std::map<std::pair<uint64_t, int64_t>, TrialRow> trials;
+  HeaderEcho header;
+  size_t skipped = 0;
+
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      throw io::IoError("report: cannot open '" + path + "'");
+    }
+    size_t lines = 0, used = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ++lines;
+      const auto rec = parse_record(line);
+      if (!rec) {
+        ++skipped;
+        continue;
+      }
+      const std::string type = get_str(*rec, "type");
+      if (type == "run_header") {
+        HeaderEcho h;
+        h.format = get_str(*rec, "format");
+        h.model = get_str(*rec, "model");
+        h.seed = get_str(*rec, "seed");
+        h.samples = get_str(*rec, "samples");
+        h.set = true;
+        if (!header.set) {
+          header = h;
+        } else if (h.format != header.format || h.model != header.model ||
+                   h.seed != header.seed || h.samples != header.samples) {
+          throw io::IoError(
+              "report: '" + path +
+              "' belongs to a different campaign (run_header disagrees on "
+              "format/model/seed/samples)");
+        }
+        ++used;
+        continue;
+      }
+      if (type != "trial") continue;
+      const auto site_index = get_num(*rec, "site_index");
+      const auto trial = get_num(*rec, "trial");
+      if (!site_index || !trial) {
+        ++skipped;
+        continue;
+      }
+      TrialRow row;
+      row.layer = get_str(*rec, "layer");
+      row.bit = static_cast<int64_t>(get_num(*rec, "bit").value_or(-1.0));
+      row.delta_loss = get_num(*rec, "delta_loss").value_or(0.0);
+      row.max_delta_loss = get_num(*rec, "max_delta_loss").value_or(0.0);
+      row.sdc = get_str(*rec, "class") == "sdc";
+      trials[{static_cast<uint64_t>(*site_index),
+              static_cast<int64_t>(*trial)}] = std::move(row);
+      ++used;
+    }
+    err << "report: " << path << ": " << used << " of " << lines
+        << " records used\n";
+  }
+  if (skipped > 0) {
+    err << "report: skipped " << skipped << " unparseable record(s)\n";
+  }
+  if (trials.empty()) {
+    throw io::IoError(
+        "report: no trial records found (run the campaign with --report "
+        "FILE to produce them)");
+  }
+
+  // --- per-layer aggregation (ascending site_index, then trial) ------------
+  struct LayerAgg {
+    std::string path;
+    int64_t count = 0;
+    int64_t sdc = 0;
+    double sum_delta = 0.0;
+    double max_delta = 0.0;
+    std::vector<double> deltas;
+    std::map<int64_t, std::pair<int64_t, int64_t>> bits;  // bit -> {n, sdc}
+  };
+  std::map<uint64_t, LayerAgg> layers;
+  for (const auto& [key, row] : trials) {
+    LayerAgg& a = layers[key.first];
+    a.path = row.layer;
+    ++a.count;
+    if (row.sdc) ++a.sdc;
+    a.sum_delta += row.delta_loss;
+    a.max_delta = std::max(a.max_delta, row.max_delta_loss);
+    a.deltas.push_back(row.delta_loss);
+    if (row.bit >= 0) {
+      auto& [n, s] = a.bits[row.bit];
+      ++n;
+      if (row.sdc) ++s;
+    }
+  }
+
+  char buf[256];
+  out << "campaign report\n";
+  if (header.set) {
+    out << "  format: " << header.format << "  model: " << header.model
+        << "  seed: " << header.seed << "  samples: " << header.samples
+        << "\n";
+  }
+  out << "  trials: " << trials.size() << "  layers: " << layers.size()
+      << "\n\n";
+
+  // --- layer vulnerability table -------------------------------------------
+  out << "layer vulnerability\n";
+  std::snprintf(buf, sizeof(buf), "%-28s %7s %6s %7s %12s %10s %10s %10s\n",
+                "layer", "trials", "SDC", "SDC%", "mean dLoss", "p50", "p95",
+                "max");
+  out << buf;
+  for (const auto& [si, a] : layers) {
+    std::vector<double> sorted = a.deltas;
+    std::sort(sorted.begin(), sorted.end());
+    const double mean =
+        a.count > 0 ? a.sum_delta / static_cast<double>(a.count) : 0.0;
+    const double sdc_pct =
+        a.count > 0
+            ? 100.0 * static_cast<double>(a.sdc) / static_cast<double>(a.count)
+            : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "%-28s %7lld %6lld %6.1f%% %12.5f %10.5f %10.5f %10.5f\n",
+                  a.path.c_str(), static_cast<long long>(a.count),
+                  static_cast<long long>(a.sdc), sdc_pct, mean,
+                  percentile(sorted, 0.50), percentile(sorted, 0.95),
+                  a.max_delta);
+    out << buf;
+  }
+  out << "\n";
+
+  // --- dLoss distribution (log2 octaves) -----------------------------------
+  std::map<int, int64_t> octaves;  // floor(log2 v) -> count
+  int64_t zero_count = 0;
+  for (const auto& [key, row] : trials) {
+    (void)key;
+    if (!(row.delta_loss > 0.0)) {
+      ++zero_count;
+      continue;
+    }
+    int exp = 0;
+    std::frexp(row.delta_loss, &exp);
+    ++octaves[exp - 1];
+  }
+  int64_t peak = zero_count;
+  for (const auto& [o, n] : octaves) peak = std::max(peak, n);
+  const auto bar = [peak](int64_t n) {
+    const int width =
+        peak > 0 ? static_cast<int>((40 * n + peak - 1) / peak) : 0;
+    return std::string(static_cast<size_t>(width), '#');
+  };
+  out << "dLoss distribution (log2 buckets)\n";
+  if (zero_count > 0) {
+    std::snprintf(buf, sizeof(buf), "  %-18s %7lld %s\n", "0",
+                  static_cast<long long>(zero_count), bar(zero_count).c_str());
+    out << buf;
+  }
+  for (const auto& [o, n] : octaves) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[2^%d, 2^%d)", o, o + 1);
+    std::snprintf(buf, sizeof(buf), "  %-18s %7lld %s\n", label,
+                  static_cast<long long>(n), bar(n).c_str());
+    out << buf;
+  }
+  out << "\n";
+
+  // --- SDC heatmap (layers x bit positions) --------------------------------
+  int64_t max_bit = -1;
+  for (const auto& [si, a] : layers) {
+    if (!a.bits.empty()) max_bit = std::max(max_bit, a.bits.rbegin()->first);
+  }
+  if (max_bit >= 0) {
+    out << "SDC heatmap (bit 0 = LSB; ' ' no trials, '.' none, "
+           "':' <=25%, '+' <=50%, '*' <=75%, '#' >75% SDC)\n";
+    std::string tens = "                             ";
+    std::string ones = "                        bit  ";
+    for (int64_t b = 0; b <= max_bit; ++b) {
+      tens += b >= 10 ? static_cast<char>('0' + (b / 10) % 10) : ' ';
+      ones += static_cast<char>('0' + b % 10);
+    }
+    if (max_bit >= 10) out << tens << "\n";
+    out << ones << "\n";
+    for (const auto& [si, a] : layers) {
+      std::snprintf(buf, sizeof(buf), "%-28s ", a.path.c_str());
+      std::string row = buf;
+      for (int64_t b = 0; b <= max_bit; ++b) {
+        const auto it = a.bits.find(b);
+        if (it == a.bits.end() || it->second.first == 0) {
+          row += ' ';
+          continue;
+        }
+        const double f = static_cast<double>(it->second.second) /
+                         static_cast<double>(it->second.first);
+        row += f <= 0.0 ? '.' : f <= 0.25 ? ':' : f <= 0.5 ? '+'
+               : f <= 0.75 ? '*' : '#';
+      }
+      out << row << "\n";
+    }
+  }
+}
+
+}  // namespace ge::core

@@ -1,0 +1,26 @@
+// Campaign report analysis: turn one or more schema-v2 JSONL run reports
+// (the --report stream, possibly sharded across processes) into per-layer
+// vulnerability tables, a ΔLoss distribution, and an SDC heatmap.
+//
+// Determinism contract: "trial" records are keyed by (site_index, trial)
+// and folded into a sorted map — duplicates (a resumed run re-reporting a
+// trial) collapse last-wins, and every aggregate is computed in ascending
+// key order. The rendered tables are therefore byte-identical whether the
+// trials came from one process or from any sharding of the same campaign.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ge::core {
+
+/// Parse the JSONL reports at `paths` (merging shards), render the
+/// campaign analytics tables to `out`. Parse diagnostics (file/record
+/// counts, skipped lines) go to `err`. Throws io::IoError when a file is
+/// unreadable, the run headers describe different campaigns, or no trial
+/// records are found.
+void render_campaign_report(const std::vector<std::string>& paths,
+                            std::ostream& out, std::ostream& err);
+
+}  // namespace ge::core

@@ -122,7 +122,11 @@ core::CampaignProgress load_campaign_progress(const std::string& path) {
   const Section& s = c.require(kCampaignTag, path);
   ByteReader r(s.payload, path);
   core::CampaignProgress p = decode_campaign_progress(r);
-  if (!r.at_end()) {
+  // Version-gated forward compatibility (ROADMAP "schema evolution"): from
+  // container v2 on, CAMP payloads may grow trailing fields that newer
+  // writers append and this reader does not know — skip them. v1 files
+  // predate the rule, so leftovers there still mean corruption.
+  if (!r.at_end() && c.version() < 2) {
     throw IoError(path + ": trailing bytes in campaign section");
   }
   return p;

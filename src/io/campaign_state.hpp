@@ -14,6 +14,10 @@
 //     trials * u8 done flag,
 //     trials * outcome {i64 mismatched_samples, f32 mismatch_rate,
 //                       f32 delta_loss, f32 max_delta_loss, u8 sdc}
+//
+// Evolution rule: in container v2+ files, writers may append new fields
+// after this layout; readers decode what they know and skip the rest
+// (v1 files stay strict — trailing bytes there are corruption).
 #pragma once
 
 #include <string>

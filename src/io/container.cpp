@@ -183,13 +183,15 @@ Container load_file(const std::string& path) {
     throw IoError(path + ": not a GoldenEye container (bad magic)");
   }
   const uint32_t version = r.u32();
-  if (version != kSchemaVersion) {
+  if (version < kMinSchemaVersion || version > kSchemaVersion) {
     throw IoError(path + ": unsupported schema version " +
                   std::to_string(version) + " (this build reads " +
+                  std::to_string(kMinSchemaVersion) + ".." +
                   std::to_string(kSchemaVersion) + ")");
   }
   const uint32_t count = r.u32();
   Container c;
+  c.set_version(version);
   for (uint32_t i = 0; i < count; ++i) {
     char tag[4];
     r.raw(tag, 4);

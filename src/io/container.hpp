@@ -36,7 +36,17 @@ struct IoError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-inline constexpr uint32_t kSchemaVersion = 1;
+/// Version written by this build. Readers accept kMinSchemaVersion..
+/// kSchemaVersion and reject anything newer: old files keep loading
+/// forever, while a file from a future build fails with a clear message
+/// instead of being misparsed. Section decoders gate their own
+/// evolution on Container::version() (e.g. v2 CAMP payloads may carry
+/// trailing fields that v2+ readers skip).
+///
+/// v1  PR 4 container + strict CAMP payload
+/// v2  CAMP decoders tolerate unknown trailing payload fields
+inline constexpr uint32_t kSchemaVersion = 2;
+inline constexpr uint32_t kMinSchemaVersion = 1;
 /// "GEC1" as on-disk bytes.
 inline constexpr char kMagic[4] = {'G', 'E', 'C', '1'};
 
@@ -116,8 +126,15 @@ class Container {
   const Section& require(const std::string& tag,
                          const std::string& context) const;
 
+  /// Schema version this container was loaded from (kSchemaVersion for
+  /// containers assembled in memory). Section decoders use it to gate
+  /// version-dependent payload features.
+  uint32_t version() const noexcept { return version_; }
+  void set_version(uint32_t v) noexcept { version_ = v; }
+
  private:
   std::vector<Section> sections_;
+  uint32_t version_ = kSchemaVersion;
 };
 
 /// Serialise to `path` atomically: write "<path>.tmp", fsync-free rename

@@ -1,0 +1,185 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/telemetry.hpp"
+
+namespace ge::obs {
+
+namespace {
+
+struct HistRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Histogram>> hists;  ///< id = index, stable
+  std::map<std::string, size_t> by_name;
+};
+
+HistRegistry& hist_registry() {
+  static HistRegistry* r = new HistRegistry();  // leaked: threads may record
+  return *r;                                    // past static destruction
+}
+
+}  // namespace
+
+std::vector<Histogram::Shard*>& Histogram::tls_shards() {
+  thread_local std::vector<Shard*> shards;
+  return shards;
+}
+
+int Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // <= 0, -0.0, and NaN
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac [0.5,1)
+  const int octave = exp - 1;               // v in [2^octave, 2^(octave+1))
+  if (octave < kMinExp) return 1;
+  if (octave >= kMaxExp) return kNumBuckets - 1;
+  const int sub = std::min(
+      kSubBuckets - 1,
+      static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets));
+  return 2 + (octave - kMinExp) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lower(int index) noexcept {
+  if (index <= 1) return 0.0;
+  if (index >= kNumBuckets - 1) return std::ldexp(1.0, kMaxExp);
+  const int rel = index - 2;
+  const int octave = kMinExp + rel / kSubBuckets;
+  const int sub = rel % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, octave);
+}
+
+double Histogram::bucket_upper(int index) noexcept {
+  if (index <= 0) return 0.0;
+  if (index == 1) return std::ldexp(1.0, kMinExp);
+  if (index >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const int rel = index - 2;
+  const int octave = kMinExp + rel / kSubBuckets;
+  const int sub = rel % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, octave);
+}
+
+Histogram::Shard& Histogram::shard() {
+  auto& table = tls_shards();
+  if (table.size() <= id_) table.resize(id_ + 1, nullptr);
+  Shard* s = table[id_];
+  if (s == nullptr) {
+    s = new Shard();  // owned by the intrusive list below, never freed
+    Shard* head = shards_.load(std::memory_order_acquire);
+    do {
+      s->next = head;
+    } while (!shards_.compare_exchange_weak(head, s,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire));
+    table[id_] = s;
+  }
+  return *s;
+}
+
+void Histogram::record_always(double v) noexcept {
+  Shard& s = shard();
+  s.counts[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  // Single writer per shard: plain load-modify-store on the relaxed
+  // atomics is race-free and keeps readers tear-free.
+  s.sum.store(s.sum.load(std::memory_order_relaxed) + v,
+              std::memory_order_relaxed);
+  if (s.nonempty.load(std::memory_order_relaxed) == 0) {
+    s.min.store(v, std::memory_order_relaxed);
+    s.max.store(v, std::memory_order_relaxed);
+    s.nonempty.store(1, std::memory_order_relaxed);
+  } else {
+    if (v < s.min.load(std::memory_order_relaxed)) {
+      s.min.store(v, std::memory_order_relaxed);
+    }
+    if (v > s.max.load(std::memory_order_relaxed)) {
+      s.max.store(v, std::memory_order_relaxed);
+    }
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.name = name_;
+  snap.buckets.assign(kNumBuckets, 0);
+  bool any = false;
+  for (const Shard* s = shards_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      snap.buckets[static_cast<size_t>(b)] +=
+          s->counts[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += s->sum.load(std::memory_order_relaxed);
+    if (s->nonempty.load(std::memory_order_relaxed) != 0) {
+      const double lo = s->min.load(std::memory_order_relaxed);
+      const double hi = s->max.load(std::memory_order_relaxed);
+      snap.min = any ? std::min(snap.min, lo) : lo;
+      snap.max = any ? std::max(snap.max, hi) : hi;
+      any = true;
+    }
+  }
+  // count from the buckets themselves, so quantile() always walks a
+  // self-consistent total even mid-recording.
+  for (uint64_t c : snap.buckets) snap.count += c;
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count) (at least 1).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (cum >= rank) return bucket_lower(static_cast<int>(b));
+  }
+  return bucket_lower(kNumBuckets - 1);
+}
+
+Histogram& histogram(const std::string& name) {
+  HistRegistry& r = hist_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.by_name.find(name);
+  if (it != r.by_name.end()) return *r.hists[it->second];
+  const size_t id = r.hists.size();
+  r.hists.push_back(std::make_unique<Histogram>(name, id));
+  r.by_name.emplace(name, id);
+  return *r.hists[id];
+}
+
+std::vector<Histogram::Snapshot> histogram_snapshots() {
+  HistRegistry& r = hist_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::vector<Histogram::Snapshot> out;
+  out.reserve(r.by_name.size());
+  for (const auto& [name, id] : r.by_name) {  // map order: sorted by name
+    out.push_back(r.hists[id]->snapshot());
+  }
+  return out;
+}
+
+void reset_histograms() {
+  HistRegistry& r = hist_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (const auto& h : r.hists) {
+    for (Histogram::Shard* s = h->shards_.load(std::memory_order_acquire);
+         s != nullptr; s = s->next) {
+      for (auto& c : s->counts) c.store(0, std::memory_order_relaxed);
+      s->sum.store(0.0, std::memory_order_relaxed);
+      s->min.store(0.0, std::memory_order_relaxed);
+      s->max.store(0.0, std::memory_order_relaxed);
+      s->nonempty.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace ge::obs

@@ -1,0 +1,125 @@
+// obs::Histogram — lock-free, mergeable value distributions for the
+// telemetry layer (counters count, gauges sample, histograms keep the
+// whole shape: trial latency, per-trial ΔLoss, bit-position tallies).
+//
+// Same contract as the rest of ge::obs (DESIGN.md §8):
+//  1. Zero cost when disabled — record() starts with the relaxed
+//     metrics_enabled() load and returns; no clock, lock, or allocation.
+//  2. Recording never perturbs results — histograms only read the values
+//     they are handed.
+//  3. The fast path is per-thread: each thread owns one shard per
+//     histogram (found via a thread-local table, registered once with a
+//     lock-free push), so record() touches no shared cache line. Reads
+//     (snapshot / quantile) merge the shards; exact totals require a
+//     quiescent moment, like collect_trace().
+//
+// Bucketing is log-scaled with 16 linear sub-buckets per octave
+// (power-of-two range), so quantile() is exact to one sub-bucket
+// (<= 1/16 relative width). Integers below 32 land in sub-buckets of
+// width <= 1 — bit positions and other small-integer tallies are exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace ge::obs {
+
+class Histogram {
+ public:
+  /// Linear sub-buckets per power-of-two octave.
+  static constexpr int kSubBuckets = 16;
+  /// Octave range: values in [2^kMinExp, 2^kMaxExp) get log buckets.
+  static constexpr int kMinExp = -44;  // ~5.7e-14
+  static constexpr int kMaxExp = 44;   // ~1.8e13
+  /// Dense bucket layout: [0] v <= 0 (and NaN), [1] positive underflow,
+  /// [2 ..] the log buckets, [last] overflow (v >= 2^kMaxExp).
+  static constexpr int kNumBuckets =
+      2 + (kMaxExp - kMinExp) * kSubBuckets + 1;
+
+  /// Merged read-side view of one histogram.
+  struct Snapshot {
+    std::string name;
+    uint64_t count = 0;  ///< sum over buckets (self-consistent for quantile)
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when empty
+    double max = 0.0;
+    std::vector<uint64_t> buckets;  ///< size kNumBuckets
+
+    /// Value at quantile q in [0, 1] (nearest-rank over buckets). Returns
+    /// the lower bound of the selected bucket: exact for small integers,
+    /// within one sub-bucket (<= 1/16 relative) otherwise. 0 when empty.
+    double quantile(double q) const;
+    double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  explicit Histogram(std::string name, size_t id)
+      : name_(std::move(name)), id_(id) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Record one value. No-op unless metrics are enabled. Lock-free and
+  /// wait-free after the calling thread's first record into this
+  /// histogram (which registers a shard under the registry mutex).
+  void record(double v) noexcept {
+    if (!metrics_enabled()) return;
+    record_always(v);
+  }
+
+  /// Merge all per-thread shards into one view. Exact when no thread is
+  /// concurrently recording; a best-effort snapshot otherwise.
+  Snapshot snapshot() const;
+
+  /// Bucket index for a value (see the layout above).
+  static int bucket_index(double v) noexcept;
+  /// Inclusive lower bound of a bucket (0.0 for the two leading buckets).
+  static double bucket_lower(int index) noexcept;
+  /// Exclusive upper bound of a bucket (+inf for the overflow bucket).
+  static double bucket_upper(int index) noexcept;
+
+ private:
+  friend void reset_histograms();
+
+  /// One thread's counts. Single writer (the owning thread); readers only
+  /// load, so every access is a relaxed atomic — no RMW contention.
+  struct Shard {
+    std::atomic<uint64_t> counts[kNumBuckets] = {};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+    std::atomic<uint64_t> nonempty{0};  ///< 0 until the first record
+    Shard* next = nullptr;  ///< intrusive list, linked once, never unlinked
+  };
+
+  void record_always(double v) noexcept;
+  Shard& shard();
+  /// Per-thread shard table, indexed by histogram id. Grows on demand;
+  /// entries are set once. The shards themselves are owned by the
+  /// histograms' intrusive lists and outlive the thread.
+  static std::vector<Shard*>& tls_shards();
+
+  std::string name_;
+  size_t id_ = 0;  ///< dense registry index, keys the thread-local table
+  std::atomic<Shard*> shards_{nullptr};
+};
+
+/// Find-or-create the named histogram. The returned reference is stable
+/// for the process lifetime (the registry is leaked, like the span
+/// registry, so worker threads may record during static destruction).
+Histogram& histogram(const std::string& name);
+
+/// Merged snapshots of every registered histogram, sorted by name.
+std::vector<Histogram::Snapshot> histogram_snapshots();
+
+/// Zero every histogram's counts (shards stay registered). Call at
+/// quiescent moments only, like reset_counters().
+void reset_histograms();
+
+}  // namespace ge::obs

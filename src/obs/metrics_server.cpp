@@ -1,0 +1,142 @@
+#include "obs/metrics_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/histogram.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ge::obs {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_][a-zA-Z0-9_]*. Dots and anything
+/// else become underscores ("campaign.trials_per_sec" ->
+/// "ge_campaign_trials_per_sec").
+std::string sanitize(const std::string& name) {
+  std::string out = "ge_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_prometheus() {
+  std::string out;
+  for (int i = 0; i < static_cast<int>(Counter::kCount); ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::string name = sanitize(counter_name(c)) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(counter_value(c)) + "\n";
+  }
+  for (const auto& [name, value] : gauges()) {
+    const std::string n = sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " ";
+    append_double(out, value);
+    out += "\n";
+  }
+  for (const auto& snap : histogram_snapshots()) {
+    const std::string n = sanitize(snap.name);
+    out += "# TYPE " + n + " histogram\n";
+    uint64_t cum = 0;
+    for (size_t b = 0; b < snap.buckets.size(); ++b) {
+      if (snap.buckets[b] == 0) continue;  // cumulative value unchanged
+      cum += snap.buckets[b];
+      out += n + "_bucket{le=\"";
+      append_double(out, Histogram::bucket_upper(static_cast<int>(b)));
+      out += "\"} " + std::to_string(cum) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) + "\n";
+    out += n + "_sum ";
+    append_double(out, snap.sum);
+    out += "\n" + n + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+MetricsServer::MetricsServer(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    error_ = std::string("bind 127.0.0.1:") + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    error_ = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { serve(); });
+}
+
+MetricsServer::~MetricsServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void MetricsServer::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (n <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // Drain the request line + headers (best effort; the path does not
+    // matter — every GET gets the metrics page).
+    char req[4096];
+    (void)::recv(conn, req, sizeof(req), 0);
+    const std::string body = render_prometheus();
+    std::string resp =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    size_t off = 0;
+    while (off < resp.size()) {
+      const ssize_t w = ::send(conn, resp.data() + off, resp.size() - off, 0);
+      if (w <= 0) break;
+      off += static_cast<size_t>(w);
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace ge::obs

@@ -1,0 +1,48 @@
+// obs::MetricsServer — a minimal HTTP/1.1 responder serving the live
+// telemetry state (counters, gauges, histograms) in Prometheus text
+// exposition format, so a fleet of campaign shards can be scraped while
+// running. Bound to 127.0.0.1 only; one short-lived connection at a time
+// (a scrape is one GET). The server thread only *reads* telemetry, so a
+// scrape can never perturb results — same contract as the rest of
+// ge::obs.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace ge::obs {
+
+/// Render every counter (`ge_<name>_total`), gauge (`ge_<name>`), and
+/// histogram (`ge_<name>_bucket{le=...}` / `_sum` / `_count`) as
+/// Prometheus text exposition format 0.0.4. Names are sanitised to
+/// [a-zA-Z0-9_]; histogram buckets are cumulative and only emitted where
+/// the count increases (plus the mandatory +Inf bucket).
+std::string render_prometheus();
+
+class MetricsServer {
+ public:
+  /// Bind 127.0.0.1:port and start the serving thread. port 0 picks an
+  /// ephemeral port (see port()). On failure ok() is false and
+  /// last_error() describes why — the server never throws.
+  explicit MetricsServer(int port);
+  ~MetricsServer();  ///< stops the thread and closes the socket
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  bool ok() const noexcept { return listen_fd_ >= 0; }
+  int port() const noexcept { return port_; }
+  const std::string& last_error() const noexcept { return error_; }
+
+ private:
+  void serve();
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string error_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace ge::obs

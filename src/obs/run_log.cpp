@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/histogram.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ge::obs {
@@ -85,8 +86,9 @@ JsonObject& JsonObject::raw(const char* key, const std::string& json) {
 
 std::string JsonObject::render() const { return "{" + body_ + "}"; }
 
-RunLog::RunLog(const std::string& path)
-    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)) {
+RunLog::RunLog(const std::string& path, OpenMode mode)
+    : owned_(std::make_unique<std::ofstream>(
+          path, mode == OpenMode::kAppend ? std::ios::app : std::ios::trunc)) {
   if (owned_->good()) out_ = owned_.get();
 }
 
@@ -122,6 +124,19 @@ void RunLog::metrics_snapshot() {
         .num("max_abs_err", s.max_abs_err)
         .num("saturation_rate", s.saturation_rate());
     event("layer_quant", row);
+  }
+  for (const auto& h : histogram_snapshots()) {
+    if (h.count == 0) continue;  // registered but unused this run
+    JsonObject row;
+    row.str("name", h.name)
+        .num("count", h.count)
+        .num("sum", h.sum)
+        .num("min", h.min)
+        .num("max", h.max)
+        .num("p50", h.quantile(0.50))
+        .num("p95", h.quantile(0.95))
+        .num("p99", h.quantile(0.99));
+    event("histogram", row);
   }
   JsonObject counters;
   for (int i = 0; i < static_cast<int>(Counter::kCount); ++i) {

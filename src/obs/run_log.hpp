@@ -2,18 +2,30 @@
 //
 // One JSON object per line; every record carries {"schema": N, "type": T}.
 // Record types the stack emits (see docs/observability.md for a jq tour):
-//   run_header       command, model, format, seed, threads, samples
+//   run_header       command, model, format, seed, threads, samples, resumed
+//   trial            one row per campaign trial: layer, site, bit, golden
+//                    vs faulty top-1, ΔLoss, SDC class  (schema 2)
+//   heartbeat        live campaign progress: done/total, trials/sec, ETA
+//                    (schema 2)
 //   campaign_layer   one row per instrumented layer (matches stdout table)
 //   campaign_summary golden accuracy + network mean ΔLoss
 //   dse_node         one row per DSE probe, in visit order
 //   dse_summary      selected spec / bitwidth / accuracy
 //   accuracy_result  baseline + emulated accuracy
 //   layer_quant      per-layer quantization-error summary (metrics)
+//   histogram        merged obs::Histogram summary: count/sum/min/max +
+//                    p50/p95/p99  (schema 2)
 //   metrics          final counter/gauge snapshot
 //   bench_case       one row per benchmark case (bench/harness.hpp)
 //
+// Schema history: v1 = PR 2 record set; v2 adds trial / heartbeat /
+// histogram records and the run_header `resumed` field. Consumers should
+// select on `type` and ignore unknown fields, so v1 readers keep working.
+//
 // JSONL because campaign-scale runs are append-only streams: a crashed or
-// interrupted run still leaves every completed row parseable.
+// interrupted run still leaves every completed row parseable — and a
+// resumed run can reopen its report in append mode (OpenMode::kAppend)
+// and continue the same stream.
 #pragma once
 
 #include <cstdint>
@@ -52,11 +64,16 @@ std::string json_escape(const std::string& s);
 /// one line, flushed immediately so partial runs stay readable.
 class RunLog {
  public:
-  static constexpr int kSchemaVersion = 1;
+  static constexpr int kSchemaVersion = 2;
 
-  /// Opens `path` for writing (truncates). ok() reports failure; a failed
-  /// RunLog swallows writes instead of throwing mid-experiment.
-  explicit RunLog(const std::string& path);
+  /// kTruncate starts a fresh report; kAppend continues an existing one
+  /// (the resume path — prior rows are part of the same campaign).
+  enum class OpenMode { kTruncate, kAppend };
+
+  /// Opens `path` for writing. ok() reports failure; a failed RunLog
+  /// swallows writes instead of throwing mid-experiment.
+  explicit RunLog(const std::string& path,
+                  OpenMode mode = OpenMode::kTruncate);
   /// Writes into a caller-owned stream (tests).
   explicit RunLog(std::ostream& os);
   ~RunLog();
@@ -71,8 +88,9 @@ class RunLog {
   void event(const char* type, const JsonObject& fields);
 
   /// Write the standard final snapshot: one "layer_quant" row per
-  /// instrumented layer plus one "metrics" row with every counter and
-  /// gauge (values read from ge::obs telemetry).
+  /// instrumented layer, one "histogram" row per registered histogram,
+  /// plus one "metrics" row with every counter and gauge (values read
+  /// from ge::obs telemetry).
   void metrics_snapshot();
 
  private:

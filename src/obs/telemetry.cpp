@@ -1,5 +1,7 @@
 #include "obs/telemetry.hpp"
 
+#include "obs/histogram.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -317,6 +319,7 @@ void reset_all() {
   reset_counters();
   reset_gauges();
   reset_layer_quant_summaries();
+  reset_histograms();
   clear_trace();
 }
 

@@ -216,8 +216,9 @@ void record_layer_quant_error(const std::string& layer, const float* before,
 std::vector<std::pair<std::string, QuantErrorSummary>> layer_quant_summaries();
 void reset_layer_quant_summaries();
 
-/// Reset counters, gauges, per-layer summaries and the trace in one call
-/// (the CLI does this at the start of every telemetry-enabled invocation).
+/// Reset counters, gauges, per-layer summaries, histograms and the trace
+/// in one call (the CLI does this at the start of every telemetry-enabled
+/// invocation).
 void reset_all();
 
 // --- logging ---------------------------------------------------------------

@@ -126,6 +126,37 @@ TEST(CampaignStateIo, CorruptProgressFileIsDiagnosed) {
   std::remove(path.c_str());
 }
 
+TEST(CampaignStateIo, ForwardCompatSkipsUnknownTrailingFields) {
+  // Evolution rule (campaign_state.hpp): in container v2+ a writer may
+  // append new fields after the known CAMP layout, and this build decodes
+  // what it knows and skips the rest. The same bytes stamped v1 are
+  // corruption — v1 decoding stays strict.
+  const std::string path = tmp_path("futurefields");
+  CampaignProgress p;
+  p.format_spec = "int8";
+  p.layers.resize(1);
+  p.layers[0].path = "l";
+  p.layers[0].done = {1};
+  p.layers[0].outcomes.resize(1);
+  std::vector<uint8_t> payload = io::encode_campaign_progress(p);
+  payload.insert(payload.end(), {0xDE, 0xAD, 0xBE, 0xEF});  // a future field
+  io::Container c;
+  c.add("CAMP", payload);
+  io::save_file(path, c);  // written at the current (v2) schema
+  const CampaignProgress back = io::load_campaign_progress(path);
+  EXPECT_EQ(io::encode_campaign_progress(back),
+            io::encode_campaign_progress(p));
+
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(4);  // version u32 lives right after the magic; not CRC'd
+    f.put('\x01');
+  }
+  EXPECT_THROW(io::load_campaign_progress(path), io::IoError);
+  std::remove(path.c_str());
+}
+
 // --- shard / resume / merge bitwise identity -------------------------------
 
 TEST(CampaignShards, MergedShardsMatchSingleProcessBitwise) {

@@ -174,7 +174,12 @@ TEST(Cli, ReportAndTraceFilesWritten) {
   EXPECT_NE(all.find("\"type\":\"campaign_layer\""), std::string::npos);
   EXPECT_NE(all.find("\"type\":\"campaign_summary\""), std::string::npos);
   EXPECT_NE(all.find("\"type\":\"metrics\""), std::string::npos);
-  EXPECT_NE(all.find("\"schema\":1"), std::string::npos);
+  EXPECT_NE(all.find("\"schema\":2"), std::string::npos);
+  // schema-v2 per-trial stream + heartbeat + histogram summaries
+  EXPECT_NE(all.find("\"type\":\"trial\""), std::string::npos);
+  EXPECT_NE(all.find("\"type\":\"heartbeat\""), std::string::npos);
+  EXPECT_NE(all.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(all.find("campaign.trial_delta_loss"), std::string::npos);
 
   std::ifstream tf(trace);
   ASSERT_TRUE(tf.good());
@@ -411,6 +416,134 @@ TEST(Cli, UsageListsPersistenceCommandsAndFlags) {
         "--inputs", "--output"}) {
     EXPECT_NE(r.err.find(token), std::string::npos) << token;
   }
+}
+
+// --- campaign analytics: report subcommand, append mode, /metrics ----------
+
+TEST(Cli, ReportOverShardsByteIdenticalToSingleProcess) {
+  // The acceptance bar for the trial event stream: `goldeneye report` over
+  // three per-shard JSONL files renders byte-for-byte the same tables as
+  // over the single-process run's report.
+  const std::vector<std::string> base = {
+      "campaign",  "--model",  "mlp",          "--format", "int8",
+      "--epochs",  "1",        "--cache",      "/tmp/ge_cli_cache",
+      "--samples", "8",        "--injections", "4",
+      "--seed",    "5"};
+  const std::string single = "/tmp/ge_cli_report_single.jsonl";
+  std::remove(single.c_str());
+  {
+    auto args = base;
+    args.insert(args.end(), {"--report", single});
+    ASSERT_EQ(run(args).code, 0);
+  }
+  std::vector<std::string> shards;
+  for (int i = 0; i < 3; ++i) {
+    const std::string jsonl =
+        "/tmp/ge_cli_report_shard" + std::to_string(i) + ".jsonl";
+    const std::string ck =
+        "/tmp/ge_cli_report_shard" + std::to_string(i) + ".gec";
+    std::remove(jsonl.c_str());
+    std::remove(ck.c_str());
+    auto args = base;
+    args.insert(args.end(), {"--shards", "3", "--shard-index",
+                             std::to_string(i), "--checkpoint", ck,
+                             "--report", jsonl});
+    ASSERT_EQ(run(args).code, 0);
+    shards.push_back(jsonl);
+    std::remove(ck.c_str());
+  }
+
+  const auto want = run({"report", "--inputs", single});
+  ASSERT_EQ(want.code, 0) << want.err;
+  EXPECT_NE(want.out.find("layer vulnerability"), std::string::npos);
+  EXPECT_NE(want.out.find("SDC heatmap"), std::string::npos);
+  const auto got = run({"report", "--inputs",
+                        shards[0] + "," + shards[1] + "," + shards[2]});
+  ASSERT_EQ(got.code, 0) << got.err;
+  EXPECT_EQ(got.out, want.out);  // byte-identical, not just equivalent
+
+  std::remove(single.c_str());
+  for (const auto& f : shards) std::remove(f.c_str());
+}
+
+TEST(Cli, ReportAppendsOnResumeInsteadOfClobbering) {
+  // --resume with the same --report path must append, so the merged file
+  // carries both runs' headers (the second marked resumed) and the full
+  // trial stream that `report` needs.
+  const std::string ck = "/tmp/ge_cli_append.gec";
+  const std::string jsonl = "/tmp/ge_cli_append.jsonl";
+  std::remove(ck.c_str());
+  std::remove(jsonl.c_str());
+  const std::vector<std::string> base = {
+      "campaign",  "--model",  "mlp",          "--format", "int8",
+      "--epochs",  "1",        "--cache",      "/tmp/ge_cli_cache",
+      "--samples", "8",        "--injections", "4",
+      "--seed",    "5",        "--report",     jsonl};
+  {
+    auto args = base;
+    args.insert(args.end(), {"--checkpoint", ck, "--checkpoint-every", "2",
+                             "--abort-after", "5"});
+    ASSERT_EQ(run(args).code, 0);
+  }
+  {
+    auto args = base;
+    args.insert(args.end(), {"--checkpoint", ck, "--resume", ck});
+    ASSERT_EQ(run(args).code, 0);
+  }
+  std::ifstream f(jsonl);
+  ASSERT_TRUE(f.good());
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  size_t headers = 0;
+  for (size_t at = all.find("\"type\":\"run_header\"");
+       at != std::string::npos;
+       at = all.find("\"type\":\"run_header\"", at + 1)) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 2u);  // both runs present: the resume appended
+  EXPECT_NE(all.find("\"resumed\":true"), std::string::npos);
+
+  const auto rep = run({"report", "--inputs", jsonl});
+  EXPECT_EQ(rep.code, 0) << rep.err;
+  EXPECT_NE(rep.out.find("layer vulnerability"), std::string::npos);
+  std::remove(ck.c_str());
+  std::remove(jsonl.c_str());
+}
+
+TEST(Cli, ReportUsageAndInputErrors) {
+  EXPECT_EQ(run({"report"}).code, 2);                 // no --inputs
+  EXPECT_EQ(run({"report", "--inputs", ","}).code, 2);
+  EXPECT_EQ(run({"report", "--inputs", "/tmp/ge_cli_no_such.jsonl"}).code, 2);
+  // A readable file with no trial records is a diagnosed failure.
+  const std::string empty = "/tmp/ge_cli_report_empty.jsonl";
+  {
+    std::ofstream f(empty);
+    f << "{\"schema\":2,\"type\":\"run_header\"}\n";
+  }
+  const auto r = run({"report", "--inputs", empty});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("no trial records"), std::string::npos);
+  std::remove(empty.c_str());
+}
+
+TEST(Cli, MetricsPortValidatedAndServes) {
+  for (const char* bad : {"-2", "65536", "abc", "8x", ""}) {
+    const auto r = run({"formats", "--metrics-port", bad});
+    EXPECT_EQ(r.code, 2) << "--metrics-port " << bad;
+    EXPECT_NE(r.err.find("--metrics-port"), std::string::npos) << bad;
+  }
+  // Port 0 binds an ephemeral port and announces it on stderr.
+  const auto r = run({"formats", "--metrics-port", "0"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("http://127.0.0.1:"), std::string::npos);
+  EXPECT_NE(r.err.find("/metrics"), std::string::npos);
+}
+
+TEST(Cli, UsageListsReportCommandAndMetricsPort) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("report"), std::string::npos);
+  EXPECT_NE(r.err.find("--metrics-port"), std::string::npos);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "data/synthetic.hpp"
 #include "io/campaign_state.hpp"
 #include "models/model_factory.hpp"
+#include "obs/metrics_server.hpp"
+#include "obs/run_log.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -227,6 +230,37 @@ TEST(Determinism, PinnedDigestSurvivesResume) {
         finalize_campaign(run_campaign_trials(*f.model, f.batch, cfg, opts));
     EXPECT_EQ(campaign_digest(r), want) << "threads=" << threads;
     std::remove(path.c_str());
+  }
+}
+
+TEST(Determinism, PinnedDigestUnchangedWithFullAnalyticsOn) {
+  // The PR-5 analytics surface all at once — per-trial RunLog stream,
+  // heartbeat records, histograms, and a live /metrics endpoint — with the
+  // same acceptance bar as --trace: the pinned digest must not move by a
+  // single bit, at either thread count.
+  const uint64_t want = 0x347820fff760869bULL;
+  const CampaignConfig cfg = campaign_cfg(/*with_replicas=*/true);
+  ThreadGuard guard;
+  for (int threads : {1, 4}) {
+    Fixture f;
+    parallel::set_num_threads(threads);
+    obs::TelemetryScope scope(/*tracing=*/true, /*metrics=*/true);
+    obs::reset_all();
+    obs::MetricsServer server(/*port=*/0);
+    ASSERT_TRUE(server.ok()) << server.last_error();
+    std::ostringstream report;
+    obs::RunLog log(report);
+    CampaignRunOptions opts;
+    opts.run_log = &log;
+    const CampaignResult r =
+        finalize_campaign(run_campaign_trials(*f.model, f.batch, cfg, opts));
+    EXPECT_EQ(campaign_digest(r), want) << "threads=" << threads;
+    // and the stream actually carried the v2 analytics records
+    const std::string text = report.str();
+    EXPECT_NE(text.find("\"type\":\"trial\""), std::string::npos);
+    EXPECT_NE(text.find("\"type\":\"heartbeat\""), std::string::npos);
+    EXPECT_NE(text.find("\"class\":"), std::string::npos);
+    obs::reset_all();
   }
 }
 

@@ -120,6 +120,25 @@ TEST(Container, UnsupportedVersionIsDiagnosed) {
   std::remove(path.c_str());
 }
 
+TEST(Container, OlderSchemaVersionStillLoads) {
+  // Files from every release back to kMinSchemaVersion must keep loading,
+  // and the parsed container must remember which version it came from so
+  // section decoders can apply per-version rules (campaign_state.cpp).
+  const std::string path = tmp_path("oldversion");
+  Container c;
+  c.add("TENS", {7, 8});
+  save_file(path, c);
+  auto bytes = slurp(path);
+  ASSERT_EQ(bytes[4], kSchemaVersion & 0xFF);
+  bytes[4] = static_cast<uint8_t>(kMinSchemaVersion);  // header is not CRC'd
+  spit(path, bytes);
+  const Container back = load_file(path);
+  EXPECT_EQ(back.version(), kMinSchemaVersion);
+  ASSERT_EQ(back.sections().size(), 1u);
+  EXPECT_EQ(back.sections()[0].payload, (std::vector<uint8_t>{7, 8}));
+  std::remove(path.c_str());
+}
+
 TEST(Container, EveryPayloadBitFlipIsCaughtByCrc) {
   const std::string path = tmp_path("crc");
   Container c;

@@ -4,13 +4,23 @@
 // the zero-cost-when-disabled contract: a dark run records nothing.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/metrics_server.hpp"
 #include "obs/run_log.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
@@ -351,7 +361,7 @@ TEST(ObsRunLog, EventLinesCarrySchemaAndType) {
     ++count;
     JsonChecker checker(line);
     EXPECT_TRUE(checker.valid()) << line;
-    EXPECT_EQ(line.find("{\"schema\":1,\"type\":\"campaign_layer\""), 0u)
+    EXPECT_EQ(line.find("{\"schema\":2,\"type\":\"campaign_layer\""), 0u)
         << line;
   }
   EXPECT_EQ(count, 2);
@@ -388,6 +398,216 @@ TEST(ObsRunLog, BadPathReportsNotOk) {
   RunLog log("/nonexistent-dir/deep/report.jsonl");
   EXPECT_FALSE(log.ok());
   log.event("run_header", JsonObject().str("x", "y"));  // must not throw
+}
+
+TEST(ObsRunLog, AppendModeContinuesExistingReport) {
+  const std::string path = "/tmp/ge_obs_append.jsonl";
+  std::remove(path.c_str());
+  {
+    RunLog log(path);
+    log.event("run_header", JsonObject().str("command", "campaign"));
+  }
+  {
+    RunLog log(path, RunLog::OpenMode::kAppend);
+    ASSERT_TRUE(log.ok());
+    log.event("trial", JsonObject().num("trial", int64_t{0}));
+  }
+  std::ifstream f(path);
+  const std::string all((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+  // the resumed stream keeps the first run's rows
+  EXPECT_NE(all.find("\"type\":\"run_header\""), std::string::npos);
+  EXPECT_NE(all.find("\"type\":\"trial\""), std::string::npos);
+  {
+    RunLog log(path);  // default mode truncates — a fresh report
+    log.event("metrics", JsonObject());
+  }
+  std::ifstream f2(path);
+  const std::string all2((std::istreambuf_iterator<char>(f2)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(all2.find("run_header"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- histograms ------------------------------------------------------------
+
+TEST(ObsHistogram, SmallIntegersLandInExactBuckets) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_all();
+  Histogram& h = histogram("test.bits");
+  for (int b = 0; b < 32; ++b) h.record(static_cast<double>(b));
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.count, 32u);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 31.0);
+  // every bit position below 32 owns a distinct bucket whose lower bound
+  // is the integer itself, so bucketed quantiles are exact for bit tallies
+  for (int b = 1; b < 31; ++b) {
+    EXPECT_NE(Histogram::bucket_index(static_cast<double>(b)),
+              Histogram::bucket_index(static_cast<double>(b + 1)))
+        << b;
+  }
+  for (int b = 0; b < 32; ++b) {
+    const double q = static_cast<double>(b + 1) / 32.0;  // rank b+1
+    EXPECT_EQ(snap.quantile(q), static_cast<double>(b)) << b;
+  }
+  reset_all();
+}
+
+TEST(ObsHistogram, QuantileMatchesSortedOracleWithinOneBucket) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_all();
+  Histogram& h = histogram("test.oracle");
+  std::vector<double> vals;
+  uint64_t state = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u =
+        static_cast<double>(state >> 11) / static_cast<double>(1ULL << 53);
+    const double v = std::exp(u * 10.0 - 2.0);  // spread over ~14 octaves
+    vals.push_back(v);
+    h.record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  const auto snap = h.snapshot();
+  for (double q : {0.50, 0.95, 0.99}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(vals.size())));
+    const double oracle = vals[rank - 1];
+    const double got = snap.quantile(q);
+    // nearest-rank over buckets: the reported value is the lower bound of
+    // the bucket holding the oracle value
+    EXPECT_EQ(Histogram::bucket_index(got), Histogram::bucket_index(oracle))
+        << "q=" << q;
+    EXPECT_LE(got, oracle);
+    EXPECT_GT(Histogram::bucket_upper(Histogram::bucket_index(got)), oracle);
+  }
+  reset_all();
+}
+
+TEST(ObsHistogram, ShardMergeIdenticalAcrossThreadCounts) {
+  ThreadGuard tg;
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_all();
+  // Integer-valued samples: per-shard partial sums are exact in double,
+  // so the merged snapshot must be bitwise identical at any thread count.
+  const auto run_with = [](int threads, const char* name) {
+    parallel::set_num_threads(threads);
+    Histogram& h = histogram(name);
+    parallel::parallel_for(0, 4096, 16, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        h.record(static_cast<double>(i % 97));
+      }
+    });
+    return h.snapshot();
+  };
+  const auto a = run_with(1, "test.merge_t1");
+  const auto b = run_with(4, "test.merge_t4");
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.quantile(0.5), b.quantile(0.5));
+  EXPECT_EQ(a.quantile(0.99), b.quantile(0.99));
+  reset_all();
+}
+
+TEST(ObsHistogram, DisabledMetricsRecordNothing) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/false);
+  Histogram& h = histogram("test.dark");
+  h.record(5.0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(ObsHistogram, ResetZeroesCountsButKeepsRegistration) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_all();
+  Histogram& h = histogram("test.reset");
+  h.record(3.0);
+  h.record(7.0);
+  EXPECT_EQ(h.snapshot().count, 2u);
+  reset_histograms();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0.0);
+  EXPECT_EQ(snap.quantile(0.5), 0.0);
+  h.record(1.0);  // the shard table survives the reset
+  EXPECT_EQ(h.snapshot().count, 1u);
+  reset_all();
+}
+
+TEST(ObsHistogram, SnapshotRowsAppearInMetricsSnapshot) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_all();
+  histogram("test.snapshot_row").record(0.25);
+  histogram("test.snapshot_row").record(4.0);
+  std::ostringstream os;
+  RunLog log(os);
+  log.metrics_snapshot();
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"test.snapshot_row\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\":2"), std::string::npos);
+  // registered-but-unused histograms emit no row
+  (void)histogram("test.snapshot_unused");
+  std::ostringstream os2;
+  RunLog log2(os2);
+  log2.metrics_snapshot();
+  EXPECT_EQ(os2.str().find("test.snapshot_unused"), std::string::npos);
+  reset_all();
+}
+
+// --- metrics server --------------------------------------------------------
+
+TEST(ObsMetricsServer, ServesPrometheusTextOnEphemeralPort) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_all();
+  add(Counter::kTrials, 7);
+  set_gauge("campaign.trials_done", 7.0);
+  histogram("test.server_hist").record(2.0);
+
+  MetricsServer server(/*port=*/0);
+  ASSERT_TRUE(server.ok()) << server.last_error();
+  ASSERT_GT(server.port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char req[] = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_GT(::send(fd, req, sizeof(req) - 1, 0), 0);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(resp.find("# TYPE ge_trials_total counter"), std::string::npos);
+  EXPECT_NE(resp.find("ge_trials_total 7"), std::string::npos);
+  EXPECT_NE(resp.find("ge_campaign_trials_done 7"), std::string::npos);
+  EXPECT_NE(resp.find("# TYPE ge_test_server_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(resp.find("ge_test_server_hist_count 1"), std::string::npos);
+  EXPECT_NE(resp.find("ge_test_server_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  reset_all();
+}
+
+TEST(ObsMetricsServer, PortConflictIsDiagnosedNotFatal) {
+  MetricsServer first(/*port=*/0);
+  ASSERT_TRUE(first.ok()) << first.last_error();
+  MetricsServer second(first.port());  // same port: bind must fail
+  EXPECT_FALSE(second.ok());
+  EXPECT_NE(second.last_error().find("bind"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+// `goldeneye report` rendering (core/report.cpp): the JSONL scanner, the
+// merged trial set, and the determinism contract — the rendered bytes are
+// a pure function of the deduplicated trial set, so shards of one
+// campaign and the single-process run print identical reports.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "io/container.hpp"
+
+namespace ge::core {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return "/tmp/ge_test_report_" + name + ".jsonl";
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::string>& lines) {
+  std::ofstream f(path, std::ios::trunc);
+  ASSERT_TRUE(f.good()) << path;
+  for (const auto& line : lines) f << line << "\n";
+}
+
+struct Rendered {
+  std::string out;
+  std::string err;
+};
+
+Rendered render(const std::vector<std::string>& paths) {
+  std::ostringstream out, err;
+  render_campaign_report(paths, out, err);
+  return {out.str(), err.str()};
+}
+
+const char* kHeader =
+    "{\"schema\":2,\"type\":\"run_header\",\"format\":\"int8\","
+    "\"model\":\"mlp\",\"seed\":5,\"samples\":8}";
+
+std::string trial(int site, int t, const std::string& layer, int bit,
+                  double delta, const std::string& cls) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"schema\":2,\"type\":\"trial\",\"layer\":\"%s\","
+                "\"site_index\":%d,\"trial\":%d,\"bit\":%d,"
+                "\"delta_loss\":%.6g,\"max_delta_loss\":%.6g,"
+                "\"class\":\"%s\"}",
+                layer.c_str(), site, t, bit, delta, delta, cls.c_str());
+  return buf;
+}
+
+std::vector<std::string> fixture_trials() {
+  return {
+      trial(0, 0, "fc1", 0, 0.5, "sdc"),
+      trial(0, 1, "fc1", 1, 0.25, "benign"),
+      trial(0, 2, "fc1", 2, 0.0, "masked"),
+      trial(0, 3, "fc1", 3, 1.5, "sdc"),
+      trial(1, 0, "fc2", 0, 0.0, "masked"),
+      trial(1, 1, "fc2", 0, 0.0, "masked"),
+      trial(1, 2, "fc2", 1, 0.0, "masked"),
+      trial(1, 3, "fc2", 1, 0.0, "masked"),
+  };
+}
+
+TEST(Report, RendersTablesFromTrialStream) {
+  const std::string path = tmp_path("tables");
+  auto lines = fixture_trials();
+  lines.insert(lines.begin(), kHeader);
+  write_file(path, lines);
+
+  const Rendered r = render({path});
+  EXPECT_NE(r.out.find("campaign report"), std::string::npos);
+  EXPECT_NE(r.out.find("format: int8  model: mlp  seed: 5  samples: 8"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("trials: 8  layers: 2"), std::string::npos);
+  EXPECT_NE(r.out.find("layer vulnerability"), std::string::npos);
+  EXPECT_NE(r.out.find("fc1"), std::string::npos);
+  EXPECT_NE(r.out.find("fc2"), std::string::npos);
+  EXPECT_NE(r.out.find("50.0%"), std::string::npos);   // fc1: 2 SDC of 4
+  EXPECT_NE(r.out.find("0.0%"), std::string::npos);    // fc2: none
+  EXPECT_NE(r.out.find("dLoss distribution"), std::string::npos);
+  EXPECT_NE(r.out.find("[2^-1, 2^0)"), std::string::npos);  // the 0.5 trial
+  EXPECT_NE(r.out.find("SDC heatmap"), std::string::npos);
+  // fc1 over bits 0..3: SDC, benign, masked, SDC -> '#', '.', '.', '#'
+  const std::string fc1_row = "fc1" + std::string(26, ' ') + "#..#";
+  EXPECT_NE(r.out.find(fc1_row), std::string::npos) << r.out;
+  // per-file accounting goes to stderr, never into the rendered bytes
+  EXPECT_NE(r.err.find("9 of 9 records used"), std::string::npos) << r.err;
+  std::remove(path.c_str());
+}
+
+TEST(Report, ShardedFilesRenderByteIdenticalToSingleFile) {
+  const std::string single = tmp_path("single");
+  auto lines = fixture_trials();
+  lines.insert(lines.begin(), kHeader);
+  write_file(single, lines);
+
+  // Shards: interleaved trial subsets, each with its own header, listed
+  // out of order — the merged set is keyed, so none of that may show.
+  const auto all = fixture_trials();
+  const std::vector<std::string> shard_paths = {
+      tmp_path("shard0"), tmp_path("shard1"), tmp_path("shard2")};
+  std::vector<std::vector<std::string>> shards(3);
+  for (size_t i = 0; i < all.size(); ++i) {
+    shards[i % 3].push_back(all[i]);
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    shards[i].insert(shards[i].begin(), kHeader);
+    write_file(shard_paths[i], shards[i]);
+  }
+
+  const Rendered want = render({single});
+  const Rendered got = render({shard_paths[2], shard_paths[0],
+                               shard_paths[1]});
+  EXPECT_EQ(got.out, want.out);
+
+  std::remove(single.c_str());
+  for (const auto& p : shard_paths) std::remove(p.c_str());
+}
+
+TEST(Report, DuplicateTrialKeysDedupeLastWins) {
+  // Re-running a shard appends a fresh copy of its trials (append-mode
+  // resume); the report must count each (site_index, trial) once, taking
+  // the latest record.
+  const std::string path = tmp_path("dedupe");
+  write_file(path, {kHeader, trial(0, 0, "fc1", 2, 0.0, "masked"),
+                    trial(0, 0, "fc1", 2, 0.75, "sdc")});
+  const Rendered r = render({path});
+  EXPECT_NE(r.out.find("trials: 1  layers: 1"), std::string::npos);
+  EXPECT_NE(r.out.find("100.0%"), std::string::npos);  // the sdc copy won
+  std::remove(path.c_str());
+}
+
+TEST(Report, MixedCampaignHeadersAreDiagnosed) {
+  const std::string a = tmp_path("mix_a");
+  const std::string b = tmp_path("mix_b");
+  write_file(a, {kHeader, trial(0, 0, "fc1", 0, 0.1, "sdc")});
+  write_file(b, {"{\"schema\":2,\"type\":\"run_header\",\"format\":\"int8\","
+                 "\"model\":\"mlp\",\"seed\":6,\"samples\":8}",
+                 trial(0, 1, "fc1", 1, 0.2, "sdc")});
+  EXPECT_THROW(render({a, b}), io::IoError);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(Report, NoTrialRecordsIsDiagnosed) {
+  const std::string path = tmp_path("empty");
+  write_file(path, {kHeader});
+  EXPECT_THROW(render({path}), io::IoError);
+  EXPECT_THROW(render({"/tmp/ge_test_report_no_such.jsonl"}), io::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Report, UnparseableAndUnknownLinesAreSkippedNotFatal) {
+  // Forward compatibility with future record types and resilience to a
+  // torn final line: junk is counted on stderr, never aborts the render.
+  const std::string path = tmp_path("junk");
+  write_file(path, {kHeader,
+                    "{\"schema\":3,\"type\":\"hologram\",\"x\":[1,{\"y\":2}]}",
+                    trial(0, 0, "fc1", 0, 0.1, "sdc"),
+                    "{\"type\":\"trial\",\"layer\":\"fc1\",\"site_index\":0",
+                    "not json at all"});
+  const Rendered r = render({path});
+  EXPECT_NE(r.out.find("trials: 1  layers: 1"), std::string::npos);
+  EXPECT_NE(r.err.find("skipped 2 unparseable record(s)"), std::string::npos)
+      << r.err;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ge::core
