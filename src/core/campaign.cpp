@@ -43,6 +43,9 @@ struct WorkerCtx {
   nn::Module* model = nullptr;
   std::unique_ptr<Emulator> emu;
   std::unique_ptr<Injector> inj;
+  /// This slot's golden-prefix replay plan (keyed to its own module tree);
+  /// null when the cache is off or unusable.
+  const nn::ReplayPlan* plan = nullptr;
 };
 
 /// Copy parameter and buffer values from `src` into `dst` positionally
@@ -127,6 +130,9 @@ void apply_resume(CampaignProgress& fresh, const CampaignProgress& saved) {
   if (saved.shards != fresh.shards || saved.shard_index != fresh.shard_index) {
     fail("shard partition");
   }
+  if (saved.sites_per_trial != fresh.sites_per_trial) {
+    fail("sites per trial");
+  }
   if (saved.model_name != fresh.model_name) fail("model");
   if (saved.eval_samples != fresh.eval_samples) fail("sample count");
   // Bitwise: any change to weights, batch, or kernels shows up here. The
@@ -175,6 +181,10 @@ CampaignProgress run_campaign_trials(nn::Module& model,
     throw std::invalid_argument(
         "run_campaign_trials: checkpointing requires a checkpoint_path");
   }
+  if (cfg.sites_per_trial < 1) {
+    throw std::invalid_argument(
+        "run_campaign_trials: sites_per_trial must be >= 1");
+  }
   model.eval();
   EmulatorConfig ecfg;
   ecfg.format_spec = cfg.format_spec;
@@ -219,10 +229,40 @@ CampaignProgress run_campaign_trials(nn::Module& model,
   // faults are measured against the format's own clean behaviour. The
   // replicas share it — identical weights and deterministic kernels make
   // their fault-free logits bitwise equal to the primary's.
+  //
+  // With the prefix cache on, the same pass also records every module's
+  // post-hook output into a ReplayPlan (O(1) COW shares — the plan adds no
+  // forward cost), so trials can replay only the suffix from their
+  // injection site. The cached tensors are golden state: any in-place
+  // write during a trial detaches via copy-on-write because the plan holds
+  // a share, so the cache can never be corrupted.
+  nn::ReplayPlan plan0;
   const GoldenRun golden = [&] {
     obs::Span golden_span("campaign", "golden_run");
-    return run_golden(model, batch);
+    return run_golden(model, batch, cfg.use_prefix_cache ? &plan0 : nullptr);
   }();
+  const bool cache_on = cfg.use_prefix_cache && plan0.usable();
+  if (cfg.use_prefix_cache && !cache_on) {
+    obs::log(1,
+             "campaign: prefix cache unusable (a module ran more than once "
+             "in the golden forward); falling back to full forwards");
+  }
+  std::vector<nn::ReplayPlan> rplans;
+  if (cache_on) {
+    obs::add(obs::Counter::kPrefixCacheBytes,
+             static_cast<uint64_t>(plan0.cache_bytes()));
+    ctxs[0].plan = &plan0;
+    // Replica plans re-key the primary's records onto each replica's
+    // module tree; the cached tensors themselves are shared, not copied.
+    rplans.reserve(static_cast<size_t>(nctx - 1));
+    for (int w = 1; w < nctx; ++w) {
+      rplans.push_back(plan0.translate(model, *ctxs[static_cast<size_t>(w)]
+                                                   .model));
+    }
+    for (int w = 1; w < nctx; ++w) {
+      ctxs[static_cast<size_t>(w)].plan = &rplans[static_cast<size_t>(w - 1)];
+    }
+  }
 
   CampaignProgress prog;
   prog.format_spec = cfg.format_spec;
@@ -233,6 +273,7 @@ CampaignProgress run_campaign_trials(nn::Module& model,
   prog.seed = cfg.seed;
   prog.shards = opts.shards;
   prog.shard_index = opts.shard_index;
+  prog.sites_per_trial = cfg.sites_per_trial;
   prog.model_name = opts.model_name;
   prog.eval_samples = opts.eval_samples;
   prog.golden_accuracy = nn::accuracy(golden.logits, batch.labels);
@@ -298,12 +339,49 @@ CampaignProgress run_campaign_trials(nn::Module& model,
   for (LayerProgress& lp : prog.layers) {
     LayerSite& site = emu.sites()[static_cast<size_t>(lp.site_index)];
     std::vector<int64_t> pending;
+    pending.reserve(static_cast<size_t>(nT));
     for (int64_t ti = 0; ti < nT; ++ti) {
       if (shard_owns(ti, opts.shards, opts.shard_index) && !lp.done[ti]) {
         pending.push_back(ti);
       }
     }
     if (pending.empty()) continue;
+
+    // Companion pool for multi-point trials: instrumented sites strictly
+    // after the campaigned one (disjoint suffix segments — a companion
+    // never perturbs state the primary fault's own layer consumes).
+    // Metadata campaigns keep only metadata-capable formats, mirroring the
+    // primary-site filter above.
+    std::vector<size_t> companions;
+    if (cfg.sites_per_trial > 1) {
+      companions.reserve(emu.sites().size());
+      for (size_t lj = static_cast<size_t>(lp.site_index) + 1;
+           lj < emu.sites().size(); ++lj) {
+        if (cfg.site == InjectionSite::kMetadata &&
+            !emu.sites()[lj].act_format->has_metadata()) {
+          continue;
+        }
+        companions.push_back(lj);
+      }
+    }
+    const int64_t want_comp = std::min<int64_t>(
+        cfg.sites_per_trial - 1, static_cast<int64_t>(companions.size()));
+
+    // Suffix replay is exact only if every fault of the trial re-executes:
+    // a companion the plan would serve from cache (possible only if
+    // site-registration order diverges from execution order) silently
+    // drops its fault, so such layers run full forwards instead. The
+    // companion pool itself never depends on the cache mode — cache on and
+    // off stay bitwise identical.
+    bool layer_cache_on = cache_on;
+    if (layer_cache_on) {
+      for (size_t lj : companions) {
+        if (plan0.skipped_for(*site.module, *emu.sites()[lj].module)) {
+          layer_cache_on = false;
+          break;
+        }
+      }
+    }
 
     obs::Span layer_span("campaign", "layer", site.path);
     const int64_t layer_t0 = obs::metrics_enabled() ? obs::now_ns() : 0;
@@ -330,11 +408,56 @@ CampaignProgress run_campaign_trials(nn::Module& model,
               spec.site = cfg.site;
               spec.model = cfg.model;
               spec.num_bits = cfg.num_bits;
-              ctx.inj->arm(spec,
-                           base.child(lp.site_index *
-                                          static_cast<uint64_t>(nT) +
-                                      static_cast<uint64_t>(ti)));
-              Tensor logits = (*ctx.model)(batch.images);
+              Rng trial_rng =
+                  base.child(lp.site_index * static_cast<uint64_t>(nT) +
+                             static_cast<uint64_t>(ti));
+              if (want_comp == 0) {
+                ctx.inj->arm(spec, trial_rng);
+              } else {
+                // Companion selection draws from the trial stream before
+                // the injector copies it, so every random choice of the
+                // trial — selection included — is a pure function of
+                // (seed, site index, trial index).
+                std::vector<size_t> chosen;
+                chosen.reserve(static_cast<size_t>(want_comp));
+                while (static_cast<int64_t>(chosen.size()) < want_comp) {
+                  const size_t pick = companions[static_cast<size_t>(
+                      trial_rng.randint(
+                          0, static_cast<int64_t>(companions.size()) - 1))];
+                  if (std::find(chosen.begin(), chosen.end(), pick) ==
+                      chosen.end()) {
+                    chosen.push_back(pick);
+                  }
+                }
+                std::sort(chosen.begin(), chosen.end());
+                std::vector<InjectionSpec> specs;
+                specs.reserve(1 + static_cast<size_t>(want_comp));
+                specs.push_back(spec);
+                for (size_t lj : chosen) {
+                  InjectionSpec cspec = spec;
+                  cspec.layer_path = emu.sites()[lj].path;
+                  specs.push_back(std::move(cspec));
+                }
+                ctx.inj->arm_multi(specs, trial_rng);
+              }
+              Tensor logits;
+              if (layer_cache_on) {
+                // Suffix replay: the prefix is served from the recorded
+                // golden activations; only the site, its ancestors, and
+                // the layers after it recompute.
+                obs::Span replay_span("campaign", "suffix_replay");
+                int64_t served = 0;
+                logits = ctx.model->forward_from(
+                    *ctx.plan,
+                    *ctx.emu->sites()[static_cast<size_t>(lp.site_index)]
+                         .module,
+                    batch.images, &served);
+                obs::add(obs::Counter::kPrefixCacheHits);
+                obs::add(obs::Counter::kSuffixLayersSkipped,
+                         static_cast<uint64_t>(served));
+              } else {
+                logits = (*ctx.model)(batch.images);
+              }
               lp.outcomes[static_cast<size_t>(ti)] =
                   compare_to_golden(golden, logits, batch.labels);
               ctx.inj->disarm();
@@ -490,6 +613,10 @@ CampaignResult finalize_campaign(const CampaignProgress& progress) {
   for (const LayerProgress& lp : progress.layers) {
     LayerCampaignResult lr;
     lr.layer = lp.path;
+    // One exact reservation per vector: the trial count is known up front,
+    // so the per-trial push_backs below never reallocate.
+    lr.delta_losses.reserve(lp.outcomes.size());
+    lr.sdc_flags.reserve(lp.outcomes.size());
     ConvergenceTracker tracker;
     for (const FaultOutcome& out : lp.outcomes) {
       ++lr.injections;
@@ -517,7 +644,9 @@ CampaignProgress merge_campaign_progress(
     throw std::invalid_argument("merge_campaign_progress: no inputs");
   }
   CampaignProgress merged = parts[0];
-  std::vector<int> seen{parts[0].shard_index};
+  std::vector<int> seen;
+  seen.reserve(parts.size());
+  seen.push_back(parts[0].shard_index);
   for (size_t i = 1; i < parts.size(); ++i) {
     const CampaignProgress& p = parts[i];
     const auto fail = [i](const std::string& what) {
@@ -533,6 +662,9 @@ CampaignProgress merge_campaign_progress(
     if (p.num_bits != merged.num_bits) fail("bits per injection");
     if (p.seed != merged.seed) fail("seed");
     if (p.shards != parts[0].shards) fail("shard count");
+    if (p.sites_per_trial != merged.sites_per_trial) {
+      fail("sites per trial");
+    }
     if (p.model_name != merged.model_name) fail("model");
     if (p.eval_samples != merged.eval_samples) fail("sample count");
     if (!(p.golden_accuracy == merged.golden_accuracy) ||

@@ -43,6 +43,21 @@ struct CampaignConfig {
   /// null, trials run serially on the primary model. Either way the
   /// results are bitwise identical — parallelism only changes wall-clock.
   std::function<std::unique_ptr<nn::Module>()> make_replica;
+  /// Golden-prefix cache (DESIGN.md §10): record the golden forward's
+  /// activations and run each trial as a suffix replay from its injection
+  /// site, skipping every layer that completed before the site entered.
+  /// Bitwise identical to full forwards — a fault cannot perturb state
+  /// that was computed before it fired — so this is purely a speed knob.
+  /// Ignored (full forwards) when the model reuses a module instance
+  /// within one forward, or when a trial's companion faults land outside
+  /// the replayed suffix.
+  bool use_prefix_cache = true;
+  /// Multi-point trials (MRFI-style): each trial arms the campaigned site
+  /// plus (sites_per_trial - 1) companion faults at distinct strictly
+  /// later instrumented sites, drawn from the trial's own RNG stream, all
+  /// carried by one forward. 1 = classic single-fault campaigns (bitwise
+  /// unchanged). Layers with fewer later sites arm as many as exist.
+  int sites_per_trial = 1;
 };
 
 struct LayerCampaignResult {
@@ -98,6 +113,7 @@ struct CampaignProgress {
   uint64_t seed = 0;
   int shards = 1;       ///< trial-space partition this state was run under
   int shard_index = 0;  ///< which partition slice (0 when unsharded)
+  int sites_per_trial = 1;  ///< faults armed per trial (config echo)
   std::string model_name;    ///< CLI echo (empty for library callers)
   int64_t eval_samples = 0;  ///< CLI echo of the evaluation batch size
   float golden_accuracy = 0.0f;

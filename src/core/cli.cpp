@@ -147,7 +147,11 @@ const std::vector<CommandDesc>& command_table() {
         {"resume", "FILE", "continue from a progress .gec file"},
         {"shards", "N", "partition the trial space into N shards"},
         {"shard-index", "I", "which shard this process runs (0-based)"},
-        {"abort-after", "N", "stop after N trials (fault-tolerance drill)"}},
+        {"abort-after", "N", "stop after N trials (fault-tolerance drill)"},
+        {"prefix-cache", "on|off", "golden-prefix suffix-replay cache "
+                                   "(default on; bitwise-identical results)"},
+        {"sites-per-trial", "K", "faults per trial: 1 classic, >1 adds "
+                                 "companion faults at later layers"}},
        true},
       {"train",
        "train (or load) a model; save/restore .gec checkpoints",
@@ -333,6 +337,18 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err,
   }
   cfg.injections_per_layer = get_int(p, "injections", 50);
   cfg.seed = static_cast<uint64_t>(get_int(p, "seed", 1234));
+  const std::string prefix_cache = get(p, "prefix-cache", "on");
+  if (prefix_cache == "on") {
+    cfg.use_prefix_cache = true;
+  } else if (prefix_cache == "off") {
+    cfg.use_prefix_cache = false;
+  } else {
+    throw UsageError("--prefix-cache must be 'on' or 'off'");
+  }
+  cfg.sites_per_trial = static_cast<int>(get_int(p, "sites-per-trial", 1));
+  if (cfg.sites_per_trial < 1) {
+    throw UsageError("--sites-per-trial must be >= 1");
+  }
   const int64_t samples = get_int(p, "samples", 16);
 
   // Persistence / sharding options (DESIGN.md §9). All misuse is a

@@ -36,6 +36,15 @@ Emulator::~Emulator() { detach(); }
 
 void Emulator::attach() {
   obs::Span span("emulator", "attach", cfg_.format_spec);
+  // Path-indexed view of the weight-source tree, built once: find_module
+  // walks the whole tree per call, which made sharing-attach O(sites x
+  // modules) — campaigns construct one replica emulator per worker.
+  std::unordered_map<std::string, nn::Module*> src_by_path;
+  if (cfg_.weight_source != nullptr) {
+    for (auto& [path, mod] : cfg_.weight_source->named_modules()) {
+      src_by_path.emplace(path, mod);
+    }
+  }
   for (auto& [path, mod] : model_->named_modules()) {
     const bool selected =
         std::find(cfg_.layer_kinds.begin(), cfg_.layer_kinds.end(),
@@ -53,9 +62,11 @@ void Emulator::attach() {
       // weight_source, the source model's already-quantised tensors are
       // shared instead (O(1) — all replicas then reference one frozen
       // copy of the quantised weights).
-      nn::Module* src_mod = cfg_.weight_source != nullptr
-                                ? cfg_.weight_source->find_module(path)
-                                : nullptr;
+      nn::Module* src_mod = nullptr;
+      if (cfg_.weight_source != nullptr) {
+        const auto it = src_by_path.find(path);
+        src_mod = it != src_by_path.end() ? it->second : nullptr;
+      }
       for (nn::Parameter* p : mod->local_parameters()) {
         if (p->name == "weight") {
           weight_saved_index_[path] = saved_weights_.size();

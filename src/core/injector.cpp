@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "obs/telemetry.hpp"
 
@@ -28,16 +29,10 @@ const char* to_string(ErrorModel model) {
 Injector::Injector(Emulator& emulator, uint64_t seed)
     : emulator_(&emulator), rng_(seed) {
   emulator_->set_post_quant([this](LayerSite& site, Tensor& y) {
-    if (!armed_ || fired_ || site.path != armed_->layer_path) return;
-    switch (armed_->site) {
-      case InjectionSite::kActivationValue:
-        apply_activation(site, y);
-        break;
-      case InjectionSite::kMetadata:
-        apply_metadata(site, y);
-        break;
-      case InjectionSite::kWeightValue:
-        break;  // applied at arm time, not in the hook
+    for (size_t i = 0; i < faults_.size(); ++i) {
+      ArmedFault& fault = faults_[i];
+      if (fault.fired || site.path != fault.spec.layer_path) continue;
+      fire(fault, i, site, &y);
     }
   });
 }
@@ -70,10 +65,10 @@ std::vector<int> Injector::choose_bits(int width, int requested_bit,
   return bits;
 }
 
-void Injector::perturb(fmt::BitString& bits,
+void Injector::perturb(fmt::BitString& bits, ErrorModel model,
                        const std::vector<int>& chosen) const {
   for (int b : chosen) {
-    switch (armed_->model) {
+    switch (model) {
       case ErrorModel::kBitFlip:
         bits.flip_bit(b);
         break;
@@ -89,56 +84,104 @@ void Injector::perturb(fmt::BitString& bits,
 
 void Injector::arm(const InjectionSpec& spec) {
   disarm();
-  arm_impl(spec);
+  arm_impl({spec});
 }
 
 void Injector::arm(const InjectionSpec& spec, const Rng& trial_rng) {
   disarm();
   trial_rng_ = trial_rng;  // after disarm(), which clears any old override
   try {
-    arm_impl(spec);
+    arm_impl({spec});
   } catch (...) {
     trial_rng_.reset();
     throw;
   }
 }
 
-void Injector::arm_impl(const InjectionSpec& spec) {
-  LayerSite* site = emulator_->site(spec.layer_path);
-  if (site == nullptr) {
-    throw std::invalid_argument("Injector: layer '" + spec.layer_path +
-                                "' is not instrumented");
+void Injector::arm_multi(const std::vector<InjectionSpec>& specs,
+                         const Rng& trial_rng) {
+  disarm();
+  trial_rng_ = trial_rng;
+  try {
+    arm_impl(specs);
+  } catch (...) {
+    trial_rng_.reset();
+    throw;
   }
-  if (spec.site == InjectionSite::kMetadata &&
-      !site->act_format->has_metadata()) {
-    throw std::invalid_argument("Injector: format '" +
-                                site->act_format->name() +
-                                "' exposes no metadata");
+}
+
+void Injector::arm_impl(std::vector<InjectionSpec> specs) {
+  if (specs.empty()) {
+    throw std::invalid_argument("Injector: no injection specs");
   }
-  if (spec.num_bits < 1) {
-    throw std::invalid_argument("Injector: num_bits must be >= 1");
+  std::unordered_set<std::string> layers;
+  for (const InjectionSpec& spec : specs) {
+    LayerSite* site = emulator_->site(spec.layer_path);
+    if (site == nullptr) {
+      throw std::invalid_argument("Injector: layer '" + spec.layer_path +
+                                  "' is not instrumented");
+    }
+    if (spec.site == InjectionSite::kMetadata &&
+        !site->act_format->has_metadata()) {
+      throw std::invalid_argument("Injector: format '" +
+                                  site->act_format->name() +
+                                  "' exposes no metadata");
+    }
+    if (spec.num_bits < 1) {
+      throw std::invalid_argument("Injector: num_bits must be >= 1");
+    }
+    if (!layers.insert(spec.layer_path).second) {
+      throw std::invalid_argument(
+          "Injector: duplicate target layer '" + spec.layer_path +
+          "' in multi-point arming");
+    }
   }
-  armed_ = spec;
-  fired_ = false;
   record_.reset();
-  obs::add(obs::Counter::kInjections);
-  if (spec.site == InjectionSite::kWeightValue) {
-    apply_weight(*site);
+  records_.clear();
+  faults_.reserve(specs.size());
+  for (InjectionSpec& spec : specs) {
+    faults_.push_back(ArmedFault{std::move(spec), false});
+    obs::add(obs::Counter::kInjections);
+  }
+  // Weight faults apply offline, in arming order, before any forward runs.
+  for (size_t i = 0; i < faults_.size(); ++i) {
+    ArmedFault& fault = faults_[i];
+    if (fault.spec.site != InjectionSite::kWeightValue) continue;
+    LayerSite* site = emulator_->site(fault.spec.layer_path);
+    fire(fault, i, *site, nullptr);
   }
 }
 
 void Injector::disarm() {
-  if (weight_corrupted_) {
-    emulator_->restore_weights(corrupted_weight_path_);
-    weight_corrupted_ = false;
+  for (const std::string& path : corrupted_weight_paths_) {
+    emulator_->restore_weights(path);
   }
-  armed_.reset();
-  fired_ = false;
+  corrupted_weight_paths_.clear();
+  faults_.clear();
   trial_rng_.reset();
 }
 
-void Injector::apply_activation(LayerSite& site, Tensor& y) {
-  const InjectionSpec& spec = *armed_;
+void Injector::fire(ArmedFault& fault, size_t index, LayerSite& site,
+                    Tensor* y) {
+  InjectionRecord rec;
+  switch (fault.spec.site) {
+    case InjectionSite::kActivationValue:
+      rec = apply_activation(fault.spec, site, *y);
+      break;
+    case InjectionSite::kMetadata:
+      rec = apply_metadata(fault.spec, site, *y);
+      break;
+    case InjectionSite::kWeightValue:
+      rec = apply_weight(fault.spec, site);
+      break;
+  }
+  fault.fired = true;
+  if (index == 0) record_ = rec;
+  records_.push_back(std::move(rec));
+}
+
+InjectionRecord Injector::apply_activation(const InjectionSpec& spec,
+                                           LayerSite& site, Tensor& y) {
   fmt::NumberFormat& f = *site.act_format;
   const int64_t element =
       spec.element >= 0 ? spec.element : draw_rng().randint(0, y.numel() - 1);
@@ -154,16 +197,14 @@ void Injector::apply_activation(LayerSite& site, Tensor& y) {
 
   fmt::BitString bits = f.real_to_format_at(y[element], element);
   rec.bits = choose_bits(bits.width(), spec.bit, spec.num_bits);
-  perturb(bits, rec.bits);
+  perturb(bits, spec.model, rec.bits);
   y[element] = f.format_to_real_at(bits, element);
   rec.value_after = y[element];
-
-  record_ = std::move(rec);
-  fired_ = true;
+  return rec;
 }
 
-void Injector::apply_metadata(LayerSite& site, Tensor& y) {
-  const InjectionSpec& spec = *armed_;
+InjectionRecord Injector::apply_metadata(const InjectionSpec& spec,
+                                         LayerSite& site, Tensor& y) {
   fmt::NumberFormat& f = *site.act_format;
   const auto fields = f.metadata_fields();
   if (fields.empty()) {
@@ -193,18 +234,16 @@ void Injector::apply_metadata(LayerSite& site, Tensor& y) {
 
   fmt::BitString bits = f.read_metadata(field->name, index);
   rec.bits = choose_bits(bits.width(), spec.bit, spec.num_bits);
-  perturb(bits, rec.bits);
+  perturb(bits, spec.model, rec.bits);
   f.write_metadata(field->name, index, bits);
   // Re-decode the whole tensor under the corrupted register: a single
   // metadata bit flip behaves as a multi-bit flip of the data (§II-B).
   y = f.decode_last_tensor();
-
-  record_ = std::move(rec);
-  fired_ = true;
+  return rec;
 }
 
-void Injector::apply_weight(LayerSite& site) {
-  const InjectionSpec& spec = *armed_;
+InjectionRecord Injector::apply_weight(const InjectionSpec& spec,
+                                       LayerSite& site) {
   nn::Parameter* weight = nullptr;
   for (nn::Parameter* p : site.module->local_parameters()) {
     if (p->name == "weight") weight = p;
@@ -234,14 +273,12 @@ void Injector::apply_weight(LayerSite& site) {
   fmt::BitString bits =
       wfmt->real_to_format_at(weight->value[element], element);
   rec.bits = choose_bits(bits.width(), spec.bit, spec.num_bits);
-  perturb(bits, rec.bits);
+  perturb(bits, spec.model, rec.bits);
   weight->value[element] = wfmt->format_to_real_at(bits, element);
   rec.value_after = weight->value[element];
 
-  weight_corrupted_ = true;
-  corrupted_weight_path_ = site.path;
-  record_ = std::move(rec);
-  fired_ = true;
+  corrupted_weight_paths_.push_back(site.path);
+  return rec;
 }
 
 }  // namespace ge::core

@@ -78,25 +78,55 @@ class Injector {
   /// order and still reproduce the serial results bitwise.
   void arm(const InjectionSpec& spec, const Rng& trial_rng);
 
-  /// Cancel a pending injection and undo any weight corruption.
+  /// Multi-point trial (multi-site batched campaigns): arm `specs[0]` as
+  /// the primary fault plus the rest as companions, all drawing their
+  /// random choices from `trial_rng` in arming order at fire time. One
+  /// forward pass then carries every fault; activation/metadata specs fire
+  /// as their layers are reached (network order), weight specs apply
+  /// immediately and are all undone on disarm. Specs must target distinct
+  /// layers. fired()/last_record() describe the primary; records() lists
+  /// every fault applied so far in firing order.
+  void arm_multi(const std::vector<InjectionSpec>& specs,
+                 const Rng& trial_rng);
+
+  /// Cancel pending injections and undo any weight corruption.
   void disarm();
 
-  /// True once the armed injection has been applied in a forward pass.
-  bool fired() const noexcept { return fired_; }
+  /// True once the armed primary injection has been applied.
+  bool fired() const noexcept { return !faults_.empty() && faults_[0].fired; }
 
-  /// Details of the last applied injection.
+  /// Details of the last applied primary injection.
   const std::optional<InjectionRecord>& last_record() const noexcept {
     return record_;
   }
 
+  /// Every fault the current arming has applied, in firing order (weight
+  /// faults first — they fire at arm time — then hook faults in network
+  /// order). Cleared by the next arm()/arm_multi().
+  const std::vector<InjectionRecord>& records() const noexcept {
+    return records_;
+  }
+
  private:
-  void arm_impl(const InjectionSpec& spec);
-  void apply_activation(LayerSite& site, Tensor& y);
-  void apply_metadata(LayerSite& site, Tensor& y);
-  void apply_weight(LayerSite& site);
+  /// One armed fault: its spec and whether it has been applied yet.
+  struct ArmedFault {
+    InjectionSpec spec;
+    bool fired = false;
+  };
+
+  void arm_impl(std::vector<InjectionSpec> specs);
+  InjectionRecord apply_activation(const InjectionSpec& spec,
+                                   LayerSite& site, Tensor& y);
+  InjectionRecord apply_metadata(const InjectionSpec& spec, LayerSite& site,
+                                 Tensor& y);
+  InjectionRecord apply_weight(const InjectionSpec& spec, LayerSite& site);
+  /// Apply one armed fault (y may be null for weight faults, which never
+  /// touch an activation tensor) and append its record.
+  void fire(ArmedFault& fault, size_t index, LayerSite& site, Tensor* y);
   std::vector<int> choose_bits(int width, int requested_bit, int count);
-  /// Apply the armed error model to the chosen bits of `bits`.
-  void perturb(fmt::BitString& bits, const std::vector<int>& chosen) const;
+  /// Apply `model` to the chosen bits of `bits`.
+  void perturb(fmt::BitString& bits, ErrorModel model,
+               const std::vector<int>& chosen) const;
   /// The stream random choices draw from: the per-trial override when one
   /// was armed, the injector's own stream otherwise.
   Rng& draw_rng() { return trial_rng_ ? *trial_rng_ : rng_; }
@@ -104,11 +134,10 @@ class Injector {
   Emulator* emulator_;
   Rng rng_;
   std::optional<Rng> trial_rng_;
-  std::optional<InjectionSpec> armed_;
+  std::vector<ArmedFault> faults_;  ///< [0] is the primary
   std::optional<InjectionRecord> record_;
-  bool fired_ = false;
-  bool weight_corrupted_ = false;
-  std::string corrupted_weight_path_;
+  std::vector<InjectionRecord> records_;
+  std::vector<std::string> corrupted_weight_paths_;
 };
 
 }  // namespace ge::core

@@ -8,10 +8,13 @@
 
 namespace ge::core {
 
-GoldenRun run_golden(nn::Module& model, const data::Batch& batch) {
+GoldenRun run_golden(nn::Module& model, const data::Batch& batch,
+                     nn::ReplayPlan* record_plan) {
   model.eval();
   GoldenRun g;
-  g.logits = model(batch.images);
+  g.logits = record_plan != nullptr
+                 ? model.record_forward(*record_plan, batch.images)
+                 : model(batch.images);
   g.predictions = ops::argmax_rows(g.logits);
   g.per_sample_loss = nn::CrossEntropyLoss::per_sample(g.logits, batch.labels);
   double s = 0.0;

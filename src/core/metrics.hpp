@@ -24,7 +24,12 @@ struct GoldenRun {
   float mean_loss = 0.0f;
 };
 
-GoldenRun run_golden(nn::Module& model, const data::Batch& batch);
+/// When `record_plan` is non-null, the golden forward is additionally
+/// recorded into it (nn::ReplayPlan — the golden-prefix cache campaigns
+/// replay trial suffixes from; recording takes O(1) tensor shares and
+/// never changes the computed values).
+GoldenRun run_golden(nn::Module& model, const data::Batch& batch,
+                     nn::ReplayPlan* record_plan = nullptr);
 
 /// Comparison of one faulty inference against the golden reference.
 struct FaultOutcome {

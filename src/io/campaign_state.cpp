@@ -13,6 +13,13 @@ constexpr const char* kCampaignTag = "CAMP";
 // payload bytes, so honest files stay far below this.
 constexpr uint64_t kMaxTrials = uint64_t{1} << 32;
 
+// Trailing-field tag for CampaignProgress::sites_per_trial ("SPT1").
+// Fields appended after the original CAMP layout must be tagged: the v2
+// skip rule lets old readers ignore them, and the tag lets this reader
+// tell its own field apart from arbitrary unknown trailing data (which is
+// skipped, leaving the default).
+constexpr uint32_t kSitesPerTrialTag = 0x53505431;
+
 void encode_outcome(ByteWriter& w, const core::FaultOutcome& o) {
   w.i64(o.mismatched_samples);
   w.f32(o.mismatch_rate);
@@ -56,6 +63,8 @@ std::vector<uint8_t> encode_campaign_progress(
     w.raw(l.done.data(), l.done.size());
     for (const core::FaultOutcome& o : l.outcomes) encode_outcome(w, o);
   }
+  w.u32(kSitesPerTrialTag);
+  w.u32(static_cast<uint32_t>(p.sites_per_trial));
   return w.take();
 }
 
@@ -104,6 +113,17 @@ core::CampaignProgress decode_campaign_progress(ByteReader& r) {
       l.outcomes.push_back(decode_outcome(r));
     }
     p.layers.push_back(std::move(l));
+  }
+  // Tagged trailing field (absent in files written before it existed, and
+  // shorter than a tag+value in the forward-compat junk drill): only a
+  // matching tag claims the bytes. A mismatching u32 is unknown trailing
+  // data — consumed or not, parsing stops here and the skip rule covers it.
+  if (r.remaining() >= 8 && r.u32() == kSitesPerTrialTag) {
+    const uint32_t spt = r.u32();
+    if (spt < 1) {
+      throw IoError(r.context() + ": corrupt sites_per_trial");
+    }
+    p.sites_per_trial = static_cast<int>(spt);
   }
   return p;
 }

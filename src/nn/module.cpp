@@ -1,20 +1,176 @@
 #include "nn/module.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace ge::nn {
+
+namespace {
+
+/// Active record/replay pass on this thread (campaign trials run one
+/// forward per worker thread, so a thread-local needs no plumbing through
+/// every composite forward). Null outside record_forward/forward_from.
+struct ReplayCtx {
+  ReplayPlan* rec = nullptr;        ///< record target (record mode)
+  const ReplayPlan* plan = nullptr; ///< replay source (replay mode)
+  int64_t fire_enter = 0;  ///< enter index of the fault site's invocation
+  int64_t served = 0;      ///< invocations returned from the cache
+};
+
+thread_local ReplayCtx* tl_replay = nullptr;
+
+/// RAII (de)activation, exception-safe.
+struct ReplayScope {
+  explicit ReplayScope(ReplayCtx& ctx) { tl_replay = &ctx; }
+  ~ReplayScope() { tl_replay = nullptr; }
+};
+
+}  // namespace
+
+int64_t ReplayPlan::cache_bytes() const {
+  std::unordered_set<const void*> seen;
+  int64_t bytes = 0;
+  for (const auto& [mod, rec] : records_) {
+    const void* key = rec.output.storage_key();
+    if (key == nullptr || !seen.insert(key).second) continue;
+    bytes += rec.output.numel() * static_cast<int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+bool ReplayPlan::skipped_for(const Module& site, const Module& m) const {
+  const auto si = records_.find(&site);
+  const auto mi = records_.find(&m);
+  if (si == records_.end() || mi == records_.end()) return false;
+  return mi->second.exit < si->second.enter;
+}
+
+ReplayPlan ReplayPlan::translate(Module& from_root, Module& to_root) const {
+  const auto from = from_root.named_modules();
+  const auto to = to_root.named_modules();
+  if (from.size() != to.size()) {
+    throw std::invalid_argument(
+        "ReplayPlan::translate: module trees differ in size");
+  }
+  std::unordered_map<const Module*, Module*> map;
+  map.reserve(from.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (from[i].first != to[i].first) {
+      throw std::invalid_argument(
+          "ReplayPlan::translate: module path mismatch at '" +
+          from[i].first + "' vs '" + to[i].first + "'");
+    }
+    map.emplace(from[i].second, to[i].second);
+  }
+  ReplayPlan out;
+  out.next_seq_ = next_seq_;
+  out.reentered_ = reentered_;
+  out.records_.reserve(records_.size());
+  for (const auto& [mod, rec] : records_) {
+    const auto it = map.find(mod);
+    if (it == map.end()) {
+      throw std::invalid_argument(
+          "ReplayPlan::translate: recorded module is not in the source tree");
+    }
+    out.records_.emplace(it->second, rec);  // tensor share, O(1)
+  }
+  return out;
+}
+
+void ReplayPlan::clear() {
+  records_.clear();
+  next_seq_ = 0;
+  reentered_ = false;
+}
 
 Tensor Module::backward(const Tensor& /*grad_out*/) {
   throw std::logic_error("backward not implemented for layer kind '" + kind_ +
                          "'");
 }
 
-Tensor Module::operator()(const Tensor& input) {
+Tensor Module::run_forward(const Tensor& input) {
   Tensor x = input;
   for (auto& [handle, hook] : pre_hooks_) hook(*this, x);
   Tensor y = forward(x);
   for (auto& [handle, hook] : post_hooks_) hook(*this, y);
+  return y;
+}
+
+Tensor Module::operator()(const Tensor& input) {
+  ReplayCtx* rc = tl_replay;
+  if (rc == nullptr) return run_forward(input);
+
+  if (rc->plan != nullptr) {
+    // Replay: serve any invocation that completed strictly before the
+    // fault site entered. Everything else (the site, its subtree, its
+    // ancestors, and the whole suffix) recomputes normally.
+    const auto it = rc->plan->records_.find(this);
+    if (it != rc->plan->records_.end() &&
+        it->second.exit < rc->fire_enter) {
+      ++rc->served;
+      return it->second.output;  // O(1) COW share of the golden buffer
+    }
+    return run_forward(input);
+  }
+
+  // Record: assign this invocation its nesting interval, run normally
+  // (children record recursively), then keep an O(1) share of the output.
+  ReplayPlan& plan = *rc->rec;
+  if (!plan.records_.try_emplace(this).second) {
+    // Module ran twice (weight sharing): intervals are ambiguous, so the
+    // whole plan is refused by usable(). Keep executing normally.
+    plan.reentered_ = true;
+  }
+  const int64_t enter = plan.next_seq_++;
+  Tensor y = run_forward(input);
+  // Re-find: child insertions may have rehashed the map since try_emplace.
+  ReplayPlan::Record& rec = plan.records_[this];
+  rec.enter = enter;
+  rec.exit = plan.next_seq_++;
+  rec.output = y;
+  return y;
+}
+
+Tensor Module::record_forward(ReplayPlan& plan, const Tensor& input) {
+  if (tl_replay != nullptr) {
+    throw std::logic_error(
+        "record_forward: a record/replay pass is already active");
+  }
+  plan.clear();
+  ReplayCtx ctx;
+  ctx.rec = &plan;
+  ReplayScope scope(ctx);
+  return (*this)(input);
+}
+
+Tensor Module::forward_from(const ReplayPlan& plan, const Module& site,
+                            const Tensor& input,
+                            int64_t* served_from_cache) {
+  if (tl_replay != nullptr) {
+    throw std::logic_error(
+        "forward_from: a record/replay pass is already active");
+  }
+  if (!plan.usable()) {
+    throw std::invalid_argument(
+        "forward_from: plan is unusable (nothing recorded, or a module ran "
+        "more than once)");
+  }
+  const auto it = plan.records_.find(&site);
+  if (it == plan.records_.end()) {
+    throw std::invalid_argument(
+        "forward_from: site was not recorded in this plan");
+  }
+  ReplayCtx ctx;
+  ctx.plan = &plan;
+  ctx.fire_enter = it->second.enter;
+  Tensor y;
+  {
+    ReplayScope scope(ctx);
+    y = (*this)(input);
+  }
+  if (served_from_cache != nullptr) *served_from_cache = ctx.served;
   return y;
 }
 

@@ -20,12 +20,70 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "tensor/tensor.hpp"
 
 namespace ge::nn {
+
+class Module;
+
+/// Record of one forward pass through a module tree: for every submodule
+/// invocation, its nesting interval in execution order and its post-hook
+/// output tensor (an O(1) copy-on-write share of the activation buffer
+/// that forward pass produced — recording copies nothing).
+///
+/// This is the golden-prefix cache behind campaign suffix-replay
+/// (DESIGN.md §10): a fault injected at site S can only perturb state from
+/// S onwards, so Module::forward_from serves every invocation that
+/// completed strictly before S entered straight from the plan and
+/// recomputes only the suffix. Interval comparison — rather than a linear
+/// "seed the chain at S" view — is what keeps the skip rule exact for
+/// non-sequential graphs: a residual branch or attention side-path that
+/// finished before S is served from cache, while any ancestor whose
+/// interval contains S (and therefore stitches cached and recomputed
+/// tensors together) re-executes its own glue code.
+class ReplayPlan {
+ public:
+  /// True once a record_forward pass filled this plan.
+  bool recorded() const noexcept { return next_seq_ > 0; }
+  /// False when some module ran more than once in the recorded forward
+  /// (weight sharing / module reuse): intervals are then ambiguous and
+  /// forward_from refuses the plan. Callers fall back to full forwards.
+  bool usable() const noexcept { return recorded() && !reentered_; }
+  size_t modules_recorded() const noexcept { return records_.size(); }
+  bool contains(const Module& m) const {
+    return records_.count(&m) != 0;
+  }
+  /// Bytes of activation storage the cached outputs keep alive. Nested
+  /// shares (a Sequential returning its last child's tensor) count once.
+  int64_t cache_bytes() const;
+  /// True when forward_from(site) would serve `m` from the cache — i.e. m's
+  /// recorded invocation completed strictly before site first entered.
+  /// False for unrecorded modules, for site itself, its subtree, its
+  /// ancestors, and everything executing after it. Campaigns use this to
+  /// check that a companion fault site re-executes during a suffix replay.
+  bool skipped_for(const Module& site, const Module& m) const;
+  /// Re-key this plan onto a structurally identical module tree (campaign
+  /// worker replicas): module pointers map positionally via
+  /// named_modules(), cached tensors are shared, not copied. Throws
+  /// std::invalid_argument when the trees disagree.
+  ReplayPlan translate(Module& from_root, Module& to_root) const;
+  void clear();
+
+ private:
+  friend class Module;
+  struct Record {
+    int64_t enter = -1;  ///< pre-order event index at operator() entry
+    int64_t exit = -1;   ///< event index after post-hooks ran
+    Tensor output;       ///< operator() return value (COW share)
+  };
+  std::unordered_map<const Module*, Record> records_;
+  int64_t next_seq_ = 0;
+  bool reentered_ = false;
+};
 
 /// A learnable tensor with its gradient accumulator.
 struct Parameter {
@@ -66,6 +124,30 @@ class Module {
   /// Run pre-hooks, forward, then post-hooks. This is how parents (and
   /// users) invoke a module.
   Tensor operator()(const Tensor& input);
+
+  /// --- golden-prefix record / replay -------------------------------------
+  /// Run this tree's forward while recording every submodule invocation
+  /// into `plan` (cleared first). Identical computation and hook firing to
+  /// a plain call — recording only takes O(1) output shares on the way.
+  /// Must not nest inside another record/replay pass (std::logic_error).
+  Tensor record_forward(ReplayPlan& plan, const Tensor& input);
+
+  /// Replay `plan`'s forward with a fault at `site`: every invocation
+  /// whose recorded interval completed strictly before `site` entered
+  /// returns its recorded output in O(1) — pre-hooks, forward and
+  /// post-hooks all skipped — while `site` itself, its subtree, every
+  /// ancestor, and everything after re-execute normally (hooks included).
+  /// Bitwise identical to a full forward whose state differs from the
+  /// recorded pass only at/after `site` (quantisation hooks recompute all
+  /// metadata per call, so skipped sites leave no stale state behind; see
+  /// DESIGN.md §10). Inference-only: skipped modules do not refresh any
+  /// backward caches. `served_from_cache`, when non-null, receives the
+  /// number of invocations served from the plan. Throws
+  /// std::invalid_argument when the plan is unusable or `site` was never
+  /// recorded, std::logic_error when nested in another record/replay.
+  Tensor forward_from(const ReplayPlan& plan, const Module& site,
+                      const Tensor& input,
+                      int64_t* served_from_cache = nullptr);
 
   /// --- hooks ---------------------------------------------------------------
   HookHandle add_forward_hook(Hook h);
@@ -124,6 +206,10 @@ class Module {
   void register_child(std::string name, Module& child);
 
  private:
+  /// The plain invocation body (pre-hooks, forward, post-hooks) with no
+  /// record/replay bookkeeping; operator() dispatches here.
+  Tensor run_forward(const Tensor& input);
+
   void collect_named_modules(const std::string& prefix,
                              std::vector<std::pair<std::string, Module*>>& out);
 

@@ -211,6 +211,9 @@ const char* counter_name(Counter c) {
     case Counter::kArenaEvictions: return "arena_evictions";
     case Counter::kCheckpointWrites: return "checkpoint_writes";
     case Counter::kCampaignResumes: return "campaign_resumes";
+    case Counter::kPrefixCacheHits: return "prefix_cache_hits";
+    case Counter::kSuffixLayersSkipped: return "suffix_layers_skipped";
+    case Counter::kPrefixCacheBytes: return "prefix_cache_bytes";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -152,6 +152,9 @@ enum class Counter : int {
   kArenaEvictions,         ///< cached blocks dropped by the freelist cap
   kCheckpointWrites,       ///< campaign checkpoint files written (ge::io)
   kCampaignResumes,        ///< campaigns continued from a checkpoint
+  kPrefixCacheHits,        ///< trials executed as a suffix replay
+  kSuffixLayersSkipped,    ///< module invocations served from the cache
+  kPrefixCacheBytes,       ///< golden activation bytes kept by the cache
   kCount
 };
 

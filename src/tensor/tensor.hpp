@@ -143,6 +143,12 @@ class Tensor {
     return data_ != nullptr && data_ == other.data_;
   }
 
+  /// Opaque identity of the current storage block (nullptr when empty);
+  /// equal keys mean shared storage. Diagnostics and accounting only
+  /// (e.g. counting the unique bytes a set of shares keeps alive) — the
+  /// key is invalidated by any mutable access that detaches.
+  const void* storage_key() const noexcept { return data_.get(); }
+
  private:
   /// Detach from shared storage before a write. Fast path: one use_count
   /// load. The copy (detach_storage) lives in tensor.cpp.

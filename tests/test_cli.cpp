@@ -120,6 +120,44 @@ TEST(Cli, CampaignStuckAtErrorModelEndToEnd) {
   EXPECT_NE(r.out.find("error-model=sa1"), std::string::npos);
 }
 
+TEST(Cli, CampaignPrefixCacheFlagValidatedAndDigestInvariant) {
+  // bad values are usage errors
+  const auto bad = run({"campaign", "--model", "mlp", "--format", "int8",
+                        "--prefix-cache", "maybe", "--epochs", "1",
+                        "--cache", "/tmp/ge_cli_cache", "--samples", "8"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("--prefix-cache"), std::string::npos);
+  EXPECT_EQ(run({"campaign", "--model", "mlp", "--format", "int8",
+                 "--sites-per-trial", "0", "--epochs", "1", "--cache",
+                 "/tmp/ge_cli_cache", "--samples", "8"})
+                .code,
+            2);
+
+  // cache on (default) and off print the same campaign digest
+  const std::vector<std::string> base = {
+      "campaign", "--model", "mlp", "--format", "int8", "--injections", "3",
+      "--epochs", "1", "--cache", "/tmp/ge_cli_cache", "--samples", "8"};
+  auto digest = [](const std::string& out) {
+    const auto pos = out.find("campaign digest:");
+    EXPECT_NE(pos, std::string::npos) << out;
+    return out.substr(pos, out.find('\n', pos) - pos);
+  };
+  const auto on = run(base);
+  auto off_args = base;
+  off_args.insert(off_args.end(), {"--prefix-cache", "off"});
+  const auto off = run(off_args);
+  EXPECT_EQ(on.code, 0) << on.err;
+  EXPECT_EQ(off.code, 0) << off.err;
+  EXPECT_EQ(digest(on.out), digest(off.out));
+
+  // multi-point trials run end to end and shift the digest
+  auto multi_args = base;
+  multi_args.insert(multi_args.end(), {"--sites-per-trial", "2"});
+  const auto multi = run(multi_args);
+  EXPECT_EQ(multi.code, 0) << multi.err;
+  EXPECT_NE(digest(multi.out), digest(on.out));
+}
+
 TEST(Cli, BadNumericOptionIsUsageErrorNotCrash) {
   // used to throw std::invalid_argument straight out of std::stoll
   const auto r = run({"campaign", "--format", "int8", "--samples", "abc"});

@@ -181,6 +181,64 @@ TEST(Determinism, PinnedDigestWeightCampaign) {
   expect_pinned_digest(cfg, 0x05ebde590ffab9b7ULL);
 }
 
+TEST(Determinism, PinnedDigestsUnchangedWithPrefixCacheOff) {
+  // The golden-prefix cache (on by default, so every pinned test above
+  // already runs the suffix-replay path) is purely a speed knob: turning
+  // it off must reproduce each pinned digest exactly, for all three
+  // injection sites, at 1 and 4 threads.
+  CampaignConfig act = campaign_cfg(/*with_replicas=*/true);
+  act.use_prefix_cache = false;
+  expect_pinned_digest(act, 0x347820fff760869bULL);
+
+  CampaignConfig meta = campaign_cfg(/*with_replicas=*/true);
+  meta.format_spec = "bfp_e5m5_b16";
+  meta.site = InjectionSite::kMetadata;
+  meta.use_prefix_cache = false;
+  expect_pinned_digest(meta, 0xa6871332fe0e0fbcULL);
+
+  CampaignConfig wgt = campaign_cfg(/*with_replicas=*/true);
+  wgt.format_spec = "int8";
+  wgt.site = InjectionSite::kWeightValue;
+  wgt.use_prefix_cache = false;
+  expect_pinned_digest(wgt, 0x05ebde590ffab9b7ULL);
+}
+
+TEST(Determinism, MultiSiteCampaignCacheOnOffBitwiseIdentical) {
+  // Multi-point trials (sites_per_trial > 1) must also be independent of
+  // the cache mode and the thread count: companion selection draws from
+  // the per-trial stream, never from anything execution-order dependent.
+  ThreadGuard guard;
+  for (InjectionSite site : {InjectionSite::kActivationValue,
+                             InjectionSite::kWeightValue}) {
+    CampaignConfig cfg = campaign_cfg(/*with_replicas=*/true);
+    cfg.site = site;
+    if (site == InjectionSite::kWeightValue) cfg.format_spec = "int8";
+    cfg.sites_per_trial = 3;
+    std::vector<uint64_t> digests;
+    for (const bool cache : {true, false}) {
+      for (const int threads : {1, 4}) {
+        Fixture f;
+        parallel::set_num_threads(threads);
+        cfg.use_prefix_cache = cache;
+        digests.push_back(
+            campaign_digest(run_campaign(*f.model, f.batch, cfg)));
+      }
+    }
+    for (size_t i = 1; i < digests.size(); ++i) {
+      EXPECT_EQ(digests[i], digests[0])
+          << "site=" << to_string(site) << " variant " << i;
+    }
+    // and the companions actually changed the outcome vs classic trials
+    CampaignConfig classic = cfg;
+    classic.sites_per_trial = 1;
+    Fixture f;
+    parallel::set_num_threads(4);
+    EXPECT_NE(campaign_digest(run_campaign(*f.model, f.batch, classic)),
+              digests[0])
+        << "site=" << to_string(site);
+  }
+}
+
 TEST(Determinism, PinnedDigestSurvivesSharding) {
   // 3 shards run as separate "processes" (fresh fixtures), merged, and
   // finalized: the exact digest pinned for the single-process run, at
