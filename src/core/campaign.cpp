@@ -7,6 +7,7 @@
 #include "io/campaign_state.hpp"
 #include "nn/loss.hpp"
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 #include "obs/run_log.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
@@ -166,6 +167,7 @@ CampaignProgress run_campaign_trials(nn::Module& model,
                                      const data::Batch& batch,
                                      const CampaignConfig& cfg,
                                      const CampaignRunOptions& opts) {
+  obs::AttrScope campaign_attr(cfg.format_spec, "");
   obs::Span campaign_span("campaign", "run_campaign", cfg.format_spec);
   if (opts.shards < 1 || opts.shard_index < 0 ||
       opts.shard_index >= opts.shards) {
@@ -401,6 +403,9 @@ CampaignProgress run_campaign_trials(nn::Module& model,
             WorkerCtx& ctx = ctxs[static_cast<size_t>(slot)];
             for (int64_t k = lo; k < hi; ++k) {
               const int64_t ti = pending[start + static_cast<size_t>(k)];
+              // Worker threads don't inherit the campaign's AttrScope
+              // (attribution is thread-local): re-establish it per trial.
+              obs::AttrScope trial_attr(cfg.format_spec, site.path);
               obs::Span trial_span("campaign", "trial");
               const int64_t trial_t0 = capture ? obs::now_ns() : 0;
               InjectionSpec spec;
@@ -540,6 +545,11 @@ CampaignProgress run_campaign_trials(nn::Module& model,
         obs::set_gauge("campaign.trials_total",
                        static_cast<double>(hb_total));
         obs::set_gauge("campaign.eta_seconds", eta);
+        // Memory watermarks ride the heartbeat: a pure read of allocator
+        // and /proc state (never a perturbation), published as mem.*
+        // gauges and as additive schema-v2 heartbeat fields the report
+        // scanner tolerates being absent.
+        const obs::MemoryWatermarks mem = obs::sample_memory();
         char hb[160];
         std::snprintf(hb, sizeof(hb),
                       "campaign: %lld/%lld trials, %.1f trials/s, eta %.1fs",
@@ -551,7 +561,9 @@ CampaignProgress run_campaign_trials(nn::Module& model,
           row.num("done", executed)
               .num("total", hb_total)
               .num("trials_per_sec", rate)
-              .num("eta_seconds", eta);
+              .num("eta_seconds", eta)
+              .num("rss_bytes", mem.rss_bytes)
+              .num("arena_bytes", mem.arena_live_bytes);
           opts.run_log->event("heartbeat", row);
         }
       }

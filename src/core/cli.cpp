@@ -1,7 +1,9 @@
 #include "core/cli.hpp"
 
 #include <charconv>
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <map>
 #include <memory>
@@ -10,6 +12,7 @@
 
 #include "core/campaign.hpp"
 #include "core/dse.hpp"
+#include "core/emulator.hpp"
 #include "core/goldeneye.hpp"
 #include "core/report.hpp"
 #include "data/dataloader.hpp"
@@ -19,9 +22,12 @@
 #include "models/model_factory.hpp"
 #include "nn/loss.hpp"
 #include "obs/metrics_server.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/profiler.hpp"
 #include "obs/run_log.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/arena.hpp"
 
 namespace ge::core {
 
@@ -172,6 +178,14 @@ const std::vector<CommandDesc>& command_table() {
        "binary-tree design-space exploration",
        {{"family", "F", "format family: fp|fxp|int|bfp|afp|posit"},
         {"threshold", "X", "allowed accuracy drop vs baseline"}},
+       true},
+      {"profile",
+       "self-profile an emulated forward pass (span attribution)",
+       {{"format", "F", "format spec or 'native' (default native)"},
+        {"iterations", "N", "timed forward passes (default 8)"},
+        {"flame", "FILE", "write flamegraph collapsed stacks"},
+        {"perf", "on|off", "hardware counters via perf_event_open "
+                           "(default on; degrades gracefully)"}},
        true},
       {"range",
        "Table-I dynamic range of one format",
@@ -592,8 +606,9 @@ int cmd_report(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   if (paths.empty()) {
     throw UsageError("--inputs names no files");
   }
-  // Unreadable files / mismatched headers / no trial rows are io::IoError
-  // — bad input, exit 2 via run_cli, same class as a bad .gec file.
+  // Unreadable files / mismatched headers are io::IoError — bad input,
+  // exit 2 via run_cli, same class as a bad .gec file. A log with zero
+  // trial rows renders an explicit "no trials" note and exits 0.
   render_campaign_report(paths, out, err);
   return 0;
 }
@@ -646,6 +661,183 @@ int cmd_dse(const ParsedArgs& p, std::ostream& out, std::ostream& err,
         .num("best_accuracy", static_cast<double>(r.best_accuracy))
         .num("nodes", static_cast<int64_t>(r.nodes.size()));
     log->event("dse_summary", row);
+  }
+  return 0;
+}
+
+/// Human-readable byte count for the watermark section.
+std::string fmt_bytes(uint64_t b) {
+  char buf[64];
+  if (b >= 1024ull * 1024ull) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(b) / (1024.0 * 1024.0));
+  } else if (b >= 1024ull) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(b) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+int cmd_profile(const ParsedArgs& p, std::ostream& out, std::ostream& err,
+                obs::RunLog* log) {
+  const std::string spec = get(p, "format", "native");
+  if (spec != "native" && !fmt::is_valid_spec(spec)) {
+    err << "profile: bad --format '" << spec << "'\n";
+    return 2;
+  }
+  const int64_t iterations = get_int(p, "iterations", 8);
+  if (iterations < 1) {
+    throw UsageError("--iterations must be >= 1");
+  }
+  const std::string perf_opt = get(p, "perf", "on");
+  if (perf_opt != "on" && perf_opt != "off") {
+    throw UsageError("--perf must be 'on' or 'off'");
+  }
+  // Restore the process-wide default on exit: other commands profile too
+  // (whenever metrics are on), and must not inherit a stale opt-out.
+  struct PerfToggle {
+    explicit PerfToggle(bool on) { obs::perf::set_enabled(on); }
+    ~PerfToggle() { obs::perf::set_enabled(true); }
+  } perf_toggle(perf_opt == "on");
+  const int64_t samples = get_int(p, "samples", 64);
+  write_run_header(log, p, spec, samples);
+
+  data::SyntheticVision data{data::SyntheticVisionConfig{}};
+  auto tm = prepare_model(p, data);
+  tm.model->eval();
+  const auto batch = data::take(data.test(), 0, samples);
+
+  std::optional<Emulator> emu;
+  if (spec != "native") {
+    EmulatorConfig cfg;
+    cfg.format_spec = spec;
+    emu.emplace(*tm.model, cfg);
+  }
+
+  // Warmup pass: trains the arena freelists and faults pages in so the
+  // timed loop measures steady state; the reset below discards its spans
+  // (and the model-preparation ones) from the attribution.
+  (void)(*tm.model)(batch.images);
+  obs::reset_all();
+  arena::reset_peak_live_bytes();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < iterations; ++i) {
+    obs::AttrScope attr(spec, "");
+    obs::Span span("profile", "forward");
+    (void)(*tm.model)(batch.images);
+  }
+  const double wall_ns = std::chrono::duration<double, std::nano>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+  const std::vector<obs::SpanStats> stats = obs::profile_snapshot();
+  // The root "profile/forward" span brackets each iteration's work on the
+  // calling thread, so its total over the loop is the wall time the
+  // profiler can attribute; everything beneath partitions it as self time.
+  uint64_t root_total_ns = 0;
+  uint64_t sum_self_ns = 0;
+  for (const auto& s : stats) {
+    sum_self_ns += s.self_ns;
+    if (s.category == "profile" && s.name == "forward") {
+      root_total_ns += s.total_ns;
+    }
+  }
+  const double attributed_pct =
+      wall_ns > 0.0 ? 100.0 * static_cast<double>(root_total_ns) / wall_ns
+                    : 0.0;
+
+  char buf[256];
+  out << "profile: " << get(p, "model", "simple_cnn") << " format=" << spec
+      << " iterations=" << iterations << " samples=" << samples
+      << " threads=" << parallel::num_threads() << "\n";
+  std::snprintf(buf, sizeof(buf),
+                "wall: %.3f ms (%.3f ms/iteration)\n"
+                "attributed: %.3f ms in root spans (%.1f%% of wall)\n\n",
+                wall_ns * 1e-6,
+                wall_ns * 1e-6 / static_cast<double>(iterations),
+                static_cast<double>(root_total_ns) * 1e-6, attributed_pct);
+  out << buf;
+
+  out << "span attribution (self time, all threads)\n";
+  std::snprintf(buf, sizeof(buf), "%-9s %-22s %-14s %-14s %7s %10s %6s %10s %9s %9s\n",
+                "category", "span", "format", "layer", "count", "self ms",
+                "self%", "total ms", "p50 us", "p99 us");
+  out << buf;
+  for (const auto& s : stats) {
+    const double self_pct =
+        sum_self_ns > 0 ? 100.0 * static_cast<double>(s.self_ns) /
+                              static_cast<double>(sum_self_ns)
+                        : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "%-9s %-22s %-14s %-14s %7llu %10.3f %5.1f%% %10.3f %9.1f %9.1f\n",
+                  s.category.c_str(), s.name.c_str(), s.format.c_str(),
+                  s.layer.c_str(), static_cast<unsigned long long>(s.count),
+                  static_cast<double>(s.self_ns) * 1e-6, self_pct,
+                  static_cast<double>(s.total_ns) * 1e-6, s.p50_us, s.p99_us);
+    out << buf;
+  }
+  out << "\n";
+
+  out << "hardware counters (perf_event_open): "
+      << obs::perf::availability_note() << "\n";
+  if (obs::perf::available()) {
+    std::snprintf(buf, sizeof(buf), "%-9s %-22s %8s %14s %14s %6s %12s\n",
+                  "category", "span", "samples", "cycles", "instructions",
+                  "IPC", "cache-miss");
+    out << buf;
+    for (const auto& s : stats) {
+      if (s.perf_samples == 0) continue;
+      const double ipc = s.cycles > 0 ? static_cast<double>(s.instructions) /
+                                            static_cast<double>(s.cycles)
+                                      : 0.0;
+      std::snprintf(buf, sizeof(buf),
+                    "%-9s %-22s %8llu %14llu %14llu %6.2f %12llu\n",
+                    s.category.c_str(), s.name.c_str(),
+                    static_cast<unsigned long long>(s.perf_samples),
+                    static_cast<unsigned long long>(s.cycles),
+                    static_cast<unsigned long long>(s.instructions), ipc,
+                    static_cast<unsigned long long>(s.cache_misses));
+      out << buf;
+    }
+  }
+  out << "\n";
+
+  const obs::MemoryWatermarks mem = obs::sample_memory();
+  out << "memory watermarks\n"
+      << "  rss:          " << fmt_bytes(mem.rss_bytes)
+      << "  (peak " << fmt_bytes(mem.peak_rss_bytes) << ")\n"
+      << "  arena live:   " << fmt_bytes(mem.arena_live_bytes)
+      << "  (peak " << fmt_bytes(mem.arena_peak_bytes) << ")\n"
+      << "  cow copies:   " << fmt_bytes(mem.cow_bytes) << "\n"
+      << "  prefix cache: " << fmt_bytes(mem.prefix_cache_bytes) << "\n";
+
+  const std::string flame_path = get(p, "flame", "");
+  if (!flame_path.empty()) {
+    // run_cli turned tracing on for --flame, so the timed loop's spans are
+    // in the trace buffers; fold them into collapsed stacks.
+    std::ofstream f(flame_path, std::ios::trunc);
+    if (f) f << obs::collapsed_stacks(obs::collect_trace());
+    if (!f) {
+      err << "profile: cannot write --flame file '" << flame_path << "'\n";
+      return 1;
+    }
+    out << "flamegraph stacks: " << flame_path
+        << " (flamegraph.pl or speedscope)\n";
+  }
+
+  if (log != nullptr) {
+    obs::JsonObject row;
+    row.str("format", spec)
+        .num("iterations", iterations)
+        .num("samples", samples)
+        .num("wall_ms", wall_ns * 1e-6)
+        .num("attributed_pct", attributed_pct)
+        .num("rss_bytes", mem.rss_bytes)
+        .num("arena_peak_bytes", mem.arena_peak_bytes)
+        .boolean("perf_available", obs::perf::available());
+    log->event("profile_summary", row);
   }
   return 0;
 }
@@ -748,10 +940,16 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
                          "ephemeral)");
       }
     }
-    const bool tracing = !trace_path.empty();
+    // `profile` needs the trace buffers for its --flame export, and the
+    // aggregator is on whenever metrics are: every --report run gets
+    // span_stat rows, and /metrics grows the ge_span_* series for free.
+    const bool profile_cmd = parsed->command == "profile";
+    const bool flame = profile_cmd && parsed->options.count("flame") != 0;
+    const bool tracing = !trace_path.empty() || flame;
     const bool metrics =
-        tracing || !report_path.empty() || metrics_port >= 0;
+        tracing || !report_path.empty() || metrics_port >= 0 || profile_cmd;
     obs::TelemetryScope scope(tracing, metrics);
+    obs::ProfilingScope pscope(metrics);
     if (metrics) obs::reset_all();
 
     // The /metrics endpoint lives for the whole invocation: it reads the
@@ -799,6 +997,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       code = cmd_report(*parsed, out, err);
     } else if (parsed->command == "dse") {
       code = cmd_dse(*parsed, out, err, log.get());
+    } else if (parsed->command == "profile") {
+      code = cmd_profile(*parsed, out, err, log.get());
     } else if (parsed->command == "range") {
       code = cmd_range(*parsed, out, err, log.get());
     } else if (parsed->command == "features") {
@@ -808,7 +1008,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
 
     if (code == 0 && log) log->metrics_snapshot();
-    if (code == 0 && tracing && !obs::write_chrome_trace(trace_path)) {
+    if (code == 0 && !trace_path.empty() &&
+        !obs::write_chrome_trace(trace_path)) {
       err << parsed->command << ": cannot write --trace file '" << trace_path
           << "'\n";
       return 1;

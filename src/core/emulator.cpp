@@ -5,6 +5,7 @@
 
 #include "formats/format_registry.hpp"
 #include "nn/loss.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ge::core {
@@ -99,6 +100,10 @@ void Emulator::attach() {
       site.hook = mod->add_forward_hook(
           [this, site_index](nn::Module&, Tensor& y) {
             LayerSite& s = sites_[site_index];
+            // Attribution before the span (reverse destruction order keeps
+            // it live when the span ends): profiled time inside the hook
+            // lands under (format, layer) in the attribution table.
+            obs::AttrScope attr(cfg_.format_spec, s.path);
             obs::Span hook_span("emulator", "site", s.path);
             if (obs::metrics_enabled()) {
               // Metrics path: an O(1) shared snapshot keeps the

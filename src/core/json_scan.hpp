@@ -1,0 +1,46 @@
+// ge::core::jsonscan — a minimal flat-JSON record scanner.
+//
+// RunLog JSONL lines and bench result files are flat objects apart from a
+// few nested values (the "metrics" row's counters/gauges, a bench file's
+// rows array); the scanner keeps every top-level field as its raw token
+// text (strings unescaped) and skips nested values structurally, so
+// unknown trailing fields from future schema versions parse fine. Shared
+// by the report renderer (src/core/report.cpp) and the perf-regression
+// gate (src/core/perf_gate.cpp, tools/perf_gate.cpp).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace ge::core::jsonscan {
+
+/// One parsed line: top-level field name -> value. String values are
+/// unescaped; every other value (numbers, bools, nested objects/arrays)
+/// keeps its raw token text.
+using Record = std::map<std::string, std::string>;
+
+/// Advance i past spaces and tabs.
+void skip_ws(const std::string& s, size_t& i);
+
+/// Parse the JSON string starting at s[i] == '"'. Returns the unescaped
+/// text and leaves i one past the closing quote; nullopt on malformed
+/// input. Escaped codepoints above 0x7f degrade to '?' — the writer only
+/// escapes control characters, so nothing of ours is lost.
+std::optional<std::string> parse_string(const std::string& s, size_t& i);
+
+/// Skip one JSON value (scalar, or nested object/array by depth counting,
+/// strings quote-aware). Leaves i at the first character after the value.
+bool skip_value(const std::string& s, size_t& i);
+
+/// One JSONL line -> top-level fields. Returns nullopt for lines that are
+/// not a JSON object.
+std::optional<Record> parse_record(const std::string& line);
+
+/// Numeric field accessor; nullopt when absent, null, or non-numeric.
+std::optional<double> get_num(const Record& r, const char* key);
+
+/// String field accessor; empty when absent.
+std::string get_str(const Record& r, const char* key);
+
+}  // namespace ge::core::jsonscan

@@ -10,152 +10,17 @@
 #include <ostream>
 #include <utility>
 
+#include "core/json_scan.hpp"
 #include "io/container.hpp"
 
 namespace ge::core {
 
 namespace {
 
-// --- a minimal JSONL record scanner ----------------------------------------
-// RunLog lines are flat objects apart from the "metrics" row's nested
-// counters/gauges; the scanner keeps every top-level field as its raw
-// token text (strings unescaped) and skips nested values structurally, so
-// unknown trailing fields from future schema versions parse fine.
-
-void skip_ws(const std::string& s, size_t& i) {
-  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
-}
-
-/// Parse the JSON string starting at s[i] == '"'. Returns the unescaped
-/// text and leaves i one past the closing quote; nullopt on malformed
-/// input. Escaped codepoints above 0x7f degrade to '?' — the writer only
-/// escapes control characters, so nothing of ours is lost.
-std::optional<std::string> parse_string(const std::string& s, size_t& i) {
-  if (i >= s.size() || s[i] != '"') return std::nullopt;
-  std::string out;
-  for (++i; i < s.size(); ++i) {
-    const char c = s[i];
-    if (c == '"') {
-      ++i;
-      return out;
-    }
-    if (c != '\\') {
-      out += c;
-      continue;
-    }
-    if (++i >= s.size()) return std::nullopt;
-    switch (s[i]) {
-      case '"': out += '"'; break;
-      case '\\': out += '\\'; break;
-      case '/': out += '/'; break;
-      case 'n': out += '\n'; break;
-      case 't': out += '\t'; break;
-      case 'r': out += '\r'; break;
-      case 'b': out += '\b'; break;
-      case 'f': out += '\f'; break;
-      case 'u': {
-        if (i + 4 >= s.size()) return std::nullopt;
-        const unsigned cp =
-            static_cast<unsigned>(std::strtoul(s.substr(i + 1, 4).c_str(),
-                                               nullptr, 16));
-        out += cp < 0x80 ? static_cast<char>(cp) : '?';
-        i += 4;
-        break;
-      }
-      default: return std::nullopt;
-    }
-  }
-  return std::nullopt;  // unterminated
-}
-
-/// Skip one JSON value (scalar, or nested object/array by depth counting,
-/// strings quote-aware). Leaves i at the first character after the value.
-bool skip_value(const std::string& s, size_t& i) {
-  skip_ws(s, i);
-  if (i >= s.size()) return false;
-  if (s[i] == '"') return parse_string(s, i).has_value();
-  if (s[i] == '{' || s[i] == '[') {
-    int depth = 0;
-    for (; i < s.size(); ++i) {
-      const char c = s[i];
-      if (c == '"') {
-        if (!parse_string(s, i)) return false;
-        --i;  // the for-loop re-advances
-        continue;
-      }
-      if (c == '{' || c == '[') ++depth;
-      if (c == '}' || c == ']') {
-        if (--depth == 0) {
-          ++i;
-          return true;
-        }
-      }
-    }
-    return false;
-  }
-  // Scalar: number / true / false / null.
-  const size_t start = i;
-  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
-         s[i] != ' ' && s[i] != '\t') {
-    ++i;
-  }
-  return i > start;
-}
-
-using Record = std::map<std::string, std::string>;
-
-/// One JSONL line -> top-level fields. String values are unescaped; every
-/// other value (numbers, bools, nested objects) keeps its raw token text.
-/// Returns nullopt for lines that are not a JSON object.
-std::optional<Record> parse_record(const std::string& line) {
-  size_t i = 0;
-  skip_ws(line, i);
-  if (i >= line.size() || line[i] != '{') return std::nullopt;
-  ++i;
-  Record rec;
-  skip_ws(line, i);
-  if (i < line.size() && line[i] == '}') return rec;  // empty object
-  while (true) {
-    skip_ws(line, i);
-    auto key = parse_string(line, i);
-    if (!key) return std::nullopt;
-    skip_ws(line, i);
-    if (i >= line.size() || line[i] != ':') return std::nullopt;
-    ++i;
-    skip_ws(line, i);
-    const size_t vstart = i;
-    if (i < line.size() && line[i] == '"') {
-      auto v = parse_string(line, i);
-      if (!v) return std::nullopt;
-      rec[*key] = *v;
-    } else {
-      if (!skip_value(line, i)) return std::nullopt;
-      rec[*key] = line.substr(vstart, i - vstart);
-    }
-    skip_ws(line, i);
-    if (i >= line.size()) return std::nullopt;
-    if (line[i] == ',') {
-      ++i;
-      continue;
-    }
-    if (line[i] == '}') return rec;
-    return std::nullopt;
-  }
-}
-
-std::optional<double> get_num(const Record& r, const char* key) {
-  const auto it = r.find(key);
-  if (it == r.end() || it->second == "null") return std::nullopt;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str()) return std::nullopt;
-  return v;
-}
-
-std::string get_str(const Record& r, const char* key) {
-  const auto it = r.find(key);
-  return it != r.end() ? it->second : std::string();
-}
+using jsonscan::Record;
+using jsonscan::get_num;
+using jsonscan::get_str;
+using jsonscan::parse_record;
 
 // --- the merged trial set --------------------------------------------------
 
@@ -257,9 +122,14 @@ void render_campaign_report(const std::vector<std::string>& paths,
     err << "report: skipped " << skipped << " unparseable record(s)\n";
   }
   if (trials.empty()) {
-    throw io::IoError(
-        "report: no trial records found (run the campaign with --report "
-        "FILE to produce them)");
+    // An empty campaign (zero trials, or a log holding only headers and
+    // heartbeats) is a legitimate input, not an error: render an explicit
+    // note and succeed, so `campaign ... && report ...` pipelines don't
+    // fail on configurations that select no fault sites.
+    out << "campaign report\n"
+           "  no trial records found (run the campaign with --report FILE "
+           "to produce them)\n";
+    return;
   }
 
   // --- per-layer aggregation (ascending site_index, then trial) ------------

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/telemetry.hpp"
+
 namespace ge::nn {
 
 namespace {
@@ -91,6 +93,11 @@ Tensor Module::backward(const Tensor& /*grad_out*/) {
 }
 
 Tensor Module::run_forward(const Tensor& input) {
+  // Per-module spans exist for the profiler's attribution table (where
+  // does an emulated forward spend its time, by layer kind). They are
+  // profiling-only: under plain --trace the nullptr name keeps them
+  // inert, so trace volume is unchanged from pre-profiler builds.
+  obs::Span span("nn", obs::profiling_enabled() ? kind_.c_str() : nullptr);
   Tensor x = input;
   for (auto& [handle, hook] : pre_hooks_) hook(*this, x);
   Tensor y = forward(x);

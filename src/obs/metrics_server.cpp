@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ge::obs {
@@ -34,6 +35,32 @@ void append_double(std::string& out, double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   out += buf;
+}
+
+/// Prometheus label values: backslash, double quote, and newline must be
+/// escaped (span names carry layer paths and format specs verbatim).
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// The shared {span=,category=,format=,layer=} label set for the
+/// ge_span_* family.
+std::string span_labels(const SpanStats& s) {
+  return "{span=\"" + escape_label(s.name) + "\",category=\"" +
+         escape_label(s.category) + "\",format=\"" + escape_label(s.format) +
+         "\",layer=\"" + escape_label(s.layer) + "\"}";
 }
 
 }  // namespace
@@ -68,6 +95,29 @@ std::string render_prometheus() {
     out += n + "_sum ";
     append_double(out, snap.sum);
     out += "\n" + n + "_count " + std::to_string(snap.count) + "\n";
+  }
+  // Profiler attribution: one labeled series set per (span, format,
+  // layer) key. Empty when profiling is off — scrapers see the same page
+  // as pre-profiler builds.
+  const auto spans = profile_snapshot();
+  if (!spans.empty()) {
+    out += "# TYPE ge_span_count counter\n";
+    for (const auto& s : spans) {
+      out += "ge_span_count" + span_labels(s) + " " +
+             std::to_string(s.count) + "\n";
+    }
+    out += "# TYPE ge_span_seconds_total counter\n";
+    for (const auto& s : spans) {
+      out += "ge_span_seconds_total" + span_labels(s) + " ";
+      append_double(out, static_cast<double>(s.total_ns) * 1e-9);
+      out += "\n";
+    }
+    out += "# TYPE ge_span_self_seconds_total counter\n";
+    for (const auto& s : spans) {
+      out += "ge_span_self_seconds_total" + span_labels(s) + " ";
+      append_double(out, static_cast<double>(s.self_ns) * 1e-9);
+      out += "\n";
+    }
   }
   return out;
 }

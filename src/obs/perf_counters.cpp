@@ -1,0 +1,153 @@
+#include "obs/perf_counters.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace ge::obs::perf {
+
+namespace {
+
+// Availability is a process-wide verdict: the first thread to try decides
+// (all threads share the same privileges), so later threads can skip the
+// syscalls entirely when the first attempt failed.
+//  0 = untried, 1 = ok, 2 = failed
+std::atomic<int> g_status{0};
+std::atomic<bool> g_enabled{true};
+std::mutex g_note_mu;
+std::string& note_storage() {
+  static std::string* s = new std::string("untried");
+  return *s;
+}
+
+void set_note(const std::string& n) {
+  std::lock_guard<std::mutex> lk(g_note_mu);
+  note_storage() = n;
+}
+
+#if defined(__linux__)
+
+long sys_perf_event_open(struct perf_event_attr* attr, pid_t pid, int cpu,
+                         int group_fd, unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+/// The calling thread's counter group. fds are closed when the thread
+/// exits (the thread_local destructor); the group counts continuously
+/// from open, so Sample diffs are monotone.
+struct ThreadGroup {
+  int fds[3] = {-1, -1, -1};  // cycles (leader), instructions, cache-misses
+  bool ok = false;
+
+  ThreadGroup() {
+    if (g_status.load(std::memory_order_relaxed) == 2) return;
+    static const uint64_t kConfigs[3] = {PERF_COUNT_HW_CPU_CYCLES,
+                                         PERF_COUNT_HW_INSTRUCTIONS,
+                                         PERF_COUNT_HW_CACHE_MISSES};
+    for (int i = 0; i < 3; ++i) {
+      struct perf_event_attr attr;
+      std::memset(&attr, 0, sizeof(attr));
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.size = sizeof(attr);
+      attr.config = kConfigs[i];
+      attr.disabled = (i == 0) ? 1 : 0;  // leader starts the whole group
+      attr.exclude_kernel = 1;           // works at perf_event_paranoid <= 2
+      attr.exclude_hv = 1;
+      attr.read_format = PERF_FORMAT_GROUP;
+      const int group = (i == 0) ? -1 : fds[0];
+      const long fd = sys_perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1,
+                                          group, /*flags=*/0);
+      if (fd < 0) {
+        const int err = errno;
+        close_all();
+        g_status.store(2, std::memory_order_relaxed);
+        std::string why = "perf_event_open: ";
+        why += std::strerror(err);
+        if (err == EACCES || err == EPERM) {
+          why += " (check /proc/sys/kernel/perf_event_paranoid)";
+        }
+        set_note(why);
+        return;
+      }
+      fds[i] = static_cast<int>(fd);
+    }
+    if (ioctl(fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+        ioctl(fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+      close_all();
+      g_status.store(2, std::memory_order_relaxed);
+      set_note("perf_event ioctl failed");
+      return;
+    }
+    ok = true;
+    g_status.store(1, std::memory_order_relaxed);
+    set_note("ok");
+  }
+
+  ~ThreadGroup() { close_all(); }
+
+  void close_all() {
+    for (int& fd : fds) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+    ok = false;
+  }
+};
+
+ThreadGroup& thread_group() {
+  thread_local ThreadGroup g;
+  return g;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+Sample read() {
+  Sample s;
+  if (!g_enabled.load(std::memory_order_relaxed)) return s;
+#if defined(__linux__)
+  ThreadGroup& g = thread_group();
+  if (!g.ok) return s;
+  // PERF_FORMAT_GROUP: one read() returns every member coherently, in
+  // the order the group was built.
+  struct {
+    uint64_t nr;
+    uint64_t values[3];
+  } data;
+  const ssize_t n = ::read(g.fds[0], &data, sizeof(data));
+  if (n != static_cast<ssize_t>(sizeof(data)) || data.nr != 3) return s;
+  s.cycles = data.values[0];
+  s.instructions = data.values[1];
+  s.cache_misses = data.values[2];
+  s.valid = true;
+#else
+  if (g_status.load(std::memory_order_relaxed) == 0) {
+    g_status.store(2, std::memory_order_relaxed);
+    set_note("not built for Linux (perf_event_open unavailable)");
+  }
+#endif
+  return s;
+}
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool available() { return g_status.load(std::memory_order_relaxed) == 1; }
+
+std::string availability_note() {
+  std::lock_guard<std::mutex> lk(g_note_mu);
+  return note_storage();
+}
+
+}  // namespace ge::obs::perf

@@ -1,0 +1,45 @@
+// ge::obs::perf — a thin perf_event_open wrapper for the profiler.
+//
+// One counter group per thread (cycles leader + instructions +
+// cache-misses, read atomically with PERF_FORMAT_GROUP), opened lazily on
+// the thread's first read(). Everything degrades gracefully: on non-Linux
+// builds, in containers that mask the syscall (ENOSYS/EPERM), or under a
+// restrictive perf_event_paranoid, read() returns an invalid Sample and
+// the profiler simply reports no hardware counters. Opening, reading and
+// failing never throw and never log — the profiler is the only consumer
+// and renders availability_note() for humans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ge::obs::perf {
+
+/// One reading of the calling thread's counter group. Values are
+/// cumulative since the group was opened; callers diff two samples.
+struct Sample {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+  bool valid = false;
+};
+
+/// Read the calling thread's counter group, opening it on first use.
+/// Returns an invalid Sample when hardware counters are unavailable.
+Sample read();
+
+/// Process-wide opt-out (`goldeneye profile --perf off`): while disabled,
+/// read() returns an invalid Sample without opening or touching any
+/// counter group. Default on.
+void set_enabled(bool on);
+
+/// True once any thread has successfully opened a counter group; false
+/// after a failed attempt. Unknown (false) before the first read().
+bool available();
+
+/// Human-readable availability: "ok", or why counters are off
+/// ("perf_event_open: Permission denied (perf_event_paranoid?)",
+/// "not built for Linux", ...). Stable after the first read() attempt.
+std::string availability_note();
+
+}  // namespace ge::obs::perf

@@ -1,0 +1,406 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <unordered_map>
+
+#include "obs/histogram.hpp"
+#include "obs/perf_counters.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+#if defined(__linux__)
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
+namespace ge::obs {
+
+namespace {
+
+/// One aggregate per (category, span, format, layer) key. All fields are
+/// relaxed atomics: recording threads only add, the snapshot only loads,
+/// and exactness is only promised at quiescent moments — the same deal
+/// as obs::Histogram shards. Entries are created once under the registry
+/// mutex and never destroyed (thread-local caches keep raw pointers).
+struct ProfEntry {
+  std::string category;
+  std::string name;
+  std::string format;
+  std::string layer;
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> total_ns{0};
+  std::atomic<uint64_t> self_ns{0};
+  std::atomic<int64_t> min_ns{INT64_MAX};
+  std::atomic<int64_t> max_ns{0};
+  /// Span durations in µs, bucketed with the histogram's log layout so
+  /// snapshot() can reuse Histogram::Snapshot::quantile. Deliberately
+  /// *not* a registry obs::Histogram: profiler keys are dynamic and must
+  /// not pollute the /metrics histogram namespace.
+  std::atomic<uint64_t> buckets[Histogram::kNumBuckets] = {};
+  std::atomic<uint64_t> perf_samples{0};
+  std::atomic<uint64_t> cycles{0};
+  std::atomic<uint64_t> instructions{0};
+  std::atomic<uint64_t> cache_misses{0};
+};
+
+struct ProfRegistry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::unique_ptr<ProfEntry>> map;
+};
+
+ProfRegistry& prof_registry() {
+  static ProfRegistry* r = new ProfRegistry();  // leaked, like the span
+  return *r;                                    // registry: threads may
+}                                               // record during shutdown
+
+/// An open profiled span on the calling thread's frame stack. child_ns
+/// accumulates the durations of directly nested profiled spans, so the
+/// owner's self time is dur - child_ns. Top-level frames carry the perf
+/// reading taken at begin.
+struct Frame {
+  int64_t child_ns = 0;
+  bool top = false;
+  perf::Sample perf0;
+};
+
+struct TlsState {
+  std::vector<Frame> frames;
+  std::string attr_format;
+  std::string attr_layer;
+  std::unordered_map<std::string, ProfEntry*> cache;
+  std::string key_scratch;  // reused so steady-state lookup is alloc-free
+};
+
+// Raw-pointer + holder pattern (same as the arena's thread cache): after
+// the holder's destructor has run, late spans on a dying thread see
+// nullptr and skip profiling instead of touching a destroyed map.
+thread_local TlsState* tls_ptr = nullptr;
+thread_local bool tls_dead = false;
+
+struct TlsHolder {
+  TlsState state;
+  TlsHolder() { tls_ptr = &state; }
+  ~TlsHolder() {
+    tls_ptr = nullptr;
+    tls_dead = true;
+  }
+};
+
+TlsState* tls_state() {
+  if (tls_ptr == nullptr && !tls_dead) {
+    thread_local TlsHolder holder;
+    (void)holder;
+  }
+  return tls_ptr;
+}
+
+ProfEntry& entry_for(TlsState& t, const char* category,
+                     const std::string& name, size_t base_len) {
+  std::string& k = t.key_scratch;
+  k.assign(category);
+  k += '\x1f';
+  k.append(name, 0, base_len);
+  k += '\x1f';
+  k += t.attr_format;
+  k += '\x1f';
+  k += t.attr_layer;
+  const auto it = t.cache.find(k);
+  if (it != t.cache.end()) return *it->second;
+
+  ProfRegistry& r = prof_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::unique_ptr<ProfEntry>& slot = r.map[k];
+  if (slot == nullptr) {
+    slot = std::make_unique<ProfEntry>();
+    slot->category = category;
+    slot->name = name.substr(0, base_len);
+    slot->format = t.attr_format;
+    slot->layer = t.attr_layer;
+  }
+  t.cache.emplace(k, slot.get());
+  return *slot;
+}
+
+void atomic_min(std::atomic<int64_t>& a, int64_t v) {
+  int64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<int64_t>& a, int64_t v) {
+  int64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::atomic<uint64_t (*)()> g_arena_live_bytes{nullptr};
+std::atomic<uint64_t (*)()> g_arena_peak_bytes{nullptr};
+
+}  // namespace
+
+namespace detail {
+
+void profile_span_begin() {
+  TlsState* t = tls_state();
+  if (t == nullptr) return;
+  Frame f;
+  f.top = t->frames.empty();
+  if (f.top) f.perf0 = perf::read();
+  t->frames.push_back(f);
+}
+
+void profile_span_end(const char* category, const std::string& name,
+                      size_t base_len, int64_t dur_ns) {
+  TlsState* t = tls_state();
+  if (t == nullptr) return;
+  bool top = false;
+  perf::Sample p0;
+  int64_t child_ns = 0;
+  if (!t->frames.empty()) {
+    const Frame& f = t->frames.back();
+    top = f.top;
+    p0 = f.perf0;
+    child_ns = f.child_ns;
+    t->frames.pop_back();
+    if (!t->frames.empty()) t->frames.back().child_ns += dur_ns;
+  }
+  ProfEntry& e = entry_for(*t, category, name, base_len);
+  const int64_t self_ns =
+      dur_ns > child_ns ? dur_ns - child_ns : 0;  // clock skew guard
+  e.count.fetch_add(1, std::memory_order_relaxed);
+  e.total_ns.fetch_add(static_cast<uint64_t>(std::max<int64_t>(dur_ns, 0)),
+                       std::memory_order_relaxed);
+  e.self_ns.fetch_add(static_cast<uint64_t>(self_ns),
+                      std::memory_order_relaxed);
+  atomic_min(e.min_ns, dur_ns);
+  atomic_max(e.max_ns, dur_ns);
+  const int bucket =
+      Histogram::bucket_index(static_cast<double>(dur_ns) / 1000.0);
+  e.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (top) {
+    const perf::Sample p1 = perf::read();
+    if (p0.valid && p1.valid) {
+      e.perf_samples.fetch_add(1, std::memory_order_relaxed);
+      e.cycles.fetch_add(p1.cycles - p0.cycles, std::memory_order_relaxed);
+      e.instructions.fetch_add(p1.instructions - p0.instructions,
+                               std::memory_order_relaxed);
+      e.cache_misses.fetch_add(p1.cache_misses - p0.cache_misses,
+                               std::memory_order_relaxed);
+    }
+  }
+}
+
+void set_arena_stats_source(uint64_t (*live_bytes)(),
+                            uint64_t (*peak_bytes)()) {
+  g_arena_live_bytes.store(live_bytes, std::memory_order_relaxed);
+  g_arena_peak_bytes.store(peak_bytes, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+// --- attribution -----------------------------------------------------------
+
+AttrScope::AttrScope(const std::string& format, const std::string& layer) {
+  if (!profiling_enabled()) return;
+  TlsState* t = tls_state();
+  if (t == nullptr) return;
+  active_ = true;
+  prev_format_ = t->attr_format;
+  prev_layer_ = t->attr_layer;
+  // An empty component inherits the enclosing scope's value, so a hook
+  // that only knows the layer path keeps the campaign's format spec.
+  if (!format.empty()) t->attr_format = format;
+  if (!layer.empty()) t->attr_layer = layer;
+}
+
+AttrScope::~AttrScope() {
+  if (!active_) return;
+  TlsState* t = tls_ptr;
+  if (t == nullptr) return;
+  t->attr_format = std::move(prev_format_);
+  t->attr_layer = std::move(prev_layer_);
+}
+
+// --- snapshot / reset ------------------------------------------------------
+
+std::vector<SpanStats> profile_snapshot() {
+  ProfRegistry& r = prof_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::vector<SpanStats> out;
+  out.reserve(r.map.size());
+  for (const auto& [key, e] : r.map) {
+    SpanStats s;
+    s.category = e->category;
+    s.name = e->name;
+    s.format = e->format;
+    s.layer = e->layer;
+    s.count = e->count.load(std::memory_order_relaxed);
+    if (s.count == 0) continue;
+    s.total_ns = e->total_ns.load(std::memory_order_relaxed);
+    s.self_ns = e->self_ns.load(std::memory_order_relaxed);
+    s.min_ns = e->min_ns.load(std::memory_order_relaxed);
+    s.max_ns = e->max_ns.load(std::memory_order_relaxed);
+    if (s.min_ns == INT64_MAX) s.min_ns = 0;
+    // Quantiles via the shared histogram bucket math; the view's count is
+    // the bucket sum so it is self-consistent under concurrent recording.
+    Histogram::Snapshot hs;
+    hs.buckets.resize(Histogram::kNumBuckets);
+    uint64_t n = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      hs.buckets[i] = e->buckets[i].load(std::memory_order_relaxed);
+      n += hs.buckets[i];
+    }
+    hs.count = n;
+    s.p50_us = hs.quantile(0.5);
+    s.p99_us = hs.quantile(0.99);
+    s.perf_samples = e->perf_samples.load(std::memory_order_relaxed);
+    s.cycles = e->cycles.load(std::memory_order_relaxed);
+    s.instructions = e->instructions.load(std::memory_order_relaxed);
+    s.cache_misses = e->cache_misses.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+    return std::tie(a.category, a.name, a.format, a.layer) <
+           std::tie(b.category, b.name, b.format, b.layer);
+  });
+  return out;
+}
+
+void reset_profile() {
+  ProfRegistry& r = prof_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  // Zero in place: thread-local caches hold raw ProfEntry pointers, so
+  // entries must never be destroyed, only reset.
+  for (auto& [key, e] : r.map) {
+    e->count.store(0, std::memory_order_relaxed);
+    e->total_ns.store(0, std::memory_order_relaxed);
+    e->self_ns.store(0, std::memory_order_relaxed);
+    e->min_ns.store(INT64_MAX, std::memory_order_relaxed);
+    e->max_ns.store(0, std::memory_order_relaxed);
+    for (auto& b : e->buckets) b.store(0, std::memory_order_relaxed);
+    e->perf_samples.store(0, std::memory_order_relaxed);
+    e->cycles.store(0, std::memory_order_relaxed);
+    e->instructions.store(0, std::memory_order_relaxed);
+    e->cache_misses.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- memory watermarks -----------------------------------------------------
+
+uint64_t process_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total = 0, resident = 0;
+  const int n = std::fscanf(f, "%llu %llu", &total, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return resident * static_cast<uint64_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+MemoryWatermarks sample_memory() {
+  MemoryWatermarks m;
+  m.rss_bytes = process_rss_bytes();
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    // ru_maxrss is KB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    m.peak_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss);
+#else
+    m.peak_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  if (auto* live = g_arena_live_bytes.load(std::memory_order_relaxed)) {
+    m.arena_live_bytes = live();
+  }
+  if (auto* peak = g_arena_peak_bytes.load(std::memory_order_relaxed)) {
+    m.arena_peak_bytes = peak();
+  }
+  m.cow_bytes = counter_value(Counter::kCowBytes);
+  m.prefix_cache_bytes = counter_value(Counter::kPrefixCacheBytes);
+  // set_gauge is itself metrics-gated, so a dark sample stays a pure read.
+  set_gauge("mem.rss_bytes", static_cast<double>(m.rss_bytes));
+  set_gauge("mem.peak_rss_bytes", static_cast<double>(m.peak_rss_bytes));
+  set_gauge("mem.arena_live_bytes", static_cast<double>(m.arena_live_bytes));
+  set_gauge("mem.arena_peak_bytes", static_cast<double>(m.arena_peak_bytes));
+  set_gauge("mem.cow_bytes", static_cast<double>(m.cow_bytes));
+  set_gauge("mem.prefix_cache_bytes",
+            static_cast<double>(m.prefix_cache_bytes));
+  return m;
+}
+
+// --- flamegraph export -----------------------------------------------------
+
+std::string collapsed_stacks(const std::vector<TraceEvent>& events) {
+  // Group per thread, then reconstruct nesting from the intervals: within
+  // one thread spans strictly nest (RAII), so sorting by start time (ties:
+  // longer span first — the parent) lets a simple stack walk recover the
+  // call tree and each span's self time.
+  std::map<int, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& e : events) by_tid[e.tid].push_back(&e);
+
+  std::map<std::string, int64_t> folded;  // "a;b;c" -> self ns
+  for (auto& [tid, list] : by_tid) {
+    std::sort(list.begin(), list.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                if (a->start_ns != b->start_ns) {
+                  return a->start_ns < b->start_ns;
+                }
+                return a->dur_ns > b->dur_ns;
+              });
+    struct Open {
+      const TraceEvent* ev;
+      int64_t child_ns = 0;
+    };
+    std::vector<Open> stack;
+    std::string path;  // ';'-joined names of `stack`
+    auto fold_top = [&] {
+      const Open top = stack.back();
+      stack.pop_back();
+      const int64_t self = std::max<int64_t>(top.ev->dur_ns - top.child_ns, 0);
+      folded[path] += self;
+      path.resize(path.size() - top.ev->name.size());
+      if (!path.empty()) path.pop_back();  // trailing ';'
+      if (!stack.empty()) stack.back().child_ns += top.ev->dur_ns;
+    };
+    for (const TraceEvent* e : list) {
+      while (!stack.empty() &&
+             stack.back().ev->start_ns + stack.back().ev->dur_ns <=
+                 e->start_ns) {
+        fold_top();
+      }
+      if (!path.empty()) path += ';';
+      path += e->name;
+      stack.push_back(Open{e});
+    }
+    while (!stack.empty()) fold_top();
+  }
+
+  std::string out;
+  char num[32];
+  for (const auto& [stack_path, self_ns] : folded) {
+    if (self_ns <= 0) continue;
+    out += stack_path;
+    std::snprintf(num, sizeof(num), " %lld\n",
+                  static_cast<long long>(self_ns / 1000));
+    out += num;
+  }
+  return out;
+}
+
+}  // namespace ge::obs

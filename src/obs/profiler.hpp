@@ -1,0 +1,139 @@
+// ge::obs profiler — always-on span aggregation, hardware-counter
+// attribution and memory watermarks (DESIGN.md §8, docs/observability.md).
+//
+// Tracing answers "what happened when"; the profiler answers "where did
+// the time go". While profiling is enabled, every obs::Span folds its
+// duration into a per-(category, span, format, layer) statistics entry —
+// count, total and *self* time (children subtracted via a per-thread
+// frame stack), min/max, and a log-bucketed duration histogram for
+// p50/p99 — instead of (or in addition to) pushing a trace event. The
+// aggregate is bounded by the number of distinct keys, so profiling a
+// million-trial campaign costs a few KB, not a million events.
+//
+// Same contract as the rest of ge::obs:
+//  1. Zero cost when disabled: one relaxed atomic load per span.
+//  2. Recording only reads program state — results are bitwise identical
+//     with profiling on or off (test_determinism pins the digests).
+//  3. The fast path is per-thread: entries hold relaxed atomics, and a
+//     thread-local key cache makes the steady-state record lock-free.
+//
+// Top-level spans (frame-stack depth 0) additionally diff the calling
+// thread's perf_event group (obs/perf_counters.hpp) so cycles /
+// instructions / cache-misses attach to the outermost unit of work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace ge::obs {
+
+/// RAII: enables span profiling, restoring the previous state on
+/// destruction. Composes with TelemetryScope (tracing and profiling are
+/// independent: a span can aggregate without being traced).
+struct ProfilingScope {
+  bool prev = profiling_enabled();
+  explicit ProfilingScope(bool on) { set_profiling_enabled(on); }
+  ~ProfilingScope() { set_profiling_enabled(prev); }
+  ProfilingScope(const ProfilingScope&) = delete;
+  ProfilingScope& operator=(const ProfilingScope&) = delete;
+};
+
+/// RAII attribution context: spans ending inside the scope aggregate
+/// under (format, layer) in addition to their own name. The campaign
+/// trial loop sets the format spec, the emulator hook sets the layer
+/// path; nesting restores the outer attribution on destruction.
+///
+/// Declare an AttrScope *before* the Span it should attribute — C++
+/// destroys in reverse order, so the attribution is still live when the
+/// span ends. No-op (no copies, no TLS writes) while profiling is off.
+class AttrScope {
+ public:
+  AttrScope(const std::string& format, const std::string& layer);
+  ~AttrScope();
+  AttrScope(const AttrScope&) = delete;
+  AttrScope& operator=(const AttrScope&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string prev_format_;
+  std::string prev_layer_;
+};
+
+/// Merged statistics for one (category, span, format, layer) key.
+/// Durations in nanoseconds; quantiles in microseconds (the histogram's
+/// recording unit, exact to <= 1/16 relative width).
+struct SpanStats {
+  std::string category;
+  std::string name;    ///< base span name, without the "(detail)" suffix
+  std::string format;  ///< AttrScope format spec ("" outside a scope)
+  std::string layer;   ///< AttrScope layer path ("" outside a scope)
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t self_ns = 0;  ///< total minus time inside nested profiled spans
+  int64_t min_ns = 0;
+  int64_t max_ns = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  // Hardware-counter deltas, summed over the key's *top-level* span
+  // instances (perf_samples of them). 0/absent when unavailable.
+  uint64_t perf_samples = 0;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// Snapshot of every profiled key with count > 0, sorted by self time
+/// (descending), ties by key. Exact when no thread is recording.
+std::vector<SpanStats> profile_snapshot();
+
+/// Zero every aggregate (keys stay registered; thread caches stay valid).
+void reset_profile();
+
+// --- memory watermarks -----------------------------------------------------
+
+/// One sample of the process's memory posture. rss via /proc/self/statm
+/// (0 where that does not exist), peak_rss via getrusage, arena bytes from
+/// ge::arena's live accounting, cow/prefix bytes from the counters.
+struct MemoryWatermarks {
+  uint64_t rss_bytes = 0;
+  uint64_t peak_rss_bytes = 0;
+  uint64_t arena_live_bytes = 0;
+  uint64_t arena_peak_bytes = 0;
+  uint64_t cow_bytes = 0;           ///< Counter::kCowBytes
+  uint64_t prefix_cache_bytes = 0;  ///< Counter::kPrefixCacheBytes
+};
+
+/// Sample the watermarks and (when metrics are enabled) publish them as
+/// mem.* gauges. Pure read of program state — safe anywhere, any thread.
+MemoryWatermarks sample_memory();
+
+/// Current process RSS in bytes (0 when unknown).
+uint64_t process_rss_bytes();
+
+// --- flamegraph export -----------------------------------------------------
+
+/// Fold trace events into flamegraph-compatible collapsed stacks:
+/// "root;child;leaf <self_us>" per line, aggregated over all threads,
+/// sorted lexically. Nesting is reconstructed per thread from the span
+/// intervals, so feed it collect_trace() output (a tracing run).
+std::string collapsed_stacks(const std::vector<TraceEvent>& events);
+
+namespace detail {
+
+// Called by Span (telemetry.cpp) — not part of the public surface.
+void profile_span_begin();
+void profile_span_end(const char* category, const std::string& name,
+                      size_t base_len, int64_t dur_ns);
+
+/// Arena registration hook: ge::arena (which links *against* ge_obs)
+/// installs its live/peak byte accessors at static-init time so
+/// sample_memory() can read them without an obs -> tensor dependency.
+void set_arena_stats_source(uint64_t (*live_bytes)(),
+                            uint64_t (*peak_bytes)());
+
+}  // namespace detail
+
+}  // namespace ge::obs

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ge::obs {
@@ -137,6 +138,27 @@ void RunLog::metrics_snapshot() {
         .num("p95", h.quantile(0.95))
         .num("p99", h.quantile(0.99));
     event("histogram", row);
+  }
+  for (const auto& s : profile_snapshot()) {
+    JsonObject row;
+    row.str("span", s.name)
+        .str("category", s.category)
+        .str("format", s.format)
+        .str("layer", s.layer)
+        .num("count", s.count)
+        .num("total_ns", s.total_ns)
+        .num("self_ns", s.self_ns)
+        .num("min_ns", s.min_ns)
+        .num("max_ns", s.max_ns)
+        .num("p50_us", s.p50_us)
+        .num("p99_us", s.p99_us);
+    if (s.perf_samples > 0) {
+      row.num("perf_samples", s.perf_samples)
+          .num("cycles", s.cycles)
+          .num("instructions", s.instructions)
+          .num("cache_misses", s.cache_misses);
+    }
+    event("span_stat", row);
   }
   JsonObject counters;
   for (int i = 0; i < static_cast<int>(Counter::kCount); ++i) {

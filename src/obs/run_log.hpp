@@ -15,12 +15,17 @@
 //   layer_quant      per-layer quantization-error summary (metrics)
 //   histogram        merged obs::Histogram summary: count/sum/min/max +
 //                    p50/p95/p99  (schema 2)
+//   span_stat        one row per profiled (span, format, layer) key:
+//                    count, total/self ns, min/max/p50/p99, and hardware
+//                    counters when perf_event_open is available (schema 2)
 //   metrics          final counter/gauge snapshot
 //   bench_case       one row per benchmark case (bench/harness.hpp)
 //
 // Schema history: v1 = PR 2 record set; v2 adds trial / heartbeat /
-// histogram records and the run_header `resumed` field. Consumers should
-// select on `type` and ignore unknown fields, so v1 readers keep working.
+// histogram records and the run_header `resumed` field. Later schema-2
+// additions stay additive: span_stat rows and the heartbeat
+// rss_bytes/arena_bytes fields. Consumers should select on `type` and
+// ignore unknown fields, so v1 readers keep working.
 //
 // JSONL because campaign-scale runs are append-only streams: a crashed or
 // interrupted run still leaves every completed row parseable — and a
@@ -89,8 +94,8 @@ class RunLog {
 
   /// Write the standard final snapshot: one "layer_quant" row per
   /// instrumented layer, one "histogram" row per registered histogram,
-  /// plus one "metrics" row with every counter and gauge (values read
-  /// from ge::obs telemetry).
+  /// one "span_stat" row per profiled span key, plus one "metrics" row
+  /// with every counter and gauge (values read from ge::obs telemetry).
   void metrics_snapshot();
 
  private:

@@ -1,6 +1,7 @@
 #include "obs/telemetry.hpp"
 
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -16,6 +17,7 @@ namespace ge::obs {
 namespace detail {
 std::atomic<bool> g_tracing_enabled{false};
 std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_profiling_enabled{false};
 std::atomic<uint64_t> g_counters[static_cast<int>(Counter::kCount)] = {};
 }  // namespace detail
 
@@ -36,6 +38,10 @@ struct ThreadBuffer {
 struct Registry {
   std::mutex mu;  // guards the buffer list and gauges, never the fast path
   std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  /// Events flushed from exited threads' buffers (see TlsRetire): a
+  /// short-lived pool worker's spans survive here until clear_trace().
+  std::vector<TraceEvent> retired;
+  int next_tid = 0;
   std::map<std::string, double> gauge_map;
   std::map<std::string, QuantErrorSummary> layer_quant;
 };
@@ -46,15 +52,48 @@ Registry& registry() {
 }
 
 thread_local ThreadBuffer* tls_buffer = nullptr;
+thread_local bool tls_buffer_retired = false;
+
+/// Thread-exit flush: moves the dying thread's events into the registry's
+/// retired list and frees its buffer, so a retired pool worker's trace is
+/// never lost and the buffer list does not grow per short-lived thread.
+struct TlsRetire {
+  ThreadBuffer* buf = nullptr;
+  ~TlsRetire() {
+    tls_buffer_retired = true;
+    if (buf == nullptr) return;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.retired.insert(r.retired.end(),
+                     std::make_move_iterator(buf->events.begin()),
+                     std::make_move_iterator(buf->events.end()));
+    for (auto it = r.buffers.begin(); it != r.buffers.end(); ++it) {
+      if (it->get() == buf) {
+        r.buffers.erase(it);
+        break;
+      }
+    }
+    tls_buffer = nullptr;
+  }
+};
 
 ThreadBuffer& thread_buffer() {
   if (tls_buffer == nullptr) {
     auto buf = std::make_unique<ThreadBuffer>();
     Registry& r = registry();
-    std::lock_guard<std::mutex> lk(r.mu);
-    buf->tid = static_cast<int>(r.buffers.size());
-    tls_buffer = buf.get();
-    r.buffers.push_back(std::move(buf));
+    {
+      std::lock_guard<std::mutex> lk(r.mu);
+      buf->tid = r.next_tid++;
+      tls_buffer = buf.get();
+      r.buffers.push_back(std::move(buf));
+    }
+    if (!tls_buffer_retired) {
+      // Flush-on-exit guard. A span recorded *after* the guard already ran
+      // (thread_local teardown) gets a fresh registry-owned buffer with no
+      // guard instead — never a second construction of a destroyed one.
+      thread_local TlsRetire retire;
+      retire.buf = tls_buffer;
+    }
   }
   return *tls_buffer;
 }
@@ -77,21 +116,34 @@ void set_metrics_enabled(bool on) {
   detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
 }
 
+void set_profiling_enabled(bool on) {
+  detail::g_profiling_enabled.store(on, std::memory_order_relaxed);
+}
+
 // --- spans -----------------------------------------------------------------
 
 void Span::begin(const char* category, const char* name, const char* detail) {
   category_ = category;
   name_ = name;
+  base_len_ = static_cast<uint32_t>(name_.size());
   if (detail != nullptr) {
     name_ += '(';
     name_ += detail;
     name_ += ')';
   }
+  // Both flags are captured here: a span born while only one sink was on
+  // stays consistent for its whole lifetime even if flags flip mid-scope.
+  trace_ = tracing_enabled();
+  profile_ = profiling_enabled();
+  if (profile_) detail::profile_span_begin();
   start_ns_ = now_ns();  // stamped last: excludes the setup above
 }
 
 void Span::end() {
   const int64_t dur = now_ns() - start_ns_;
+  // Profile first (it must pop the frame the begin pushed), trace second.
+  if (profile_) detail::profile_span_end(category_, name_, base_len_, dur);
+  if (!trace_) return;
   ThreadBuffer& buf = thread_buffer();
   if (buf.events.size() >= kMaxEventsPerThread) {
     // The span cap is accounting, not control flow — always count drops so
@@ -108,6 +160,7 @@ std::vector<TraceEvent> collect_trace() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lk(r.mu);
   std::vector<TraceEvent> out;
+  out.insert(out.end(), r.retired.begin(), r.retired.end());
   for (const auto& buf : r.buffers) {
     out.insert(out.end(), buf->events.begin(), buf->events.end());
   }
@@ -122,12 +175,13 @@ void clear_trace() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lk(r.mu);
   for (auto& buf : r.buffers) buf->events.clear();
+  r.retired.clear();
 }
 
 size_t trace_event_count() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lk(r.mu);
-  size_t n = 0;
+  size_t n = r.retired.size();
   for (const auto& buf : r.buffers) n += buf->events.size();
   return n;
 }
@@ -207,6 +261,7 @@ const char* counter_name(Counter c) {
     case Counter::kSpansDropped: return "spans_dropped";
     case Counter::kAllocationsAvoided: return "allocations_avoided";
     case Counter::kCowCopies: return "cow_copies";
+    case Counter::kCowBytes: return "cow_bytes";
     case Counter::kArenaReuses: return "arena_reuses";
     case Counter::kArenaEvictions: return "arena_evictions";
     case Counter::kCheckpointWrites: return "checkpoint_writes";
@@ -323,6 +378,7 @@ void reset_all() {
   reset_gauges();
   reset_layer_quant_summaries();
   reset_histograms();
+  reset_profile();
   clear_trace();
 }
 

@@ -34,6 +34,7 @@ namespace ge::obs {
 namespace detail {
 extern std::atomic<bool> g_tracing_enabled;
 extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_profiling_enabled;
 }  // namespace detail
 
 /// True while span recording is on (set via set_tracing_enabled or the
@@ -47,8 +48,16 @@ inline bool metrics_enabled() noexcept {
   return detail::g_metrics_enabled.load(std::memory_order_relaxed);
 }
 
+/// True while span aggregation (obs/profiler.hpp) is on: spans fold
+/// count/total/self-time statistics into the profile registry instead of
+/// (or in addition to) pushing trace events.
+inline bool profiling_enabled() noexcept {
+  return detail::g_profiling_enabled.load(std::memory_order_relaxed);
+}
+
 void set_tracing_enabled(bool on);
 void set_metrics_enabled(bool on);
+void set_profiling_enabled(bool on);
 
 /// RAII: enables tracing and/or metrics, restoring the previous state on
 /// destruction (used by the CLI and by tests).
@@ -80,18 +89,26 @@ struct TraceEvent {
 };
 
 /// RAII tracing scope. Construction stamps the start time, destruction
-/// records the completed event into the calling thread's buffer. Nesting
+/// records the completed event into the calling thread's buffer and/or
+/// folds the duration into the profiler aggregate (obs/profiler.hpp),
+/// per the tracing/profiling flags captured at construction. Nesting
 /// works naturally (inner spans close first). `category` must be a string
 /// literal (stored by pointer); `name` may be dynamic. A nullptr `name`
 /// makes the span inert — the idiom for conditionally-traced scopes.
 class Span {
  public:
   Span(const char* category, const char* name) {
-    if (name != nullptr && tracing_enabled()) begin(category, name, nullptr);
+    if (name != nullptr && (tracing_enabled() || profiling_enabled())) {
+      begin(category, name, nullptr);
+    }
   }
-  /// Name rendered as "name(detail)", e.g. "site(conv1)".
+  /// Name rendered as "name(detail)", e.g. "site(conv1)". The profiler
+  /// aggregates by the base name only (details are unbounded-cardinality;
+  /// AttrScope carries the layer attribution instead).
   Span(const char* category, const char* name, const std::string& detail) {
-    if (tracing_enabled()) begin(category, name, detail.c_str());
+    if (tracing_enabled() || profiling_enabled()) {
+      begin(category, name, detail.c_str());
+    }
   }
   ~Span() {
     if (start_ns_ >= 0) end();
@@ -104,9 +121,12 @@ class Span {
   void begin(const char* category, const char* name, const char* detail);
   void end();
 
-  int64_t start_ns_ = -1;  ///< -1 = tracing was off at construction
+  int64_t start_ns_ = -1;  ///< -1 = telemetry was off at construction
   std::string name_;
   const char* category_ = "";
+  uint32_t base_len_ = 0;  ///< name_ length before the "(detail)" suffix
+  bool trace_ = false;     ///< tracing was on at begin
+  bool profile_ = false;   ///< profiling was on at begin
 };
 
 /// Nanoseconds on the steady clock (the span timebase), for callers that
@@ -148,6 +168,7 @@ enum class Counter : int {
   kSpansDropped,           ///< spans discarded by the per-thread cap
   kAllocationsAvoided,     ///< tensor copies satisfied by storage sharing
   kCowCopies,              ///< shared storage detached by a mutable access
+  kCowBytes,               ///< bytes duplicated by those detaches
   kArenaReuses,            ///< storage blocks recycled from a thread arena
   kArenaEvictions,         ///< cached blocks dropped by the freelist cap
   kCheckpointWrites,       ///< campaign checkpoint files written (ge::io)
@@ -219,10 +240,14 @@ void record_layer_quant_error(const std::string& layer, const float* before,
 std::vector<std::pair<std::string, QuantErrorSummary>> layer_quant_summaries();
 void reset_layer_quant_summaries();
 
-/// Reset counters, gauges, per-layer summaries, histograms and the trace
-/// in one call (the CLI does this at the start of every telemetry-enabled
-/// invocation).
+/// Reset counters, gauges, per-layer summaries, histograms, profiler
+/// aggregates and the trace in one call (the CLI does this at the start
+/// of every telemetry-enabled invocation).
 void reset_all();
+
+/// Zero the profiler's span aggregates (defined in obs/profiler.cpp; the
+/// full profiler API lives in obs/profiler.hpp).
+void reset_profile();
 
 // --- logging ---------------------------------------------------------------
 

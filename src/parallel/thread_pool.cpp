@@ -65,8 +65,32 @@ class ThreadPool {
   }
 
   void set_threads(int n) {
+    n = std::clamp(n, 1, kMaxThreads);
+    // Shrinking retires the excess workers for real (not just caps future
+    // jobs): each retired thread unwinds its thread_locals, which flushes
+    // its obs span buffer into the trace registry — short-lived workers'
+    // events survive in --trace output. Needs a quiescent pool; from
+    // inside a parallel region we only record the new target.
+    if (!tls_in_region) {
+      std::lock_guard<std::mutex> run_lk(run_mutex_);  // no job in flight
+      std::lock_guard<std::mutex> lk(config_mutex_);
+      desired_ = n;
+      const int want_workers = n - 1;
+      if (static_cast<int>(workers_.size()) > want_workers) {
+        {
+          std::lock_guard<std::mutex> jlk(job_mutex_);
+          live_slots_ = want_workers;
+        }
+        job_cv_.notify_all();
+        while (static_cast<int>(workers_.size()) > want_workers) {
+          workers_.back().join();
+          workers_.pop_back();
+        }
+      }
+      return;
+    }
     std::lock_guard<std::mutex> lk(config_mutex_);
-    desired_ = std::clamp(n, 1, kMaxThreads);
+    desired_ = n;
   }
 
   void run(int64_t begin, int64_t end, int64_t grain, int max_workers,
@@ -148,6 +172,7 @@ class ThreadPool {
         // would pick up a completed job whose `fn` is long dead.
         std::lock_guard<std::mutex> jlk(job_mutex_);
         current_id = job_id_;
+        live_slots_ = slot;
       }
       workers_.emplace_back(
           [this, slot, current_id] { worker_loop(slot, current_id); });
@@ -171,7 +196,11 @@ class ThreadPool {
       Job job;
       {
         std::unique_lock<std::mutex> lk(job_mutex_);
-        job_cv_.wait(lk, [&] { return job_id_ != seen; });
+        job_cv_.wait(lk,
+                     [&] { return job_id_ != seen || slot > live_slots_; });
+        // Retired by set_threads: returning unwinds the thread's locals
+        // (flushing its span buffer) before the join() completes.
+        if (slot > live_slots_) return;
         seen = job_id_;
         job = job_;
       }
@@ -200,6 +229,7 @@ class ThreadPool {
   std::condition_variable done_cv_;
   Job job_;
   uint64_t job_id_ = 0;
+  int live_slots_ = 0;  ///< guarded by job_mutex_; slots above it retire
   std::atomic<int> pending_{0};
   std::exception_ptr first_error_;
 };

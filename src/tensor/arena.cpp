@@ -1,13 +1,38 @@
 #include "tensor/arena.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ge::arena {
 namespace {
+
+// Live-byte accounting for the memory watermarks (obs/profiler.hpp).
+// Unlike the obs counters these are *ungated* relaxed atomics: the +/-
+// pair must stay balanced across metrics toggles or live_bytes() would
+// drift. One add per alloc and one sub per release is noise next to the
+// freelist work both paths already do.
+std::atomic<uint64_t> g_live_bytes{0};
+std::atomic<uint64_t> g_peak_bytes{0};
+
+void track_alloc(size_t capacity) {
+  const uint64_t bytes = static_cast<uint64_t>(capacity) * sizeof(float);
+  const uint64_t live =
+      g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void track_free(size_t capacity) {
+  g_live_bytes.fetch_sub(static_cast<uint64_t>(capacity) * sizeof(float),
+                         std::memory_order_relaxed);
+}
 
 // Freelist sizing policy. Blocks are grouped into power-of-two size
 // classes so a long DSE sweep over many distinct shapes cannot pin one
@@ -114,6 +139,7 @@ Cache& cache() {
 
 struct Recycle {
   void operator()(Block* b) const noexcept {
+    track_free(b->capacity());
     if (tl_cache != nullptr) {
       tl_cache->put(b);
     } else {
@@ -131,22 +157,46 @@ Block* take_or_new(size_t n) {
   return new Block();
 }
 
+/// Installs live_bytes/peak_live_bytes into the obs profiler at static
+/// init, so obs::sample_memory() can report arena watermarks without an
+/// obs -> tensor dependency (ge_tensor already links ge_obs).
+struct RegisterArenaStats {
+  RegisterArenaStats() {
+    obs::detail::set_arena_stats_source(&live_bytes, &peak_live_bytes);
+  }
+} g_register_arena_stats;
+
 }  // namespace
 
 std::shared_ptr<Block> alloc(size_t n, float fill) {
   Block* b = take_or_new(n);
   b->assign(n, fill);
+  track_alloc(b->capacity());  // after assign: reused blocks may grow
   return std::shared_ptr<Block>(b, Recycle{});
 }
 
 std::shared_ptr<Block> alloc_copy(const float* src, size_t n) {
   Block* b = take_or_new(n);
   b->assign(src, src + n);
+  track_alloc(b->capacity());
   return std::shared_ptr<Block>(b, Recycle{});
 }
 
 std::shared_ptr<Block> adopt(Block&& v) {
-  return std::shared_ptr<Block>(new Block(std::move(v)), Recycle{});
+  auto* b = new Block(std::move(v));
+  track_alloc(b->capacity());
+  return std::shared_ptr<Block>(b, Recycle{});
+}
+
+uint64_t live_bytes() { return g_live_bytes.load(std::memory_order_relaxed); }
+
+uint64_t peak_live_bytes() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+
+void reset_peak_live_bytes() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
 }
 
 void clear_thread_cache() {

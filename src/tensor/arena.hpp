@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -41,6 +42,18 @@ std::shared_ptr<Block> alloc_copy(const float* src, size_t n);
 /// Wrap an existing vector (no copy) so its storage joins the recycling
 /// pool when released.
 std::shared_ptr<Block> adopt(Block&& v);
+
+/// Bytes currently checked out of the arena (capacity of every block a
+/// shared_ptr owns, across all threads; freelist blocks excluded). Feeds
+/// the obs memory watermarks; always accounted, metrics on or off.
+uint64_t live_bytes();
+
+/// High-water mark of live_bytes() since process start (or the last
+/// reset_peak_live_bytes()).
+uint64_t peak_live_bytes();
+
+/// Re-arm the peak at the current live value (tests; per-phase peaks).
+void reset_peak_live_bytes();
 
 /// Free every block cached by the calling thread (tests; memory pressure).
 void clear_thread_cache();

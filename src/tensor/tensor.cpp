@@ -61,6 +61,7 @@ Tensor& Tensor::operator=(const Tensor& other) {
 
 void Tensor::detach_storage() {
   obs::add(obs::Counter::kCowCopies);
+  obs::add(obs::Counter::kCowBytes, data_->size() * sizeof(float));
   data_ = arena::alloc_copy(data_->data(), data_->size());
 }
 

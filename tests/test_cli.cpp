@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -552,15 +553,24 @@ TEST(Cli, ReportUsageAndInputErrors) {
   EXPECT_EQ(run({"report"}).code, 2);                 // no --inputs
   EXPECT_EQ(run({"report", "--inputs", ","}).code, 2);
   EXPECT_EQ(run({"report", "--inputs", "/tmp/ge_cli_no_such.jsonl"}).code, 2);
-  // A readable file with no trial records is a diagnosed failure.
+  // A readable file with no trial records is a legitimate empty campaign:
+  // exit 0 with an explicit note, so scripted pipelines don't fail on
+  // configurations that select no fault sites.
   const std::string empty = "/tmp/ge_cli_report_empty.jsonl";
   {
     std::ofstream f(empty);
     f << "{\"schema\":2,\"type\":\"run_header\"}\n";
   }
   const auto r = run({"report", "--inputs", empty});
-  EXPECT_EQ(r.code, 2);
-  EXPECT_NE(r.err.find("no trial records"), std::string::npos);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("no trial records"), std::string::npos);
+  // A zero-byte file behaves the same (zero lines, zero trials).
+  {
+    std::ofstream f(empty, std::ios::trunc);
+  }
+  const auto z = run({"report", "--inputs", empty});
+  EXPECT_EQ(z.code, 0) << z.err;
+  EXPECT_NE(z.out.find("no trial records"), std::string::npos);
   std::remove(empty.c_str());
 }
 
@@ -582,6 +592,83 @@ TEST(Cli, UsageListsReportCommandAndMetricsPort) {
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("report"), std::string::npos);
   EXPECT_NE(r.err.find("--metrics-port"), std::string::npos);
+}
+
+TEST(Cli, ProfileEndToEndAttributesWallTime) {
+  const auto r = run({"profile", "--model", "mlp", "--format", "int8",
+                      "--iterations", "2", "--samples", "8", "--epochs", "1",
+                      "--cache", "/tmp/ge_cli_cache"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("span attribution"), std::string::npos);
+  EXPECT_NE(r.out.find("hardware counters"), std::string::npos);
+  EXPECT_NE(r.out.find("memory watermarks"), std::string::npos);
+  // the acceptance bar: root spans account for >= 95% of the wall time
+  const size_t at = r.out.find("% of wall)");
+  ASSERT_NE(at, std::string::npos) << r.out;
+  const size_t open = r.out.rfind('(', at);
+  ASSERT_NE(open, std::string::npos);
+  const double pct = std::strtod(r.out.c_str() + open + 1, nullptr);
+  EXPECT_GE(pct, 95.0) << r.out;
+  // the table carries the root span and per-layer emulator rows keyed
+  // by the profiled format
+  EXPECT_NE(r.out.find("forward"), std::string::npos);
+  EXPECT_NE(r.out.find("int8"), std::string::npos);
+}
+
+TEST(Cli, ProfileFlameExportWritesCollapsedStacks) {
+  const std::string flame = "/tmp/ge_cli_profile.flame";
+  std::remove(flame.c_str());
+  const auto r = run({"profile", "--model", "mlp", "--format", "native",
+                      "--iterations", "1", "--samples", "8", "--epochs", "1",
+                      "--cache", "/tmp/ge_cli_cache", "--flame", flame});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("flamegraph stacks"), std::string::npos);
+  std::ifstream f(flame);
+  ASSERT_TRUE(f.good());
+  std::string stacks((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_FALSE(stacks.empty());
+  EXPECT_NE(stacks.find("forward"), std::string::npos) << stacks;
+  std::remove(flame.c_str());
+}
+
+TEST(Cli, ProfileValidatesOptions) {
+  EXPECT_EQ(run({"profile", "--format", "garbage"}).code, 2);
+  EXPECT_EQ(run({"profile", "--iterations", "0"}).code, 2);
+  EXPECT_EQ(run({"profile", "--iterations", "abc"}).code, 2);
+  const auto r = run({"profile", "--perf", "sometimes"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--perf"), std::string::npos);
+}
+
+TEST(Cli, UsageListsProfileCommand) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("profile"), std::string::npos);
+  EXPECT_NE(r.err.find("--flame"), std::string::npos);
+}
+
+TEST(Cli, ReportStreamCarriesSpanStatsAndMemoryHeartbeat) {
+  // --report runs enable profiling, so the closing metrics snapshot must
+  // include span_stat rows, and heartbeats carry the memory watermarks.
+  const std::string report = "/tmp/ge_cli_report_spans.jsonl";
+  std::remove(report.c_str());
+  const auto r = run({"campaign", "--model", "mlp", "--format", "int8",
+                      "--injections", "2", "--epochs", "1", "--cache",
+                      "/tmp/ge_cli_cache", "--samples", "8", "--report",
+                      report});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream rf(report);
+  ASSERT_TRUE(rf.good());
+  std::string all((std::istreambuf_iterator<char>(rf)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"type\":\"span_stat\""), std::string::npos);
+  EXPECT_NE(all.find("\"span\":\"trial\""), std::string::npos);
+  EXPECT_NE(all.find("\"self_ns\":"), std::string::npos);
+  EXPECT_NE(all.find("\"type\":\"heartbeat\""), std::string::npos);
+  EXPECT_NE(all.find("\"rss_bytes\":"), std::string::npos);
+  EXPECT_NE(all.find("\"arena_bytes\":"), std::string::npos);
+  std::remove(report.c_str());
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "io/campaign_state.hpp"
 #include "models/model_factory.hpp"
 #include "obs/metrics_server.hpp"
+#include "obs/profiler.hpp"
 #include "obs/run_log.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
@@ -319,6 +320,50 @@ TEST(Determinism, PinnedDigestUnchangedWithFullAnalyticsOn) {
     EXPECT_NE(text.find("\"type\":\"heartbeat\""), std::string::npos);
     EXPECT_NE(text.find("\"class\":"), std::string::npos);
     obs::reset_all();
+  }
+}
+
+TEST(Determinism, PinnedDigestUnchangedWithProfilingOn) {
+  // The profiler aggregates span statistics, samples hardware counters
+  // and memory watermarks — but, like every other obs surface, only
+  // *reads* program state: each pinned digest must reproduce bit-for-bit
+  // with profiling on, at 1 and 4 threads, for all three injection sites.
+  struct Pinned {
+    const char* spec;
+    InjectionSite site;
+    uint64_t want;
+  };
+  const Pinned pins[] = {
+      {"fp_e5m10", InjectionSite::kActivationValue, 0x347820fff760869bULL},
+      {"bfp_e5m5_b16", InjectionSite::kMetadata, 0xa6871332fe0e0fbcULL},
+      {"int8", InjectionSite::kWeightValue, 0x05ebde590ffab9b7ULL},
+  };
+  ThreadGuard guard;
+  for (const Pinned& pin : pins) {
+    CampaignConfig cfg = campaign_cfg(/*with_replicas=*/true);
+    cfg.format_spec = pin.spec;
+    cfg.site = pin.site;
+    for (int threads : {1, 4}) {
+      Fixture f;
+      parallel::set_num_threads(threads);
+      obs::TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+      obs::ProfilingScope prof(true);
+      obs::reset_all();
+      const CampaignResult r = run_campaign(*f.model, f.batch, cfg);
+      EXPECT_EQ(campaign_digest(r), pin.want)
+          << pin.spec << " threads=" << threads;
+      // and the aggregate actually saw the campaign's trial spans, keyed
+      // by the campaign's format attribution
+      bool saw_trial = false;
+      for (const auto& s : obs::profile_snapshot()) {
+        if (s.category == "campaign" && s.name == "trial" &&
+            s.format == pin.spec) {
+          saw_trial = true;
+        }
+      }
+      EXPECT_TRUE(saw_trial) << pin.spec << " threads=" << threads;
+      obs::reset_all();
+    }
   }
 }
 

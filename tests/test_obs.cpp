@@ -14,13 +14,17 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/histogram.hpp"
 #include "obs/metrics_server.hpp"
+#include "obs/profiler.hpp"
 #include "obs/run_log.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
@@ -599,6 +603,142 @@ TEST(ObsMetricsServer, ServesPrometheusTextOnEphemeralPort) {
   EXPECT_NE(resp.find("ge_test_server_hist_count 1"), std::string::npos);
   EXPECT_NE(resp.find("ge_test_server_hist_bucket{le=\"+Inf\"} 1"),
             std::string::npos);
+  reset_all();
+}
+
+TEST(ObsTrace, WorkerSpansSurviveThreadRetirement) {
+  // Shrinking the pool joins workers; their thread-local span buffers must
+  // be flushed into the global trace on exit, not dropped with the thread.
+  ThreadGuard tg;
+  parallel::set_num_threads(4);
+  TelemetryScope scope(/*tracing=*/true, /*metrics=*/false);
+  clear_trace();
+  std::atomic<int64_t> sink{0};
+  parallel::parallel_for(0, 2048, 32, [&](int64_t lo, int64_t hi) {
+    sink.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sink.load(), 2048);
+  parallel::set_num_threads(1);  // retires the workers
+  const auto events = collect_trace();
+  size_t chunks = 0;
+  std::vector<int> chunk_tids;
+  for (const auto& e : events) {
+    if (e.name == "chunk") {
+      ++chunks;
+      chunk_tids.push_back(e.tid);
+    }
+  }
+  EXPECT_GE(chunks, 2048u / 32u);
+  // chunks ran on more than one (now-retired) worker thread and survived
+  std::sort(chunk_tids.begin(), chunk_tids.end());
+  chunk_tids.erase(std::unique(chunk_tids.begin(), chunk_tids.end()),
+                   chunk_tids.end());
+  EXPECT_GE(chunk_tids.size(), 2u);
+  clear_trace();
+}
+
+namespace {
+
+std::string http_get_metrics(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const char req[] = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  if (::send(fd, req, sizeof(req) - 1, 0) <= 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+}  // namespace
+
+TEST(ObsMetricsServer, ConcurrentScrapesDuringActiveCampaignAreComplete) {
+  // Several scrapers hammer /metrics while spans and counters are being
+  // recorded: every response must be a complete, untorn rendering whose
+  // body length matches its Content-Length header.
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  ProfilingScope prof(/*on=*/true);
+  reset_all();
+
+  MetricsServer server(/*port=*/0);
+  ASSERT_TRUE(server.ok()) << server.last_error();
+  ASSERT_GT(server.port(), 0);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      AttrScope attr("int8", "conv1");
+      Span s("scrape_test", "work");
+      add(Counter::kTrials);
+      set_gauge("campaign.trials_done",
+                static_cast<double>(counter_value(Counter::kTrials)));
+      histogram("scrape_test.delta").record(0.5);
+    }
+  });
+
+  constexpr int kScrapers = 4;
+  constexpr int kGetsPerScraper = 8;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> scrapers;
+  scrapers.reserve(kScrapers);
+  for (int t = 0; t < kScrapers; ++t) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < kGetsPerScraper; ++i) {
+        const std::string resp = http_get_metrics(server.port());
+        if (resp.find("HTTP/1.1 200 OK") != 0) {
+          bad.fetch_add(1);
+          continue;
+        }
+        const size_t hdr_end = resp.find("\r\n\r\n");
+        const size_t cl = resp.find("Content-Length: ");
+        if (hdr_end == std::string::npos || cl == std::string::npos ||
+            cl > hdr_end) {
+          bad.fetch_add(1);
+          continue;
+        }
+        const size_t want =
+            static_cast<size_t>(std::strtoull(resp.c_str() + cl + 16,
+                                              nullptr, 10));
+        const std::string body = resp.substr(hdr_end + 4);
+        if (body.size() != want ||
+            body.find("# TYPE ge_trials_total counter") ==
+                std::string::npos) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& s : scrapers) s.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  // the writer recorded profiled spans; at least one late scrape would have
+  // seen them, and the snapshot must agree
+  const auto spans = profile_snapshot();
+  bool saw = false;
+  for (const auto& s : spans) {
+    if (s.category == "scrape_test" && s.name == "work" &&
+        s.format == "int8" && s.layer == "conv1") {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
   reset_all();
 }
 

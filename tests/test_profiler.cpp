@@ -1,0 +1,264 @@
+// ge::obs profiler (obs/profiler.cpp): span aggregation correctness
+// (count/total/self with nesting), AttrScope keying and inheritance,
+// the zero-cost-when-disabled contract, reset semantics, memory
+// watermarks, graceful perf_event fallback, and collapsed-stack folding.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/perf_counters.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace ge::obs {
+namespace {
+
+struct ThreadGuard {
+  int saved = parallel::num_threads();
+  ~ThreadGuard() { parallel::set_num_threads(saved); }
+};
+
+void spin_for_us(int64_t us) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+const SpanStats* find(const std::vector<SpanStats>& stats,
+                      const std::string& category, const std::string& name,
+                      const std::string& format = "",
+                      const std::string& layer = "") {
+  for (const auto& s : stats) {
+    if (s.category == category && s.name == name && s.format == format &&
+        s.layer == layer) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Profiler, AggregatesCountTotalAndSelfAcrossNestedSpans) {
+  ProfilingScope prof(/*on=*/true);
+  reset_profile();
+  for (int i = 0; i < 3; ++i) {
+    Span outer("prof_test", "outer");
+    spin_for_us(200);
+    {
+      Span inner("prof_test", "inner");
+      spin_for_us(200);
+    }
+  }
+  const auto stats = profile_snapshot();
+  const SpanStats* outer = find(stats, "prof_test", "outer");
+  const SpanStats* inner = find(stats, "prof_test", "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 3u);
+  EXPECT_EQ(inner->count, 3u);
+  // outer's total covers both spins; its *self* excludes inner's time
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  EXPECT_EQ(outer->self_ns, outer->total_ns - inner->total_ns);
+  EXPECT_GT(outer->self_ns, 0u);
+  EXPECT_GE(outer->max_ns, outer->min_ns);
+  EXPECT_GT(outer->min_ns, 0);
+  EXPECT_GT(outer->p50_us, 0.0);
+  EXPECT_GE(outer->p99_us, outer->p50_us);
+  reset_profile();
+}
+
+TEST(Profiler, DetailSuffixFoldsIntoBaseName) {
+  // Span("cat", "name", "detail") traces as "name(detail)" but must
+  // aggregate under the bounded base key "name".
+  ProfilingScope prof(/*on=*/true);
+  reset_profile();
+  { Span a("prof_test", "site", "conv1"); }
+  { Span b("prof_test", "site", "conv2"); }
+  const auto stats = profile_snapshot();
+  const SpanStats* s = find(stats, "prof_test", "site");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 2u);
+  EXPECT_EQ(find(stats, "prof_test", "site(conv1)"), nullptr);
+  reset_profile();
+}
+
+TEST(Profiler, AttrScopeKeysByFormatAndLayerAndInheritsEmpty) {
+  ProfilingScope prof(/*on=*/true);
+  reset_profile();
+  {
+    AttrScope campaign("int8", "");
+    { Span s("prof_test", "trial"); }  // inherits layer "" from campaign
+    {
+      AttrScope site("", "conv1");  // empty format inherits "int8"
+      Span s("prof_test", "trial");
+    }
+  }
+  { Span s("prof_test", "trial"); }  // outside any scope
+  const auto stats = profile_snapshot();
+  const SpanStats* plain = find(stats, "prof_test", "trial");
+  const SpanStats* fmt = find(stats, "prof_test", "trial", "int8", "");
+  const SpanStats* both = find(stats, "prof_test", "trial", "int8", "conv1");
+  ASSERT_NE(plain, nullptr);
+  ASSERT_NE(fmt, nullptr);
+  ASSERT_NE(both, nullptr);
+  EXPECT_EQ(plain->count, 1u);
+  EXPECT_EQ(fmt->count, 1u);
+  EXPECT_EQ(both->count, 1u);
+  reset_profile();
+}
+
+TEST(Profiler, DisabledProfilingRecordsNothing) {
+  ProfilingScope prof(/*on=*/false);
+  reset_profile();
+  {
+    AttrScope attr("int8", "conv1");
+    Span s("prof_test", "dark");
+  }
+  EXPECT_TRUE(profile_snapshot().empty());
+}
+
+TEST(Profiler, SpanBornDarkStaysDarkWhenProfilingTurnsOn) {
+  ProfilingScope prof(/*on=*/false);
+  reset_profile();
+  {
+    Span s("prof_test", "born-dark");
+    set_profiling_enabled(true);
+  }
+  EXPECT_TRUE(profile_snapshot().empty());
+  set_profiling_enabled(false);
+}
+
+TEST(Profiler, ResetZeroesAggregatesButKeysKeepWorking) {
+  ProfilingScope prof(/*on=*/true);
+  reset_profile();
+  { Span s("prof_test", "again"); }
+  ASSERT_FALSE(profile_snapshot().empty());
+  reset_profile();
+  EXPECT_TRUE(profile_snapshot().empty());  // count==0 rows are skipped
+  { Span s("prof_test", "again"); }
+  const auto stats = profile_snapshot();
+  const SpanStats* s = find(stats, "prof_test", "again");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 1u);
+  reset_profile();
+}
+
+TEST(Profiler, AggregationIsExactUnderThreadPool) {
+  ThreadGuard tg;
+  parallel::set_num_threads(4);
+  ProfilingScope prof(/*on=*/true);
+  reset_profile();
+  constexpr int64_t kN = 4096;
+  std::atomic<int64_t> sink{0};
+  parallel::parallel_for(0, kN, 16, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      Span s("prof_test", "unit");
+      sink.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(sink.load(), kN);
+  const auto stats = profile_snapshot();
+  const SpanStats* s = find(stats, "prof_test", "unit");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, static_cast<uint64_t>(kN));
+  EXPECT_GE(s->total_ns, s->self_ns);
+  reset_profile();
+}
+
+TEST(Profiler, SnapshotSortsBySelfTimeDescending) {
+  ProfilingScope prof(/*on=*/true);
+  reset_profile();
+  {
+    Span slow("prof_test", "slow");
+    spin_for_us(2000);
+  }
+  {
+    Span fast("prof_test", "fast");
+    spin_for_us(50);
+  }
+  const auto stats = profile_snapshot();
+  ASSERT_GE(stats.size(), 2u);
+  for (size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_GE(stats[i - 1].self_ns, stats[i].self_ns);
+  }
+  EXPECT_EQ(stats[0].name, "slow");
+  reset_profile();
+}
+
+TEST(Profiler, MemoryWatermarksReportProcessAndArenaState) {
+  const MemoryWatermarks mem = sample_memory();
+#ifdef __linux__
+  EXPECT_GT(mem.rss_bytes, 0u);
+  EXPECT_GT(mem.peak_rss_bytes, 0u);
+  EXPECT_GT(process_rss_bytes(), 0u);
+#endif
+  // arena accessors are registered at static init; peak >= live always
+  EXPECT_GE(mem.arena_peak_bytes, mem.arena_live_bytes);
+}
+
+TEST(Profiler, PerfCountersDegradeGracefully) {
+  // Whether or not perf_event_open works in this environment, the API
+  // must not crash and must say why when unavailable.
+  if (!perf::available()) {
+    EXPECT_FALSE(perf::availability_note().empty());
+    const perf::Sample s = perf::read();
+    EXPECT_FALSE(s.valid);
+  }
+  perf::set_enabled(false);
+  EXPECT_FALSE(perf::read().valid);  // disabled reads are invalid, not UB
+  perf::set_enabled(true);
+  // profiled spans still aggregate time with perf disabled or absent
+  ProfilingScope prof(/*on=*/true);
+  reset_profile();
+  { Span s("prof_test", "no-perf"); }
+  const auto stats = profile_snapshot();
+  ASSERT_NE(find(stats, "prof_test", "no-perf"), nullptr);
+  reset_profile();
+}
+
+TEST(Profiler, CollapsedStacksFoldNestingWithSelfTimes) {
+  std::vector<TraceEvent> events;
+  auto ev = [](const char* name, int tid, int64_t start_us, int64_t dur_us) {
+    TraceEvent e;
+    e.name = name;
+    e.category = "t";
+    e.tid = tid;
+    e.start_ns = start_us * 1000;
+    e.dur_ns = dur_us * 1000;
+    return e;
+  };
+  // thread 0: root [0,100) containing child [10,40); thread 1: its own
+  // root [0,50). Self time: root=70us, root;child=30us, other=50us.
+  events.push_back(ev("root", 0, 0, 100));
+  events.push_back(ev("child", 0, 10, 30));
+  events.push_back(ev("other", 1, 0, 50));
+  const std::string folded = collapsed_stacks(events);
+  EXPECT_NE(folded.find("root 70\n"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("root;child 30\n"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("other 50\n"), std::string::npos) << folded;
+  // lexically sorted lines
+  EXPECT_LT(folded.find("other 50"), folded.find("root 70"));
+}
+
+TEST(Profiler, CollapsedStacksMergeRepeatedStacks) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 3; ++i) {
+    TraceEvent e;
+    e.name = "leaf";
+    e.category = "t";
+    e.tid = 0;
+    e.start_ns = i * 10'000;
+    e.dur_ns = 2'000;  // 2 us each
+    events.push_back(e);
+  }
+  const std::string folded = collapsed_stacks(events);
+  EXPECT_EQ(folded, "leaf 6\n");
+}
+
+}  // namespace
+}  // namespace ge::obs
