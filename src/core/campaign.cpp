@@ -85,6 +85,7 @@ bool shard_owns(int64_t ti, int shards, int shard_index) {
 struct TrialMeta {
   int64_t element = -1;
   int bit = -1;  ///< first perturbed bit position (LSB = 0)
+  int64_t affected = 0;  ///< elements the primary fault perturbed
   std::string metadata_field;
   int64_t metadata_index = -1;
   float value_before = 0.0f;
@@ -134,6 +135,8 @@ void apply_resume(CampaignProgress& fresh, const CampaignProgress& saved) {
   if (saved.sites_per_trial != fresh.sites_per_trial) {
     fail("sites per trial");
   }
+  if (!(saved.ber == fresh.ber)) fail("bit error rate");
+  if (saved.burst_len != fresh.burst_len) fail("burst length");
   if (saved.model_name != fresh.model_name) fail("model");
   if (saved.eval_samples != fresh.eval_samples) fail("sample count");
   // Bitwise: any change to weights, batch, or kernels shows up here. The
@@ -276,6 +279,8 @@ CampaignProgress run_campaign_trials(nn::Module& model,
   prog.shards = opts.shards;
   prog.shard_index = opts.shard_index;
   prog.sites_per_trial = cfg.sites_per_trial;
+  prog.ber = cfg.ber;
+  prog.burst_len = cfg.burst_len;
   prog.model_name = opts.model_name;
   prog.eval_samples = opts.eval_samples;
   prog.golden_accuracy = nn::accuracy(golden.logits, batch.labels);
@@ -413,6 +418,8 @@ CampaignProgress run_campaign_trials(nn::Module& model,
               spec.site = cfg.site;
               spec.model = cfg.model;
               spec.num_bits = cfg.num_bits;
+              spec.ber = cfg.ber;
+              spec.burst_len = cfg.burst_len;
               Rng trial_rng =
                   base.child(lp.site_index * static_cast<uint64_t>(nT) +
                              static_cast<uint64_t>(ti));
@@ -475,6 +482,7 @@ CampaignProgress run_campaign_trials(nn::Module& model,
                   m.fired = true;
                   m.element = rec->element;
                   m.bit = rec->bits.empty() ? -1 : rec->bits.front();
+                  m.affected = rec->affected;
                   m.metadata_field = rec->metadata_field;
                   m.metadata_index = rec->metadata_index;
                   m.value_before = rec->value_before;
@@ -513,7 +521,8 @@ CampaignProgress run_campaign_trials(nn::Module& model,
                 .str("site", to_string(cfg.site))
                 .str("error_model", to_string(cfg.model))
                 .num("element", m.element)
-                .num("bit", static_cast<int64_t>(m.bit));
+                .num("bit", static_cast<int64_t>(m.bit))
+                .num("affected", m.affected);
             if (!m.metadata_field.empty()) {
               row.str("metadata_field", m.metadata_field)
                   .num("metadata_index", m.metadata_index);
@@ -677,6 +686,8 @@ CampaignProgress merge_campaign_progress(
     if (p.sites_per_trial != merged.sites_per_trial) {
       fail("sites per trial");
     }
+    if (!(p.ber == merged.ber)) fail("bit error rate");
+    if (p.burst_len != merged.burst_len) fail("burst length");
     if (p.model_name != merged.model_name) fail("model");
     if (p.eval_samples != merged.eval_samples) fail("sample count");
     if (!(p.golden_accuracy == merged.golden_accuracy) ||

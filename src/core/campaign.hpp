@@ -58,6 +58,10 @@ struct CampaignConfig {
   /// carried by one forward. 1 = classic single-fault campaigns (bitwise
   /// unchanged). Layers with fewer later sites arm as many as exist.
   int sites_per_trial = 1;
+  /// Error-model-zoo knobs, forwarded into every trial's InjectionSpec
+  /// (see ErrorModel / InjectionSpec docs). Ignored by classic models.
+  double ber = 0.0;
+  int burst_len = 2;
 };
 
 struct LayerCampaignResult {
@@ -114,6 +118,8 @@ struct CampaignProgress {
   int shards = 1;       ///< trial-space partition this state was run under
   int shard_index = 0;  ///< which partition slice (0 when unsharded)
   int sites_per_trial = 1;  ///< faults armed per trial (config echo)
+  double ber = 0.0;         ///< zoo config echo (0 for classic models)
+  int burst_len = 2;        ///< zoo config echo
   std::string model_name;    ///< CLI echo (empty for library callers)
   int64_t eval_samples = 0;  ///< CLI echo of the evaluation batch size
   float golden_accuracy = 0.0f;

@@ -145,7 +145,13 @@ const std::vector<CommandDesc>& command_table() {
        "per-layer fault-injection campaign",
        {{"format", "F", "format spec (see 'formats')"},
         {"site", "S", "injection site: value|weight|metadata"},
-        {"error-model", "E", "flip|sa0|sa1"},
+        {"error-model", "E", "flip|sa0|sa1|ber|burst"},
+        {"inject-scope", "S", "layer (classic single-element) | channel | "
+                              "row: hit a whole activation channel/row"},
+        {"ber", "X", "bit error rate in (0,1]: required for --error-model "
+                     "ber, optional thinning for channel/row scopes"},
+        {"burst-len", "N", "contiguous bits flipped by --error-model burst "
+                           "(default 2)"},
         {"injections", "N", "injections per layer"},
         {"seed", "S", "campaign RNG seed"},
         {"checkpoint", "FILE", "progress .gec file (written atomically)"},
@@ -345,9 +351,57 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err,
     cfg.model = ErrorModel::kStuckAt0;
   } else if (em == "sa1") {
     cfg.model = ErrorModel::kStuckAt1;
+  } else if (em == "ber") {
+    cfg.model = ErrorModel::kBerUniform;
+  } else if (em == "burst") {
+    cfg.model = ErrorModel::kBurst;
   } else {
     err << "campaign: unknown --error-model '" << em << "'\n";
     return 2;
+  }
+  // Spatial scopes are error models of their own: a channel/row fault
+  // perturbs the same bits in every element of one region. They own the
+  // error-model slot, so only the default 'flip' may be combined.
+  const std::string scope = get(p, "inject-scope", "layer");
+  std::string em_label = em;
+  if (scope == "channel" || scope == "row") {
+    if (em != "flip") {
+      throw UsageError("--inject-scope " + scope +
+                       " selects its own error model; drop --error-model");
+    }
+    cfg.model = scope == "channel" ? ErrorModel::kChannel
+                                   : ErrorModel::kRowBurst;
+    em_label = to_string(cfg.model);
+  } else if (scope != "layer") {
+    err << "campaign: unknown --inject-scope '" << scope << "'\n";
+    return 2;
+  }
+  cfg.ber = get_num(p, "ber", 0.0);
+  cfg.burst_len = static_cast<int>(get_int(p, "burst-len", 2));
+  if (cfg.model == ErrorModel::kBerUniform) {
+    if (!(cfg.ber > 0.0 && cfg.ber <= 1.0)) {
+      throw UsageError("--error-model ber requires --ber in (0, 1]");
+    }
+  } else if (cfg.model == ErrorModel::kChannel ||
+             cfg.model == ErrorModel::kRowBurst) {
+    if (cfg.ber < 0.0 || cfg.ber > 1.0) {
+      throw UsageError("--ber must be in [0, 1]");
+    }
+  } else if (p.options.count("ber") != 0) {
+    throw UsageError("--ber applies only to --error-model ber or "
+                     "--inject-scope channel|row");
+  }
+  if (p.options.count("burst-len") != 0 &&
+      cfg.model != ErrorModel::kBurst) {
+    throw UsageError("--burst-len applies only to --error-model burst");
+  }
+  if (cfg.burst_len < 1) {
+    throw UsageError("--burst-len must be >= 1");
+  }
+  if (is_zoo_model(cfg.model) &&
+      cfg.site != InjectionSite::kActivationValue) {
+    throw UsageError("error model '" + em_label +
+                     "' requires --site value (activations only)");
   }
   cfg.injections_per_layer = get_int(p, "injections", 50);
   cfg.seed = static_cast<uint64_t>(get_int(p, "seed", 1234));
@@ -449,7 +503,7 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err,
   }
   const auto r = finalize_campaign(prog);
   out << "campaign: " << cfg.format_spec << " site=" << site
-      << " error-model=" << em << " injections/layer="
+      << " error-model=" << em_label << " injections/layer="
       << cfg.injections_per_layer << "\n";
   out << "clean emulated accuracy: " << r.golden_accuracy << "\n";
   out << std::left << std::setw(28) << "layer" << std::right << std::setw(12)
@@ -478,7 +532,7 @@ int cmd_campaign(const ParsedArgs& p, std::ostream& out, std::ostream& err,
     obs::JsonObject row;
     row.str("format", cfg.format_spec)
         .str("site", site)
-        .str("error_model", em)
+        .str("error_model", em_label)
         .num("golden_accuracy", static_cast<double>(r.golden_accuracy))
         .num("network_mean_delta_loss", r.network_mean_delta_loss());
     log->event("campaign_summary", row);

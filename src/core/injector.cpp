@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "obs/telemetry.hpp"
+#include "tensor/tensor_view.hpp"
 
 namespace ge::core {
 
@@ -22,6 +23,10 @@ const char* to_string(ErrorModel model) {
     case ErrorModel::kBitFlip: return "bit_flip";
     case ErrorModel::kStuckAt0: return "stuck_at_0";
     case ErrorModel::kStuckAt1: return "stuck_at_1";
+    case ErrorModel::kBerUniform: return "ber_uniform";
+    case ErrorModel::kBurst: return "burst";
+    case ErrorModel::kRowBurst: return "row_burst";
+    case ErrorModel::kChannel: return "channel";
   }
   return "?";
 }
@@ -69,14 +74,15 @@ void Injector::perturb(fmt::BitString& bits, ErrorModel model,
                        const std::vector<int>& chosen) const {
   for (int b : chosen) {
     switch (model) {
-      case ErrorModel::kBitFlip:
-        bits.flip_bit(b);
-        break;
       case ErrorModel::kStuckAt0:
         bits.set_bit(b, false);
         break;
       case ErrorModel::kStuckAt1:
         bits.set_bit(b, true);
+        break;
+      default:
+        // kBitFlip and every zoo model perturb by flipping.
+        bits.flip_bit(b);
         break;
     }
   }
@@ -130,6 +136,36 @@ void Injector::arm_impl(std::vector<InjectionSpec> specs) {
     if (spec.num_bits < 1) {
       throw std::invalid_argument("Injector: num_bits must be >= 1");
     }
+    if (is_zoo_model(spec.model) &&
+        spec.site != InjectionSite::kActivationValue) {
+      throw std::invalid_argument(
+          std::string("Injector: error model '") + to_string(spec.model) +
+          "' applies to the activation site only");
+    }
+    if (spec.model == ErrorModel::kBerUniform &&
+        !(spec.ber > 0.0 && spec.ber <= 1.0)) {
+      throw std::invalid_argument(
+          "Injector: ber_uniform needs ber in (0, 1]");
+    }
+    if ((spec.model == ErrorModel::kRowBurst ||
+         spec.model == ErrorModel::kChannel) &&
+        (spec.ber < 0.0 || spec.ber > 1.0)) {
+      throw std::invalid_argument("Injector: ber must be in [0, 1]");
+    }
+    if (spec.model == ErrorModel::kBurst) {
+      const int width = site->act_format->bit_width();
+      if (spec.burst_len < 1 || spec.burst_len > width) {
+        throw std::invalid_argument(
+            "Injector: burst_len must be in [1, " + std::to_string(width) +
+            "] for format " + site->act_format->name());
+      }
+      if (spec.bit >= 0 && spec.bit + spec.burst_len > width) {
+        throw std::invalid_argument(
+            "Injector: burst at bit " + std::to_string(spec.bit) +
+            " of length " + std::to_string(spec.burst_len) +
+            " overruns width " + std::to_string(width));
+      }
+    }
     if (!layers.insert(spec.layer_path).second) {
       throw std::invalid_argument(
           "Injector: duplicate target layer '" + spec.layer_path +
@@ -182,6 +218,13 @@ void Injector::fire(ArmedFault& fault, size_t index, LayerSite& site,
 
 InjectionRecord Injector::apply_activation(const InjectionSpec& spec,
                                            LayerSite& site, Tensor& y) {
+  switch (spec.model) {
+    case ErrorModel::kBerUniform: return apply_ber(spec, site, y);
+    case ErrorModel::kBurst: return apply_burst(spec, site, y);
+    case ErrorModel::kRowBurst:
+    case ErrorModel::kChannel: return apply_region(spec, site, y);
+    default: break;  // classic single-element models below
+  }
   fmt::NumberFormat& f = *site.act_format;
   const int64_t element =
       spec.element >= 0 ? spec.element : draw_rng().randint(0, y.numel() - 1);
@@ -192,6 +235,7 @@ InjectionRecord Injector::apply_activation(const InjectionSpec& spec,
   rec.layer_path = site.path;
   rec.site = InjectionSite::kActivationValue;
   rec.model = spec.model;
+  rec.error_model = to_string(spec.model);
   rec.element = element;
   rec.value_before = y[element];
 
@@ -200,6 +244,119 @@ InjectionRecord Injector::apply_activation(const InjectionSpec& spec,
   perturb(bits, spec.model, rec.bits);
   y[element] = f.format_to_real_at(bits, element);
   rec.value_after = y[element];
+  rec.affected = 1;
+  return rec;
+}
+
+InjectionRecord Injector::apply_ber(const InjectionSpec& spec,
+                                    LayerSite& site, Tensor& y) {
+  fmt::NumberFormat& f = *site.act_format;
+  InjectionRecord rec;
+  rec.layer_path = site.path;
+  rec.site = InjectionSite::kActivationValue;
+  rec.model = spec.model;
+  rec.error_model = to_string(spec.model);
+
+  // Serial element-major, bit-minor Bernoulli sweep: the draw sequence is
+  // fixed by (numel, width) alone, so a trial reproduces bitwise no matter
+  // which thread runs it. Encode/decode only touches hit elements.
+  const int width = f.bit_width();
+  const int64_t n = y.numel();
+  const auto ber = static_cast<float>(spec.ber);
+  Rng& rng = draw_rng();
+  std::vector<int> hit;
+  for (int64_t i = 0; i < n; ++i) {
+    hit.clear();
+    for (int b = 0; b < width; ++b) {
+      if (rng.uniform() < ber) hit.push_back(b);
+    }
+    if (hit.empty()) continue;
+    fmt::BitString bits = f.real_to_format_at(y[i], i);
+    perturb(bits, spec.model, hit);
+    const float before = y[i];
+    y[i] = f.format_to_real_at(bits, i);
+    if (rec.affected == 0) {
+      rec.element = i;
+      rec.bits = hit;
+      rec.value_before = before;
+      rec.value_after = y[i];
+    }
+    ++rec.affected;
+  }
+  return rec;
+}
+
+InjectionRecord Injector::apply_burst(const InjectionSpec& spec,
+                                      LayerSite& site, Tensor& y) {
+  fmt::NumberFormat& f = *site.act_format;
+  const int64_t element =
+      spec.element >= 0 ? spec.element : draw_rng().randint(0, y.numel() - 1);
+  if (element >= y.numel()) {
+    throw std::invalid_argument("Injector: element index out of range");
+  }
+  const int width = f.bit_width();
+  const int start = spec.bit >= 0
+                        ? spec.bit
+                        : static_cast<int>(
+                              draw_rng().randint(0, width - spec.burst_len));
+  InjectionRecord rec;
+  rec.layer_path = site.path;
+  rec.site = InjectionSite::kActivationValue;
+  rec.model = spec.model;
+  rec.error_model = to_string(spec.model);
+  rec.element = element;
+  rec.value_before = y[element];
+  rec.bits.reserve(static_cast<size_t>(spec.burst_len));
+  for (int b = start; b < start + spec.burst_len; ++b) rec.bits.push_back(b);
+
+  fmt::BitString bits = f.real_to_format_at(y[element], element);
+  perturb(bits, spec.model, rec.bits);
+  y[element] = f.format_to_real_at(bits, element);
+  rec.value_after = y[element];
+  rec.affected = 1;
+  return rec;
+}
+
+InjectionRecord Injector::apply_region(const InjectionSpec& spec,
+                                       LayerSite& site, Tensor& y) {
+  fmt::NumberFormat& f = *site.act_format;
+  const bool channel = spec.model == ErrorModel::kChannel;
+  const int64_t regions = channel ? channel_count(y) : row_count(y);
+  const int64_t r =
+      spec.element >= 0 ? spec.element : draw_rng().randint(0, regions - 1);
+  if (r >= regions) {
+    throw std::invalid_argument("Injector: region index out of range");
+  }
+  // The view supplies geometry only: writes go through y's own element
+  // accessor at true storage indices, so block-context formats (BFP)
+  // encode/decode each element inside its dense-capture block.
+  TensorView view = channel ? channel_view(y, r) : row_view(y, r);
+
+  InjectionRecord rec;
+  rec.layer_path = site.path;
+  rec.site = InjectionSite::kActivationValue;
+  rec.model = spec.model;
+  rec.error_model = to_string(spec.model);
+  // Draw order is fixed: region, then the shared bit set, then the
+  // per-element thinning sequence — every element of the region sees the
+  // same perturbed bit positions (a channel-wide datapath fault).
+  rec.bits = choose_bits(f.bit_width(), spec.bit, spec.num_bits);
+  const auto ber = static_cast<float>(spec.ber);
+  Rng& rng = draw_rng();
+  for (int64_t i = 0; i < view.numel(); ++i) {
+    if (ber > 0.0f && !(rng.uniform() < ber)) continue;
+    const int64_t s = view.flat_offset(i);
+    fmt::BitString bits = f.real_to_format_at(y[s], s);
+    perturb(bits, spec.model, rec.bits);
+    const float before = y[s];
+    y[s] = f.format_to_real_at(bits, s);
+    if (rec.affected == 0) {
+      rec.element = s;
+      rec.value_before = before;
+      rec.value_after = y[s];
+    }
+    ++rec.affected;
+  }
   return rec;
 }
 
@@ -229,6 +386,7 @@ InjectionRecord Injector::apply_metadata(const InjectionSpec& spec,
   rec.layer_path = site.path;
   rec.site = InjectionSite::kMetadata;
   rec.model = spec.model;
+  rec.error_model = to_string(spec.model);
   rec.metadata_field = field->name;
   rec.metadata_index = index;
 
@@ -239,6 +397,7 @@ InjectionRecord Injector::apply_metadata(const InjectionSpec& spec,
   // Re-decode the whole tensor under the corrupted register: a single
   // metadata bit flip behaves as a multi-bit flip of the data (§II-B).
   y = f.decode_last_tensor();
+  rec.affected = y.numel();  // every element re-decodes under the fault
   return rec;
 }
 
@@ -267,6 +426,7 @@ InjectionRecord Injector::apply_weight(const InjectionSpec& spec,
   rec.layer_path = site.path;
   rec.site = InjectionSite::kWeightValue;
   rec.model = spec.model;
+  rec.error_model = to_string(spec.model);
   rec.element = element;
   rec.value_before = weight->value[element];
 
@@ -276,6 +436,7 @@ InjectionRecord Injector::apply_weight(const InjectionSpec& spec,
   perturb(bits, spec.model, rec.bits);
   weight->value[element] = wfmt->format_to_real_at(bits, element);
   rec.value_after = weight->value[element];
+  rec.affected = 1;
 
   corrupted_weight_paths_.push_back(site.path);
   return rec;

@@ -25,8 +25,32 @@ namespace ge::core {
 enum class InjectionSite { kActivationValue, kWeightValue, kMetadata };
 
 /// Fault model applied to each selected bit (§IV-C "different error
-/// models"): transient flip, or a stuck-at fault pinning the bit.
-enum class ErrorModel { kBitFlip, kStuckAt0, kStuckAt1 };
+/// models"). The first three are the classic single-element models:
+/// transient flip, or a stuck-at fault pinning the bit. The rest form the
+/// error-model zoo — activation-site only, all perturbations are flips:
+///  - kBerUniform: every bit of every element of the layer's activation
+///    tensor flips independently with probability `ber`;
+///  - kBurst: a contiguous run of `burst_len` bits flips inside one
+///    element's word (SEU upsetting adjacent cells);
+///  - kRowBurst / kChannel: every element of one randomly drawn row /
+///    channel slice is hit with the same chosen bits (a shared bus or
+///    channel-wide datapath fault), optionally thinned per element by
+///    `ber` when it is > 0.
+/// Enum order is persisted in campaign checkpoints — append only.
+enum class ErrorModel {
+  kBitFlip,
+  kStuckAt0,
+  kStuckAt1,
+  kBerUniform,
+  kBurst,
+  kRowBurst,
+  kChannel,
+};
+
+/// True for the zoo models (everything past the classic stuck-at trio).
+constexpr bool is_zoo_model(ErrorModel m) {
+  return m >= ErrorModel::kBerUniform;
+}
 
 const char* to_string(InjectionSite site);
 const char* to_string(ErrorModel model);
@@ -35,11 +59,18 @@ struct InjectionSpec {
   std::string layer_path;  ///< instrumented layer to target
   InjectionSite site = InjectionSite::kActivationValue;
   ErrorModel model = ErrorModel::kBitFlip;
-  int64_t element = -1;        ///< flat tensor index; -1 = uniform random
+  /// Flat tensor index; -1 = uniform random. For kRowBurst/kChannel this
+  /// selects the row/channel index instead of an element.
+  int64_t element = -1;
   int bit = -1;                ///< bit position (0 = LSB); -1 = random
   int num_bits = 1;            ///< >1 perturbs several distinct random bits
   std::string metadata_field;  ///< empty = the format's first field
   int64_t metadata_index = -1; ///< register index; -1 = random
+  /// kBerUniform: per-bit flip probability, required in (0, 1].
+  /// kRowBurst/kChannel: optional per-element thinning probability in
+  /// [0, 1]; 0 hits every element of the region. Ignored otherwise.
+  double ber = 0.0;
+  int burst_len = 2;           ///< kBurst: contiguous bits flipped
 };
 
 /// What an armed injection actually did (resolved random choices).
@@ -47,12 +78,14 @@ struct InjectionRecord {
   std::string layer_path;
   InjectionSite site = InjectionSite::kActivationValue;
   ErrorModel model = ErrorModel::kBitFlip;
-  int64_t element = -1;
-  std::vector<int> bits;
+  std::string error_model;    ///< to_string(model), ready for run logs
+  int64_t element = -1;       ///< first affected element (storage index)
+  std::vector<int> bits;      ///< bits perturbed on the first element
   std::string metadata_field;
   int64_t metadata_index = -1;
   float value_before = 0.0f;  ///< corrupted element / register decode
   float value_after = 0.0f;
+  int64_t affected = 0;       ///< elements whose value was perturbed
 };
 
 class Injector {
@@ -117,6 +150,12 @@ class Injector {
   void arm_impl(std::vector<InjectionSpec> specs);
   InjectionRecord apply_activation(const InjectionSpec& spec,
                                    LayerSite& site, Tensor& y);
+  InjectionRecord apply_ber(const InjectionSpec& spec, LayerSite& site,
+                            Tensor& y);
+  InjectionRecord apply_burst(const InjectionSpec& spec, LayerSite& site,
+                              Tensor& y);
+  InjectionRecord apply_region(const InjectionSpec& spec, LayerSite& site,
+                               Tensor& y);
   InjectionRecord apply_metadata(const InjectionSpec& spec, LayerSite& site,
                                  Tensor& y);
   InjectionRecord apply_weight(const InjectionSpec& spec, LayerSite& site);

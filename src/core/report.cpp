@@ -8,6 +8,7 @@
 #include <map>
 #include <optional>
 #include <ostream>
+#include <tuple>
 #include <utility>
 
 #include "core/json_scan.hpp"
@@ -26,7 +27,9 @@ using jsonscan::parse_record;
 
 struct TrialRow {
   std::string layer;
+  std::string error_model;
   int64_t bit = -1;
+  int64_t affected = -1;  ///< elements the fault perturbed (-1 = unknown)
   double delta_loss = 0.0;
   double max_delta_loss = 0.0;
   bool sdc = false;
@@ -56,10 +59,14 @@ double percentile(const std::vector<double>& sorted, double q) {
 
 void render_campaign_report(const std::vector<std::string>& paths,
                             std::ostream& out, std::ostream& err) {
-  // (site_index, trial) -> row. std::map gives last-wins dedupe AND a
-  // deterministic ascending aggregation order, the two properties that
-  // make sharded and single-process reports render byte-identically.
-  std::map<std::pair<uint64_t, int64_t>, TrialRow> trials;
+  // (site_index, trial, error_model) -> row. std::map gives last-wins
+  // dedupe AND a deterministic ascending aggregation order, the two
+  // properties that make sharded and single-process reports render
+  // byte-identically. The error model is part of the key: shards of one
+  // campaign carry the same model string (so dedupe still collapses
+  // re-runs of a trial), while merged reports over campaigns that differ
+  // only in error model keep every trial.
+  std::map<std::tuple<uint64_t, int64_t, std::string>, TrialRow> trials;
   HeaderEcho header;
   size_t skipped = 0;
 
@@ -107,12 +114,16 @@ void render_campaign_report(const std::vector<std::string>& paths,
       }
       TrialRow row;
       row.layer = get_str(*rec, "layer");
+      row.error_model = get_str(*rec, "error_model");
       row.bit = static_cast<int64_t>(get_num(*rec, "bit").value_or(-1.0));
+      row.affected =
+          static_cast<int64_t>(get_num(*rec, "affected").value_or(-1.0));
       row.delta_loss = get_num(*rec, "delta_loss").value_or(0.0);
       row.max_delta_loss = get_num(*rec, "max_delta_loss").value_or(0.0);
       row.sdc = get_str(*rec, "class") == "sdc";
+      const std::string em = row.error_model;
       trials[{static_cast<uint64_t>(*site_index),
-              static_cast<int64_t>(*trial)}] = std::move(row);
+              static_cast<int64_t>(*trial), em}] = std::move(row);
       ++used;
     }
     err << "report: " << path << ": " << used << " of " << lines
@@ -144,7 +155,7 @@ void render_campaign_report(const std::vector<std::string>& paths,
   };
   std::map<uint64_t, LayerAgg> layers;
   for (const auto& [key, row] : trials) {
-    LayerAgg& a = layers[key.first];
+    LayerAgg& a = layers[std::get<0>(key)];
     a.path = row.layer;
     ++a.count;
     if (row.sdc) ++a.sdc;
@@ -189,6 +200,60 @@ void render_campaign_report(const std::vector<std::string>& paths,
                   static_cast<long long>(a.sdc), sdc_pct, mean,
                   percentile(sorted, 0.50), percentile(sorted, 0.95),
                   a.max_delta);
+    out << buf;
+  }
+  out << "\n";
+
+  // --- per-error-model vulnerability ---------------------------------------
+  // Splits the same trial set by the error model that produced each trial,
+  // so campaigns merged across models (flip vs BER vs channel) render one
+  // comparison table. std::map keying gives deterministic model order.
+  struct ModelAgg {
+    int64_t count = 0;
+    int64_t sdc = 0;
+    double sum_delta = 0.0;
+    double max_delta = 0.0;
+    int64_t affected_known = 0;  ///< rows carrying an "affected" field
+    double sum_affected = 0.0;
+    std::vector<double> deltas;
+  };
+  std::map<std::string, ModelAgg> by_model;
+  for (const auto& [key, row] : trials) {
+    (void)key;
+    ModelAgg& a = by_model[row.error_model.empty() ? "?" : row.error_model];
+    ++a.count;
+    if (row.sdc) ++a.sdc;
+    a.sum_delta += row.delta_loss;
+    a.max_delta = std::max(a.max_delta, row.max_delta_loss);
+    a.deltas.push_back(row.delta_loss);
+    if (row.affected >= 0) {
+      ++a.affected_known;
+      a.sum_affected += static_cast<double>(row.affected);
+    }
+  }
+  out << "error-model vulnerability\n";
+  std::snprintf(buf, sizeof(buf), "%-14s %7s %6s %7s %10s %12s %10s %10s\n",
+                "error model", "trials", "SDC", "SDC%", "mean hit",
+                "mean dLoss", "p95", "max");
+  out << buf;
+  for (const auto& [name, a] : by_model) {
+    std::vector<double> sorted = a.deltas;
+    std::sort(sorted.begin(), sorted.end());
+    const double mean =
+        a.count > 0 ? a.sum_delta / static_cast<double>(a.count) : 0.0;
+    const double sdc_pct =
+        a.count > 0
+            ? 100.0 * static_cast<double>(a.sdc) / static_cast<double>(a.count)
+            : 0.0;
+    const double mean_hit =
+        a.affected_known > 0
+            ? a.sum_affected / static_cast<double>(a.affected_known)
+            : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "%-14s %7lld %6lld %6.1f%% %10.1f %12.5f %10.5f %10.5f\n",
+                  name.c_str(), static_cast<long long>(a.count),
+                  static_cast<long long>(a.sdc), sdc_pct, mean_hit, mean,
+                  percentile(sorted, 0.95), a.max_delta);
     out << buf;
   }
   out << "\n";

@@ -90,6 +90,19 @@ void AfpFormat::quantize_tensor_inplace(Tensor& t) {
   obs::record_quantization(last_vals_.data(), p, n, abs_max());
 }
 
+void AfpFormat::quantize_view_inplace(TensorView& v) {
+  if (v.dense_full()) {
+    quantize_tensor_inplace(v.owner());
+    return;
+  }
+  // The adaptive bias offset and the persistent-register replay capture
+  // (last_vals_) are defined over the view's element sequence; the gather
+  // fallback computes both on the dense image and scatters the quantised
+  // values back — bitwise what a strided pass would produce, since the
+  // bias reduction and per-element rounding see identical values.
+  quantize_view_gather(v);
+}
+
 BitString AfpFormat::real_to_format(float value) const {
   const float q = quantize_value(value);
   const uint64_t sign = std::signbit(q) ? 1 : 0;

@@ -109,6 +109,19 @@ void BfpFormat::quantize_tensor_inplace(Tensor& t) {
   }
 }
 
+void BfpFormat::quantize_view_inplace(TensorView& v) {
+  if (v.dense_full()) {
+    quantize_tensor_inplace(v.owner());
+    return;
+  }
+  // Blocks are defined over the *view-linear* element sequence (block b =
+  // view elements [b*B, (b+1)*B)), exactly as a materialized copy would
+  // block them — so gather -> tensor kernel -> scatter IS the strided
+  // semantics, and shared_exp_/last_codes_ afterwards answer view-indexed
+  // real_to_format_at / format_to_real_at queries.
+  quantize_view_gather(v);
+}
+
 BitString BfpFormat::real_to_format(float value) const {
   // Context-free: shared exponent 0 (see header).
   const float step = pow2f(1 - man_bits_);

@@ -87,6 +87,14 @@ void FloatFormat::quantize_tensor_inplace(Tensor& t) {
   elementwise_inplace(t, [this](float x) { return quantize_value(x); });
 }
 
+void FloatFormat::quantize_view_inplace(TensorView& v) {
+  if (v.dense_full()) {
+    quantize_tensor_inplace(v.owner());
+    return;
+  }
+  view_elementwise_inplace(v, [this](float x) { return quantize_value(x); });
+}
+
 BitString FloatFormat::real_to_format(float value) const {
   const float q = quantize_value(value);
   const uint64_t sign = std::signbit(q) ? 1 : 0;

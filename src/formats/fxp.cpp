@@ -43,6 +43,14 @@ void FxpFormat::quantize_tensor_inplace(Tensor& t) {
   elementwise_inplace(t, [this](float x) { return quantize_value(x); });
 }
 
+void FxpFormat::quantize_view_inplace(TensorView& v) {
+  if (v.dense_full()) {
+    quantize_tensor_inplace(v.owner());
+    return;
+  }
+  view_elementwise_inplace(v, [this](float x) { return quantize_value(x); });
+}
+
 BitString FxpFormat::real_to_format(float value) const {
   const double scaled = double(value) * std::ldexp(1.0, frac_bits_);
   double code = std::nearbyint(scaled);

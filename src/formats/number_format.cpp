@@ -61,6 +61,20 @@ void NumberFormat::quantize_tensor_inplace(Tensor& t) {
   t = real_to_format_tensor(t);
 }
 
+void NumberFormat::quantize_view_inplace(TensorView& v) {
+  if (v.dense_full()) {
+    quantize_tensor_inplace(v.owner());
+    return;
+  }
+  quantize_view_gather(v);
+}
+
+void NumberFormat::quantize_view_gather(TensorView& v) {
+  Tensor tmp = v.materialize();
+  quantize_tensor_inplace(tmp);
+  v.assign_from(tmp);
+}
+
 BitString NumberFormat::real_to_format_at(float value,
                                           int64_t /*flat_index*/) const {
   return real_to_format(value);

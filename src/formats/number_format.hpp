@@ -26,6 +26,7 @@
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/tensor.hpp"
+#include "tensor/tensor_view.hpp"
 
 namespace ge::fmt {
 
@@ -86,6 +87,21 @@ class NumberFormat {
   /// real_to_format_tensor as a copy + in-place bridge MUST override this
   /// method too, or the pair recurses.
   virtual void quantize_tensor_inplace(Tensor& t);
+
+  /// Method 1 over a strided window: quantise exactly the elements the
+  /// view addresses, treating them as one dense tensor in row-major view
+  /// order — metadata-bearing formats capture their registers (scale,
+  /// shared exponents, bias) over that element sequence, so
+  /// real_to_format_at/format_to_real_at afterwards take *view-linear*
+  /// indices. Elements of the owner outside the view are untouched.
+  ///
+  /// The dense fast path is mandatory and bit-exact: when the view covers
+  /// the whole owner in layout order (TensorView::dense_full), every
+  /// implementation MUST delegate to quantize_tensor_inplace(owner), so
+  /// whole-tensor callers migrating to views cannot perturb pinned
+  /// campaign digests. The default handles any format: dense delegation,
+  /// else materialize -> quantize -> scatter (quantize_view_gather).
+  virtual void quantize_view_inplace(TensorView& v);
 
   /// Method 2 — decode a format-domain tensor back to real values. The
   /// default is the identity, since method 1 already returns values on the
@@ -153,6 +169,33 @@ class NumberFormat {
     if (obs::metrics_enabled()) {
       obs::record_quantization(before.cdata(), p, n, abs_max());
     }
+  }
+
+  /// Strided fallback for quantize_view_inplace: gather the view into a
+  /// dense scratch, run the format's own tensor kernel (metadata capture
+  /// included), scatter back. Correct for every format; the built-in
+  /// value-only formats override with a zero-copy strided kernel instead.
+  void quantize_view_gather(TensorView& v);
+
+  /// Strided sibling of elementwise_inplace for value-only formats: apply
+  /// `quant` to exactly the view's elements, chunked across threads over
+  /// the view-linear index space. Bitwise equal to the gather fallback
+  /// (quantisation is per-element), with zero allocation when metrics are
+  /// off; the metrics path routes through quantize_view_gather so
+  /// record_quantization sees dense before/after images.
+  template <typename F>
+  void view_elementwise_inplace(TensorView& v, F&& quant) {
+    if (obs::metrics_enabled()) {
+      quantize_view_gather(v);
+      return;
+    }
+    float* p = v.storage();  // any COW detach happens here, single-threaded
+    parallel::parallel_for(0, v.numel(), 4096, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const int64_t s = v.flat_offset(i);
+        p[s] = quant(p[s]);
+      }
+    });
   }
 
   std::string name_;

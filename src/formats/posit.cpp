@@ -135,6 +135,14 @@ void PositFormat::quantize_tensor_inplace(Tensor& t) {
   elementwise_inplace(t, [this](float x) { return quantize_value(x); });
 }
 
+void PositFormat::quantize_view_inplace(TensorView& v) {
+  if (v.dense_full()) {
+    quantize_tensor_inplace(v.owner());
+    return;
+  }
+  view_elementwise_inplace(v, [this](float x) { return quantize_value(x); });
+}
+
 BitString PositFormat::real_to_format(float value) const {
   if (std::isnan(value)) {
     return BitString(uint64_t{1} << (n_ - 1), n_);  // NaR

@@ -20,6 +20,10 @@ constexpr uint64_t kMaxTrials = uint64_t{1} << 32;
 // skipped, leaving the default).
 constexpr uint32_t kSitesPerTrialTag = 0x53505431;
 
+// Trailing-field tag for the error-model-zoo knobs ("EMZ1"): f64 ber +
+// u32 burst_len. Written after the SPT1 field; same skip semantics.
+constexpr uint32_t kErrorModelZooTag = 0x454D5A31;
+
 void encode_outcome(ByteWriter& w, const core::FaultOutcome& o) {
   w.i64(o.mismatched_samples);
   w.f32(o.mismatch_rate);
@@ -65,6 +69,9 @@ std::vector<uint8_t> encode_campaign_progress(
   }
   w.u32(kSitesPerTrialTag);
   w.u32(static_cast<uint32_t>(p.sites_per_trial));
+  w.u32(kErrorModelZooTag);
+  w.f64(p.ber);
+  w.u32(static_cast<uint32_t>(p.burst_len));
   return w.take();
 }
 
@@ -77,7 +84,7 @@ core::CampaignProgress decode_campaign_progress(ByteReader& r) {
   }
   p.site = static_cast<core::InjectionSite>(site);
   const uint8_t model = r.u8();
-  if (model > static_cast<uint8_t>(core::ErrorModel::kStuckAt1)) {
+  if (model > static_cast<uint8_t>(core::ErrorModel::kChannel)) {
     throw IoError(r.context() + ": corrupt error model tag");
   }
   p.model = static_cast<core::ErrorModel>(model);
@@ -124,6 +131,15 @@ core::CampaignProgress decode_campaign_progress(ByteReader& r) {
       throw IoError(r.context() + ": corrupt sites_per_trial");
     }
     p.sites_per_trial = static_cast<int>(spt);
+    // Next tagged field, introduced after SPT1; files older than it (or
+    // with unknown data here) leave the zoo knobs at their defaults.
+    if (r.remaining() >= 16 && r.u32() == kErrorModelZooTag) {
+      p.ber = r.f64();
+      p.burst_len = static_cast<int>(r.u32());
+      if (!(p.ber >= 0.0 && p.ber <= 1.0) || p.burst_len < 1) {
+        throw IoError(r.context() + ": corrupt error-model-zoo field");
+      }
+    }
   }
   return p;
 }

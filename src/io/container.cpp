@@ -53,6 +53,13 @@ void ByteWriter::f32(float v) {
   u32(bits);
 }
 
+void ByteWriter::f64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
 void ByteWriter::str(const std::string& s) {
   u64(s.size());
   raw(s.data(), s.size());
@@ -94,6 +101,13 @@ uint64_t ByteReader::u64() {
 float ByteReader::f32() {
   const uint32_t bits = u32();
   float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double ByteReader::f64() {
+  const uint64_t bits = u64();
+  double v;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
 }

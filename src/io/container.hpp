@@ -64,6 +64,7 @@ class ByteWriter {
   void u64(uint64_t v);
   void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
   void f32(float v);
+  void f64(double v);
   /// u64 length prefix + raw bytes.
   void str(const std::string& s);
   void raw(const void* data, size_t n);
@@ -89,6 +90,7 @@ class ByteReader {
   uint64_t u64();
   int64_t i64() { return static_cast<int64_t>(u64()); }
   float f32();
+  double f64();
   std::string str();
   /// Copy `n` raw bytes into `out`.
   void raw(void* out, size_t n);

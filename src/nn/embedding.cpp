@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tensor/tensor_view.hpp"
+
 namespace ge::nn {
 
 PatchEmbed::PatchEmbed(int64_t in_channels, int64_t embed_dim, int64_t patch,
@@ -17,16 +19,17 @@ Tensor PatchEmbed::forward(const Tensor& input) {
   Tensor y = (*proj_)(input);  // (B, D, GH, GW)
   cached_conv_shape_ = y.shape();
   const int64_t B = y.size(0), D = y.size(1), G = y.size(2) * y.size(3);
-  // (B, D, G) -> (B, G, D) token layout
+  // (B, D, G) -> (B, G, D) token layout. A single patch grid cell (G == 1)
+  // makes the transpose an identity on storage: reshape shares the buffer
+  // instead of copying it.
+  if (G == 1) return y.reshape({B, G, D});
   Tensor out({B, G, D});
-  const float* py = y.cdata();
   float* po = out.data();
   for (int64_t b = 0; b < B; ++b) {
-    for (int64_t d = 0; d < D; ++d) {
-      for (int64_t g = 0; g < G; ++g) {
-        po[(b * G + g) * D + d] = py[(b * D + d) * G + g];
-      }
-    }
+    // Batch b's (D, G) block read transposed: shape {G, D}, stride 1 down
+    // the patch axis, stride G across embedding lanes.
+    const ConstTensorView tile(y, b * D * G, {G, D}, {1, G});
+    tile.materialize_into(po + b * G * D);
   }
   return out;
 }
@@ -122,12 +125,14 @@ Tensor TakeClassToken::forward(const Tensor& input) {
   }
   cached_shape_ = input.shape();
   const int64_t B = input.size(0), T = input.size(1), D = input.size(2);
+  // Single-token input: taking token 0 is the whole tensor — share the
+  // storage instead of copying it.
+  if (T == 1) return input.reshape({B, D});
+  // Token-0 rows as a strided view: unit-stride D runs, one per batch;
+  // materialize_into copies whole rows instead of gathering scalars.
+  const ConstTensorView cls(input, 0, {B, D}, {T * D, 1});
   Tensor out({B, D});
-  const float* pin = input.data();
-  float* po = out.data();
-  for (int64_t b = 0; b < B; ++b) {
-    for (int64_t d = 0; d < D; ++d) po[b * D + d] = pin[(b * T) * D + d];
-  }
+  cls.materialize_into(out.data());
   return out;
 }
 
