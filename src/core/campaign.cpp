@@ -190,6 +190,11 @@ CampaignProgress run_campaign_trials(nn::Module& model,
     throw std::invalid_argument(
         "run_campaign_trials: sites_per_trial must be >= 1");
   }
+  if (opts.lease_hi >= 0 && (opts.lease_lo < 0 || opts.lease_lo > opts.lease_hi)) {
+    throw std::invalid_argument(
+        "run_campaign_trials: lease range must satisfy 0 <= lease_lo <= "
+        "lease_hi");
+  }
   model.eval();
   EmulatorConfig ecfg;
   ecfg.format_spec = cfg.format_spec;
@@ -313,6 +318,25 @@ CampaignProgress run_campaign_trials(nn::Module& model,
 
   if (opts.resume_from != nullptr) apply_resume(prog, *opts.resume_from);
 
+  // Lease filter over the global trial index (campaign position order).
+  // A lease ending past the campaign means the lessor sized the trial
+  // space against a different model or layer set — reject loudly rather
+  // than silently running a truncated lease.
+  const bool leased = opts.lease_hi >= 0;
+  if (leased &&
+      opts.lease_hi > static_cast<int64_t>(prog.layers.size()) * nT) {
+    throw std::invalid_argument(
+        "run_campaign_trials: lease_hi " + std::to_string(opts.lease_hi) +
+        " exceeds the campaign's " +
+        std::to_string(static_cast<int64_t>(prog.layers.size()) * nT) +
+        " trials");
+  }
+  const auto lease_owns = [&](int64_t layer_pos, int64_t ti) {
+    if (!leased) return true;
+    const int64_t g = layer_pos * nT + ti;
+    return g >= opts.lease_lo && g < opts.lease_hi;
+  };
+
   // Analytics are capture-gated: with no report stream and metrics off the
   // trial loop does no clock reads, no meta copies, and no histogram
   // lookups. When on, workers record into disjoint TrialMeta slots and the
@@ -321,7 +345,17 @@ CampaignProgress run_campaign_trials(nn::Module& model,
   const bool capture = opts.run_log != nullptr || obs::metrics_enabled();
   const bool heartbeat_on =
       opts.run_log != nullptr || obs::metrics_enabled() || obs::log_level() >= 1;
-  const int64_t hb_total = owned_trials_remaining(prog);
+  int64_t hb_total = 0;
+  for (size_t lpos = 0; lpos < prog.layers.size(); ++lpos) {
+    const LayerProgress& lp = prog.layers[lpos];
+    for (int64_t ti = 0; ti < nT; ++ti) {
+      if (shard_owns(ti, opts.shards, opts.shard_index) &&
+          lease_owns(static_cast<int64_t>(lpos), ti) &&
+          lp.done[static_cast<size_t>(ti)] == 0) {
+        ++hb_total;
+      }
+    }
+  }
   const int64_t run_t0 = heartbeat_on ? obs::now_ns() : 0;
   obs::Histogram* h_latency = nullptr;
   obs::Histogram* h_delta = nullptr;
@@ -344,11 +378,13 @@ CampaignProgress run_campaign_trials(nn::Module& model,
   bool aborted = false;
 
   for (LayerProgress& lp : prog.layers) {
+    const int64_t layer_pos = &lp - prog.layers.data();
     LayerSite& site = emu.sites()[static_cast<size_t>(lp.site_index)];
     std::vector<int64_t> pending;
     pending.reserve(static_cast<size_t>(nT));
     for (int64_t ti = 0; ti < nT; ++ti) {
-      if (shard_owns(ti, opts.shards, opts.shard_index) && !lp.done[ti]) {
+      if (shard_owns(ti, opts.shards, opts.shard_index) &&
+          lease_owns(layer_pos, ti) && !lp.done[ti]) {
         pending.push_back(ti);
       }
     }
@@ -615,6 +651,29 @@ int64_t owned_trials_remaining(const CampaignProgress& progress) {
         ++n;
       }
     }
+  }
+  return n;
+}
+
+int64_t count_campaign_layers(nn::Module& model, const CampaignConfig& cfg) {
+  model.eval();
+  EmulatorConfig ecfg;
+  ecfg.format_spec = cfg.format_spec;
+  // Same enumeration filters as run_campaign_trials; the Emulator restores
+  // the model on destruction, so this is a read-only probe.
+  Emulator emu(model, ecfg);
+  int64_t n = 0;
+  for (const LayerSite& site : emu.sites()) {
+    if (!cfg.layers.empty() &&
+        std::find(cfg.layers.begin(), cfg.layers.end(), site.path) ==
+            cfg.layers.end()) {
+      continue;
+    }
+    if (cfg.site == InjectionSite::kMetadata &&
+        !site.act_format->has_metadata()) {
+      continue;
+    }
+    ++n;
   }
   return n;
 }

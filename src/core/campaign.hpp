@@ -159,6 +159,16 @@ struct CampaignRunOptions {
   /// The returned progress is simply incomplete, exactly as if the
   /// process had been killed after the last checkpoint.
   int64_t abort_after = 0;
+  /// Work-stealing lease (the service daemon's partition): execute only
+  /// trials whose global index — campaign position order, i.e.
+  /// layer_position_in_campaign * injections_per_layer + trial_index —
+  /// falls in [lease_lo, lease_hi). lease_hi < 0 disables leasing. Like
+  /// shards, a lease just selects a subset of the pure (seed, site, trial)
+  /// function space, so lease parts merge bitwise-identically via
+  /// merge_campaign_progress (relabel each part with a distinct
+  /// shard_index first — merge requires parts to be distinguishable).
+  int64_t lease_lo = 0;
+  int64_t lease_hi = -1;
   /// Stream a schema-v2 "trial" record per executed trial (plus periodic
   /// "heartbeat" records) into this report. Borrowed, may be null. Records
   /// are emitted from the sequential post-block section in ascending trial
@@ -177,6 +187,13 @@ CampaignProgress run_campaign_trials(nn::Module& model,
 
 /// Trials owned by (progress.shards, progress.shard_index) not yet done.
 int64_t owned_trials_remaining(const CampaignProgress& progress);
+
+/// Number of layers a campaign over (model, cfg) would run: instruments
+/// the model (restored on return, like run_campaign) and applies the same
+/// site-enumeration filters. The service daemon uses this to size a
+/// campaign's lease table (total trials = layers * injections_per_layer)
+/// without executing anything.
+int64_t count_campaign_layers(nn::Module& model, const CampaignConfig& cfg);
 
 /// Aggregate a complete progress into per-layer statistics. The
 /// aggregation order is trial order, so the result is bitwise identical

@@ -20,6 +20,9 @@
 #include "io/campaign_state.hpp"
 #include "io/model_io.hpp"
 #include "models/model_factory.hpp"
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
 #include "nn/loss.hpp"
 #include "obs/metrics_server.hpp"
 #include "obs/perf_counters.hpp"
@@ -193,6 +196,47 @@ const std::vector<CommandDesc>& command_table() {
         {"perf", "on|off", "hardware counters via perf_event_open "
                            "(default on; degrades gracefully)"}},
        true},
+      {"serve",
+       "multi-tenant campaign daemon (submit/worker clients connect)",
+       {{"port", "N", "bind 127.0.0.1:N (0 = ephemeral, printed to stderr)"},
+        {"cache", "DIR", "trained-weight cache directory"},
+        {"checkpoint-dir", "DIR", "where drained campaigns checkpoint "
+                                  "(campaign_<id>.gec)"},
+        {"chunk", "N", "trials per worker lease (0 = auto: total/8)"},
+        {"lease-timeout", "MS", "reclaim a lease not heartbeat within MS"},
+        {"drain-timeout", "MS", "on SIGINT/SIGTERM checkpoint the active "
+                                "campaign after MS (0 = drain fully)"},
+        {"max-campaigns", "N", "exit after N campaigns (tests; 0 = forever)"}},
+       false},
+      {"submit",
+       "send a campaign to a serve daemon; stream rows, print the digest",
+       {{"host", "H", "server address (default 127.0.0.1)"},
+        {"port", "N", "server port (required)"},
+        {"model", "M", "model name (mlp|simple_cnn|tiny_resnet|tiny_deit)"},
+        {"epochs", "N", "training epochs the server uses on a cold cache"},
+        {"samples", "N", "evaluation samples"},
+        {"format", "F", "format spec (see 'formats')"},
+        {"site", "S", "injection site: value|weight|metadata"},
+        {"error-model", "E", "flip|sa0|sa1|ber|burst"},
+        {"inject-scope", "S", "layer | channel | row"},
+        {"ber", "X", "bit error rate (as for 'campaign')"},
+        {"burst-len", "N", "contiguous bits for --error-model burst"},
+        {"injections", "N", "injections per layer"},
+        {"seed", "S", "campaign RNG seed"},
+        {"prefix-cache", "on|off", "golden-prefix suffix-replay cache"},
+        {"sites-per-trial", "K", "faults per trial"}},
+       false},
+      {"worker",
+       "lease trial ranges from a serve daemon and execute them",
+       {{"host", "H", "server address (default 127.0.0.1)"},
+        {"port", "N", "server port (required)"},
+        {"cache", "DIR", "trained-weight cache directory"},
+        {"max-leases", "N", "exit 0 after N leases (0 = keep going)"},
+        {"idle-timeout", "MS", "exit 0 after MS with no work (0 = wait)"},
+        {"poll", "MS", "idle poll interval (default 200)"},
+        {"drop-leases", "N", "fault drill: accept N grants, run none, "
+                             "drop the connection"}},
+       false},
       {"range",
        "Table-I dynamic range of one format",
        {{"format", "F", "format spec"}},
@@ -940,6 +984,151 @@ int cmd_formats(std::ostream& out) {
   return 0;
 }
 
+// --- service layer (serve / submit / worker) -------------------------------
+
+/// Validated TCP port. `required` distinguishes clients (must name their
+/// server) from the daemon (0 = ephemeral is the test-friendly default).
+int parse_port(const ParsedArgs& p, bool required) {
+  if (required && p.options.count("port") == 0) {
+    throw UsageError("--port is required (the serve daemon's port)");
+  }
+  const int64_t port = get_int(p, "port", 0);
+  if (port < (required ? 1 : 0) || port > 65535) {
+    throw UsageError("--port must be in [" +
+                     std::string(required ? "1" : "0") + ", 65535]");
+  }
+  return static_cast<int>(port);
+}
+
+/// The submit command's half of cmd_campaign's option parsing: the same
+/// flags, mapped onto the wire spec instead of a local CampaignConfig.
+/// Validation here catches typos before a round-trip; the server's
+/// prepare_campaign re-validates with the same rules (a lying client is
+/// answered with kError, not trusted).
+net::CampaignSpecMsg parse_campaign_spec(const ParsedArgs& p) {
+  net::CampaignSpecMsg spec;
+  spec.model_name = get(p, "model", "simple_cnn");
+  spec.epochs = get_int(p, "epochs", 6);
+  spec.samples = get_int(p, "samples", 16);
+  spec.format_spec = get(p, "format", "");
+  if (!fmt::is_valid_spec(spec.format_spec)) {
+    throw UsageError("bad or missing --format");
+  }
+  const std::string site = get(p, "site", "value");
+  InjectionSite site_e = InjectionSite::kActivationValue;
+  if (site == "value") {
+    site_e = InjectionSite::kActivationValue;
+  } else if (site == "weight") {
+    site_e = InjectionSite::kWeightValue;
+  } else if (site == "metadata") {
+    site_e = InjectionSite::kMetadata;
+  } else {
+    throw UsageError("unknown --site '" + site + "'");
+  }
+  const std::string em = get(p, "error-model", "flip");
+  ErrorModel model_e = ErrorModel::kBitFlip;
+  if (em == "flip") {
+    model_e = ErrorModel::kBitFlip;
+  } else if (em == "sa0") {
+    model_e = ErrorModel::kStuckAt0;
+  } else if (em == "sa1") {
+    model_e = ErrorModel::kStuckAt1;
+  } else if (em == "ber") {
+    model_e = ErrorModel::kBerUniform;
+  } else if (em == "burst") {
+    model_e = ErrorModel::kBurst;
+  } else {
+    throw UsageError("unknown --error-model '" + em + "'");
+  }
+  const std::string scope = get(p, "inject-scope", "layer");
+  if (scope == "channel" || scope == "row") {
+    if (em != "flip") {
+      throw UsageError("--inject-scope " + scope +
+                       " selects its own error model; drop --error-model");
+    }
+    model_e = scope == "channel" ? ErrorModel::kChannel
+                                 : ErrorModel::kRowBurst;
+  } else if (scope != "layer") {
+    throw UsageError("unknown --inject-scope '" + scope + "'");
+  }
+  spec.site = static_cast<uint8_t>(site_e);
+  spec.error_model = static_cast<uint8_t>(model_e);
+  spec.ber = get_num(p, "ber", 0.0);
+  spec.burst_len = static_cast<int32_t>(get_int(p, "burst-len", 2));
+  if (model_e == ErrorModel::kBerUniform &&
+      !(spec.ber > 0.0 && spec.ber <= 1.0)) {
+    throw UsageError("--error-model ber requires --ber in (0, 1]");
+  }
+  spec.injections_per_layer = get_int(p, "injections", 50);
+  spec.seed = static_cast<uint64_t>(get_int(p, "seed", 1234));
+  const std::string prefix_cache = get(p, "prefix-cache", "on");
+  if (prefix_cache != "on" && prefix_cache != "off") {
+    throw UsageError("--prefix-cache must be 'on' or 'off'");
+  }
+  spec.prefix_cache = prefix_cache == "on" ? 1 : 0;
+  spec.sites_per_trial =
+      static_cast<int32_t>(get_int(p, "sites-per-trial", 1));
+  return spec;
+}
+
+int cmd_serve(const ParsedArgs& p, std::ostream& err, obs::RunLog* log) {
+  net::ServeOptions so;
+  so.port = parse_port(p, /*required=*/false);
+  so.cache_dir = get(p, "cache", "/tmp/goldeneye_model_cache");
+  so.checkpoint_dir = get(p, "checkpoint-dir", "/tmp");
+  so.lease_chunk = get_int(p, "chunk", 0);
+  if (so.lease_chunk < 0) {
+    throw UsageError("--chunk must be >= 0 (0 = auto)");
+  }
+  so.lease_timeout_ms = static_cast<int>(get_int(p, "lease-timeout", 5000));
+  if (so.lease_timeout_ms < 1) {
+    throw UsageError("--lease-timeout must be >= 1 ms");
+  }
+  so.drain_timeout_ms = static_cast<int>(get_int(p, "drain-timeout", 0));
+  if (so.drain_timeout_ms < 0) {
+    throw UsageError("--drain-timeout must be >= 0 (0 = drain fully)");
+  }
+  so.max_campaigns = get_int(p, "max-campaigns", 0);
+  if (so.max_campaigns < 0) {
+    throw UsageError("--max-campaigns must be >= 0 (0 = forever)");
+  }
+  return net::run_serve(so, log, err);
+}
+
+int cmd_submit(const ParsedArgs& p, std::ostream& out, std::ostream& err,
+               obs::RunLog* log) {
+  net::SubmitOptions so;
+  so.host = get(p, "host", "127.0.0.1");
+  so.port = parse_port(p, /*required=*/true);
+  so.spec = parse_campaign_spec(p);
+  write_run_header(log, p, so.spec.format_spec, so.spec.samples);
+  return net::run_submit(so, log, out, err);
+}
+
+int cmd_worker(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  net::WorkerOptions wo;
+  wo.host = get(p, "host", "127.0.0.1");
+  wo.port = parse_port(p, /*required=*/true);
+  wo.cache_dir = get(p, "cache", "/tmp/goldeneye_model_cache");
+  wo.max_leases = get_int(p, "max-leases", 0);
+  if (wo.max_leases < 0) {
+    throw UsageError("--max-leases must be >= 0 (0 = keep going)");
+  }
+  wo.drop_leases = get_int(p, "drop-leases", 0);
+  if (wo.drop_leases < 0) {
+    throw UsageError("--drop-leases must be >= 0");
+  }
+  wo.idle_timeout_ms = static_cast<int>(get_int(p, "idle-timeout", 0));
+  if (wo.idle_timeout_ms < 0) {
+    throw UsageError("--idle-timeout must be >= 0 (0 = wait forever)");
+  }
+  wo.poll_ms = static_cast<int>(get_int(p, "poll", 200));
+  if (wo.poll_ms < 1) {
+    throw UsageError("--poll must be >= 1 ms");
+  }
+  return net::run_worker(wo, out, err);
+}
+
 /// Restores the global log level when a CLI invocation ends (run_cli is
 /// re-entrant in tests; telemetry flags get the same treatment from
 /// obs::TelemetryScope).
@@ -1053,6 +1242,12 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       code = cmd_dse(*parsed, out, err, log.get());
     } else if (parsed->command == "profile") {
       code = cmd_profile(*parsed, out, err, log.get());
+    } else if (parsed->command == "serve") {
+      code = cmd_serve(*parsed, err, log.get());
+    } else if (parsed->command == "submit") {
+      code = cmd_submit(*parsed, out, err, log.get());
+    } else if (parsed->command == "worker") {
+      code = cmd_worker(*parsed, out, err);
     } else if (parsed->command == "range") {
       code = cmd_range(*parsed, out, err, log.get());
     } else if (parsed->command == "features") {
@@ -1075,6 +1270,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   } catch (const io::IoError& e) {
     // Missing/corrupt/mismatched .gec files are bad *input*, same class
     // as a bad flag value — never an internal failure.
+    err << parsed->command << ": " << e.what() << "\n";
+    return 2;
+  } catch (const net::NetError& e) {
+    // An unreachable server or a protocol violation is likewise a
+    // diagnosed environment error, not an internal crash.
     err << parsed->command << ": " << e.what() << "\n";
     return 2;
   } catch (const std::exception& e) {

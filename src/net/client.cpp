@@ -1,0 +1,217 @@
+#include "net/client.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <iomanip>
+#include <optional>
+#include <thread>
+
+#include "io/campaign_state.hpp"
+#include "net/session.hpp"
+#include "obs/run_log.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ge::net {
+
+namespace {
+
+FrameChannel connect_channel(const std::string& host, int port,
+                             const std::string& what) {
+  std::string error;
+  Socket sock = connect_to(host, port, &error);
+  if (!sock.valid()) {
+    throw NetError(what + ": " + error);
+  }
+  return FrameChannel(std::move(sock), what);
+}
+
+void sleep_ms_interruptible(int ms, const std::atomic<bool>& stop) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (!stop.load(std::memory_order_relaxed) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace
+
+int run_submit(const SubmitOptions& opts, obs::RunLog* report,
+               std::ostream& out, std::ostream& err) {
+  FrameChannel chan = connect_channel(opts.host, opts.port, "submit");
+  chan.send(FrameType::kHello,
+            encode_hello({HelloMsg::kRoleSubmit, opts.client_name}));
+  chan.send(FrameType::kSubmit, encode_campaign_spec(opts.spec));
+
+  for (;;) {
+    std::optional<Frame> f = chan.recv();
+    if (!f.has_value()) {
+      err << "submit: server closed the connection before the campaign "
+             "resolved\n";
+      return 1;
+    }
+    switch (f->type) {
+      case FrameType::kLogRow: {
+        if (report != nullptr) {
+          report->raw_line(
+              std::string(f->payload.begin(), f->payload.end()));
+        }
+        break;
+      }
+      case FrameType::kDone: {
+        const DoneMsg done = decode_done(f->payload, chan.context());
+        out << done.summary;
+        out << "campaign digest: 0x" << std::hex << done.digest << std::dec
+            << "\n";
+        return 0;
+      }
+      case FrameType::kCheckpointed: {
+        const CheckpointedMsg cp =
+            decode_checkpointed(f->payload, chan.context());
+        // Graceful drain, resumable offline — mirrors the offline CLI's
+        // incomplete-shard exit: progress reported, exit 0.
+        out << "campaign progress: " << cp.completed_trials << "/"
+            << cp.total_trials << " trials (server drained)\n";
+        out << "progress saved: " << cp.path << "\n";
+        return 0;
+      }
+      case FrameType::kError: {
+        const ErrorMsg e = decode_error(f->payload, chan.context());
+        err << "submit: server error: " << e.message << "\n";
+        return 1;
+      }
+      default:
+        throw NetError(chan.context() + ": unexpected " +
+                       std::string(frame_type_name(f->type)) + " frame");
+    }
+  }
+}
+
+int run_worker(const WorkerOptions& opts, std::ostream& out,
+               std::ostream& err) {
+  FrameChannel chan = connect_channel(opts.host, opts.port, "worker");
+  chan.send(FrameType::kHello,
+            encode_hello({HelloMsg::kRoleWorker, opts.client_name}));
+
+  // One prepared campaign kept warm across consecutive leases of the same
+  // campaign (model load + golden probe are the expensive parts).
+  std::optional<std::pair<uint64_t, PreparedCampaign>> cached;
+  int64_t executed = 0;
+  int64_t dropped = 0;
+  auto last_work = std::chrono::steady_clock::now();
+
+  for (;;) {
+    chan.send(FrameType::kLeaseRequest, {});
+    std::optional<Frame> f = chan.recv();
+    if (!f.has_value()) {
+      err << "worker: server closed the connection\n";
+      return 1;
+    }
+    switch (f->type) {
+      case FrameType::kNoWork: {
+        if (opts.idle_timeout_ms > 0 &&
+            std::chrono::steady_clock::now() - last_work >
+                std::chrono::milliseconds(opts.idle_timeout_ms)) {
+          out << "worker: idle, exiting after " << executed << " leases\n";
+          return 0;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(opts.poll_ms));
+        break;
+      }
+      case FrameType::kShutdown: {
+        out << "worker: server draining, exiting after " << executed
+            << " leases\n";
+        return 0;
+      }
+      case FrameType::kError: {
+        const ErrorMsg e = decode_error(f->payload, chan.context());
+        err << "worker: server error: " << e.message << "\n";
+        return 1;
+      }
+      case FrameType::kLeaseGrant: {
+        const LeaseGrantMsg grant =
+            decode_lease_grant(f->payload, chan.context());
+        last_work = std::chrono::steady_clock::now();
+
+        if (opts.drop_leases > 0) {
+          // Drill mode: hold the grant, never run it, and once enough
+          // grants are held, die abruptly. The server must notice the
+          // EOF and reclaim every held range.
+          ++dropped;
+          out << "worker: dropping lease " << grant.lease_id << " ["
+              << grant.lo << "," << grant.hi << ")\n";
+          if (dropped >= opts.drop_leases) {
+            out << "worker: dying with " << dropped << " leases held\n";
+            return 0;
+          }
+          break;
+        }
+
+        if (!cached.has_value() || cached->first != grant.campaign_id) {
+          cached.emplace(grant.campaign_id,
+                         prepare_campaign(grant.spec, opts.cache_dir));
+        }
+        PreparedCampaign& prep = cached->second;
+
+        // Renew the lease while the trials run; the campaign thread owns
+        // the channel reads, the heartbeat thread only sends (the channel
+        // serializes writers).
+        std::atomic<bool> hb_stop{false};
+        std::thread hb([&] {
+          const int interval =
+              std::max<int>(1, static_cast<int>(grant.heartbeat_ms));
+          for (;;) {
+            sleep_ms_interruptible(interval, hb_stop);
+            if (hb_stop.load(std::memory_order_relaxed)) return;
+            try {
+              chan.send(FrameType::kHeartbeat,
+                        encode_heartbeat(
+                            {grant.campaign_id, grant.lease_id}));
+            } catch (const NetError&) {
+              return;  // server gone; the main loop will find out too
+            }
+          }
+        });
+
+        int rc = 0;
+        try {
+          LineFrameStream row_stream(chan);
+          obs::RunLog row_log(row_stream);
+          core::CampaignRunOptions ropts;
+          ropts.model_name = grant.spec.model_name;
+          ropts.eval_samples = grant.spec.samples;
+          ropts.lease_lo = static_cast<int64_t>(grant.lo);
+          ropts.lease_hi = static_cast<int64_t>(grant.hi);
+          ropts.run_log = &row_log;
+          core::CampaignProgress part = core::run_campaign_trials(
+              *prep.trained.model, prep.batch, prep.cfg, ropts);
+          LeaseResultMsg res;
+          res.campaign_id = grant.campaign_id;
+          res.lease_id = grant.lease_id;
+          res.progress = io::encode_campaign_progress(part);
+          chan.send(FrameType::kLeaseResult, encode_lease_result(res));
+          ++executed;
+          out << "worker: completed lease " << grant.lease_id << " ["
+              << grant.lo << "," << grant.hi << ")\n";
+        } catch (...) {
+          hb_stop.store(true, std::memory_order_relaxed);
+          hb.join();
+          throw;
+        }
+        hb_stop.store(true, std::memory_order_relaxed);
+        hb.join();
+        if (opts.max_leases > 0 && executed >= opts.max_leases) {
+          out << "worker: lease budget reached, exiting after " << executed
+              << " leases\n";
+          return rc;
+        }
+        break;
+      }
+      default:
+        throw NetError(chan.context() + ": unexpected " +
+                       std::string(frame_type_name(f->type)) + " frame");
+    }
+  }
+}
+
+}  // namespace ge::net

@@ -1,0 +1,219 @@
+#include "net/codec.hpp"
+
+#include <span>
+
+#include "io/container.hpp"
+#include "net/frame.hpp"
+
+namespace ge::net {
+
+namespace {
+
+/// ByteReader over a frame payload whose IoError overruns are re-thrown
+/// as NetError: a short payload is a protocol violation, not a file bug.
+template <typename Fn>
+auto decode_payload(const std::vector<uint8_t>& payload,
+                    const std::string& context, Fn fn) {
+  io::ByteReader r(std::span<const uint8_t>(payload), context);
+  try {
+    return fn(r);
+  } catch (const io::IoError& e) {
+    throw NetError(e.what());
+  }
+}
+
+// Nested-message helpers: a length-prefixed blob, so the outer decoder can
+// skip a spec it does not understand and the inner decoder gets its own
+// trailing-tolerance scope.
+void put_blob(io::ByteWriter& w, const std::vector<uint8_t>& blob) {
+  w.u64(blob.size());
+  w.raw(blob.data(), blob.size());
+}
+
+std::vector<uint8_t> get_blob(io::ByteReader& r) {
+  uint64_t n = r.u64();
+  r.require(n);
+  std::vector<uint8_t> blob(n);
+  if (n > 0) r.raw(blob.data(), n);
+  return blob;
+}
+
+CampaignSpecMsg read_campaign_spec(io::ByteReader& r) {
+  CampaignSpecMsg m;
+  m.model_name = r.str();
+  m.epochs = r.i64();
+  m.samples = r.i64();
+  m.format_spec = r.str();
+  m.site = r.u8();
+  m.error_model = r.u8();
+  m.injections_per_layer = r.i64();
+  m.seed = r.u64();
+  m.sites_per_trial = static_cast<int32_t>(r.u32());
+  m.ber = r.f64();
+  m.burst_len = static_cast<int32_t>(r.u32());
+  m.prefix_cache = r.u8();
+  // Trailing bytes: fields from a newer peer — ignored by design.
+  return m;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_hello(const HelloMsg& m) {
+  io::ByteWriter w;
+  w.u8(m.role);
+  w.str(m.client);
+  return w.take();
+}
+
+HelloMsg decode_hello(const std::vector<uint8_t>& payload,
+                      const std::string& context) {
+  return decode_payload(payload, context, [&](io::ByteReader& r) {
+    HelloMsg m;
+    m.role = r.u8();
+    if (m.role > HelloMsg::kRoleWorker) {
+      throw NetError(context + ": unknown hello role " +
+                     std::to_string(m.role));
+    }
+    m.client = r.str();
+    return m;
+  });
+}
+
+std::vector<uint8_t> encode_campaign_spec(const CampaignSpecMsg& m) {
+  io::ByteWriter w;
+  w.str(m.model_name);
+  w.i64(m.epochs);
+  w.i64(m.samples);
+  w.str(m.format_spec);
+  w.u8(m.site);
+  w.u8(m.error_model);
+  w.i64(m.injections_per_layer);
+  w.u64(m.seed);
+  w.u32(static_cast<uint32_t>(m.sites_per_trial));
+  w.f64(m.ber);
+  w.u32(static_cast<uint32_t>(m.burst_len));
+  w.u8(m.prefix_cache);
+  return w.take();
+}
+
+CampaignSpecMsg decode_campaign_spec(const std::vector<uint8_t>& payload,
+                                     const std::string& context) {
+  return decode_payload(payload, context, read_campaign_spec);
+}
+
+std::vector<uint8_t> encode_lease_grant(const LeaseGrantMsg& m) {
+  io::ByteWriter w;
+  w.u64(m.campaign_id);
+  w.u64(m.lease_id);
+  w.u64(m.lo);
+  w.u64(m.hi);
+  w.u32(m.heartbeat_ms);
+  put_blob(w, encode_campaign_spec(m.spec));
+  return w.take();
+}
+
+LeaseGrantMsg decode_lease_grant(const std::vector<uint8_t>& payload,
+                                 const std::string& context) {
+  return decode_payload(payload, context, [&](io::ByteReader& r) {
+    LeaseGrantMsg m;
+    m.campaign_id = r.u64();
+    m.lease_id = r.u64();
+    m.lo = r.u64();
+    m.hi = r.u64();
+    m.heartbeat_ms = r.u32();
+    std::vector<uint8_t> spec = get_blob(r);
+    m.spec = decode_campaign_spec(spec, context);
+    return m;
+  });
+}
+
+std::vector<uint8_t> encode_lease_result(const LeaseResultMsg& m) {
+  io::ByteWriter w;
+  w.u64(m.campaign_id);
+  w.u64(m.lease_id);
+  put_blob(w, m.progress);
+  return w.take();
+}
+
+LeaseResultMsg decode_lease_result(const std::vector<uint8_t>& payload,
+                                   const std::string& context) {
+  return decode_payload(payload, context, [&](io::ByteReader& r) {
+    LeaseResultMsg m;
+    m.campaign_id = r.u64();
+    m.lease_id = r.u64();
+    m.progress = get_blob(r);
+    return m;
+  });
+}
+
+std::vector<uint8_t> encode_heartbeat(const HeartbeatMsg& m) {
+  io::ByteWriter w;
+  w.u64(m.campaign_id);
+  w.u64(m.lease_id);
+  return w.take();
+}
+
+HeartbeatMsg decode_heartbeat(const std::vector<uint8_t>& payload,
+                              const std::string& context) {
+  return decode_payload(payload, context, [&](io::ByteReader& r) {
+    HeartbeatMsg m;
+    m.campaign_id = r.u64();
+    m.lease_id = r.u64();
+    return m;
+  });
+}
+
+std::vector<uint8_t> encode_done(const DoneMsg& m) {
+  io::ByteWriter w;
+  w.u64(m.digest);
+  w.f32(m.golden_accuracy);
+  w.str(m.summary);
+  return w.take();
+}
+
+DoneMsg decode_done(const std::vector<uint8_t>& payload,
+                    const std::string& context) {
+  return decode_payload(payload, context, [&](io::ByteReader& r) {
+    DoneMsg m;
+    m.digest = r.u64();
+    m.golden_accuracy = r.f32();
+    m.summary = r.str();
+    return m;
+  });
+}
+
+std::vector<uint8_t> encode_error(const ErrorMsg& m) {
+  io::ByteWriter w;
+  w.str(m.message);
+  return w.take();
+}
+
+ErrorMsg decode_error(const std::vector<uint8_t>& payload,
+                      const std::string& context) {
+  return decode_payload(payload, context, [&](io::ByteReader& r) {
+    ErrorMsg m;
+    m.message = r.str();
+    return m;
+  });
+}
+
+std::vector<uint8_t> encode_checkpointed(const CheckpointedMsg& m) {
+  io::ByteWriter w;
+  w.str(m.path);
+  w.i64(m.completed_trials);
+  w.i64(m.total_trials);
+  return w.take();
+}
+
+CheckpointedMsg decode_checkpointed(const std::vector<uint8_t>& payload,
+                                    const std::string& context) {
+  return decode_payload(payload, context, [&](io::ByteReader& r) {
+    CheckpointedMsg m;
+    m.path = r.str();
+    m.completed_trials = r.i64();
+    m.total_trials = r.i64();
+    return m;
+  });
+}
+
+}  // namespace ge::net

@@ -1,0 +1,105 @@
+// ge::net framing — length-prefixed frames with per-frame CRC32, the wire
+// analogue of the .gec section format (see src/io/container.hpp). Every
+// multi-byte integer is little-endian, encoded shift-by-shift exactly like
+// io::ByteWriter, so the two codecs share test discipline: the frame tests
+// in tests/test_net.cpp run the same every-prefix-truncation and
+// every-bit-CRC-corruption sweeps as tests/test_io.cpp.
+//
+// Frame layout (header 21 bytes, then payload):
+//
+//   offset 0   4 bytes   magic "GEF1"
+//          4   u32       protocol version (kProtocolVersion)
+//          8   u8        frame type (FrameType)
+//          9   u64       payload byte length (<= kMaxPayload)
+//         17   u32       CRC32 (IEEE) of the payload bytes
+//         21   payload
+//
+// Versioning follows the .gec rule: readers accept kMinProtocolVersion..
+// kProtocolVersion and reject anything newer; payload decoders
+// (net/codec.hpp) read the fields they know and ignore trailing bytes, so
+// a newer peer may append tagged fields without breaking older readers.
+// The length field is validated against kMaxPayload BEFORE any allocation,
+// so a corrupt or hostile length can never trigger a huge allocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace ge::net {
+
+/// Wire-protocol failure (connection lost, corrupt frame, version
+/// mismatch, protocol violation). The CLI maps NetError to exit 2, same
+/// as io::IoError: a bad peer or dead server is a diagnosed error.
+struct NetError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Version spoken by this build; readers accept kMinProtocolVersion..
+/// kProtocolVersion.
+///
+/// v1  PR 9 initial protocol
+inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr uint32_t kMinProtocolVersion = 1;
+/// "GEF1" as wire bytes.
+inline constexpr char kFrameMagic[4] = {'G', 'E', 'F', '1'};
+/// Hard payload cap — far above any real message (largest is a serialized
+/// CampaignProgress part) yet small enough that a corrupt length field is
+/// rejected before allocation.
+inline constexpr uint64_t kMaxPayload = 16ull * 1024 * 1024;
+/// Bytes before the payload: magic + version + type + length + crc.
+inline constexpr size_t kFrameHeaderSize = 4 + 4 + 1 + 8 + 4;
+
+enum class FrameType : uint8_t {
+  kHello = 1,         ///< client -> server: role + protocol handshake
+  kSubmit = 2,        ///< submit client -> server: CampaignSpec
+  kLogRow = 3,        ///< one schema-v2 RunLog JSONL line (no trailing \n)
+  kDone = 4,          ///< server -> submit: digest + summary, session over
+  kError = 5,         ///< either way: diagnosed failure message
+  kLeaseRequest = 6,  ///< worker -> server: give me a trial range
+  kLeaseGrant = 7,    ///< server -> worker: campaign spec + [lo,hi)
+  kLeaseResult = 8,   ///< worker -> server: serialized CampaignProgress
+  kHeartbeat = 9,     ///< worker -> server: lease still being worked
+  kNoWork = 10,       ///< server -> worker: nothing leasable right now
+  kShutdown = 11,     ///< server -> worker: draining, disconnect
+  kCheckpointed = 12, ///< server -> submit: drained to checkpoint `path`
+};
+
+/// Human-readable frame-type name for logs and error messages.
+const char* frame_type_name(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// Serialise header+payload into a wire-ready byte string.
+std::vector<uint8_t> encode_frame(const Frame& f);
+
+/// Parse one complete frame from `bytes` (which must be exactly one
+/// frame). Validates magic, version range, length cap, and payload CRC;
+/// throws NetError naming `context` on the first violation.
+Frame decode_frame(const std::vector<uint8_t>& bytes,
+                   const std::string& context);
+
+/// Write one frame to the socket. Throws NetError when the connection
+/// drops mid-write.
+void send_frame(const Socket& sock, const Frame& f,
+                const std::string& context);
+inline void send_frame(const Socket& sock, FrameType type,
+                       std::vector<uint8_t> payload,
+                       const std::string& context) {
+  send_frame(sock, Frame{type, std::move(payload)}, context);
+}
+
+/// Read one frame from the socket, validating as decode_frame() does.
+/// Returns nullopt on clean EOF at a frame boundary (peer closed);
+/// throws NetError on mid-frame EOF or any validation failure.
+std::optional<Frame> recv_frame(const Socket& sock,
+                                const std::string& context);
+
+}  // namespace ge::net

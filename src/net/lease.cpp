@@ -1,0 +1,112 @@
+#include "net/lease.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/telemetry.hpp"
+
+namespace ge::net {
+
+void LeaseTable::reset(int64_t total, int64_t chunk) {
+  if (total < 0 || chunk < 1) {
+    throw std::invalid_argument(
+        "LeaseTable::reset: total must be >= 0 and chunk >= 1");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.clear();
+  live_.clear();
+  total_ = total;
+  completed_ = 0;
+  for (int64_t lo = 0; lo < total; lo += chunk) {
+    queue_.push_back(Lease{0, lo, std::min(lo + chunk, total)});
+  }
+}
+
+bool LeaseTable::grant(int64_t now_ns, int64_t timeout_ns, Lease* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  Lease l = queue_.front();
+  queue_.pop_front();
+  l.id = next_id_++;
+  live_.push_back(Live{l, timeout_ns > 0 ? now_ns + timeout_ns : 0});
+  *out = l;
+  return true;
+}
+
+bool LeaseTable::heartbeat(uint64_t id, int64_t now_ns, int64_t timeout_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Live& lv : live_) {
+    if (lv.lease.id == id) {
+      if (lv.deadline_ns != 0 && timeout_ns > 0) {
+        lv.deadline_ns = now_ns + timeout_ns;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LeaseTable::complete(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i].lease.id == id) {
+      completed_ += live_[i].lease.hi - live_[i].lease.lo;
+      live_.erase(live_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LeaseTable::abandon(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i].lease.id == id) {
+      Lease l = live_[i].lease;
+      l.id = 0;
+      // Front of the queue: recovery work is the oldest work, run it next.
+      queue_.push_front(l);
+      live_.erase(live_.begin() + static_cast<ptrdiff_t>(i));
+      obs::add(obs::Counter::kNetLeaseReclaims);
+      return true;
+    }
+  }
+  return false;
+}
+
+int LeaseTable::reclaim_expired(int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int reclaimed = 0;
+  for (size_t i = 0; i < live_.size();) {
+    if (live_[i].deadline_ns != 0 && live_[i].deadline_ns <= now_ns) {
+      Lease l = live_[i].lease;
+      l.id = 0;
+      queue_.push_front(l);
+      live_.erase(live_.begin() + static_cast<ptrdiff_t>(i));
+      obs::add(obs::Counter::kNetLeaseReclaims);
+      ++reclaimed;
+    } else {
+      ++i;
+    }
+  }
+  return reclaimed;
+}
+
+bool LeaseTable::all_done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_ == total_;
+}
+
+int64_t LeaseTable::unleased_trials() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const Lease& l : queue_) n += l.hi - l.lo;
+  return n;
+}
+
+int64_t LeaseTable::live_leases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(live_.size());
+}
+
+}  // namespace ge::net

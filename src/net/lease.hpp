@@ -1,0 +1,87 @@
+// ge::net::LeaseTable — work-stealing partition of one campaign's trial
+// space. The trial space [0, total) is cut into fixed-size chunks; any
+// executor (the server's own, or a remote worker) leases the next chunk,
+// runs it via run_campaign_trials{lease_lo, lease_hi}, and returns the
+// resulting CampaignProgress part. Because every trial is a pure function
+// of (seed, site index, trial index), it does not matter who runs which
+// chunk or in what order — the merged parts are bitwise identical to an
+// unpartitioned run (the same argument as static shards, DESIGN.md §9).
+//
+// Fault tolerance: each lease carries a deadline. A worker renews it by
+// heartbeating; a worker that dies (EOF on its connection) or goes silent
+// past the deadline has its range reclaimed — pushed back to the front of
+// the queue so recovery work starts immediately. A reclaimed lease's id
+// is dead: a late result for it is discarded (complete() returns false),
+// which keeps merged done sets disjoint even when a presumed-dead worker
+// was merely slow.
+//
+// Time is injected (now_ns parameters) rather than read from a clock, so
+// tests drive expiry deterministically. Thread-safe: server session
+// threads grant/heartbeat/complete concurrently with the executor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace ge::net {
+
+struct Lease {
+  uint64_t id = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+class LeaseTable {
+ public:
+  /// Start a new campaign: trial space [0, total), handed out in chunks
+  /// of `chunk` trials (the final chunk may be short).
+  void reset(int64_t total, int64_t chunk);
+
+  /// Lease the next available range. The lease expires at
+  /// now_ns + timeout_ns unless renewed; timeout_ns <= 0 means the lease
+  /// never expires (the server's own executor cannot die separately).
+  /// Returns false when no range is currently available — either all
+  /// trials are leased out or done.
+  bool grant(int64_t now_ns, int64_t timeout_ns, Lease* out);
+
+  /// Renew a live lease's deadline. False when the id is unknown —
+  /// already completed, or reclaimed (the worker should drop the work).
+  bool heartbeat(uint64_t id, int64_t now_ns, int64_t timeout_ns);
+
+  /// Mark a lease's range as done. False when the id was reclaimed or
+  /// never existed: the caller must DISCARD the result, its range has
+  /// been (or will be) re-run by someone else.
+  bool complete(uint64_t id);
+
+  /// Abandon a live lease immediately (worker connection died). Its range
+  /// goes back to the front of the queue. False when the id is unknown.
+  bool abandon(uint64_t id);
+
+  /// Reclaim every lease whose deadline passed; ranges go back to the
+  /// front of the queue. Returns how many were reclaimed.
+  int reclaim_expired(int64_t now_ns);
+
+  /// True once every trial range has been completed.
+  bool all_done() const;
+  /// Trials in ranges not yet leased (or reclaimed back).
+  int64_t unleased_trials() const;
+  /// Currently outstanding (live) leases.
+  int64_t live_leases() const;
+
+ private:
+  struct Live {
+    Lease lease;
+    int64_t deadline_ns = 0;  ///< 0 = never expires
+  };
+
+  mutable std::mutex mu_;
+  std::deque<Lease> queue_;  ///< unleased ranges, front = next grant
+  std::vector<Live> live_;
+  uint64_t next_id_ = 1;
+  int64_t total_ = 0;
+  int64_t completed_ = 0;
+};
+
+}  // namespace ge::net

@@ -1,0 +1,497 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <span>
+#include <thread>
+
+#include "io/campaign_state.hpp"
+#include "io/container.hpp"
+#include "obs/run_log.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ge::net {
+
+namespace {
+
+int64_t now_ns() { return obs::now_ns(); }
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+Server::Server(const ServeOptions& opts, obs::RunLog* log)
+    : opts_(opts), log_(log) {
+  ListenResult lr = listen_loopback(opts_.port);
+  if (!lr.sock.valid()) {
+    error_ = lr.error;
+    return;
+  }
+  listen_ = std::move(lr.sock);
+  port_ = lr.port;
+}
+
+Server::~Server() = default;
+
+void Server::log_event(const char* type, const std::string& detail,
+                       uint64_t campaign_id, int64_t a, int64_t b) {
+  if (log_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(log_mu_);
+  obs::JsonObject row;
+  row.str("detail", detail);
+  if (campaign_id != 0) row.num("campaign", campaign_id);
+  if (a >= 0) row.num("a", a);
+  if (b >= 0) row.num("b", b);
+  row.num("active_sessions",
+          static_cast<int64_t>(active_sessions_.load(std::memory_order_relaxed)));
+  log_->event(type, row);
+}
+
+std::shared_ptr<Server::Campaign> Server::active_campaign() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+int Server::run() {
+  if (!ok()) return 1;
+  obs::log(1, "serve: listening on 127.0.0.1:" + std::to_string(port_));
+  std::thread executor([this] { executor_loop(); });
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Socket conn = accept_connection(listen_, /*timeout_ms=*/100);
+    if (!conn.valid()) continue;
+    obs::add(obs::Counter::kNetRequests);
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    session_threads_.emplace_back(
+        [this](Socket s) { session_thread(std::move(s)); }, std::move(conn));
+  }
+
+  // Drain: the executor finishes (or checkpoints) the active campaign and
+  // refuses the queue; then session threads notice shutdown_sessions_ on
+  // their next poll tick and wind down.
+  executor.join();
+  shutdown_sessions_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (std::thread& t : session_threads_) t.join();
+  }
+  log_event("serve_exit", "graceful shutdown", 0, served_);
+  obs::log(1, "serve: drained, exiting");
+  return 0;
+}
+
+void Server::session_thread(Socket sock) {
+  active_sessions_.fetch_add(1, std::memory_order_relaxed);
+  obs::set_gauge("net.active_sessions",
+                 static_cast<double>(active_sessions_.load()));
+  auto chan = std::make_shared<FrameChannel>(
+      std::move(sock), "serve: client connection");
+  try {
+    // Handshake: first frame must be a hello naming the peer's role.
+    bool timed_out = false;
+    std::optional<Frame> f;
+    while (!shutdown_sessions_.load(std::memory_order_relaxed)) {
+      f = chan->recv_wait(100, &timed_out);
+      if (!timed_out) break;
+    }
+    if (f.has_value() && f->type == FrameType::kHello) {
+      const HelloMsg hello = decode_hello(f->payload, chan->context());
+      log_event("session_start",
+                hello.role == HelloMsg::kRoleWorker ? "worker" : "submit");
+      if (hello.role == HelloMsg::kRoleWorker) {
+        serve_worker(chan, hello.client);
+      } else {
+        serve_submit(chan, hello.client);
+      }
+    }
+  } catch (const std::exception& e) {
+    // A lying or vanished peer only costs its own session.
+    obs::log(1, std::string("serve: session error: ") + e.what());
+    log_event("session_error", e.what());
+  }
+  active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  obs::set_gauge("net.active_sessions",
+                 static_cast<double>(active_sessions_.load()));
+  log_event("session_end", "");
+}
+
+void Server::serve_submit(std::shared_ptr<FrameChannel> chan,
+                          const std::string& who) {
+  bool timed_out = false;
+  std::optional<Frame> f;
+  do {
+    f = chan->recv_wait(100, &timed_out);
+    if (shutdown_sessions_.load(std::memory_order_relaxed)) return;
+  } while (timed_out);
+  if (!f.has_value()) return;  // client left before submitting
+  if (f->type != FrameType::kSubmit) {
+    chan->send(FrameType::kError,
+               encode_error({"expected a submit frame, got " +
+                             std::string(frame_type_name(f->type))}));
+    return;
+  }
+  if (stop_.load(std::memory_order_relaxed)) {
+    chan->send(FrameType::kError,
+               encode_error({"server is draining; resubmit later"}));
+    return;
+  }
+
+  auto c = std::make_shared<Campaign>();
+  c->spec = decode_campaign_spec(f->payload, chan->context());
+  // The executor co-owns the channel: even if this session thread exits
+  // first (client closed early), the executor's sends hit a live object
+  // and fail cleanly instead of touching freed memory.
+  c->chan = chan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    c->id = next_campaign_id_++;
+    queue_.push_back(c);
+  }
+  cv_.notify_all();
+  log_event("campaign_queued", c->spec.format_spec + " " + who, c->id);
+
+  // Hold the connection open until the peer closes it (it does so after
+  // kDone / kError / kCheckpointed) or the server winds down.
+  for (;;) {
+    f = chan->recv_wait(100, &timed_out);
+    if (!timed_out) break;  // EOF or a stray frame — either way, done
+    if (shutdown_sessions_.load(std::memory_order_relaxed)) break;
+  }
+}
+
+void Server::serve_worker(std::shared_ptr<FrameChannel> chan,
+                          const std::string& who) {
+  // Leases this connection currently holds; abandoned if the worker dies.
+  std::vector<std::pair<std::shared_ptr<Campaign>, uint64_t>> held;
+  const auto abandon_all = [&] {
+    for (auto& [campaign, lease_id] : held) {
+      if (campaign->leases.abandon(lease_id)) {
+        log_event("lease_abandoned", who, campaign->id,
+                  static_cast<int64_t>(lease_id));
+      }
+    }
+    held.clear();
+  };
+  const int64_t timeout_ns =
+      static_cast<int64_t>(opts_.lease_timeout_ms) * 1000000;
+
+  // Any exit — clean, EOF, or a protocol violation — returns this
+  // worker's outstanding ranges to the queue on the way out.
+  try {
+  for (;;) {
+    if (shutdown_sessions_.load(std::memory_order_relaxed)) {
+      abandon_all();
+      try {
+        chan->send(FrameType::kShutdown, {});
+      } catch (const NetError&) {
+      }
+      return;
+    }
+    bool timed_out = false;
+    std::optional<Frame> f = chan->recv_wait(100, &timed_out);
+    if (timed_out) continue;
+    if (!f.has_value()) {
+      // Worker disconnected (or was killed): its leases go straight back
+      // to the queue — the crash-recovery path the CI drill exercises.
+      abandon_all();
+      return;
+    }
+
+    switch (f->type) {
+      case FrameType::kLeaseRequest: {
+        std::shared_ptr<Campaign> c = active_campaign();
+        Lease l;
+        if (c != nullptr && c->leases.grant(now_ns(), timeout_ns, &l)) {
+          LeaseGrantMsg grant;
+          grant.campaign_id = c->id;
+          grant.lease_id = l.id;
+          grant.lo = static_cast<uint64_t>(l.lo);
+          grant.hi = static_cast<uint64_t>(l.hi);
+          grant.heartbeat_ms = static_cast<uint32_t>(
+              std::max(1, opts_.lease_timeout_ms / 3));
+          grant.spec = c->spec;
+          held.emplace_back(c, l.id);
+          obs::add(obs::Counter::kNetLeasesGranted);
+          log_event("lease_grant", who, c->id, l.lo, l.hi);
+          chan->send(FrameType::kLeaseGrant, encode_lease_grant(grant));
+        } else if (stop_.load(std::memory_order_relaxed)) {
+          chan->send(FrameType::kShutdown, {});
+          return;
+        } else {
+          chan->send(FrameType::kNoWork, {});
+        }
+        break;
+      }
+      case FrameType::kHeartbeat: {
+        const HeartbeatMsg hb = decode_heartbeat(f->payload, chan->context());
+        std::shared_ptr<Campaign> c = active_campaign();
+        if (c != nullptr && c->id == hb.campaign_id) {
+          c->leases.heartbeat(hb.lease_id, now_ns(), timeout_ns);
+        }
+        break;
+      }
+      case FrameType::kLeaseResult: {
+        const LeaseResultMsg res =
+            decode_lease_result(f->payload, chan->context());
+        held.erase(std::remove_if(held.begin(), held.end(),
+                                  [&](const auto& h) {
+                                    return h.second == res.lease_id;
+                                  }),
+                   held.end());
+        std::shared_ptr<Campaign> c = active_campaign();
+        if (c == nullptr || c->id != res.campaign_id) break;
+        io::ByteReader r(std::span<const uint8_t>(res.progress),
+                         chan->context());
+        core::CampaignProgress part;
+        try {
+          part = io::decode_campaign_progress(r);
+        } catch (const io::IoError& e) {
+          throw NetError(e.what());
+        }
+        // complete() is the reclaim gate: false means this lease expired
+        // and its range was re-leased — a duplicate result that would
+        // break merge's disjointness, so it is dropped.
+        if (c->leases.complete(res.lease_id)) {
+          std::lock_guard<std::mutex> lock(c->mu);
+          c->parts.push_back(std::move(part));
+          log_event("lease_result", who, c->id,
+                    static_cast<int64_t>(res.lease_id));
+        } else {
+          log_event("lease_result_stale", who, c->id,
+                    static_cast<int64_t>(res.lease_id));
+        }
+        break;
+      }
+      case FrameType::kLogRow: {
+        // Forward the worker's trial rows to whoever submitted the active
+        // campaign; a vanished submit client just drops them.
+        std::shared_ptr<Campaign> c = active_campaign();
+        if (c != nullptr) {
+          try {
+            c->chan->send(FrameType::kLogRow, std::move(f->payload));
+          } catch (const NetError&) {
+          }
+        }
+        break;
+      }
+      default:
+        throw NetError(chan->context() + ": unexpected " +
+                       std::string(frame_type_name(f->type)) +
+                       " frame from a worker");
+    }
+  }
+  } catch (...) {
+    abandon_all();
+    throw;
+  }
+}
+
+void Server::executor_loop() {
+  for (;;) {
+    std::shared_ptr<Campaign> c;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(100), [&] {
+        return !queue_.empty() || stop_.load(std::memory_order_relaxed);
+      });
+      if (queue_.empty()) {
+        if (stop_.load(std::memory_order_relaxed)) break;
+        continue;
+      }
+      if (stop_.load(std::memory_order_relaxed)) break;
+      c = queue_.front();
+      queue_.pop_front();
+      active_ = c;
+    }
+    execute(c);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_.reset();
+    }
+    ++served_;
+    if (opts_.max_campaigns > 0 && served_ >= opts_.max_campaigns) {
+      stop_.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  // Whatever is still queued was accepted before the stop request but
+  // never started: refuse it explicitly rather than leaving clients hung.
+  std::deque<std::shared_ptr<Campaign>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (const auto& c : leftover) {
+    try {
+      c->chan->send(FrameType::kError,
+                    encode_error({"server drained before this campaign "
+                                  "started; resubmit"}));
+    } catch (const NetError&) {
+    }
+    log_event("campaign_refused", "drain", c->id);
+  }
+}
+
+core::CampaignProgress Server::merge_parts(
+    const std::shared_ptr<Campaign>& c) {
+  std::vector<core::CampaignProgress> parts;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    parts = c->parts;
+  }
+  // Lease parts all carry shards=1/shard_index=0; merge only needs the
+  // parts to be distinguishable, so relabel each with its position.
+  for (size_t i = 0; i < parts.size(); ++i) {
+    parts[i].shard_index = static_cast<int>(i);
+  }
+  return core::merge_campaign_progress(parts);
+}
+
+void Server::checkpoint_campaign(const std::shared_ptr<Campaign>& c) {
+  bool have_parts = false;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    have_parts = !c->parts.empty();
+  }
+  if (!have_parts) {
+    c->chan->send(FrameType::kError,
+                  encode_error({"server drained before any trials of this "
+                                "campaign completed; resubmit"}));
+    log_event("campaign_refused", "drain timeout, no progress", c->id);
+    return;
+  }
+  const core::CampaignProgress merged = merge_parts(c);
+  CheckpointedMsg msg;
+  msg.path = opts_.checkpoint_dir + "/campaign_" + std::to_string(c->id) +
+             ".gec";
+  msg.completed_trials = merged.completed_trials();
+  msg.total_trials = merged.total_trials();
+  io::save_campaign_progress(msg.path, merged);
+  c->chan->send(FrameType::kCheckpointed, encode_checkpointed(msg));
+  log_event("campaign_checkpointed", msg.path, c->id, msg.completed_trials,
+            msg.total_trials);
+}
+
+void Server::execute(const std::shared_ptr<Campaign>& c) {
+  log_event("campaign_start", c->spec.format_spec, c->id);
+  try {
+    PreparedCampaign prep = prepare_campaign(c->spec, opts_.cache_dir);
+    const int64_t chunk =
+        opts_.lease_chunk > 0
+            ? opts_.lease_chunk
+            : std::max<int64_t>(1, (prep.total_trials + 7) / 8);
+    c->leases.reset(prep.total_trials, chunk);
+
+    // Rows stream through the submit channel as they are produced. If the
+    // client disconnects mid-campaign the stream goes bad (badbit — the
+    // ostream layer swallows the NetError) and RunLog stops writing; the
+    // campaign itself keeps running to completion.
+    LineFrameStream row_stream(*c->chan);
+    obs::RunLog row_log(row_stream);
+
+    int64_t drain_deadline = 0;
+    bool checkpointed = false;
+    while (!c->leases.all_done()) {
+      c->leases.reclaim_expired(now_ns());
+      if (stop_.load(std::memory_order_relaxed) &&
+          opts_.drain_timeout_ms > 0) {
+        if (drain_deadline == 0) {
+          drain_deadline =
+              now_ns() + static_cast<int64_t>(opts_.drain_timeout_ms) * 1000000;
+          log_event("campaign_draining", "", c->id);
+        } else if (now_ns() >= drain_deadline) {
+          checkpoint_campaign(c);
+          checkpointed = true;
+          break;
+        }
+      }
+
+      Lease l;
+      // The executor is a lease holder like any worker — just one whose
+      // lease never expires (it cannot die separately from the server).
+      if (c->leases.grant(now_ns(), /*timeout_ns=*/0, &l)) {
+        core::CampaignRunOptions ropts;
+        ropts.model_name = c->spec.model_name;
+        ropts.eval_samples = c->spec.samples;
+        ropts.lease_lo = l.lo;
+        ropts.lease_hi = l.hi;
+        ropts.run_log = &row_log;
+        core::CampaignProgress part = core::run_campaign_trials(
+            *prep.trained.model, prep.batch, prep.cfg, ropts);
+        c->leases.complete(l.id);
+        std::lock_guard<std::mutex> lock(c->mu);
+        c->parts.push_back(std::move(part));
+      } else {
+        // Everything is leased out to workers: wait for results (or for a
+        // reclaim to put a range back on the queue).
+        sleep_ms(20);
+      }
+    }
+    if (checkpointed) return;
+
+    const core::CampaignProgress merged = merge_parts(c);
+    const core::CampaignResult result = core::finalize_campaign(merged);
+    DoneMsg done;
+    done.digest = core::campaign_digest(result);
+    done.golden_accuracy = result.golden_accuracy;
+    done.summary = render_campaign_summary(c->spec, result);
+    c->chan->send(FrameType::kDone, encode_done(done));
+    log_event("campaign_done", c->spec.format_spec, c->id,
+              merged.completed_trials(), merged.total_trials());
+  } catch (const NetError& e) {
+    // Bad spec, or the submit client vanished at the final send. Best
+    // effort: tell the client, keep the daemon alive.
+    try {
+      c->chan->send(FrameType::kError, encode_error({e.what()}));
+    } catch (const NetError&) {
+    }
+    log_event("campaign_error", e.what(), c->id);
+  } catch (const std::exception& e) {
+    try {
+      c->chan->send(FrameType::kError, encode_error({e.what()}));
+    } catch (const NetError&) {
+    }
+    log_event("campaign_error", e.what(), c->id);
+  }
+}
+
+namespace {
+
+std::atomic<Server*> g_signal_server{nullptr};
+
+void handle_stop_signal(int) {
+  Server* s = g_signal_server.load(std::memory_order_relaxed);
+  if (s != nullptr) s->request_stop();
+}
+
+}  // namespace
+
+int run_serve(const ServeOptions& opts, obs::RunLog* log, std::ostream& err) {
+  Server server(opts, log);
+  if (!server.ok()) {
+    err << "serve: " << server.last_error() << "\n";
+    return 1;
+  }
+  err << "serve: listening on 127.0.0.1:" << server.port() << "\n";
+
+  g_signal_server.store(&server, std::memory_order_relaxed);
+  struct sigaction sa;
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking calls promptly
+  struct sigaction old_int, old_term;
+  sigaction(SIGINT, &sa, &old_int);
+  sigaction(SIGTERM, &sa, &old_term);
+
+  const int code = server.run();
+
+  sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGTERM, &old_term, nullptr);
+  g_signal_server.store(nullptr, std::memory_order_relaxed);
+  return code;
+}
+
+}  // namespace ge::net

@@ -1,0 +1,163 @@
+#include "net/session.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/injector.hpp"
+#include "formats/format_registry.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ge::net {
+
+void FrameChannel::send(FrameType type, std::vector<uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  send_frame(sock_, Frame{type, std::move(payload)}, context_);
+  obs::add(obs::Counter::kNetFramesSent);
+}
+
+std::optional<Frame> FrameChannel::recv() {
+  std::optional<Frame> f = recv_frame(sock_, context_);
+  if (f.has_value()) obs::add(obs::Counter::kNetFramesReceived);
+  return f;
+}
+
+std::optional<Frame> FrameChannel::recv_wait(int timeout_ms, bool* timed_out) {
+  const int rc = sock_.wait_readable(timeout_ms);
+  if (rc == 0) {
+    *timed_out = true;
+    return std::nullopt;
+  }
+  *timed_out = false;
+  if (rc < 0) throw NetError(context_ + ": poll failed");
+  return recv();
+}
+
+void FrameChannel::shutdown() { sock_.close(); }
+
+int LineFrameBuf::overflow(int ch) {
+  if (ch == traits_type::eof()) return 0;
+  if (ch == '\n') {
+    emit_line();
+  } else {
+    line_.push_back(static_cast<char>(ch));
+  }
+  return ch;
+}
+
+std::streamsize LineFrameBuf::xsputn(const char* s, std::streamsize n) {
+  for (std::streamsize i = 0; i < n; ++i) {
+    if (s[i] == '\n') {
+      emit_line();
+    } else {
+      line_.push_back(s[i]);
+    }
+  }
+  return n;
+}
+
+void LineFrameBuf::emit_line() {
+  chan_->send(FrameType::kLogRow,
+              std::vector<uint8_t>(line_.begin(), line_.end()));
+  line_.clear();
+}
+
+PreparedCampaign prepare_campaign(const CampaignSpecMsg& spec,
+                                  const std::string& cache_dir) {
+  // Same validation the campaign CLI applies to its flags: a bad spec is
+  // a diagnosed protocol-level error, never a crash deep in the stack.
+  if (!fmt::is_valid_spec(spec.format_spec)) {
+    throw NetError("campaign spec: bad format '" + spec.format_spec + "'");
+  }
+  if (spec.site > static_cast<uint8_t>(core::InjectionSite::kMetadata)) {
+    throw NetError("campaign spec: unknown injection site byte " +
+                   std::to_string(spec.site));
+  }
+  if (spec.error_model > static_cast<uint8_t>(core::ErrorModel::kChannel)) {
+    throw NetError("campaign spec: unknown error model byte " +
+                   std::to_string(spec.error_model));
+  }
+  if (spec.injections_per_layer < 1) {
+    throw NetError("campaign spec: injections_per_layer must be >= 1");
+  }
+  if (spec.samples < 1) {
+    throw NetError("campaign spec: samples must be >= 1");
+  }
+  if (spec.epochs < 1) {
+    throw NetError("campaign spec: epochs must be >= 1");
+  }
+  if (spec.sites_per_trial < 1) {
+    throw NetError("campaign spec: sites_per_trial must be >= 1");
+  }
+  if (spec.burst_len < 1) {
+    throw NetError("campaign spec: burst_len must be >= 1");
+  }
+
+  core::CampaignConfig cfg;
+  cfg.format_spec = spec.format_spec;
+  cfg.site = static_cast<core::InjectionSite>(spec.site);
+  cfg.model = static_cast<core::ErrorModel>(spec.error_model);
+  cfg.injections_per_layer = spec.injections_per_layer;
+  cfg.seed = spec.seed;
+  cfg.sites_per_trial = spec.sites_per_trial;
+  cfg.ber = spec.ber;
+  cfg.burst_len = spec.burst_len;
+  cfg.use_prefix_cache = spec.prefix_cache != 0;
+  if (cfg.model == core::ErrorModel::kBerUniform &&
+      !(cfg.ber > 0.0 && cfg.ber <= 1.0)) {
+    throw NetError("campaign spec: error model 'ber' requires ber in (0, 1]");
+  }
+  if (cfg.ber < 0.0 || cfg.ber > 1.0) {
+    throw NetError("campaign spec: ber must be in [0, 1]");
+  }
+  if (core::is_zoo_model(cfg.model) &&
+      cfg.site != core::InjectionSite::kActivationValue) {
+    throw NetError("campaign spec: error model '" +
+                   std::string(core::to_string(cfg.model)) +
+                   "' requires the activation-value site");
+  }
+
+  PreparedCampaign out;
+  data::SyntheticVision data{data::SyntheticVisionConfig{}};
+  models::TrainConfig tc;
+  tc.epochs = spec.epochs;
+  try {
+    out.trained = models::ensure_trained(spec.model_name, data, cache_dir, tc);
+  } catch (const std::exception& e) {
+    throw NetError("campaign spec: cannot prepare model '" +
+                   spec.model_name + "': " + e.what());
+  }
+  out.batch = data::take(data.test(), 0, spec.samples);
+  const std::string model_name = spec.model_name;
+  cfg.make_replica = [model_name]() {
+    return models::make_model(model_name, data::SyntheticVisionConfig{}, 0);
+  };
+  out.total_trials =
+      core::count_campaign_layers(*out.trained.model, cfg) *
+      cfg.injections_per_layer;
+  out.cfg = std::move(cfg);
+  return out;
+}
+
+std::string render_campaign_summary(const CampaignSpecMsg& spec,
+                                    const core::CampaignResult& result) {
+  std::ostringstream out;
+  out << "campaign: " << spec.format_spec << " site="
+      << core::to_string(static_cast<core::InjectionSite>(spec.site))
+      << " error-model="
+      << core::to_string(static_cast<core::ErrorModel>(spec.error_model))
+      << " injections/layer=" << spec.injections_per_layer << "\n";
+  out << "clean emulated accuracy: " << result.golden_accuracy << "\n";
+  out << std::left << std::setw(28) << "layer" << std::right << std::setw(12)
+      << "mean dLoss" << std::setw(10) << "SDC" << "\n";
+  for (const auto& l : result.layers) {
+    out << std::left << std::setw(28) << l.layer << std::right
+        << std::setw(12) << std::fixed << std::setprecision(5)
+        << l.mean_delta_loss << std::setw(9) << l.sdc_count << "/"
+        << l.injections << "\n";
+  }
+  out.unsetf(std::ios::fixed);
+  out << "network mean dLoss: " << result.network_mean_delta_loss() << "\n";
+  return out.str();
+}
+
+}  // namespace ge::net

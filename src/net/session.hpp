@@ -1,0 +1,114 @@
+// ge::net session plumbing shared by the server and the clients:
+//
+//  - FrameChannel: one connection with a serialized writer. Several
+//    threads write frames to the same socket (the executor streaming
+//    trial rows while worker-forwarders splice in theirs; a worker's
+//    campaign thread racing its heartbeat thread), so sends take a mutex.
+//    Reads don't: every channel has exactly one reader thread.
+//  - LineFrameStream: an ostream whose every '\n'-terminated line leaves
+//    as one kLogRow frame. Wrapping it in obs::RunLog(std::ostream&)
+//    turns run_campaign_trials' report stream into live row streaming —
+//    the rows on the wire are the exact bytes an offline --report run
+//    would have written.
+//  - prepare_campaign: CampaignSpecMsg -> ready-to-run model, batch and
+//    CampaignConfig. The server's executor and every worker call this
+//    against their own cache dir; deterministic synthetic training makes
+//    the weights bitwise identical across processes, and the
+//    golden-digest check in merge_campaign_progress turns any divergence
+//    into a diagnosed error instead of silently mixed statistics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "data/dataloader.hpp"
+#include "models/model_factory.hpp"
+#include "net/codec.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace ge::net {
+
+/// One protocol connection: single reader thread, any number of writers.
+class FrameChannel {
+ public:
+  FrameChannel(Socket sock, std::string context)
+      : sock_(std::move(sock)), context_(std::move(context)) {}
+
+  /// Thread-safe frame write; throws NetError when the peer is gone.
+  void send(FrameType type, std::vector<uint8_t> payload);
+  /// Single-reader frame read; nullopt on clean EOF.
+  std::optional<Frame> recv();
+  /// As recv(), but gives up after `timeout_ms` with *timed_out = true —
+  /// the polling form server session threads use so a blocked read can
+  /// never outlive a shutdown request.
+  std::optional<Frame> recv_wait(int timeout_ms, bool* timed_out);
+
+  const std::string& context() const noexcept { return context_; }
+  bool valid() const noexcept { return sock_.valid(); }
+  /// Close the socket out from under any blocked reader (shutdown path).
+  void shutdown();
+
+ private:
+  std::mutex send_mu_;
+  Socket sock_;
+  std::string context_;
+};
+
+/// std::streambuf turning each completed line into a kLogRow frame.
+class LineFrameBuf : public std::streambuf {
+ public:
+  explicit LineFrameBuf(FrameChannel& chan) : chan_(&chan) {}
+
+ protected:
+  int overflow(int ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+
+ private:
+  void emit_line();
+
+  FrameChannel* chan_;
+  std::string line_;
+};
+
+/// The ostream face of LineFrameBuf (what obs::RunLog wraps).
+class LineFrameStream : public std::ostream {
+ public:
+  explicit LineFrameStream(FrameChannel& chan)
+      : std::ostream(&buf_), buf_(chan) {}
+
+ private:
+  LineFrameBuf buf_;
+};
+
+/// A campaign reconstructed from its wire spec: trained model, evaluation
+/// batch, and the CampaignConfig (with replica factory) ready for
+/// run_campaign_trials.
+struct PreparedCampaign {
+  models::TrainedModel trained;
+  data::Batch batch;
+  core::CampaignConfig cfg;
+  int64_t total_trials = 0;  ///< campaigned layers * injections_per_layer
+};
+
+/// Validate `spec` and build the campaign exactly as `goldeneye campaign`
+/// would (same model cache contract, same replica factory, same batch
+/// slice). Throws NetError on an invalid spec — bad format string, out of
+/// range site/error-model byte, unknown model name.
+PreparedCampaign prepare_campaign(const CampaignSpecMsg& spec,
+                                  const std::string& cache_dir);
+
+/// The offline CLI's stdout report for a finished campaign (layer table,
+/// accuracies, digest line) rendered to a string — the kDone summary the
+/// submit client prints verbatim.
+std::string render_campaign_summary(const CampaignSpecMsg& spec,
+                                    const core::CampaignResult& result);
+
+}  // namespace ge::net

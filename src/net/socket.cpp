@@ -1,0 +1,177 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ge::net {
+
+namespace {
+
+std::string errno_message() { return std::strerror(errno); }
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::release() noexcept {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+bool Socket::send_all(const void* data, size_t n) const {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+bool Socket::recv_all(void* data, size_t n) const {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    ssize_t got = ::recv(fd_, p, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // orderly EOF before n bytes
+    p += got;
+    n -= static_cast<size_t>(got);
+  }
+  return true;
+}
+
+ssize_t Socket::recv_some(void* data, size_t n) const {
+  for (;;) {
+    ssize_t got = ::recv(fd_, data, n, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return got;
+  }
+}
+
+int Socket::wait_readable(int timeout_ms) const {
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc < 0 ? -1 : (rc > 0 ? 1 : 0);
+  }
+}
+
+ListenResult listen_loopback(int port, int backlog) {
+  ListenResult r;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    r.error = "socket: " + errno_message();
+    return r;
+  }
+  Socket sock(fd);
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    r.error = "bind 127.0.0.1:" + std::to_string(port) + ": " +
+              errno_message();
+    return r;
+  }
+  if (::listen(fd, backlog) != 0) {
+    r.error = "listen: " + errno_message();
+    return r;
+  }
+
+  // Recover the kernel-assigned port when the caller asked for 0.
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) !=
+      0) {
+    r.error = "getsockname: " + errno_message();
+    return r;
+  }
+  r.port = static_cast<int>(ntohs(bound.sin_port));
+  r.sock = std::move(sock);
+  return r;
+}
+
+Socket accept_connection(const Socket& listener, int timeout_ms) {
+  // The listener fd is blocking, so accept() may only be called once poll
+  // has reported a pending connection — that includes the timeout-0 drain
+  // case (poll with timeout 0 is an immediate readiness check). Calling
+  // accept() on an empty backlog would block forever.
+  int rc = listener.wait_readable(timeout_ms);
+  if (rc <= 0) return Socket();
+  for (;;) {
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0 && errno == EINTR) continue;
+    return fd < 0 ? Socket() : Socket(fd);
+  }
+}
+
+Socket connect_to(const std::string& host, int port, std::string* error) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = "socket: " + errno_message();
+    return Socket();
+  }
+  Socket sock(fd);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "invalid IPv4 address: " + host;
+    return Socket();
+  }
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (error) {
+      *error = "connect " + host + ":" + std::to_string(port) + ": " +
+               errno_message();
+    }
+    return Socket();
+  }
+  return sock;
+}
+
+}  // namespace ge::net

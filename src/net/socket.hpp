@@ -1,0 +1,82 @@
+// ge::net socket utility — the one place in the tree that talks to the
+// BSD socket API. Everything network-facing (obs::MetricsServer, the
+// campaign service daemon, its clients) builds on these helpers so the
+// bind/accept/partial-read/partial-write pitfalls are solved exactly once.
+//
+// Scope rules:
+//  - Servers bind 127.0.0.1 only. The campaign protocol carries no
+//    authentication, so it must never listen on a routable interface;
+//    "remote" workers reach a server through an ssh tunnel or equivalent.
+//  - All sends use MSG_NOSIGNAL: a peer that disappears mid-write surfaces
+//    as an error return, never as a process-killing SIGPIPE.
+//  - Nothing here throws. Failures are encoded in return values (invalid
+//    Socket, false, -1) with errno describing why; the framing layer above
+//    (net/frame.hpp) turns them into diagnosed NetError exceptions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <sys/types.h>
+
+namespace ge::net {
+
+/// Owning file-descriptor wrapper (move-only; close on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  /// Close now (also done by the destructor). Safe to call repeatedly.
+  void close() noexcept;
+  /// Give up ownership without closing (hand-off to another wrapper).
+  int release() noexcept;
+
+  /// Write exactly `n` bytes (looping over short writes, MSG_NOSIGNAL).
+  /// False on any error — the connection is then unusable.
+  bool send_all(const void* data, size_t n) const;
+  /// Read exactly `n` bytes (looping over short reads). False on EOF or
+  /// error before `n` bytes arrived.
+  bool recv_all(void* data, size_t n) const;
+  /// One recv() call: >0 bytes read, 0 on orderly EOF, -1 on error.
+  ssize_t recv_some(void* data, size_t n) const;
+
+  /// Block until the socket is readable. Returns 1 when readable, 0 on
+  /// timeout, -1 on error. timeout_ms < 0 waits forever.
+  int wait_readable(int timeout_ms) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound+listening loopback socket plus the port it actually landed on
+/// (`port` resolves the ephemeral-port case). On failure `sock` is invalid
+/// and `error` says why.
+struct ListenResult {
+  Socket sock;
+  int port = 0;
+  std::string error;
+};
+
+/// Bind 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and listen
+/// with the given backlog. SO_REUSEADDR is set so restarts do not trip
+/// over TIME_WAIT.
+ListenResult listen_loopback(int port, int backlog = 16);
+
+/// Accept one pending connection, waiting up to `timeout_ms` for one to
+/// arrive (< 0 = forever). Returns an invalid Socket on timeout or error.
+/// Callers draining a backlog should loop with timeout 0 until invalid.
+Socket accept_connection(const Socket& listener, int timeout_ms);
+
+/// Connect to `host`:`port` (numeric IPv4 only, e.g. "127.0.0.1"). On
+/// failure the Socket is invalid and *error (if non-null) says why.
+Socket connect_to(const std::string& host, int port, std::string* error);
+
+}  // namespace ge::net

@@ -1,14 +1,6 @@
 #include "obs/metrics_server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
 
 #include "obs/histogram.hpp"
 #include "obs/profiler.hpp"
@@ -123,69 +115,45 @@ std::string render_prometheus() {
 }
 
 MetricsServer::MetricsServer(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    error_ = std::string("socket: ") + std::strerror(errno);
+  net::ListenResult lr = net::listen_loopback(port);
+  if (!lr.sock.valid()) {
+    error_ = lr.error;
     return;
   }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 16) < 0) {
-    error_ = std::string("bind 127.0.0.1:") + std::to_string(port) + ": " +
-             std::strerror(errno);
-    ::close(fd);
-    return;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
-    error_ = std::string("getsockname: ") + std::strerror(errno);
-    ::close(fd);
-    return;
-  }
-  port_ = ntohs(bound.sin_port);
-  listen_fd_ = fd;
+  listen_ = std::move(lr.sock);
+  port_ = lr.port;
   thread_ = std::thread([this] { serve(); });
 }
 
 MetricsServer::~MetricsServer() {
   stop_.store(true, std::memory_order_relaxed);
   if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
 void MetricsServer::serve() {
   while (!stop_.load(std::memory_order_relaxed)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (n <= 0 || (pfd.revents & POLLIN) == 0) continue;
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
-    // Drain the request line + headers (best effort; the path does not
-    // matter — every GET gets the metrics page).
-    char req[4096];
-    (void)::recv(conn, req, sizeof(req), 0);
-    const std::string body = render_prometheus();
-    std::string resp =
-        "HTTP/1.1 200 OK\r\n"
-        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-        "Content-Length: " +
-        std::to_string(body.size()) +
-        "\r\n"
-        "Connection: close\r\n\r\n" +
-        body;
-    size_t off = 0;
-    while (off < resp.size()) {
-      const ssize_t w = ::send(conn, resp.data() + off, resp.size() - off, 0);
-      if (w <= 0) break;
-      off += static_cast<size_t>(w);
+    net::Socket conn = net::accept_connection(listen_, /*timeout_ms=*/100);
+    // Drain the whole backlog per wake: with several scrapers (or a
+    // dashboard refresh burst) the old one-accept-per-poll loop served at
+    // most 10 connections/sec; here every pending scrape is answered
+    // back to back before the next poll sleep.
+    while (conn.valid()) {
+      // Drain the request line + headers (best effort; the path does not
+      // matter — every GET gets the metrics page).
+      char req[4096];
+      (void)conn.recv_some(req, sizeof(req));
+      const std::string body = render_prometheus();
+      std::string resp =
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n" +
+          body;
+      (void)conn.send_all(resp.data(), resp.size());
+      conn = net::accept_connection(listen_, /*timeout_ms=*/0);
     }
-    ::close(conn);
   }
 }
 

@@ -1,15 +1,19 @@
 // obs::MetricsServer — a minimal HTTP/1.1 responder serving the live
 // telemetry state (counters, gauges, histograms) in Prometheus text
 // exposition format, so a fleet of campaign shards can be scraped while
-// running. Bound to 127.0.0.1 only; one short-lived connection at a time
-// (a scrape is one GET). The server thread only *reads* telemetry, so a
-// scrape can never perturb results — same contract as the rest of
-// ge::obs.
+// running. Built on the shared ge::net socket utility (net/socket.hpp);
+// bound to 127.0.0.1 only. Each poll wake drains the whole accept backlog
+// (scrapes are short-lived GETs answered back to back), so concurrent
+// scrapers no longer serialise at one connection per 100ms poll tick. The
+// server thread only *reads* telemetry, so a scrape can never perturb
+// results — same contract as the rest of ge::obs.
 #pragma once
 
 #include <atomic>
 #include <string>
 #include <thread>
+
+#include "net/socket.hpp"
 
 namespace ge::obs {
 
@@ -31,14 +35,14 @@ class MetricsServer {
   MetricsServer(const MetricsServer&) = delete;
   MetricsServer& operator=(const MetricsServer&) = delete;
 
-  bool ok() const noexcept { return listen_fd_ >= 0; }
+  bool ok() const noexcept { return listen_.valid(); }
   int port() const noexcept { return port_; }
   const std::string& last_error() const noexcept { return error_; }
 
  private:
   void serve();
 
-  int listen_fd_ = -1;
+  net::Socket listen_;
   int port_ = 0;
   std::string error_;
   std::atomic<bool> stop_{false};

@@ -115,6 +115,12 @@ void RunLog::event(const char* type, const JsonObject& fields) {
   out_->flush();
 }
 
+void RunLog::raw_line(const std::string& line) {
+  if (!ok()) return;
+  *out_ << line << '\n';
+  out_->flush();
+}
+
 void RunLog::metrics_snapshot() {
   if (!ok()) return;
   for (const auto& [layer, s] : layer_quant_summaries()) {

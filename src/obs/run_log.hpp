@@ -92,6 +92,12 @@ class RunLog {
   /// remaining fields come from `fields`.
   void event(const char* type, const JsonObject& fields);
 
+  /// Append one already-rendered JSONL record verbatim (no schema/type
+  /// head). Used by `goldeneye submit` to splice rows streamed from the
+  /// campaign server into the local --report byte-for-byte, so a served
+  /// report diffs clean against an offline one.
+  void raw_line(const std::string& line);
+
   /// Write the standard final snapshot: one "layer_quant" row per
   /// instrumented layer, one "histogram" row per registered histogram,
   /// one "span_stat" row per profiled span key, plus one "metrics" row

@@ -269,6 +269,13 @@ const char* counter_name(Counter c) {
     case Counter::kPrefixCacheHits: return "prefix_cache_hits";
     case Counter::kSuffixLayersSkipped: return "suffix_layers_skipped";
     case Counter::kPrefixCacheBytes: return "prefix_cache_bytes";
+    // Prometheus: sanitize() + "_total" render these as ge_net_requests_total
+    // et al. — the names promised in docs/serving.md.
+    case Counter::kNetRequests: return "net_requests";
+    case Counter::kNetLeasesGranted: return "net_leases_granted";
+    case Counter::kNetLeaseReclaims: return "net_lease_reclaims";
+    case Counter::kNetFramesSent: return "net_frames_sent";
+    case Counter::kNetFramesReceived: return "net_frames_received";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -176,6 +176,11 @@ enum class Counter : int {
   kPrefixCacheHits,        ///< trials executed as a suffix replay
   kSuffixLayersSkipped,    ///< module invocations served from the cache
   kPrefixCacheBytes,       ///< golden activation bytes kept by the cache
+  kNetRequests,            ///< campaign-service requests accepted (ge::net)
+  kNetLeasesGranted,       ///< trial-range leases handed to workers
+  kNetLeaseReclaims,       ///< leases reclaimed (worker died or timed out)
+  kNetFramesSent,          ///< protocol frames written to sockets
+  kNetFramesReceived,      ///< protocol frames read from sockets
   kCount
 };
 

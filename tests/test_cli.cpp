@@ -671,5 +671,59 @@ TEST(Cli, ReportStreamCarriesSpanStatsAndMemoryHeartbeat) {
   std::remove(report.c_str());
 }
 
+// --- service commands (serve / submit / worker) ----------------------------
+// The loopback protocol itself is exercised in tests/test_net.cpp; here we
+// pin the CLI contract: table-driven usage, validated numeric args, exit 2
+// on misuse, exit 2 on an unreachable server.
+
+TEST(Cli, UsageListsServiceCommands) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("serve"), std::string::npos);
+  EXPECT_NE(r.err.find("submit"), std::string::npos);
+  EXPECT_NE(r.err.find("worker"), std::string::npos);
+  EXPECT_NE(r.err.find("--drain-timeout"), std::string::npos);
+  EXPECT_NE(r.err.find("--drop-leases"), std::string::npos);
+}
+
+TEST(Cli, ServeValidatesNumericOptions) {
+  EXPECT_EQ(run({"serve", "--port", "65536"}).code, 2);
+  EXPECT_EQ(run({"serve", "--port", "-1"}).code, 2);
+  EXPECT_EQ(run({"serve", "--port", "abc"}).code, 2);
+  EXPECT_EQ(run({"serve", "--lease-timeout", "0"}).code, 2);
+  EXPECT_EQ(run({"serve", "--drain-timeout", "-5"}).code, 2);
+  EXPECT_EQ(run({"serve", "--chunk", "-1"}).code, 2);
+  EXPECT_EQ(run({"serve", "--max-campaigns", "-1"}).code, 2);
+  EXPECT_EQ(run({"serve", "--bogus", "1"}).code, 2);
+}
+
+TEST(Cli, SubmitRequiresValidPortAndSpec) {
+  // Clients must name their server: no --port is misuse, not a default.
+  const auto missing = run({"submit", "--format", "int8"});
+  EXPECT_EQ(missing.code, 2);
+  EXPECT_NE(missing.err.find("--port"), std::string::npos);
+  EXPECT_EQ(run({"submit", "--port", "0", "--format", "int8"}).code, 2);
+  EXPECT_EQ(run({"submit", "--port", "19", "--format", "bogus"}).code, 2);
+  EXPECT_EQ(run({"submit", "--port", "19", "--format", "int8", "--site",
+                 "nowhere"})
+                .code,
+            2);
+}
+
+TEST(Cli, WorkerValidatesNumericOptions) {
+  EXPECT_EQ(run({"worker"}).code, 2);  // missing --port
+  EXPECT_EQ(run({"worker", "--port", "19", "--max-leases", "-1"}).code, 2);
+  EXPECT_EQ(run({"worker", "--port", "19", "--poll", "0"}).code, 2);
+  EXPECT_EQ(run({"worker", "--port", "19", "--drop-leases", "-2"}).code, 2);
+}
+
+TEST(Cli, SubmitAgainstDeadServerExitsTwo) {
+  // Port 1 on loopback: connection refused -> NetError -> exit 2, the
+  // same class as a missing .gec file (diagnosed environment error).
+  const auto r = run({"submit", "--port", "1", "--format", "int8"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("submit:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ge::core
