@@ -15,6 +15,7 @@
 #include "core/emulator.hpp"
 #include "core/goldeneye.hpp"
 #include "core/report.hpp"
+#include "core/trace_merge.hpp"
 #include "data/dataloader.hpp"
 #include "formats/format_registry.hpp"
 #include "io/campaign_state.hpp"
@@ -206,7 +207,9 @@ const std::vector<CommandDesc>& command_table() {
         {"lease-timeout", "MS", "reclaim a lease not heartbeat within MS"},
         {"drain-timeout", "MS", "on SIGINT/SIGTERM checkpoint the active "
                                 "campaign after MS (0 = drain fully)"},
-        {"max-campaigns", "N", "exit after N campaigns (tests; 0 = forever)"}},
+        {"max-campaigns", "N", "exit after N campaigns (tests; 0 = forever)"},
+        {"straggler-fraction", "X", "flag live leases below X x the fleet "
+                                    "median throughput (0 = off; default 0.5)"}},
        false},
       {"submit",
        "send a campaign to a serve daemon; stream rows, print the digest",
@@ -235,7 +238,15 @@ const std::vector<CommandDesc>& command_table() {
         {"idle-timeout", "MS", "exit 0 after MS with no work (0 = wait)"},
         {"poll", "MS", "idle poll interval (default 200)"},
         {"drop-leases", "N", "fault drill: accept N grants, run none, "
-                             "drop the connection"}},
+                             "drop the connection"},
+        {"stall-leases", "N", "fault drill: accept N grants, run none, "
+                              "hang without heartbeating until shutdown"}},
+       false},
+      {"trace",
+       "merge per-process --trace files into one cross-process timeline",
+       {{"merge", "A,B,..", "comma-separated --trace JSON files (any order)"},
+        {"out", "FILE", "write the merged Chrome trace_event JSON"},
+        {"flame", "FILE", "write merged flamegraph collapsed stacks"}},
        false},
       {"range",
        "Table-I dynamic range of one format",
@@ -1092,6 +1103,11 @@ int cmd_serve(const ParsedArgs& p, std::ostream& err, obs::RunLog* log) {
   if (so.max_campaigns < 0) {
     throw UsageError("--max-campaigns must be >= 0 (0 = forever)");
   }
+  so.straggler_fraction = get_num(p, "straggler-fraction", 0.5);
+  if (so.straggler_fraction > 1.0) {
+    throw UsageError("--straggler-fraction must be <= 1 (a lease at the "
+                     "median is not a straggler)");
+  }
   return net::run_serve(so, log, err);
 }
 
@@ -1118,6 +1134,10 @@ int cmd_worker(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   if (wo.drop_leases < 0) {
     throw UsageError("--drop-leases must be >= 0");
   }
+  wo.stall_leases = get_int(p, "stall-leases", 0);
+  if (wo.stall_leases < 0) {
+    throw UsageError("--stall-leases must be >= 0");
+  }
   wo.idle_timeout_ms = static_cast<int>(get_int(p, "idle-timeout", 0));
   if (wo.idle_timeout_ms < 0) {
     throw UsageError("--idle-timeout must be >= 0 (0 = wait forever)");
@@ -1127,6 +1147,54 @@ int cmd_worker(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     throw UsageError("--poll must be >= 1 ms");
   }
   return net::run_worker(wo, out, err);
+}
+
+int cmd_trace(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  const std::string inputs = get(p, "merge", "");
+  if (inputs.empty()) {
+    throw UsageError("--merge A.json,B.json,... is required");
+  }
+  const std::vector<std::string> paths = split_csv(inputs);
+  if (paths.empty()) {
+    throw UsageError("--merge names no files");
+  }
+  TraceMergeResult r;
+  try {
+    r = merge_trace_files(paths);
+  } catch (const std::runtime_error& e) {
+    // Unreadable or non-trace inputs are bad *input*, same exit class as a
+    // bad .gec file.
+    err << e.what() << "\n";
+    return 2;
+  }
+  out << "merged " << r.processes.size() << " process(es), " << r.event_count
+      << " event(s), " << r.trace_count << " trace(s)\n";
+  for (size_t i = 0; i < r.processes.size(); ++i) {
+    out << "  pid " << i + 1 << "  " << r.processes[i].label << "  ("
+        << r.processes[i].event_count << " events)\n";
+  }
+  out << r.attribution;
+  const std::string out_path = get(p, "out", "");
+  if (!out_path.empty()) {
+    std::ofstream f(out_path, std::ios::trunc);
+    if (f) f << r.chrome_json << '\n';
+    if (!f) {
+      err << "trace: cannot write --out file '" << out_path << "'\n";
+      return 1;
+    }
+    out << "merged trace: " << out_path << "\n";
+  }
+  const std::string flame_path = get(p, "flame", "");
+  if (!flame_path.empty()) {
+    std::ofstream f(flame_path, std::ios::trunc);
+    if (f) f << r.collapsed;
+    if (!f) {
+      err << "trace: cannot write --flame file '" << flame_path << "'\n";
+      return 1;
+    }
+    out << "flamegraph stacks: " << flame_path << "\n";
+  }
+  return 0;
 }
 
 /// Restores the global log level when a CLI invocation ends (run_cli is
@@ -1194,6 +1262,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     obs::TelemetryScope scope(tracing, metrics);
     obs::ProfilingScope pscope(metrics);
     if (metrics) obs::reset_all();
+    // The trace file's metadata names this process by its command, so a
+    // `trace --merge` of submit/serve/worker files labels each timeline row.
+    if (tracing) obs::set_trace_process_label(parsed->command);
 
     // The /metrics endpoint lives for the whole invocation: it reads the
     // same counters/gauges/histograms the report snapshot does, so a
@@ -1248,6 +1319,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       code = cmd_submit(*parsed, out, err, log.get());
     } else if (parsed->command == "worker") {
       code = cmd_worker(*parsed, out, err);
+    } else if (parsed->command == "trace") {
+      code = cmd_trace(*parsed, out, err);
     } else if (parsed->command == "range") {
       code = cmd_range(*parsed, out, err, log.get());
     } else if (parsed->command == "features") {

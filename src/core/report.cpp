@@ -69,6 +69,11 @@ void render_campaign_report(const std::vector<std::string>& paths,
   std::map<std::tuple<uint64_t, int64_t, std::string>, TrialRow> trials;
   HeaderEcho header;
   size_t skipped = 0;
+  // Schema-v2 "service" events (server RunLogs only): counted by kind so a
+  // served campaign's report surfaces fleet health — stragglers flagged,
+  // leases reclaimed — next to the result tables. Offline reports carry no
+  // service rows and render exactly as before.
+  std::map<std::string, int64_t> service_kinds;
 
   for (const std::string& path : paths) {
     std::ifstream in(path);
@@ -105,6 +110,12 @@ void render_campaign_report(const std::vector<std::string>& paths,
         ++used;
         continue;
       }
+      if (type == "service") {
+        const std::string kind = get_str(*rec, "kind");
+        ++service_kinds[kind.empty() ? "?" : kind];
+        ++used;
+        continue;
+      }
       if (type != "trial") continue;
       const auto site_index = get_num(*rec, "site_index");
       const auto trial = get_num(*rec, "trial");
@@ -132,13 +143,28 @@ void render_campaign_report(const std::vector<std::string>& paths,
   if (skipped > 0) {
     err << "report: skipped " << skipped << " unparseable record(s)\n";
   }
+  char buf[256];
+  const auto render_service_events = [&] {
+    if (service_kinds.empty()) return;
+    out << "service events\n";
+    for (const auto& [kind, n] : service_kinds) {
+      std::snprintf(buf, sizeof(buf), "  %-24s %7lld\n", kind.c_str(),
+                    static_cast<long long>(n));
+      out << buf;
+    }
+    out << "\n";
+  };
+
   if (trials.empty()) {
     // An empty campaign (zero trials, or a log holding only headers and
     // heartbeats) is a legitimate input, not an error: render an explicit
     // note and succeed, so `campaign ... && report ...` pipelines don't
-    // fail on configurations that select no fault sites.
-    out << "campaign report\n"
-           "  no trial records found (run the campaign with --report FILE "
+    // fail on configurations that select no fault sites. A serve daemon's
+    // own --report is the common case here — trial rows stream to the
+    // submit clients, but its fleet-health observations still render.
+    out << "campaign report\n";
+    render_service_events();
+    out << "  no trial records found (run the campaign with --report FILE "
            "to produce them)\n";
     return;
   }
@@ -169,7 +195,6 @@ void render_campaign_report(const std::vector<std::string>& paths,
     }
   }
 
-  char buf[256];
   out << "campaign report\n";
   if (header.set) {
     out << "  format: " << header.format << "  model: " << header.model
@@ -178,6 +203,8 @@ void render_campaign_report(const std::vector<std::string>& paths,
   }
   out << "  trials: " << trials.size() << "  layers: " << layers.size()
       << "\n\n";
+
+  render_service_events();
 
   // --- layer vulnerability table -------------------------------------------
   out << "layer vulnerability\n";

@@ -1,0 +1,335 @@
+#include "core/trace_merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/json_scan.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ge::core {
+
+namespace {
+
+struct ParsedEvent {
+  std::string name;
+  std::string cat;
+  int tid = 0;
+  double ts_us = 0.0;   ///< file-local (steady clock) microseconds
+  double dur_us = 0.0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+};
+
+struct ParsedFile {
+  TraceProcess proc;
+  std::vector<ParsedEvent> events;
+};
+
+uint64_t fnv1a_bytes(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Raw token of a top-level field, parsed as an integer (jsonscan keeps
+/// numbers as raw text, so 64-bit values survive intact).
+int64_t raw_int(const jsonscan::Record& r, const char* key) {
+  const auto it = r.find(key);
+  if (it == r.end()) return 0;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+uint64_t hex_id(const jsonscan::Record& r, const char* key) {
+  const auto it = r.find(key);
+  if (it == r.end()) return 0;
+  return std::strtoull(it->second.c_str(), nullptr, 16);
+}
+
+ParsedFile parse_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    throw std::runtime_error("trace merge: cannot read '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string content = buf.str();
+
+  ParsedFile out;
+  out.proc.content_hash = fnv1a_bytes(content);
+  bool saw_meta = false;
+
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) nl = content.size();
+    std::string line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    while (!line.empty() && (line.back() == ',' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] != '{' || line == "{\"traceEvents\":[") {
+      continue;
+    }
+    const auto rec = jsonscan::parse_record(line);
+    if (!rec.has_value()) continue;
+    const std::string ph = jsonscan::get_str(*rec, "ph");
+    if (ph == "M") {
+      const std::string label = jsonscan::get_str(*rec, "process_label");
+      if (!label.empty()) {
+        out.proc.label = label;
+        out.proc.epoch_unix_ns = raw_int(*rec, "epoch_unix_ns");
+        saw_meta = true;
+      }
+      continue;
+    }
+    if (ph != "X") continue;
+    ParsedEvent e;
+    e.name = jsonscan::get_str(*rec, "name");
+    e.cat = jsonscan::get_str(*rec, "cat");
+    e.tid = static_cast<int>(raw_int(*rec, "tid"));
+    e.ts_us = jsonscan::get_num(*rec, "ts").value_or(0.0);
+    e.dur_us = jsonscan::get_num(*rec, "dur").value_or(0.0);
+    e.trace_id = hex_id(*rec, "trace_id");
+    e.span_id = hex_id(*rec, "span_id");
+    e.parent_span_id = hex_id(*rec, "parent_span_id");
+    out.events.push_back(std::move(e));
+  }
+  if (!saw_meta) {
+    throw std::runtime_error("trace merge: '" + path +
+                             "' has no goldeneye_trace_meta event (not a "
+                             "--trace output?)");
+  }
+  out.proc.event_count = static_cast<int64_t>(out.events.size());
+  return out;
+}
+
+/// One event placed on the merged timeline.
+struct MergedEvent {
+  const ParsedEvent* ev = nullptr;
+  int pid = 0;            ///< 1-based process index in merge order
+  double ts_us = 0.0;     ///< rebased shared-axis microseconds
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char u[8];
+          std::snprintf(u, sizeof(u), "\\u%04x", c);
+          out += u;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Span names render as "name(detail)"; attribution groups on the base
+/// name so "execute(campaign_3)" and "worker_lease(0-25)" aggregate.
+bool name_is(const std::string& name, const char* base) {
+  const size_t n = std::char_traits<char>::length(base);
+  if (name.compare(0, n, base) != 0) return false;
+  return name.size() == n || name[n] == '(';
+}
+
+std::string fmt_ms(double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%10.3f ms", us / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+TraceMergeResult merge_trace_files(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    throw std::runtime_error("trace merge: no input files");
+  }
+  std::vector<ParsedFile> files;
+  files.reserve(paths.size());
+  for (const std::string& p : paths) files.push_back(parse_trace_file(p));
+
+  // Deterministic process order — a function of file *content* only, so
+  // the merged output is byte-identical under any argv ordering.
+  std::sort(files.begin(), files.end(),
+            [](const ParsedFile& a, const ParsedFile& b) {
+              return std::tie(a.proc.label, a.proc.epoch_unix_ns,
+                              a.proc.content_hash) <
+                     std::tie(b.proc.label, b.proc.epoch_unix_ns,
+                              b.proc.content_hash);
+            });
+
+  TraceMergeResult result;
+
+  // Shared axis: rebase every event to wall-clock microseconds relative to
+  // the earliest process epoch, then shift so the first event lands at 0.
+  // Offsets stay small (runs are seconds), so double precision holds.
+  int64_t base_epoch = files[0].proc.epoch_unix_ns;
+  for (const ParsedFile& f : files) {
+    base_epoch = std::min(base_epoch, f.proc.epoch_unix_ns);
+  }
+  std::vector<MergedEvent> merged;
+  for (size_t i = 0; i < files.size(); ++i) {
+    result.processes.push_back(files[i].proc);
+    const double epoch_off_us =
+        static_cast<double>(files[i].proc.epoch_unix_ns - base_epoch) / 1000.0;
+    for (const ParsedEvent& e : files[i].events) {
+      MergedEvent m;
+      m.ev = &e;
+      m.pid = static_cast<int>(i) + 1;
+      m.ts_us = e.ts_us + epoch_off_us;
+      merged.push_back(m);
+    }
+  }
+  double base_ts = merged.empty() ? 0.0 : merged[0].ts_us;
+  for (const MergedEvent& m : merged) base_ts = std::min(base_ts, m.ts_us);
+  for (MergedEvent& m : merged) m.ts_us -= base_ts;
+
+  // Total order on every field: ties cannot reintroduce input-order
+  // dependence.
+  std::sort(merged.begin(), merged.end(),
+            [](const MergedEvent& a, const MergedEvent& b) {
+              return std::tie(a.ts_us, b.ev->dur_us, a.pid, a.ev->tid,
+                              a.ev->name, a.ev->span_id) <
+                     std::tie(b.ts_us, a.ev->dur_us, b.pid, b.ev->tid,
+                              b.ev->name, b.ev->span_id);
+            });
+  result.event_count = static_cast<int64_t>(merged.size());
+
+  // --- merged Chrome JSON ---------------------------------------------------
+  char num[64];
+  std::string& json = result.chrome_json;
+  json = "{\"traceEvents\":[";
+  for (size_t i = 0; i < result.processes.size(); ++i) {
+    json += i == 0 ? "\n" : ",\n";
+    json += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    std::snprintf(num, sizeof(num), "%d", static_cast<int>(i) + 1);
+    json += num;
+    json += ",\"tid\":0,\"args\":{\"name\":\"";
+    append_escaped(json, result.processes[i].label);
+    json += "\"}}";
+  }
+  for (const MergedEvent& m : merged) {
+    json += ",\n{\"name\":\"";
+    append_escaped(json, m.ev->name);
+    json += "\",\"cat\":\"";
+    append_escaped(json, m.ev->cat);
+    std::snprintf(num, sizeof(num), "\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d",
+                  m.pid, m.ev->tid);
+    json += num;
+    std::snprintf(num, sizeof(num), ",\"ts\":%.3f,\"dur\":%.3f", m.ts_us,
+                  m.ev->dur_us);
+    json += num;
+    if (m.ev->trace_id != 0) {
+      std::snprintf(num, sizeof(num), ",\"trace_id\":\"%016llx\"",
+                    static_cast<unsigned long long>(m.ev->trace_id));
+      json += num;
+      std::snprintf(num, sizeof(num), ",\"span_id\":\"%016llx\"",
+                    static_cast<unsigned long long>(m.ev->span_id));
+      json += num;
+      std::snprintf(num, sizeof(num), ",\"parent_span_id\":\"%016llx\"",
+                    static_cast<unsigned long long>(m.ev->parent_span_id));
+      json += num;
+    }
+    json += '}';
+  }
+  json += "\n],\"displayTimeUnit\":\"ms\"}";
+
+  // --- per-trace attribution ------------------------------------------------
+  // For each propagated trace: the submit root span is total wall time; the
+  // server's queue_wait and execute spans partition the service side, worker
+  // leases overlap execute, and what the root covers beyond queue + execute
+  // is protocol/stream-back overhead.
+  struct TraceAgg {
+    const ParsedEvent* root = nullptr;
+    int root_pid = 0;
+    double queue_wait_us = 0.0;
+    double execute_us = 0.0;
+    double worker_lease_us = 0.0;
+    int64_t worker_leases = 0;
+    int64_t span_count = 0;
+  };
+  std::map<uint64_t, TraceAgg> traces;
+  for (const MergedEvent& m : merged) {
+    if (m.ev->trace_id == 0) continue;
+    TraceAgg& t = traces[m.ev->trace_id];
+    ++t.span_count;
+    if (m.ev->parent_span_id == 0 &&
+        (t.root == nullptr || m.ev->dur_us > t.root->dur_us)) {
+      t.root = m.ev;
+      t.root_pid = m.pid;
+    }
+    if (name_is(m.ev->name, "queue_wait")) t.queue_wait_us += m.ev->dur_us;
+    if (name_is(m.ev->name, "execute")) t.execute_us += m.ev->dur_us;
+    if (name_is(m.ev->name, "worker_lease") ||
+        name_is(m.ev->name, "lease_execute")) {
+      t.worker_lease_us += m.ev->dur_us;
+      ++t.worker_leases;
+    }
+  }
+  result.trace_count = static_cast<int64_t>(traces.size());
+
+  std::string& attr = result.attribution;
+  for (const auto& [id, t] : traces) {
+    std::snprintf(num, sizeof(num), "trace %016llx",
+                  static_cast<unsigned long long>(id));
+    attr += num;
+    std::snprintf(num, sizeof(num), "  (%lld spans)\n",
+                  static_cast<long long>(t.span_count));
+    attr += num;
+    if (t.root == nullptr) {
+      attr += "  (no root span in the merged set)\n";
+      continue;
+    }
+    const std::string& root_label =
+        result.processes[static_cast<size_t>(t.root_pid - 1)].label;
+    attr += "  root         " + fmt_ms(t.root->dur_us) + "  " + t.root->name +
+            " @" + root_label + "\n";
+    attr += "  queue_wait   " + fmt_ms(t.queue_wait_us) + "\n";
+    attr += "  execute      " + fmt_ms(t.execute_us) + "\n";
+    std::snprintf(num, sizeof(num), "  across %lld lease(s)",
+                  static_cast<long long>(t.worker_leases));
+    attr += "  leases       " + fmt_ms(t.worker_lease_us) + num + "\n";
+    const double stream_back_us = std::max(
+        0.0, t.root->dur_us - t.queue_wait_us - t.execute_us);
+    attr += "  stream_back  " + fmt_ms(stream_back_us) + "\n";
+  }
+  if (traces.empty()) {
+    attr += "(no propagated trace ids in the merged files)\n";
+  }
+
+  // --- collapsed stacks over the merged timeline ----------------------------
+  // Threads remapped to process-unique ids so obs::collapsed_stacks never
+  // interleaves spans from different processes on one reconstructed stack.
+  std::vector<obs::TraceEvent> flat;
+  flat.reserve(merged.size());
+  for (const MergedEvent& m : merged) {
+    obs::TraceEvent e;
+    e.name = m.ev->name;
+    e.tid = m.pid * 100000 + m.ev->tid;
+    e.start_ns = static_cast<int64_t>(std::llround(m.ts_us * 1000.0));
+    e.dur_ns = static_cast<int64_t>(std::llround(m.ev->dur_us * 1000.0));
+    flat.push_back(std::move(e));
+  }
+  result.collapsed = obs::collapsed_stacks(flat);
+  return result;
+}
+
+}  // namespace ge::core

@@ -1,0 +1,48 @@
+// ge::core::trace_merge — fold per-process Chrome trace files into one
+// cross-process timeline.
+//
+// Every --trace file written by obs::write_chrome_trace opens with a
+// metadata event carrying the process label and epoch_unix_ns — the
+// steady-clock→wall-clock offset sampled at export. The merger uses those
+// anchors to place each process's events on one shared wall-clock axis,
+// groups spans by the trace_id the wire protocol propagated, and renders:
+//
+//   * a merged Chrome trace_event JSON (one pid per input process),
+//   * a per-trace attribution table (queue wait / execute / worker lease /
+//     stream-back shares of the submit root span),
+//   * flamegraph collapsed stacks over the merged events (threads remapped
+//     to process-unique ids, reusing obs::collapsed_stacks).
+//
+// Determinism: output is a pure function of the *set* of input files.
+// Processes are ordered by (label, epoch, content hash) and events by a
+// total order on every field, so `goldeneye trace --merge` produces
+// byte-identical bytes no matter how the files are listed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ge::core {
+
+/// One input process after parsing (exposed for tests).
+struct TraceProcess {
+  std::string label;          ///< meta process_label ("submit", "serve", ...)
+  int64_t epoch_unix_ns = 0;  ///< wall-clock ns at steady-clock zero
+  uint64_t content_hash = 0;  ///< FNV-1a of the file bytes (tie-breaker)
+  int64_t event_count = 0;
+};
+
+struct TraceMergeResult {
+  std::string chrome_json;  ///< merged timeline, Chrome trace_event format
+  std::string attribution;  ///< per-trace phase table (text)
+  std::string collapsed;    ///< flamegraph collapsed stacks
+  std::vector<TraceProcess> processes;  ///< merge order (= assigned pid - 1)
+  int64_t event_count = 0;              ///< duration events merged
+  int64_t trace_count = 0;              ///< distinct nonzero trace ids
+};
+
+/// Merge `paths` (each a --trace output). Throws std::runtime_error when a
+/// file cannot be read or holds no trace metadata line.
+TraceMergeResult merge_trace_files(const std::vector<std::string>& paths);
+
+}  // namespace ge::core

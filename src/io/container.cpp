@@ -91,6 +91,13 @@ uint32_t ByteReader::u32() {
   return v;
 }
 
+uint32_t ByteReader::peek_u32() const {
+  require(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(bytes_[pos_ + i]) << (8 * i);
+  return v;
+}
+
 uint64_t ByteReader::u64() {
   require(8);
   uint64_t v = 0;

@@ -94,6 +94,9 @@ class ByteReader {
   std::string str();
   /// Copy `n` raw bytes into `out`.
   void raw(void* out, size_t n);
+  /// Read a u32 without consuming it — for tagged optional trailing
+  /// fields, where the tag must be inspected before deciding to decode.
+  uint32_t peek_u32() const;
 
   size_t remaining() const noexcept { return bytes_.size() - pos_; }
   bool at_end() const noexcept { return pos_ == bytes_.size(); }

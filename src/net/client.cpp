@@ -6,6 +6,7 @@
 #include <optional>
 #include <thread>
 
+#include "core/json_scan.hpp"
 #include "io/campaign_state.hpp"
 #include "net/session.hpp"
 #include "obs/run_log.hpp"
@@ -34,14 +35,46 @@ void sleep_ms_interruptible(int ms, const std::atomic<bool>& stop) {
   }
 }
 
+/// At --log-level >= 1, render a streamed heartbeat row as a progress
+/// line: the server's trials/s + ETA, shown on the submit terminal that
+/// would otherwise stay silent for the whole campaign.
+void maybe_print_progress(const std::string& row, std::ostream& err) {
+  if (obs::log_level() < 1) return;
+  if (row.find("\"type\":\"heartbeat\"") == std::string::npos) return;
+  const auto rec = core::jsonscan::parse_record(row);
+  if (!rec.has_value()) return;
+  const auto done = core::jsonscan::get_num(*rec, "done");
+  const auto total = core::jsonscan::get_num(*rec, "total");
+  const auto tps = core::jsonscan::get_num(*rec, "trials_per_sec");
+  const auto eta = core::jsonscan::get_num(*rec, "eta_seconds");
+  if (!done.has_value() || !total.has_value()) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "submit: %lld/%lld trials, %.1f trials/s, eta %.1fs",
+                static_cast<long long>(*done), static_cast<long long>(*total),
+                tps.value_or(0.0), eta.value_or(0.0));
+  err << buf << "\n";
+}
+
 }  // namespace
 
 int run_submit(const SubmitOptions& opts, obs::RunLog* report,
                std::ostream& out, std::ostream& err) {
+  // Root of the distributed trace. With tracing off the context stays
+  // {0,0}: the spec encodes byte-identically to an untraced submit and
+  // every downstream span records id-free, exactly as before.
+  obs::TraceContextScope trace_scope(obs::TraceContext{
+      obs::tracing_enabled() ? obs::make_trace_id() : 0, 0});
+  obs::Span root_span("net", "submit", opts.spec.format_spec);
+
   FrameChannel chan = connect_channel(opts.host, opts.port, "submit");
   chan.send(FrameType::kHello,
             encode_hello({HelloMsg::kRoleSubmit, opts.client_name}));
-  chan.send(FrameType::kSubmit, encode_campaign_spec(opts.spec));
+  CampaignSpecMsg spec = opts.spec;
+  const obs::TraceContext ctx = root_span.context();
+  spec.trace_id = ctx.trace_id;
+  spec.parent_span_id = ctx.span_id;
+  chan.send(FrameType::kSubmit, encode_campaign_spec(spec));
 
   for (;;) {
     std::optional<Frame> f = chan.recv();
@@ -52,10 +85,9 @@ int run_submit(const SubmitOptions& opts, obs::RunLog* report,
     }
     switch (f->type) {
       case FrameType::kLogRow: {
-        if (report != nullptr) {
-          report->raw_line(
-              std::string(f->payload.begin(), f->payload.end()));
-        }
+        const std::string row(f->payload.begin(), f->payload.end());
+        if (report != nullptr) report->raw_line(row);
+        maybe_print_progress(row, err);
         break;
       }
       case FrameType::kDone: {
@@ -98,6 +130,7 @@ int run_worker(const WorkerOptions& opts, std::ostream& out,
   std::optional<std::pair<uint64_t, PreparedCampaign>> cached;
   int64_t executed = 0;
   int64_t dropped = 0;
+  int64_t stalled = 0;
   auto last_work = std::chrono::steady_clock::now();
 
   for (;;) {
@@ -133,6 +166,29 @@ int run_worker(const WorkerOptions& opts, std::ostream& out,
             decode_lease_grant(f->payload, chan.context());
         last_work = std::chrono::steady_clock::now();
 
+        if (opts.stall_leases > 0) {
+          // Drill mode: hold the grant without heartbeating and keep the
+          // connection open. The server cannot see an EOF, so the lease
+          // must die the slow way — straggler flag, then expiry reclaim.
+          ++stalled;
+          out << "worker: stalling lease " << grant.lease_id << " ["
+              << grant.lo << "," << grant.hi << ")\n";
+          if (stalled >= opts.stall_leases) {
+            for (;;) {
+              bool timed_out = false;
+              std::optional<Frame> g = chan.recv_wait(250, &timed_out);
+              if (timed_out) continue;
+              if (!g.has_value() || g->type == FrameType::kShutdown) {
+                out << "worker: stalled " << stalled
+                    << " lease(s) until shutdown\n";
+                return 0;
+              }
+              // anything else (a late grant) stays unanswered — stuck
+            }
+          }
+          break;
+        }
+
         if (opts.drop_leases > 0) {
           // Drill mode: hold the grant, never run it, and once enough
           // grants are held, die abruptly. The server must notice the
@@ -146,6 +202,16 @@ int run_worker(const WorkerOptions& opts, std::ostream& out,
           }
           break;
         }
+
+        // Join the campaign's distributed trace: the grant's spec carries
+        // the submit client's context, so this lease's spans (and every
+        // campaign/pool span recorded while it runs) parent under the
+        // same root as the server's execute span.
+        obs::TraceContextScope trace_ctx(obs::TraceContext{
+            grant.spec.trace_id, grant.spec.parent_span_id});
+        obs::Span lease_span("net", "worker_lease",
+                             std::to_string(grant.lo) + "-" +
+                                 std::to_string(grant.hi));
 
         if (!cached.has_value() || cached->first != grant.campaign_id) {
           cached.emplace(grant.campaign_id,

@@ -48,6 +48,11 @@ struct WorkerOptions {
   /// drop the connection — a deterministic "worker killed mid-lease" for
   /// tests and CI (the server must reclaim the abandoned ranges).
   int64_t drop_leases = 0;
+  /// Fault drill: accept this many grants and then hang — connection
+  /// open, no heartbeats, no results — until the server shuts down. The
+  /// lease must expire server-side (straggler flag, then timeout
+  /// reclaim), unlike drop_leases where the EOF reclaims it at once.
+  int64_t stall_leases = 0;
   /// Idle poll interval between kNoWork responses.
   int poll_ms = 200;
   /// Exit 0 after this long with no grantable work (0 = wait forever).

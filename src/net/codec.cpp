@@ -52,6 +52,15 @@ CampaignSpecMsg read_campaign_spec(io::ByteReader& r) {
   m.ber = r.f64();
   m.burst_len = static_cast<int32_t>(r.u32());
   m.prefix_cache = r.u8();
+  // Optional tagged trailing field: trace context. A payload that ends
+  // here (old peer) or whose tail is some other future field decodes with
+  // trace_id = 0 — the untraced default. Remaining bytes after the tag
+  // stay ignorable for the *next* extension.
+  if (r.remaining() >= 20 && r.peek_u32() == kTraceTag) {
+    r.u32();  // consume the tag
+    m.trace_id = r.u64();
+    m.parent_span_id = r.u64();
+  }
   // Trailing bytes: fields from a newer peer — ignored by design.
   return m;
 }
@@ -93,6 +102,13 @@ std::vector<uint8_t> encode_campaign_spec(const CampaignSpecMsg& m) {
   w.f64(m.ber);
   w.u32(static_cast<uint32_t>(m.burst_len));
   w.u8(m.prefix_cache);
+  // Trace context rides as a tagged trailing field, and only when set:
+  // untraced specs stay byte-identical to the PR 9 encoding.
+  if (m.trace_id != 0) {
+    w.u32(kTraceTag);
+    w.u64(m.trace_id);
+    w.u64(m.parent_span_id);
+  }
   return w.take();
 }
 

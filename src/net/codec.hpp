@@ -57,7 +57,20 @@ struct CampaignSpecMsg {
   double ber = 0.0;
   int32_t burst_len = 2;
   uint8_t prefix_cache = 1;
+  // Distributed-trace context, carried as a *tagged trailing field*
+  // (kTraceTag + two u64s) after the fields above: PR 9 decoders ignore it
+  // as trailing bytes, and this decoder treats its absence as "no context"
+  // — forward and backward compatible by construction. Zero = untraced.
+  // Telemetry-only: never feeds seeds, chunking, or any computed value.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
+
+/// Marker for the optional trace-context trailing field on
+/// CampaignSpecMsg ("GTRC" little-endian). A 4-byte magic plus the
+/// remaining-length check make a stray trailing blob from some other
+/// future field vanishingly unlikely to alias it.
+constexpr uint32_t kTraceTag = 0x43525447u;
 
 /// Server -> worker: run trials [lo,hi) of this campaign. The lease_id is
 /// echoed in heartbeats and the result; a reclaimed lease's id is dead and

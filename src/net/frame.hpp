@@ -18,6 +18,9 @@
 // kProtocolVersion and reject anything newer; payload decoders
 // (net/codec.hpp) read the fields they know and ignore trailing bytes, so
 // a newer peer may append tagged fields without breaking older readers.
+// The trace-context field on campaign specs (codec.hpp kTraceTag) is the
+// canonical example: older decoders see it as an ignorable tail, newer
+// ones recover the submit client's trace identity from it.
 // The length field is validated against kMaxPayload BEFORE any allocation,
 // so a corrupt or hostile length can never trigger a huge allocation.
 #pragma once

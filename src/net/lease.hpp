@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace ge::net {
@@ -31,6 +32,19 @@ struct Lease {
   uint64_t id = 0;
   int64_t lo = 0;
   int64_t hi = 0;
+};
+
+/// One lease as exposed to introspection (/status) and completion
+/// accounting: identity plus who holds it and how fresh it is.
+struct LeaseInfo {
+  uint64_t id = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  std::string worker;              ///< holder identity ("" = local executor)
+  int64_t age_ns = 0;              ///< now - grant time
+  int64_t since_heartbeat_ns = 0;  ///< now - last renewal (grant if none)
+  bool expires = false;            ///< carries a deadline (remote worker)
+  bool straggler = false;          ///< flagged by flag_stragglers()
 };
 
 class LeaseTable {
@@ -42,18 +56,24 @@ class LeaseTable {
   /// Lease the next available range. The lease expires at
   /// now_ns + timeout_ns unless renewed; timeout_ns <= 0 means the lease
   /// never expires (the server's own executor cannot die separately).
+  /// `worker` names the holder for introspection/straggler accounting.
   /// Returns false when no range is currently available — either all
   /// trials are leased out or done.
-  bool grant(int64_t now_ns, int64_t timeout_ns, Lease* out);
+  bool grant(int64_t now_ns, int64_t timeout_ns, Lease* out,
+             const std::string& worker = "");
 
-  /// Renew a live lease's deadline. False when the id is unknown —
-  /// already completed, or reclaimed (the worker should drop the work).
+  /// Renew a live lease's deadline (and heartbeat freshness). False when
+  /// the id is unknown — already completed, or reclaimed (the worker
+  /// should drop the work).
   bool heartbeat(uint64_t id, int64_t now_ns, int64_t timeout_ns);
 
   /// Mark a lease's range as done. False when the id was reclaimed or
   /// never existed: the caller must DISCARD the result, its range has
-  /// been (or will be) re-run by someone else.
-  bool complete(uint64_t id);
+  /// been (or will be) re-run by someone else. When now_ns > 0 the
+  /// lease's (trials / wall seconds) joins the fleet throughput samples
+  /// that flag_stragglers() takes its median over; `done` (optional)
+  /// receives the completed lease's row.
+  bool complete(uint64_t id, int64_t now_ns = 0, LeaseInfo* done = nullptr);
 
   /// Abandon a live lease immediately (worker connection died). Its range
   /// goes back to the front of the queue. False when the id is unknown.
@@ -69,12 +89,41 @@ class LeaseTable {
   int64_t unleased_trials() const;
   /// Currently outstanding (live) leases.
   int64_t live_leases() const;
+  /// Trials in the campaign (reset()'s total).
+  int64_t total_trials() const;
+  /// Trials in completed ranges so far.
+  int64_t completed_trials() const;
+
+  /// Every live lease as an introspection row, ages computed against
+  /// `now_ns`. Order is grant order (stable for /status rendering).
+  std::vector<LeaseInfo> snapshot(int64_t now_ns) const;
+
+  /// Completed-lease throughput samples (trials/sec) recorded by
+  /// complete(), in completion order.
+  std::vector<double> throughput_samples() const;
+
+  /// Straggler sweep: flag every live *expiring* lease whose implied
+  /// throughput upper bound ((hi-lo) / age so far) has fallen below
+  /// `fraction` × the median completed-lease throughput. A lease slower
+  /// than that bound cannot finish at a fleet-typical rate no matter what
+  /// it does next — age alone convicts it. Needs >= 2 completed samples
+  /// (a median of one lease punishes the second); fraction <= 0 disables.
+  /// Returns only *newly* flagged rows (each lease is counted once in
+  /// Counter::kNetLeaseStragglers); already-flagged leases stay flagged
+  /// for snapshot() until completed or reclaimed.
+  std::vector<LeaseInfo> flag_stragglers(int64_t now_ns, double fraction);
 
  private:
   struct Live {
     Lease lease;
     int64_t deadline_ns = 0;  ///< 0 = never expires
+    std::string worker;
+    int64_t granted_ns = 0;
+    int64_t last_heartbeat_ns = 0;
+    bool straggler = false;
   };
+
+  LeaseInfo info_locked(const Live& lv, int64_t now_ns) const;
 
   mutable std::mutex mu_;
   std::deque<Lease> queue_;  ///< unleased ranges, front = next grant
@@ -82,6 +131,7 @@ class LeaseTable {
   uint64_t next_id_ = 1;
   int64_t total_ = 0;
   int64_t completed_ = 0;
+  std::vector<double> tps_samples_;  ///< completed-lease trials/sec
 };
 
 }  // namespace ge::net

@@ -8,6 +8,8 @@
 
 #include "io/campaign_state.hpp"
 #include "io/container.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics_server.hpp"
 #include "obs/run_log.hpp"
 #include "obs/telemetry.hpp"
 
@@ -19,6 +21,20 @@ int64_t now_ns() { return obs::now_ns(); }
 
 void sleep_ms(int ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Straggler sweeps are cheap but run from heartbeat handlers and the
+/// executor's poll loop; once per 250ms fleet-wide is plenty.
+constexpr int64_t kStragglerSweepIntervalNs = 250 * 1000000ll;
+
+/// Nearest-rank quantile over an unsorted copy (small /status sample sets).
+double sample_quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(q * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(idx),
+                   v.end());
+  return v[static_cast<ptrdiff_t>(idx)];
 }
 
 }  // namespace
@@ -50,6 +66,156 @@ void Server::log_event(const char* type, const std::string& detail,
   log_->event(type, row);
 }
 
+void Server::log_service_event(const char* kind, const std::string& detail,
+                               uint64_t campaign_id, int64_t a, int64_t b) {
+  if (log_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(log_mu_);
+  obs::JsonObject row;
+  row.str("kind", kind);
+  row.str("detail", detail);
+  if (campaign_id != 0) row.num("campaign", campaign_id);
+  if (a >= 0) row.num("a", a);
+  if (b >= 0) row.num("b", b);
+  log_->event("service", row);
+}
+
+void Server::note_lease_complete(const LeaseInfo& info) {
+  const std::string name = info.worker.empty() ? "local" : info.worker;
+  const double secs = static_cast<double>(info.age_ns) / 1e9;
+  const double tps =
+      secs > 0.0 ? static_cast<double>(info.hi - info.lo) / secs : 0.0;
+  {
+    std::lock_guard<std::mutex> lock(wstats_mu_);
+    WorkerStats& ws = worker_stats_[name];
+    ws.leases += 1;
+    ws.trials += info.hi - info.lo;
+    if (secs > 0.0) {
+      ws.busy_seconds += secs;
+      // Recent-window samples back the /status per-worker quantiles; the
+      // cap keeps a long-lived daemon's map bounded.
+      if (ws.tps.size() >= 128) ws.tps.erase(ws.tps.begin());
+      ws.tps.push_back(tps);
+    }
+  }
+  if (tps > 0.0) obs::histogram("net.worker_trials_per_sec").record(tps);
+}
+
+void Server::straggler_sweep(const std::shared_ptr<Campaign>& c) {
+  if (opts_.straggler_fraction <= 0.0 || c == nullptr) return;
+  const int64_t now = now_ns();
+  int64_t last = c->straggler_check_ns.load(std::memory_order_relaxed);
+  if (now - last < kStragglerSweepIntervalNs) return;
+  if (!c->straggler_check_ns.compare_exchange_strong(
+          last, now, std::memory_order_relaxed)) {
+    return;  // another thread is sweeping this window
+  }
+  for (const LeaseInfo& li :
+       c->leases.flag_stragglers(now, opts_.straggler_fraction)) {
+    log_service_event("lease_straggler", li.worker, c->id,
+                      static_cast<int64_t>(li.id), li.lo);
+    obs::log(1, "serve: lease " + std::to_string(li.id) + " [" +
+                    std::to_string(li.lo) + "," + std::to_string(li.hi) +
+                    ") on '" + li.worker + "' flagged as straggler");
+  }
+}
+
+std::string Server::status_json() {
+  const int64_t now = now_ns();
+  std::shared_ptr<Campaign> active;
+  std::vector<std::shared_ptr<Campaign>> queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active = active_;
+    queued.assign(queue_.begin(), queue_.end());
+  }
+
+  obs::JsonObject o;
+  o.num("queue_depth", static_cast<int64_t>(queued.size()));
+  o.num("active_sessions",
+        static_cast<int64_t>(active_sessions_.load(std::memory_order_relaxed)));
+  o.num("served_campaigns", served_.load(std::memory_order_relaxed));
+
+  std::string campaigns = "[";
+  std::string leases = "[";
+  bool first = true;
+  const auto campaign_row = [&](const std::shared_ptr<Campaign>& c,
+                                const char* state, int64_t position) {
+    obs::JsonObject row;
+    row.num("id", c->id);
+    row.str("state", state);
+    if (position >= 0) row.num("queue_position", position);
+    row.str("format", c->spec.format_spec);
+    row.str("submitter", c->submitter);
+    row.num("completed_trials", c->leases.completed_trials());
+    row.num("total_trials", c->leases.total_trials());
+    row.num("age_seconds",
+            c->enqueue_ns > 0
+                ? static_cast<double>(now - c->enqueue_ns) / 1e9
+                : 0.0);
+    if (!first) campaigns += ',';
+    first = false;
+    campaigns += row.render();
+  };
+  if (active != nullptr) campaign_row(active, "active", -1);
+  for (size_t i = 0; i < queued.size(); ++i) {
+    campaign_row(queued[i], "queued", static_cast<int64_t>(i));
+  }
+  campaigns += ']';
+
+  if (active != nullptr) {
+    bool lease_first = true;
+    for (const LeaseInfo& li : active->leases.snapshot(now)) {
+      obs::JsonObject row;
+      row.num("id", li.id);
+      row.num("campaign", active->id);
+      row.num("lo", li.lo);
+      row.num("hi", li.hi);
+      row.str("worker", li.worker.empty() ? "local" : li.worker);
+      row.num("age_seconds", static_cast<double>(li.age_ns) / 1e9);
+      row.num("since_heartbeat_seconds",
+              static_cast<double>(li.since_heartbeat_ns) / 1e9);
+      row.boolean("expires", li.expires);
+      row.boolean("straggler", li.straggler);
+      if (!lease_first) leases += ',';
+      lease_first = false;
+      leases += row.render();
+    }
+  }
+  leases += ']';
+
+  std::string workers = "[";
+  {
+    std::lock_guard<std::mutex> lock(wstats_mu_);
+    bool wfirst = true;
+    for (const auto& [name, ws] : worker_stats_) {
+      obs::JsonObject row;
+      row.str("name", name);
+      row.num("leases_completed", ws.leases);
+      row.num("trials", ws.trials);
+      row.num("busy_seconds", ws.busy_seconds);
+      obs::JsonObject hist;
+      hist.num("count", static_cast<int64_t>(ws.tps.size()));
+      double sum = 0.0;
+      for (double v : ws.tps) sum += v;
+      hist.num("mean",
+               ws.tps.empty() ? 0.0
+                              : sum / static_cast<double>(ws.tps.size()));
+      hist.num("p50", sample_quantile(ws.tps, 0.5));
+      hist.num("p90", sample_quantile(ws.tps, 0.9));
+      row.raw("trials_per_sec", hist.render());
+      if (!wfirst) workers += ',';
+      wfirst = false;
+      workers += row.render();
+    }
+  }
+  workers += ']';
+
+  o.raw("campaigns", campaigns);
+  o.raw("leases", leases);
+  o.raw("workers", workers);
+  return o.render();
+}
+
 std::shared_ptr<Server::Campaign> Server::active_campaign() {
   std::lock_guard<std::mutex> lock(mu_);
   return active_;
@@ -58,6 +224,10 @@ std::shared_ptr<Server::Campaign> Server::active_campaign() {
 int Server::run() {
   if (!ok()) return 1;
   obs::log(1, "serve: listening on 127.0.0.1:" + std::to_string(port_));
+  // Expose the live queue/lease/worker tables to GET /status for the
+  // lifetime of the serve loop; set_status_source(nullptr) below blocks
+  // until any in-flight scrape has left status_json().
+  obs::set_status_source([this] { return status_json(); });
   std::thread executor([this] { executor_loop(); });
 
   while (!stop_.load(std::memory_order_relaxed)) {
@@ -78,7 +248,9 @@ int Server::run() {
     std::lock_guard<std::mutex> lock(threads_mu_);
     for (std::thread& t : session_threads_) t.join();
   }
-  log_event("serve_exit", "graceful shutdown", 0, served_);
+  obs::set_status_source(nullptr);
+  log_event("serve_exit", "graceful shutdown", 0,
+            served_.load(std::memory_order_relaxed));
   obs::log(1, "serve: drained, exiting");
   return 0;
 }
@@ -145,6 +317,8 @@ void Server::serve_submit(std::shared_ptr<FrameChannel> chan,
   // first (client closed early), the executor's sends hit a live object
   // and fail cleanly instead of touching freed memory.
   c->chan = chan;
+  c->submitter = who;
+  c->enqueue_ns = now_ns();
   {
     std::lock_guard<std::mutex> lock(mu_);
     c->id = next_campaign_id_++;
@@ -152,6 +326,13 @@ void Server::serve_submit(std::shared_ptr<FrameChannel> chan,
   }
   cv_.notify_all();
   log_event("campaign_queued", c->spec.format_spec + " " + who, c->id);
+
+  // The session span is a direct child of the client's propagated submit
+  // span: it covers the whole held-open connection, so the merged trace
+  // shows how long this campaign occupied a server session slot.
+  obs::TraceContextScope trace_ctx(
+      obs::TraceContext{c->spec.trace_id, c->spec.parent_span_id});
+  obs::Span session_span("net", "server_session", who);
 
   // Hold the connection open until the peer closes it (it does so after
   // kDone / kError / kCheckpointed) or the server winds down.
@@ -204,7 +385,13 @@ void Server::serve_worker(std::shared_ptr<FrameChannel> chan,
       case FrameType::kLeaseRequest: {
         std::shared_ptr<Campaign> c = active_campaign();
         Lease l;
-        if (c != nullptr && c->leases.grant(now_ns(), timeout_ns, &l)) {
+        if (c != nullptr && c->leases.grant(now_ns(), timeout_ns, &l, who)) {
+          // The grant span parents under the propagated submit context;
+          // the spec inside the grant carries the same context onward, so
+          // the worker's lease spans join the same tree.
+          obs::TraceContextScope trace_ctx(
+              obs::TraceContext{c->spec.trace_id, c->spec.parent_span_id});
+          obs::Span grant_span("net", "lease_grant", who);
           LeaseGrantMsg grant;
           grant.campaign_id = c->id;
           grant.lease_id = l.id;
@@ -230,6 +417,9 @@ void Server::serve_worker(std::shared_ptr<FrameChannel> chan,
         std::shared_ptr<Campaign> c = active_campaign();
         if (c != nullptr && c->id == hb.campaign_id) {
           c->leases.heartbeat(hb.lease_id, now_ns(), timeout_ns);
+          // Heartbeats arrive at a steady fleet-wide cadence — a natural
+          // (rate-limited) place to compare leases against the median.
+          straggler_sweep(c);
         }
         break;
       }
@@ -254,7 +444,9 @@ void Server::serve_worker(std::shared_ptr<FrameChannel> chan,
         // complete() is the reclaim gate: false means this lease expired
         // and its range was re-leased — a duplicate result that would
         // break merge's disjointness, so it is dropped.
-        if (c->leases.complete(res.lease_id)) {
+        LeaseInfo done_info;
+        if (c->leases.complete(res.lease_id, now_ns(), &done_info)) {
+          note_lease_complete(done_info);
           std::lock_guard<std::mutex> lock(c->mu);
           c->parts.push_back(std::move(part));
           log_event("lease_result", who, c->id,
@@ -377,6 +569,19 @@ void Server::checkpoint_campaign(const std::shared_ptr<Campaign>& c) {
 
 void Server::execute(const std::shared_ptr<Campaign>& c) {
   log_event("campaign_start", c->spec.format_spec, c->id);
+  // Install the submit client's propagated context for the whole
+  // execution: queue_wait and execute become siblings under the client's
+  // root span, and every campaign/pool span recorded on this thread nests
+  // under execute automatically.
+  obs::TraceContextScope trace_ctx(
+      obs::TraceContext{c->spec.trace_id, c->spec.parent_span_id});
+  if (c->enqueue_ns > 0) {
+    // Queue wait was measured across threads (stamped at enqueue on the
+    // session thread, closed here), so it is recorded, not scoped.
+    obs::record_span("net", "queue_wait", c->enqueue_ns,
+                     now_ns() - c->enqueue_ns);
+  }
+  obs::Span exec_span("net", "execute", "campaign_" + std::to_string(c->id));
   try {
     PreparedCampaign prep = prepare_campaign(c->spec, opts_.cache_dir);
     const int64_t chunk =
@@ -395,7 +600,11 @@ void Server::execute(const std::shared_ptr<Campaign>& c) {
     int64_t drain_deadline = 0;
     bool checkpointed = false;
     while (!c->leases.all_done()) {
-      c->leases.reclaim_expired(now_ns());
+      const int reclaimed = c->leases.reclaim_expired(now_ns());
+      if (reclaimed > 0) {
+        log_service_event("lease_reclaimed", "expired", c->id, reclaimed);
+      }
+      straggler_sweep(c);
       if (stop_.load(std::memory_order_relaxed) &&
           opts_.drain_timeout_ms > 0) {
         if (drain_deadline == 0) {
@@ -413,6 +622,8 @@ void Server::execute(const std::shared_ptr<Campaign>& c) {
       // The executor is a lease holder like any worker — just one whose
       // lease never expires (it cannot die separately from the server).
       if (c->leases.grant(now_ns(), /*timeout_ns=*/0, &l)) {
+        obs::Span lease_span("net", "lease_execute",
+                             std::to_string(l.lo) + "-" + std::to_string(l.hi));
         core::CampaignRunOptions ropts;
         ropts.model_name = c->spec.model_name;
         ropts.eval_samples = c->spec.samples;
@@ -421,7 +632,9 @@ void Server::execute(const std::shared_ptr<Campaign>& c) {
         ropts.run_log = &row_log;
         core::CampaignProgress part = core::run_campaign_trials(
             *prep.trained.model, prep.batch, prep.cfg, ropts);
-        c->leases.complete(l.id);
+        LeaseInfo done_info;
+        c->leases.complete(l.id, now_ns(), &done_info);
+        note_lease_complete(done_info);
         std::lock_guard<std::mutex> lock(c->mu);
         c->parts.push_back(std::move(part));
       } else {

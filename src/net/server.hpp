@@ -31,6 +31,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -62,6 +63,11 @@ struct ServeOptions {
   int drain_timeout_ms = 0;
   /// Stop after completing this many campaigns (tests/CI; 0 = forever).
   int64_t max_campaigns = 0;
+  /// Straggler threshold: a live worker lease whose implied throughput
+  /// bound falls below this fraction of the fleet's median completed-lease
+  /// throughput is flagged in /status, counted in ge_lease_stragglers_total
+  /// and logged as a schema-v2 "service" event. <= 0 disables the sweep.
+  double straggler_fraction = 0.5;
 };
 
 class Server {
@@ -96,6 +102,19 @@ class Server {
     LeaseTable leases;
     std::mutex mu;
     std::vector<core::CampaignProgress> parts;
+    std::string submitter;   ///< hello identity, for /status
+    int64_t enqueue_ns = 0;  ///< queue-wait span start (steady clock)
+    /// Last straggler sweep (rate limit; sweeps run on session threads
+    /// and the executor, whoever gets there first).
+    std::atomic<int64_t> straggler_check_ns{0};
+  };
+
+  /// Per-holder lease accounting behind /status ("local" = the executor).
+  struct WorkerStats {
+    int64_t leases = 0;
+    int64_t trials = 0;
+    double busy_seconds = 0.0;   ///< sum of completed-lease wall time
+    std::vector<double> tps;     ///< recent per-lease trials/sec samples
   };
 
   void session_thread(Socket sock);
@@ -113,6 +132,19 @@ class Server {
   std::shared_ptr<Campaign> active_campaign();
   void log_event(const char* type, const std::string& detail,
                  uint64_t campaign_id = 0, int64_t a = -1, int64_t b = -1);
+  /// Schema-v2 "service" event: {"type":"service","kind":...}. Operational
+  /// observations about the fleet (stragglers, reclaims) rather than
+  /// session lifecycle.
+  void log_service_event(const char* kind, const std::string& detail,
+                         uint64_t campaign_id = 0, int64_t a = -1,
+                         int64_t b = -1);
+  /// Fold a completed lease into the per-worker throughput stats.
+  void note_lease_complete(const LeaseInfo& info);
+  /// Rate-limited straggler pass over the active campaign's lease table.
+  void straggler_sweep(const std::shared_ptr<Campaign>& c);
+  /// The /status "server" object (registered with obs::set_status_source
+  /// while run() is live).
+  std::string status_json();
 
   ServeOptions opts_;
   obs::RunLog* log_ = nullptr;
@@ -132,7 +164,10 @@ class Server {
   std::deque<std::shared_ptr<Campaign>> queue_;
   std::shared_ptr<Campaign> active_;
   uint64_t next_campaign_id_ = 1;
-  int64_t served_ = 0;
+  std::atomic<int64_t> served_{0};
+
+  std::mutex wstats_mu_;
+  std::map<std::string, WorkerStats> worker_stats_;
 
   std::mutex threads_mu_;
   std::vector<std::thread> session_threads_;

@@ -11,7 +11,11 @@
 //    the rows on the wire are the exact bytes an offline --report run
 //    would have written.
 //  - prepare_campaign: CampaignSpecMsg -> ready-to-run model, batch and
-//    CampaignConfig. The server's executor and every worker call this
+//    CampaignConfig. The spec's trace context rides along untouched:
+//    callers that want their spans in the submit client's trace install
+//    an obs::TraceContextScope from spec.trace_id/parent_span_id first
+//    (telemetry only — results are bitwise independent of tracing).
+//    The server's executor and every worker call this
 //    against their own cache dir; deterministic synthetic training makes
 //    the weights bitwise identical across processes, and the
 //    golden-digest check in merge_campaign_progress turns any divergence

@@ -1,14 +1,23 @@
 #include "obs/metrics_server.hpp"
 
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 #include "obs/histogram.hpp"
 #include "obs/profiler.hpp"
+#include "obs/run_log.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ge::obs {
 
 namespace {
+
+/// The /status application hook. Guarded by a mutex held across the
+/// callback invocation, so set_status_source(nullptr) doubles as a barrier:
+/// once it returns, no scrape is still inside the old provider.
+std::mutex g_status_mu;
+std::function<std::string()> g_status_source;
 
 /// Prometheus metric names: [a-zA-Z_][a-zA-Z0-9_]*. Dots and anything
 /// else become underscores ("campaign.trials_per_sec" ->
@@ -57,8 +66,34 @@ std::string span_labels(const SpanStats& s) {
 
 }  // namespace
 
+void set_status_source(std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lk(g_status_mu);
+  g_status_source = std::move(fn);
+}
+
+std::string render_status_json() {
+  JsonObject o;
+  o.str("version", build_version());
+  o.str("commit", build_commit());
+  o.num("uptime_seconds", uptime_seconds());
+  o.num("lease_stragglers", counter_value(Counter::kNetLeaseStragglers));
+  {
+    std::lock_guard<std::mutex> lk(g_status_mu);
+    if (g_status_source) o.raw("server", g_status_source());
+  }
+  return o.render();
+}
+
 std::string render_prometheus() {
   std::string out;
+  // Build identity first: constant-valued info gauge plus process uptime,
+  // so a scraper can tell *what* is exporting before reading counters.
+  out += "# TYPE ge_build_info gauge\n";
+  out += "ge_build_info{version=\"" + escape_label(build_version()) +
+         "\",commit=\"" + escape_label(build_commit()) + "\"} 1\n";
+  out += "# TYPE ge_uptime_seconds gauge\nge_uptime_seconds ";
+  append_double(out, uptime_seconds());
+  out += "\n";
   for (int i = 0; i < static_cast<int>(Counter::kCount); ++i) {
     const auto c = static_cast<Counter>(i);
     const std::string name = sanitize(counter_name(c)) + "_total";
@@ -138,19 +173,35 @@ void MetricsServer::serve() {
     // most 10 connections/sec; here every pending scrape is answered
     // back to back before the next poll sleep.
     while (conn.valid()) {
-      // Drain the request line + headers (best effort; the path does not
-      // matter — every GET gets the metrics page).
+      // Read the request line + headers (best effort, one recv — scrape
+      // requests are tiny) and route on the path: /status returns the live
+      // JSON snapshot, everything else the Prometheus page.
       char req[4096];
-      (void)conn.recv_some(req, sizeof(req));
-      const std::string body = render_prometheus();
-      std::string resp =
-          "HTTP/1.1 200 OK\r\n"
-          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-          "Content-Length: " +
-          std::to_string(body.size()) +
-          "\r\n"
-          "Connection: close\r\n\r\n" +
-          body;
+      const ssize_t n = conn.recv_some(req, sizeof(req) - 1);
+      std::string path = "/";
+      if (n > 0) {
+        req[n] = '\0';
+        const std::string line(req);
+        // "GET <path> HTTP/1.1": path is the second token.
+        const size_t sp1 = line.find(' ');
+        const size_t sp2 =
+            sp1 == std::string::npos ? std::string::npos
+                                     : line.find_first_of(" \r\n", sp1 + 1);
+        if (sp1 != std::string::npos && sp2 != std::string::npos) {
+          path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        }
+      }
+      const bool status = path == "/status" || path.rfind("/status?", 0) == 0;
+      const std::string body =
+          status ? render_status_json() + "\n" : render_prometheus();
+      const char* content_type =
+          status ? "application/json; charset=utf-8"
+                 : "text/plain; version=0.0.4; charset=utf-8";
+      std::string resp = "HTTP/1.1 200 OK\r\nContent-Type: ";
+      resp += content_type;
+      resp +=
+          "\r\nContent-Length: " + std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n" + body;
       (void)conn.send_all(resp.data(), resp.size());
       conn = net::accept_connection(listen_, /*timeout_ms=*/0);
     }

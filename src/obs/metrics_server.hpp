@@ -7,9 +7,15 @@
 // scrapers no longer serialise at one connection per 100ms poll tick. The
 // server thread only *reads* telemetry, so a scrape can never perturb
 // results — same contract as the rest of ge::obs.
+//
+// Routes: `GET /status` returns the live JSON introspection snapshot
+// (render_status_json); every other path serves the Prometheus page.
+// Responses always carry Content-Length + Connection: close, so scrapers
+// never depend on EOF framing.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -19,10 +25,24 @@ namespace ge::obs {
 
 /// Render every counter (`ge_<name>_total`), gauge (`ge_<name>`), and
 /// histogram (`ge_<name>_bucket{le=...}` / `_sum` / `_count`) as
-/// Prometheus text exposition format 0.0.4. Names are sanitised to
-/// [a-zA-Z0-9_]; histogram buckets are cumulative and only emitted where
-/// the count increases (plus the mandatory +Inf bucket).
+/// Prometheus text exposition format 0.0.4, prefixed by the build-identity
+/// pair `ge_build_info{version=,commit=} 1` and `ge_uptime_seconds`. Names
+/// are sanitised to [a-zA-Z0-9_]; histogram buckets are cumulative and only
+/// emitted where the count increases (plus the mandatory +Inf bucket).
 std::string render_prometheus();
+
+/// Register a callback that renders a JSON object describing live
+/// application state (the campaign server's queue/lease/worker tables).
+/// `GET /status` splices its output into the snapshot under "server".
+/// Pass nullptr to deregister; the setter blocks until any in-flight
+/// /status render finishes, so the provider may safely capture state that
+/// dies right after deregistration. obs stays ignorant of ge::net — the
+/// dependency points the other way via this hook.
+void set_status_source(std::function<std::string()> fn);
+
+/// The `/status` JSON snapshot: build info, uptime, straggler count, plus
+/// the registered status source's object (if any) under "server".
+std::string render_status_json();
 
 class MetricsServer {
  public:

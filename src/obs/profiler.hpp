@@ -118,7 +118,9 @@ uint64_t process_rss_bytes();
 /// Fold trace events into flamegraph-compatible collapsed stacks:
 /// "root;child;leaf <self_us>" per line, aggregated over all threads,
 /// sorted lexically. Nesting is reconstructed per thread from the span
-/// intervals, so feed it collect_trace() output (a tracing run).
+/// intervals, so feed it collect_trace() output (a tracing run) — or
+/// merged cross-process events with process-unique tids, as
+/// core/trace_merge.cpp does for `goldeneye trace --merge --flame`.
 std::string collapsed_stacks(const std::vector<TraceEvent>& events);
 
 namespace detail {

@@ -20,12 +20,16 @@
 //                    counters when perf_event_open is available (schema 2)
 //   metrics          final counter/gauge snapshot
 //   bench_case       one row per benchmark case (bench/harness.hpp)
+//   service          fleet-health observation from the serve daemon:
+//                    {"kind": "lease_straggler" | "lease_reclaimed" |
+//                    ...}, campaign id and kind-specific fields (schema 2)
 //
 // Schema history: v1 = PR 2 record set; v2 adds trial / heartbeat /
 // histogram records and the run_header `resumed` field. Later schema-2
-// additions stay additive: span_stat rows and the heartbeat
-// rss_bytes/arena_bytes fields. Consumers should select on `type` and
-// ignore unknown fields, so v1 readers keep working.
+// additions stay additive: span_stat rows, the heartbeat
+// rss_bytes/arena_bytes fields, and the serve daemon's service rows.
+// Consumers should select on `type` and ignore unknown fields, so v1
+// readers keep working.
 //
 // JSONL because campaign-scale runs are append-only streams: a crashed or
 // interrupted run still leaves every completed row parseable — and a

@@ -3,6 +3,8 @@
 #include "obs/histogram.hpp"
 #include "obs/profiler.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -44,6 +46,7 @@ struct Registry {
   int next_tid = 0;
   std::map<std::string, double> gauge_map;
   std::map<std::string, QuantErrorSummary> layer_quant;
+  std::string process_label = "goldeneye";
 };
 
 Registry& registry() {
@@ -100,7 +103,68 @@ ThreadBuffer& thread_buffer() {
 
 std::atomic<int> g_log_level{0};
 
+// --- distributed-trace identity --------------------------------------------
+
+thread_local TraceContext tls_trace_ctx;
+
+/// splitmix64: cheap, well-mixed 64-bit hash for id generation. Telemetry
+/// identity only — never touches RNG streams used by trials.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Per-process salt in the high 32 bits of every span id, so ids minted by
+/// separate processes (server, workers) stay distinct in a merged trace.
+uint64_t span_salt() {
+  static const uint64_t salt =
+      mix64(static_cast<uint64_t>(::getpid()) * 0x10001ull ^
+            static_cast<uint64_t>(
+                std::chrono::system_clock::now().time_since_epoch().count()))
+      << 32;
+  return salt;
+}
+
+uint64_t next_span_id() {
+  static std::atomic<uint64_t> counter{0};
+  // Low 32 bits count, high 32 bits salt; +1 keeps the id nonzero even for
+  // the (absurd) case of a zero salt wrapping around.
+  return span_salt() | ((counter.fetch_add(1, std::memory_order_relaxed) + 1) &
+                        0xffffffffull);
+}
+
+int64_t process_start_steady_ns() {
+  static const int64_t start = now_ns();
+  return start;
+}
+
+// Touch the start timestamp at static-init time so uptime measures from
+// process start, not from the first scrape.
+[[maybe_unused]] const int64_t g_process_start_anchor =
+    process_start_steady_ns();
+
 }  // namespace
+
+TraceContext current_trace_context() noexcept { return tls_trace_ctx; }
+
+TraceContextScope::TraceContextScope(TraceContext ctx) : prev_(tls_trace_ctx) {
+  tls_trace_ctx = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { tls_trace_ctx = prev_; }
+
+uint64_t make_trace_id() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = 0;
+  do {
+    id = mix64(static_cast<uint64_t>(unix_now_ns()) ^
+               (static_cast<uint64_t>(::getpid()) << 40) ^
+               counter.fetch_add(1, std::memory_order_relaxed));
+  } while (id == 0);
+  return id;
+}
 
 int64_t now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -135,12 +199,23 @@ void Span::begin(const char* category, const char* name, const char* detail) {
   // stays consistent for its whole lifetime even if flags flip mid-scope.
   trace_ = tracing_enabled();
   profile_ = profiling_enabled();
+  if (trace_ && tls_trace_ctx.active()) {
+    // Under a trace context: mint an id, parent under the innermost span,
+    // and become the context for spans nested inside this one.
+    trace_id_ = tls_trace_ctx.trace_id;
+    parent_span_id_ = tls_trace_ctx.span_id;
+    span_id_ = next_span_id();
+    ctx_prev_ = tls_trace_ctx;
+    tls_trace_ctx = TraceContext{trace_id_, span_id_};
+    ctx_pushed_ = true;
+  }
   if (profile_) detail::profile_span_begin();
   start_ns_ = now_ns();  // stamped last: excludes the setup above
 }
 
 void Span::end() {
   const int64_t dur = now_ns() - start_ns_;
+  if (ctx_pushed_) tls_trace_ctx = ctx_prev_;
   // Profile first (it must pop the frame the begin pushed), trace second.
   if (profile_) detail::profile_span_end(category_, name_, base_len_, dur);
   if (!trace_) return;
@@ -152,8 +227,29 @@ void Span::end() {
         1, std::memory_order_relaxed);
     return;
   }
-  buf.events.push_back(
-      TraceEvent{std::move(name_), category_, buf.tid, start_ns_, dur});
+  TraceEvent e{std::move(name_), category_, buf.tid, start_ns_, dur};
+  e.trace_id = trace_id_;
+  e.span_id = span_id_;
+  e.parent_span_id = parent_span_id_;
+  buf.events.push_back(std::move(e));
+}
+
+void record_span(const char* category, const std::string& name,
+                 int64_t start_ns, int64_t dur_ns) {
+  if (!tracing_enabled()) return;
+  ThreadBuffer& buf = thread_buffer();
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    detail::g_counters[static_cast<int>(Counter::kSpansDropped)].fetch_add(
+        1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent e{name, category, buf.tid, start_ns, dur_ns};
+  if (tls_trace_ctx.active()) {
+    e.trace_id = tls_trace_ctx.trace_id;
+    e.span_id = next_span_id();
+    e.parent_span_id = tls_trace_ctx.span_id;
+  }
+  buf.events.push_back(std::move(e));
 }
 
 std::vector<TraceEvent> collect_trace() {
@@ -210,14 +306,36 @@ void append_json_escaped(std::string& out, const std::string& s) {
 
 }  // namespace
 
+void set_trace_process_label(const std::string& label) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.process_label = label;
+}
+
 std::string chrome_trace_json() {
   const auto events = collect_trace();
-  std::string out = "{\"traceEvents\":[";
+  std::string label;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    label = r.process_label;
+  }
+  // Steady→unix offset sampled back-to-back at export time: `trace --merge`
+  // adds it to every ts to put all processes on the shared unix timeline.
+  const int64_t epoch_unix_ns = unix_now_ns() - now_ns();
   char num[64];
-  bool first = true;
+  // One event per line so the merge reader (core/trace_merge.cpp) can scan
+  // flat records without a full JSON parser; still valid JSON throughout.
+  std::string out = "{\"traceEvents\":[\n";
+  out += "{\"name\":\"goldeneye_trace_meta\",\"cat\":\"meta\",\"ph\":\"M\","
+         "\"pid\":1,\"tid\":0,\"process_label\":\"";
+  append_json_escaped(out, label);
+  std::snprintf(num, sizeof(num), "\",\"epoch_unix_ns\":%lld",
+                static_cast<long long>(epoch_unix_ns));
+  out += num;
+  out += '}';
   for (const auto& e : events) {
-    if (!first) out += ',';
-    first = false;
+    out += ",\n";
     out += "{\"name\":\"";
     append_json_escaped(out, e.name);
     out += "\",\"cat\":\"";
@@ -229,11 +347,25 @@ std::string chrome_trace_json() {
     std::snprintf(num, sizeof(num), ",\"ts\":%.3f",
                   static_cast<double>(e.start_ns) / 1000.0);
     out += num;
-    std::snprintf(num, sizeof(num), ",\"dur\":%.3f}",
+    std::snprintf(num, sizeof(num), ",\"dur\":%.3f",
                   static_cast<double>(e.dur_ns) / 1000.0);
     out += num;
+    if (e.trace_id != 0) {
+      // 64-bit ids ride as hex strings: JSON numbers lose precision past
+      // 2^53 and Chrome ignores unknown string fields.
+      std::snprintf(num, sizeof(num), ",\"trace_id\":\"%016llx\"",
+                    static_cast<unsigned long long>(e.trace_id));
+      out += num;
+      std::snprintf(num, sizeof(num), ",\"span_id\":\"%016llx\"",
+                    static_cast<unsigned long long>(e.span_id));
+      out += num;
+      std::snprintf(num, sizeof(num), ",\"parent_span_id\":\"%016llx\"",
+                    static_cast<unsigned long long>(e.parent_span_id));
+      out += num;
+    }
+    out += '}';
   }
-  out += "],\"displayTimeUnit\":\"ms\"}";
+  out += "\n],\"displayTimeUnit\":\"ms\"}";
   return out;
 }
 
@@ -276,6 +408,7 @@ const char* counter_name(Counter c) {
     case Counter::kNetLeaseReclaims: return "net_lease_reclaims";
     case Counter::kNetFramesSent: return "net_frames_sent";
     case Counter::kNetFramesReceived: return "net_frames_received";
+    case Counter::kNetLeaseStragglers: return "lease_stragglers";
     case Counter::kCount: break;
   }
   return "unknown";
@@ -387,6 +520,29 @@ void reset_all() {
   reset_histograms();
   reset_profile();
   clear_trace();
+}
+
+// --- build / process identity ----------------------------------------------
+
+#ifndef GE_BUILD_VERSION
+#define GE_BUILD_VERSION "dev"
+#endif
+#ifndef GE_BUILD_COMMIT
+#define GE_BUILD_COMMIT "unknown"
+#endif
+
+const char* build_version() { return GE_BUILD_VERSION; }
+
+const char* build_commit() { return GE_BUILD_COMMIT; }
+
+double uptime_seconds() {
+  return static_cast<double>(now_ns() - process_start_steady_ns()) / 1e9;
+}
+
+int64_t unix_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 // --- logging ---------------------------------------------------------------

@@ -86,7 +86,51 @@ struct TraceEvent {
   int tid = 0;                ///< registry-assigned dense thread id
   int64_t start_ns = 0;
   int64_t dur_ns = 0;
+  // Distributed-trace identity. All zero for spans recorded outside a
+  // trace context (the common, single-process case).
+  uint64_t trace_id = 0;        ///< request identity, propagated on the wire
+  uint64_t span_id = 0;         ///< this span (process-salted, unique)
+  uint64_t parent_span_id = 0;  ///< enclosing span (0 = trace root)
 };
+
+// --- distributed trace context ---------------------------------------------
+//
+// A trace context is a (trace_id, span_id) pair carried across process
+// boundaries by ge::net (a tagged trailing field on campaign specs). While
+// a context is installed on a thread, every Span recorded there allocates a
+// span id and parents itself under the innermost enclosing span, so the
+// per-process traces merge into one tree (`goldeneye trace --merge`).
+
+/// Identity propagated across threads and processes. trace_id == 0 means
+/// "no context": spans record without ids, exactly as before.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  ///< parent for spans opened under this context
+  bool active() const noexcept { return trace_id != 0; }
+};
+
+/// The calling thread's current context ({0,0} when none is installed).
+TraceContext current_trace_context() noexcept;
+
+/// RAII: installs `ctx` as the calling thread's trace context, restoring
+/// the previous one on destruction. Used at propagation boundaries (session
+/// threads, the executor, worker lease loops); plain nested Spans maintain
+/// the context automatically in between.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// Fresh nonzero trace id (mixed from wall clock / pid / a counter, so ids
+/// from concurrent submitters don't collide). Telemetry-only: never feeds
+/// back into seeds or trial scheduling.
+uint64_t make_trace_id();
 
 /// RAII tracing scope. Construction stamps the start time, destruction
 /// records the completed event into the calling thread's buffer and/or
@@ -117,6 +161,11 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// This span's identity — {trace_id, own span id} when the span opened
+  /// under an active trace context, {0,0} otherwise. Callers that ship the
+  /// context over the wire (ge::net submit) read it from here.
+  TraceContext context() const noexcept { return TraceContext{trace_id_, span_id_}; }
+
  private:
   void begin(const char* category, const char* name, const char* detail);
   void end();
@@ -127,6 +176,11 @@ class Span {
   uint32_t base_len_ = 0;  ///< name_ length before the "(detail)" suffix
   bool trace_ = false;     ///< tracing was on at begin
   bool profile_ = false;   ///< profiling was on at begin
+  bool ctx_pushed_ = false;  ///< installed itself as the thread's context
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  TraceContext ctx_prev_;  ///< restored at end() when ctx_pushed_
 };
 
 /// Nanoseconds on the steady clock (the span timebase), for callers that
@@ -144,7 +198,22 @@ void clear_trace();
 /// threads are still recording).
 size_t trace_event_count();
 
+/// Record an already-measured interval as a completed span, parented under
+/// the calling thread's trace context (ids allocated as for Span). For
+/// durations whose endpoints live on different threads — e.g. the server's
+/// queue-wait, stamped at enqueue and closed when the executor picks the
+/// campaign up. No-op unless tracing is enabled.
+void record_span(const char* category, const std::string& name,
+                 int64_t start_ns, int64_t dur_ns);
+
+/// Label embedded in this process's trace export so `trace --merge` can
+/// name the process row ("serve", "worker", ...). Default "goldeneye".
+void set_trace_process_label(const std::string& label);
+
 /// Chrome trace_event JSON for the current trace ({"traceEvents": [...]}).
+/// One event per line; the first event is a `ph:"M"` metadata record
+/// carrying the process label and the steady→unix epoch offset that
+/// `trace --merge` uses to align timelines from different processes.
 std::string chrome_trace_json();
 
 /// Write chrome_trace_json() to `path`. Returns false on I/O failure.
@@ -181,6 +250,7 @@ enum class Counter : int {
   kNetLeaseReclaims,       ///< leases reclaimed (worker died or timed out)
   kNetFramesSent,          ///< protocol frames written to sockets
   kNetFramesReceived,      ///< protocol frames read from sockets
+  kNetLeaseStragglers,     ///< live leases flagged below the fleet median
   kCount
 };
 
@@ -253,6 +323,25 @@ void reset_all();
 /// Zero the profiler's span aggregates (defined in obs/profiler.cpp; the
 /// full profiler API lives in obs/profiler.hpp).
 void reset_profile();
+
+// --- build / process identity ----------------------------------------------
+
+/// Version string baked in at configure time (GE_BUILD_VERSION), "dev" in
+/// ad-hoc builds. Rendered as the ge_build_info{version=...} label.
+const char* build_version();
+
+/// Short git commit baked in at configure time (GE_BUILD_COMMIT),
+/// "unknown" outside a git checkout.
+const char* build_commit();
+
+/// Seconds since this process initialised telemetry (static init) — the
+/// ge_uptime_seconds gauge.
+double uptime_seconds();
+
+/// Nanoseconds on CLOCK_REALTIME (the unix epoch). Paired with now_ns()
+/// this yields the steady→unix offset used to align traces across
+/// processes on the same machine.
+int64_t unix_now_ns();
 
 // --- logging ---------------------------------------------------------------
 

@@ -27,7 +27,9 @@
 #include "net/server.hpp"
 #include "net/session.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics_server.hpp"
 #include "obs/run_log.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ge::net {
@@ -242,6 +244,89 @@ TEST(MessageCodec, TrailingFieldsAreIgnoredForwardCompat) {
   EXPECT_EQ(gb.hi, 20u);
   EXPECT_EQ(gb.heartbeat_ms, 1500u);
   EXPECT_EQ(gb.spec.format_spec, "fp_e4m3");
+}
+
+TEST(MessageCodec, TraceContextRidesAsTaggedTrailingField) {
+  CampaignSpecMsg s = sample_spec();
+  s.trace_id = 0x1122334455667788ull;
+  s.parent_span_id = 0x99aabbccddeeff01ull;
+  const std::vector<uint8_t> traced = encode_campaign_spec(s);
+  const CampaignSpecMsg b = decode_campaign_spec(traced, "trace");
+  EXPECT_EQ(b.trace_id, s.trace_id);
+  EXPECT_EQ(b.parent_span_id, s.parent_span_id);
+  EXPECT_EQ(b.format_spec, s.format_spec);
+
+  // Untraced specs encode byte-identically to the pre-trace wire format:
+  // the tag (+16 id bytes) is appended only when a trace is active, so a
+  // digest pinned against an older peer cannot move.
+  const std::vector<uint8_t> plain = encode_campaign_spec(sample_spec());
+  ASSERT_EQ(plain.size() + 20, traced.size());
+  EXPECT_TRUE(std::equal(plain.begin(), plain.end(), traced.begin()));
+  const CampaignSpecMsg pb = decode_campaign_spec(plain, "plain");
+  EXPECT_EQ(pb.trace_id, 0u);
+  EXPECT_EQ(pb.parent_span_id, 0u);
+
+  // A 20-byte tail that is not the tag stays forward-compat junk — it
+  // must never be misread as a trace context.
+  std::vector<uint8_t> junk = plain;
+  junk.insert(junk.end(), 20, 0x5a);
+  const CampaignSpecMsg jb = decode_campaign_spec(junk, "junk");
+  EXPECT_EQ(jb.trace_id, 0u);
+  EXPECT_EQ(jb.parent_span_id, 0u);
+
+  // The context survives one nesting level down (the spec blob in a lease
+  // grant), which is how workers join the submit client's trace.
+  LeaseGrantMsg g;
+  g.campaign_id = 7;
+  g.lease_id = 3;
+  g.lo = 10;
+  g.hi = 20;
+  g.heartbeat_ms = 1500;
+  g.spec = s;
+  const LeaseGrantMsg gb = decode_lease_grant(encode_lease_grant(g), "nest");
+  EXPECT_EQ(gb.spec.trace_id, s.trace_id);
+  EXPECT_EQ(gb.spec.parent_span_id, s.parent_span_id);
+}
+
+TEST(MessageCodec, TracedSpecEveryPrefixTruncationIsSafe) {
+  CampaignSpecMsg s = sample_spec();
+  s.trace_id = 0xfeedfacecafebeefull;
+  s.parent_span_id = 0x0123456789abcdefull;
+  const std::vector<uint8_t> payload = encode_campaign_spec(s);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<uint8_t> cut(payload.begin(), payload.begin() + len);
+    // Every prefix either throws (a fixed field is cut) or decodes with
+    // the trace context dropped to zero (an incomplete tag is an
+    // ignorable tail, never a partial read).
+    try {
+      const CampaignSpecMsg b = decode_campaign_spec(cut, "trunc");
+      EXPECT_EQ(b.trace_id, 0u) << "prefix " << len;
+      EXPECT_EQ(b.parent_span_id, 0u) << "prefix " << len;
+    } catch (const NetError&) {
+    }
+  }
+  const CampaignSpecMsg full = decode_campaign_spec(payload, "full");
+  EXPECT_EQ(full.trace_id, s.trace_id);
+  EXPECT_EQ(full.parent_span_id, s.parent_span_id);
+}
+
+TEST(MessageCodec, TracedSpecFrameEveryBitCorruptionIsRejected) {
+  // The CRC sweep from the frame tests, re-run over a payload that ends in
+  // the trace tag: no payload bit flip (tag, ids, or anything before them)
+  // may slip through the frame check.
+  CampaignSpecMsg s = sample_spec();
+  s.trace_id = 0x1111111111111111ull;
+  s.parent_span_id = 0x2222222222222222ull;
+  const std::vector<uint8_t> wire =
+      encode_frame({FrameType::kSubmit, encode_campaign_spec(s)});
+  for (size_t byte = kFrameHeaderSize; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> bad = wire;
+      bad[byte] = uint8_t(bad[byte] ^ (1u << bit));
+      EXPECT_THROW(decode_frame(bad, "corrupt"), NetError)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
 }
 
 TEST(MessageCodec, TruncatedPayloadIsDiagnosed) {
@@ -600,6 +685,111 @@ TEST(ServeLoopback, KilledWorkerLeaseIsReclaimedAndDigestStillMatches) {
       << worker_out.str();
   EXPECT_NE(slog.str().find("lease_abandoned"), std::string::npos)
       << slog.str();
+}
+
+std::string http_get(int port, const std::string& path) {
+  std::string error;
+  Socket s = connect_to("127.0.0.1", port, &error);
+  if (!s.valid()) return {};
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  if (!s.send_all(req.data(), req.size())) return {};
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = s.recv_some(buf, sizeof(buf))) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  return resp;
+}
+
+TEST(ServeLoopback, TracedCampaignsKeepDigestsAndFormOneTracePerCampaign) {
+  // The full introspection stack on at once — tracing, metrics, /status
+  // scrapes racing the campaign — must not move a single result bit, and
+  // the recorded spans must form exactly one trace per submitted campaign
+  // rooted at the submit client.
+  ThreadGuard guard;
+  CampaignSpecMsg spec = e2e_spec();
+  spec.prefix_cache = 0;
+  parallel::set_num_threads(1);
+  const uint64_t offline = offline_digest(spec);
+
+  obs::TelemetryScope scope(/*tracing=*/true, /*metrics=*/true);
+  obs::reset_all();
+  obs::clear_trace();
+  obs::MetricsServer msrv(/*port=*/0);
+  ASSERT_TRUE(msrv.ok()) << msrv.last_error();
+
+  // Campaign 1: single-threaded executor-only path.
+  const ServedRun r1 = serve_and_submit(spec, ServeOptions{});
+  ASSERT_EQ(r1.code, 0) << r1.out;
+  EXPECT_EQ(parse_digest(r1.out), offline);
+
+  // Campaign 2: four threads + a worker stealing leases, with /status
+  // hammered concurrently for the whole run.
+  parallel::set_num_threads(4);
+  ServeOptions sopts;
+  sopts.lease_chunk = 1;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> saw_server{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string resp = http_get(msrv.port(), "/status");
+      if (resp.find("\"server\":{") != std::string::npos &&
+          resp.find("\"queue_depth\":") != std::string::npos) {
+        saw_server.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::ostringstream worker_out, worker_err;
+  const ServedRun r2 = serve_and_submit(spec, sopts, nullptr, [&](int port) {
+    WorkerOptions w;
+    w.port = port;
+    w.cache_dir = kCacheDir;
+    w.poll_ms = 10;
+    w.idle_timeout_ms = 30000;
+    run_worker(w, worker_out, worker_err);
+  });
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  ASSERT_EQ(r2.code, 0) << r2.out;
+  EXPECT_EQ(parse_digest(r2.out), offline);
+  // At least one scrape landed while the daemon had its status source
+  // registered (the campaign runs for far longer than one scrape loop).
+  EXPECT_TRUE(saw_server.load());
+
+  // Everything ran in-process under one trace registry, so the merged
+  // event set is exactly what `trace --merge` would reconstruct: one root
+  // per campaign, each with the server-side spans as descendants.
+  const auto events = obs::collect_trace();
+  std::vector<const obs::TraceEvent*> roots;
+  for (const auto& e : events) {
+    if (e.trace_id != 0 && e.parent_span_id == 0) roots.push_back(&e);
+  }
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NE(roots[0]->trace_id, roots[1]->trace_id);
+  for (const obs::TraceEvent* root : roots) {
+    EXPECT_EQ(root->name.rfind("submit", 0), 0u) << root->name;
+    ASSERT_NE(root->span_id, 0u);
+    int sessions = 0, executes = 0, leases = 0, queue_waits = 0;
+    for (const auto& e : events) {
+      if (e.trace_id != root->trace_id || &e == root) continue;
+      // every non-root traced span hangs off some parent in the tree
+      EXPECT_NE(e.parent_span_id, 0u) << e.name;
+      if (e.name.rfind("server_session", 0) == 0) ++sessions;
+      if (e.name.rfind("execute", 0) == 0) ++executes;
+      if (e.name.rfind("queue_wait", 0) == 0) ++queue_waits;
+      if (e.name.rfind("worker_lease", 0) == 0 ||
+          e.name.rfind("lease_execute", 0) == 0) {
+        ++leases;
+      }
+    }
+    EXPECT_EQ(sessions, 1) << "trace " << root->trace_id;
+    EXPECT_EQ(executes, 1) << "trace " << root->trace_id;
+    EXPECT_EQ(queue_waits, 1) << "trace " << root->trace_id;
+    EXPECT_GE(leases, 1) << "trace " << root->trace_id;
+  }
+  obs::clear_trace();
+  obs::reset_all();
 }
 
 TEST(ServeLoopback, SubmitAgainstDeadPortIsDiagnosed) {

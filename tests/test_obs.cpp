@@ -639,7 +639,7 @@ TEST(ObsTrace, WorkerSpansSurviveThreadRetirement) {
 
 namespace {
 
-std::string http_get_metrics(int port) {
+std::string http_get(int port, const std::string& path) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return {};
   sockaddr_in addr{};
@@ -650,8 +650,8 @@ std::string http_get_metrics(int port) {
     ::close(fd);
     return {};
   }
-  const char req[] = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
-  if (::send(fd, req, sizeof(req) - 1, 0) <= 0) {
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), 0) <= 0) {
     ::close(fd);
     return {};
   }
@@ -699,7 +699,7 @@ TEST(ObsMetricsServer, ConcurrentScrapesDuringActiveCampaignAreComplete) {
   for (int t = 0; t < kScrapers; ++t) {
     scrapers.emplace_back([&] {
       for (int i = 0; i < kGetsPerScraper; ++i) {
-        const std::string resp = http_get_metrics(server.port());
+        const std::string resp = http_get(server.port(), "/metrics");
         if (resp.find("HTTP/1.1 200 OK") != 0) {
           bad.fetch_add(1);
           continue;
@@ -748,6 +748,190 @@ TEST(ObsMetricsServer, PortConflictIsDiagnosedNotFatal) {
   MetricsServer second(first.port());  // same port: bind must fail
   EXPECT_FALSE(second.ok());
   EXPECT_NE(second.last_error().find("bind"), std::string::npos);
+}
+
+TEST(ObsMetricsServer, ResponsesCarryContentLengthAndCloseTheConnection) {
+  // Regression: every response must carry Content-Length and close the
+  // connection afterwards — a scraper that trusts HTTP/1.1 keep-alive
+  // semantics must not hang waiting for more bytes. The recv loop in
+  // http_get runs to EOF, so a matching body length proves both halves.
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_all();
+  add(Counter::kTrials, 3);
+  MetricsServer server(/*port=*/0);
+  ASSERT_TRUE(server.ok()) << server.last_error();
+  for (const std::string path : {"/metrics", "/status", "/nonsense"}) {
+    const std::string resp = http_get(server.port(), path);
+    ASSERT_EQ(resp.find("HTTP/1.1 200 OK"), 0u) << path;
+    EXPECT_NE(resp.find("Connection: close"), std::string::npos) << path;
+    const size_t hdr_end = resp.find("\r\n\r\n");
+    const size_t cl = resp.find("Content-Length: ");
+    ASSERT_NE(hdr_end, std::string::npos) << path;
+    ASSERT_NE(cl, std::string::npos) << path;
+    ASSERT_LT(cl, hdr_end) << path;
+    const size_t want = static_cast<size_t>(
+        std::strtoull(resp.c_str() + cl + 16, nullptr, 10));
+    EXPECT_EQ(resp.substr(hdr_end + 4).size(), want) << path;
+  }
+  reset_all();
+}
+
+TEST(ObsMetricsServer, StatusEndpointServesJsonSnapshot) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_all();
+  MetricsServer server(/*port=*/0);
+  ASSERT_TRUE(server.ok()) << server.last_error();
+
+  const auto body_of = [](const std::string& resp) {
+    const size_t hdr_end = resp.find("\r\n\r\n");
+    return hdr_end == std::string::npos ? std::string()
+                                        : resp.substr(hdr_end + 4);
+  };
+
+  // Bare process: build identity + uptime, no "server" object (nothing is
+  // registered), and the whole thing is valid JSON.
+  std::string resp = http_get(server.port(), "/status");
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  std::string body = body_of(resp);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"version\":\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"commit\":\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"uptime_seconds\":"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"lease_stragglers\":0"), std::string::npos) << body;
+  EXPECT_EQ(body.find("\"server\""), std::string::npos) << body;
+
+  // With a registered source the snapshot splices its JSON verbatim.
+  set_status_source([] {
+    return std::string("{\"queue_depth\":2,\"leases\":[]}");
+  });
+  body = body_of(http_get(server.port(), "/status"));
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"server\":{\"queue_depth\":2,\"leases\":[]}"),
+            std::string::npos)
+      << body;
+
+  // Deregistration is a barrier: afterwards no scrape can be running the
+  // old callback, and the object disappears from the snapshot.
+  set_status_source(nullptr);
+  body = body_of(http_get(server.port(), "/status"));
+  EXPECT_EQ(body.find("\"server\""), std::string::npos) << body;
+  reset_all();
+}
+
+TEST(ObsMetricsServer, PrometheusCarriesBuildInfoAndUptime) {
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/true);
+  reset_all();
+  ASSERT_NE(build_version()[0], '\0');
+  ASSERT_NE(build_commit()[0], '\0');
+  MetricsServer server(/*port=*/0);
+  ASSERT_TRUE(server.ok()) << server.last_error();
+  const std::string resp = http_get(server.port(), "/metrics");
+  EXPECT_NE(resp.find("# TYPE ge_build_info gauge"), std::string::npos);
+  EXPECT_NE(resp.find("ge_build_info{version=\"" +
+                      std::string(build_version()) + "\",commit=\"" +
+                      std::string(build_commit()) + "\"} 1"),
+            std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("# TYPE ge_uptime_seconds gauge"), std::string::npos);
+  EXPECT_NE(resp.find("ge_uptime_seconds "), std::string::npos);
+  EXPECT_GT(uptime_seconds(), 0.0);
+  reset_all();
+}
+
+// --- distributed trace context ---------------------------------------------
+
+TEST(ObsTrace, TraceContextPropagatesThroughSpanTree) {
+  TelemetryScope scope(/*tracing=*/true, /*metrics=*/false);
+  clear_trace();
+  const uint64_t trace = make_trace_id();
+  ASSERT_NE(trace, 0u);
+  EXPECT_NE(make_trace_id(), trace);  // ids are unique, not a constant
+  {
+    TraceContextScope ctx(TraceContext{trace, 0});
+    Span root("t", "root");
+    EXPECT_EQ(root.context().trace_id, trace);
+    EXPECT_NE(root.context().span_id, 0u);
+    Span child("t", "child");
+    (void)child;
+  }
+  {
+    Span outside("t", "outside");  // no context: records untraced
+    (void)outside;
+  }
+  const auto events = collect_trace();
+  const TraceEvent* root = nullptr;
+  const TraceEvent* child = nullptr;
+  const TraceEvent* outside = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "root") root = &e;
+    if (e.name == "child") child = &e;
+    if (e.name == "outside") outside = &e;
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(outside, nullptr);
+  EXPECT_EQ(root->trace_id, trace);
+  EXPECT_EQ(root->parent_span_id, 0u);  // trace root: parent is the context's
+  ASSERT_NE(root->span_id, 0u);
+  EXPECT_EQ(child->trace_id, trace);
+  EXPECT_EQ(child->parent_span_id, root->span_id);  // nests via thread-local
+  EXPECT_NE(child->span_id, root->span_id);
+  EXPECT_EQ(outside->trace_id, 0u);
+  EXPECT_EQ(outside->span_id, 0u);
+  clear_trace();
+}
+
+TEST(ObsTrace, RecordSpanJoinsTheCurrentContext) {
+  TelemetryScope scope(/*tracing=*/true, /*metrics=*/false);
+  clear_trace();
+  const uint64_t trace = make_trace_id();
+  {
+    TraceContextScope ctx(TraceContext{trace, 77});
+    record_span("t", "retro", now_ns() - 1000, 1000);
+  }
+  record_span("t", "untraced", now_ns() - 1000, 1000);
+  const auto events = collect_trace();
+  ASSERT_EQ(events.size(), 2u);
+  const bool retro_first = events[0].name == "retro";
+  const TraceEvent& retro = retro_first ? events[0] : events[1];
+  const TraceEvent& untraced = retro_first ? events[1] : events[0];
+  EXPECT_EQ(retro.trace_id, trace);
+  EXPECT_EQ(retro.parent_span_id, 77u);
+  EXPECT_NE(retro.span_id, 0u);
+  EXPECT_EQ(untraced.trace_id, 0u);
+  clear_trace();
+}
+
+TEST(ObsTrace, ChromeTraceCarriesProcessLabelEpochAndHexIds) {
+  TelemetryScope scope(/*tracing=*/true, /*metrics=*/false);
+  clear_trace();
+  set_trace_process_label("unit_test");
+  {
+    TraceContextScope ctx(TraceContext{0x1234, 0});
+    Span s("t", "traced");
+    (void)s;
+  }
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"process_label\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch_unix_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"0000000000001234\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"span_id\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":\"0000000000000000\""),
+            std::string::npos);
+  set_trace_process_label("goldeneye");
+  clear_trace();
+}
+
+TEST(ObsTrace, DisabledTracingLeavesSpansContextFree) {
+  // With tracing off a Span must not consume ids or install a context —
+  // the zero-cost contract extends to the distributed-trace machinery.
+  TelemetryScope scope(/*tracing=*/false, /*metrics=*/false);
+  TraceContextScope ctx(TraceContext{make_trace_id(), 0});
+  Span s("t", "dark");
+  EXPECT_EQ(s.context().trace_id, 0u);
+  EXPECT_EQ(s.context().span_id, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+// core/trace_merge unit tests over hand-crafted --trace files: clock
+// rebasing across process epochs, byte-identical output under any input
+// ordering, per-trace attribution arithmetic, and error diagnosis for
+// files that are not trace outputs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/trace_merge.hpp"
+
+namespace ge::core {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return "/tmp/ge_test_trace_merge_" + name + ".json";
+}
+
+std::string write_file(const std::string& name, const std::string& content) {
+  const std::string path = tmp_path(name);
+  std::ofstream f(path);
+  f << content;
+  return path;
+}
+
+// A --trace file as obs::chrome_trace_json lays it out: one event per
+// line, a meta record carrying the process label and unix epoch, spans
+// with optional propagated hex ids.
+std::string submit_trace() {
+  return "{\"traceEvents\":[\n"
+         "{\"name\":\"goldeneye_trace_meta\",\"cat\":\"meta\",\"ph\":\"M\","
+         "\"pid\":1,\"tid\":0,\"process_label\":\"submit\","
+         "\"epoch_unix_ns\":1000000000000},\n"
+         "{\"name\":\"submit(fp_e4m3)\",\"cat\":\"net\",\"ph\":\"X\","
+         "\"pid\":1,\"tid\":1,\"ts\":100.000,\"dur\":5000.000,"
+         "\"trace_id\":\"0000000000000001\",\"span_id\":\"00000000000000aa\","
+         "\"parent_span_id\":\"0000000000000000\"},\n"
+         "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string serve_trace() {
+  // Epoch 500 us after the submit process; spans parented under the
+  // propagated submit root (aa).
+  return "{\"traceEvents\":[\n"
+         "{\"name\":\"goldeneye_trace_meta\",\"cat\":\"meta\",\"ph\":\"M\","
+         "\"pid\":1,\"tid\":0,\"process_label\":\"serve\","
+         "\"epoch_unix_ns\":1000000500000},\n"
+         "{\"name\":\"queue_wait(campaign_1)\",\"cat\":\"net\",\"ph\":\"X\","
+         "\"pid\":1,\"tid\":2,\"ts\":10.000,\"dur\":50.000,"
+         "\"trace_id\":\"0000000000000001\",\"span_id\":\"00000000000000bb\","
+         "\"parent_span_id\":\"00000000000000aa\"},\n"
+         "{\"name\":\"execute(campaign_1)\",\"cat\":\"net\",\"ph\":\"X\","
+         "\"pid\":1,\"tid\":2,\"ts\":60.000,\"dur\":4000.000,"
+         "\"trace_id\":\"0000000000000001\",\"span_id\":\"00000000000000cc\","
+         "\"parent_span_id\":\"00000000000000aa\"},\n"
+         "{\"name\":\"lease_execute(0-7)\",\"cat\":\"net\",\"ph\":\"X\","
+         "\"pid\":1,\"tid\":2,\"ts\":70.000,\"dur\":1000.000,"
+         "\"trace_id\":\"0000000000000001\",\"span_id\":\"00000000000000dd\","
+         "\"parent_span_id\":\"00000000000000cc\"},\n"
+         "{\"name\":\"untraced_background\",\"cat\":\"io\",\"ph\":\"X\","
+         "\"pid\":1,\"tid\":3,\"ts\":5.000,\"dur\":2.000},\n"
+         "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+TEST(TraceMerge, OutputIsByteIdenticalUnderAnyInputOrdering) {
+  const std::string a = write_file("order_a", submit_trace());
+  const std::string b = write_file("order_b", serve_trace());
+
+  const TraceMergeResult fwd = merge_trace_files({a, b});
+  const TraceMergeResult rev = merge_trace_files({b, a});
+  EXPECT_EQ(fwd.chrome_json, rev.chrome_json);
+  EXPECT_EQ(fwd.attribution, rev.attribution);
+  EXPECT_EQ(fwd.collapsed, rev.collapsed);
+
+  // Process order is content-determined (label, epoch, hash) — "serve"
+  // sorts before "submit" regardless of argv order.
+  ASSERT_EQ(fwd.processes.size(), 2u);
+  EXPECT_EQ(fwd.processes[0].label, "serve");
+  EXPECT_EQ(fwd.processes[1].label, "submit");
+  EXPECT_EQ(rev.processes[0].label, "serve");
+
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(TraceMerge, EpochRebasePutsEventsOnOneSharedAxis) {
+  const std::string a = write_file("rebase_a", submit_trace());
+  const std::string b = write_file("rebase_b", serve_trace());
+  const TraceMergeResult r = merge_trace_files({a, b});
+
+  EXPECT_EQ(r.event_count, 5);
+  EXPECT_EQ(r.trace_count, 1);
+  // Earliest wall-clock event (the submit root: epoch base + 100 us)
+  // lands at ts 0; the serve process's queue_wait sits 500 us of epoch
+  // skew plus 10 us of local offset later, minus the 100 us base shift.
+  EXPECT_NE(r.chrome_json.find("\"name\":\"submit(fp_e4m3)\",\"cat\":\"net\","
+                               "\"ph\":\"X\",\"pid\":2,\"tid\":1,"
+                               "\"ts\":0.000"),
+            std::string::npos)
+      << r.chrome_json;
+  EXPECT_NE(r.chrome_json.find("\"name\":\"queue_wait(campaign_1)\","
+                               "\"cat\":\"net\",\"ph\":\"X\",\"pid\":1,"
+                               "\"tid\":2,\"ts\":410.000"),
+            std::string::npos)
+      << r.chrome_json;
+  // Propagated ids survive as 16-digit hex strings; the untraced span
+  // carries none.
+  EXPECT_NE(r.chrome_json.find("\"trace_id\":\"0000000000000001\""),
+            std::string::npos);
+  EXPECT_NE(r.chrome_json.find("\"name\":\"untraced_background\",\"cat\":"
+                               "\"io\",\"ph\":\"X\",\"pid\":1,\"tid\":3,"
+                               "\"ts\":405.000,\"dur\":2.000}"),
+            std::string::npos)
+      << r.chrome_json;
+
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(TraceMerge, AttributionPartitionsRootIntoQueueExecuteStreamBack) {
+  const std::string a = write_file("attr_a", submit_trace());
+  const std::string b = write_file("attr_b", serve_trace());
+  const TraceMergeResult r = merge_trace_files({a, b});
+
+  // One trace, rooted at the submit client. root 5 ms; queue 0.05 ms;
+  // execute 4 ms; one lease worth 1 ms; stream_back = 5 - 0.05 - 4.
+  EXPECT_NE(r.attribution.find("trace 0000000000000001  (4 spans)"),
+            std::string::npos)
+      << r.attribution;
+  EXPECT_NE(r.attribution.find(
+                "root              5.000 ms  submit(fp_e4m3) @submit"),
+            std::string::npos)
+      << r.attribution;
+  EXPECT_NE(r.attribution.find("queue_wait        0.050 ms"),
+            std::string::npos);
+  EXPECT_NE(r.attribution.find("execute           4.000 ms"),
+            std::string::npos);
+  EXPECT_NE(
+      r.attribution.find("leases            1.000 ms  across 1 lease(s)"),
+      std::string::npos)
+      << r.attribution;
+  EXPECT_NE(r.attribution.find("stream_back       0.950 ms"),
+            std::string::npos);
+
+  // Collapsed stacks reconstruct the serve-side nesting across the
+  // process-unique tid remap.
+  EXPECT_NE(r.collapsed.find("execute(campaign_1);lease_execute(0-7)"),
+            std::string::npos)
+      << r.collapsed;
+
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(TraceMerge, RejectsFilesWithoutTraceMeta) {
+  const std::string p =
+      write_file("not_a_trace", "{\"traceEvents\":[\n],\"ok\":1}\n");
+  EXPECT_THROW(merge_trace_files({p}), std::runtime_error);
+  std::remove(p.c_str());
+
+  EXPECT_THROW(merge_trace_files({tmp_path("missing")}), std::runtime_error);
+  EXPECT_THROW(merge_trace_files({}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ge::core
